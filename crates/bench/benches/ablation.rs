@@ -1,0 +1,84 @@
+//! Ablation of the paper's §3.3 heuristics on one circuit: each knob is
+//! toggled in isolation against the default operating point, exposing
+//! what every approximation buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pep_bench::bench_circuit;
+use pep_core::{analyze, AnalysisConfig, HybridMcConfig, StemRanking};
+use pep_netlist::generate::IscasProfile;
+use std::hint::black_box;
+
+fn configs() -> Vec<(&'static str, AnalysisConfig)> {
+    vec![
+        ("default", AnalysisConfig::default()),
+        (
+            "no_event_dropping",
+            AnalysisConfig {
+                min_event_prob: 0.0,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "no_stem_filter",
+            AnalysisConfig {
+                filter_stems: false,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "no_conditioning",
+            AnalysisConfig {
+                max_effective_stems: Some(0),
+                ..AnalysisConfig::default()
+            },
+        ),
+        ("two_stem", AnalysisConfig::two_stem()),
+        (
+            "depth_2",
+            AnalysisConfig {
+                supergate_depth: Some(2),
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "depth_8",
+            AnalysisConfig {
+                supergate_depth: Some(8),
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "sensitivity_ranking",
+            AnalysisConfig {
+                stem_ranking: StemRanking::Sensitivity,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "hybrid_mc",
+            AnalysisConfig {
+                hybrid_mc: Some(HybridMcConfig {
+                    stem_threshold: 2,
+                    runs: 1_000,
+                    seed: 7,
+                }),
+                ..AnalysisConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let bench = bench_circuit(IscasProfile::S5378);
+    let mut group = c.benchmark_group("ablation_s5378");
+    group.sample_size(10);
+    for (name, config) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(analyze(&bench.netlist, &bench.timing, config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Whole-circuit benchmarks: the PEP analysis vs the Monte Carlo
+//! baseline on the profile circuits, plus the structural substrate
+//! (support computation, supergate extraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pep_bench::bench_circuit;
+use pep_core::{analyze, AnalysisConfig};
+use pep_netlist::cone::SupportSets;
+use pep_netlist::generate::IscasProfile;
+use pep_netlist::supergate;
+use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pep_analyze");
+    group.sample_size(10);
+    for profile in [IscasProfile::S5378, IscasProfile::S9234] {
+        let bench = bench_circuit(profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    black_box(analyze(
+                        &bench.netlist,
+                        &bench.timing,
+                        &AnalysisConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_100_runs");
+    group.sample_size(10);
+    for profile in [IscasProfile::S5378, IscasProfile::S9234] {
+        let bench = bench_circuit(profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    black_box(run_monte_carlo(
+                        &bench.netlist,
+                        &bench.timing,
+                        &McConfig {
+                            runs: 100,
+                            threads: 1,
+                            ..McConfig::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_structure(c: &mut Criterion) {
+    let bench = bench_circuit(IscasProfile::S5378);
+    let mut group = c.benchmark_group("structure_s5378");
+    group.sample_size(10);
+    group.bench_function("support_sets", |b| {
+        b.iter(|| black_box(SupportSets::compute(&bench.netlist)))
+    });
+    let supports = SupportSets::compute(&bench.netlist);
+    group.bench_function("supergate_stats_d8", |b| {
+        b.iter(|| black_box(supergate::stats(&bench.netlist, &supports, Some(8))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_monte_carlo, bench_structure);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the event-propagation primitives (paper §2):
+//! convolution (shift-with-scaling + group), statistical min/max
+//! combining, event dropping, coarsening and discretization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pep_dist::{discretize, ContinuousDist, DiscreteDist, TimeStep};
+use std::hint::black_box;
+
+/// A smooth n-point test distribution.
+fn smooth(n: usize, origin: i64) -> DiscreteDist {
+    let mid = n as f64 / 2.0;
+    let weights: Vec<(i64, f64)> = (0..n)
+        .map(|i| {
+            let z = (i as f64 - mid) / (n as f64 / 6.0);
+            (origin + i as i64, (-0.5 * z * z).exp())
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+    DiscreteDist::from_pairs(weights.into_iter().map(|(t, w)| (t, w / total)))
+}
+
+fn bench_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve");
+    for &(a, b) in &[(20usize, 20usize), (100, 20), (300, 20), (300, 100)] {
+        let x = smooth(a, 0);
+        let y = smooth(b, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{a}x{b}")),
+            &(x, y),
+            |bench, (x, y)| bench.iter(|| black_box(x.convolve(y))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+    for &n in &[20usize, 100, 300] {
+        let x = smooth(n, 0);
+        let y = smooth(n, n as i64 / 4);
+        group.bench_with_input(BenchmarkId::new("max", n), &(&x, &y), |bench, (x, y)| {
+            bench.iter(|| black_box(x.max(y)))
+        });
+        group.bench_with_input(BenchmarkId::new("min", n), &(&x, &y), |bench, (x, y)| {
+            bench.iter(|| black_box(x.min(y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncate_and_coarsen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape");
+    let wide = smooth(400, 0);
+    group.bench_function("truncate_below_1e-5", |bench| {
+        bench.iter(|| {
+            let mut d = wide.clone();
+            black_box(d.truncate_below(1e-5));
+            d
+        })
+    });
+    group.bench_function("coarsen_to_32", |bench| {
+        bench.iter(|| black_box(wide.coarsened(32)))
+    });
+    group.finish();
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let normal = ContinuousDist::normal(50.0, 3.0).expect("valid");
+    let mut group = c.benchmark_group("discretize");
+    for &samples in &[10usize, 20, 40] {
+        let step = TimeStep::new(8.0 * 3.0 / samples as f64).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &step,
+            |bench, &step| bench.iter(|| black_box(discretize(&normal, step))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_convolve,
+    bench_combine,
+    bench_truncate_and_coarsen,
+    bench_discretize
+);
+criterion_main!(benches);

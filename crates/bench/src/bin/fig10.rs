@@ -1,0 +1,11 @@
+//! Regenerates Fig. 10: speedup over the Monte Carlo baseline and error
+//! percentages for all six benchmark circuits.
+
+fn main() {
+    println!(
+        "Fig. 10 — speedup over {}-run Monte Carlo (single thread) and errors\n",
+        pep_bench::MC_RUNS
+    );
+    let rows = pep_bench::fig10();
+    print!("{}", pep_bench::print_fig10(&rows));
+}

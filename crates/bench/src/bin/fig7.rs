@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7: error percentages and run time vs the minimum
+//! event probability `P_m` (reference: a run without event dropping).
+
+fn main() {
+    let profile = pep_bench::STUDY_CIRCUIT;
+    println!("Fig. 7 — error and run time vs P_m on {}\n", profile.name());
+    let rows = pep_bench::fig7(profile);
+    print!("{}", pep_bench::print_fig7(&rows));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8: error percentages (vs Monte Carlo) and run time
+//! vs the number of data samples `N_s` per delay distribution.
+
+fn main() {
+    let profile = pep_bench::STUDY_CIRCUIT;
+    println!("Fig. 8 — error and run time vs N_s on {}\n", profile.name());
+    let rows = pep_bench::fig8(profile);
+    print!("{}", pep_bench::print_fig8(&rows));
+}

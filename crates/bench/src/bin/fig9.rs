@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9: error percentages (vs Monte Carlo) and run time
+//! vs the supergate depth limit `D`.
+
+fn main() {
+    let profile = pep_bench::STUDY_CIRCUIT;
+    println!("Fig. 9 — error and run time vs D on {}\n", profile.name());
+    let rows = pep_bench::fig9(profile);
+    print!("{}", pep_bench::print_fig9(&rows));
+}

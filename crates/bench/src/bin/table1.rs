@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 1: average number of gates and fanout
+//! stems per supergate for each benchmark circuit.
+
+fn main() {
+    let rows = pep_bench::table1();
+    println!(
+        "Table 1 — supergate structure (depth limit D = {})\n",
+        pep_bench::TABLE1_DEPTH
+    );
+    print!("{}", pep_bench::print_table1(&rows));
+}

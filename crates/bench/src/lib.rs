@@ -1,0 +1,543 @@
+//! Reproduction harness for the DAC 2001 evaluation (§4).
+//!
+//! One function per table/figure, each returning structured rows that the
+//! `table1`/`fig7`/`fig8`/`fig9`/`fig10` binaries print in the paper's
+//! layout and that `repro_all` assembles into `EXPERIMENTS.md`.
+//!
+//! All experiments run on the seeded ISCAS89-profile circuits (see
+//! `pep_netlist::generate`) with the paper's delay model (`DelayModel::
+//! dac2001`): every invocation regenerates identical inputs, so results
+//! are reproducible run to run up to wall-clock noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{analyze, compare, AnalysisConfig, PepAnalysis};
+use pep_netlist::cone::SupportSets;
+use pep_netlist::generate::{iscas_profile, IscasProfile};
+use pep_netlist::{supergate, Netlist};
+use pep_sta::monte_carlo::{run_monte_carlo, McConfig, McResult};
+use std::time::{Duration, Instant};
+
+/// Seed used for all delay annotations, matching the probes in DESIGN.md.
+pub const DELAY_SEED: u64 = 1;
+
+/// Monte Carlo runs of the baseline (the paper's 5 000).
+pub const MC_RUNS: usize = 5_000;
+
+/// The circuit the single-circuit studies (Figs. 7–9) run on — the paper
+/// uses s15850 because "it actually has the worst performance among the
+/// tested benchmarks".
+pub const STUDY_CIRCUIT: IscasProfile = IscasProfile::S15850;
+
+/// A benchmark circuit with its statistical timing annotation.
+pub struct Bench {
+    /// The profile circuit.
+    pub netlist: Netlist,
+    /// Its delay annotation under the paper's model.
+    pub timing: Timing,
+}
+
+/// Generates a profile circuit and annotates it with the paper's delay
+/// model.
+pub fn bench_circuit(profile: IscasProfile) -> Bench {
+    let netlist = iscas_profile(profile);
+    let timing = Timing::annotate(&netlist, &DelayModel::dac2001(DELAY_SEED));
+    Bench { netlist, timing }
+}
+
+/// Runs the Monte Carlo baseline (all cores; used as the accuracy
+/// reference).
+pub fn reference_mc(bench: &Bench) -> McResult {
+    run_monte_carlo(
+        &bench.netlist,
+        &bench.timing,
+        &McConfig {
+            runs: MC_RUNS,
+            ..McConfig::default()
+        },
+    )
+}
+
+/// Times a single-threaded Monte Carlo run (the speedup baseline; the
+/// 2001 comparison was single-core).
+pub fn timed_mc_single_thread(bench: &Bench) -> (McResult, Duration) {
+    let t0 = Instant::now();
+    let mc = run_monte_carlo(
+        &bench.netlist,
+        &bench.timing,
+        &McConfig {
+            runs: MC_RUNS,
+            threads: 1,
+            ..McConfig::default()
+        },
+    );
+    (mc, t0.elapsed())
+}
+
+/// Times a PEP analysis.
+pub fn timed_pep(bench: &Bench, config: &AnalysisConfig) -> (PepAnalysis, Duration) {
+    let t0 = Instant::now();
+    let pep = analyze(&bench.netlist, &bench.timing, config);
+    (pep, t0.elapsed())
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — supergate structure statistics per circuit.
+// ---------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Circuit name.
+    pub circuit: &'static str,
+    /// Gate count of the combinational profile.
+    pub gates: usize,
+    /// Number of reconvergent gates (supergates).
+    pub supergates: usize,
+    /// Average interior gates per supergate (`N_g`).
+    pub avg_gates: f64,
+    /// Average stems per supergate (`N_s`).
+    pub avg_stems: f64,
+    /// Largest supergate seen.
+    pub max_gates: usize,
+}
+
+/// The supergate depth used for the Table 1 statistics (the analyzer's
+/// default operating depth).
+pub const TABLE1_DEPTH: u32 = 8;
+
+/// Regenerates Table 1: the average number of gates and fanout stems per
+/// supergate for each benchmark circuit.
+pub fn table1() -> Vec<Table1Row> {
+    IscasProfile::all()
+        .into_iter()
+        .map(|p| {
+            let nl = iscas_profile(p);
+            let supports = SupportSets::compute(&nl);
+            let st = supergate::stats(&nl, &supports, Some(TABLE1_DEPTH));
+            Table1Row {
+                circuit: p.name(),
+                gates: nl.gate_count(),
+                supergates: st.count,
+                avg_gates: st.avg_gates,
+                avg_stems: st.avg_stems,
+                max_gates: st.max_gates,
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 1 in the paper's layout.
+pub fn print_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| Ckt | gates | supergates | N_g (avg gates) | N_s (avg stems) | max gates |\n");
+    out.push_str("|-----|-------|------------|-----------------|-----------------|-----------|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {:.2} | {} |\n",
+            r.circuit, r.gates, r.supergates, r.avg_gates, r.avg_stems, r.max_gates
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — error and run time vs the minimum event probability P_m.
+// ---------------------------------------------------------------------
+
+/// One point of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The probability floor `P_m`.
+    pub p_min: f64,
+    /// Mean-arrival error % vs the no-dropping reference (`M_e + 3σ_e`).
+    pub mean_err: f64,
+    /// σ error % vs the no-dropping reference.
+    pub std_err: f64,
+    /// Analysis wall time.
+    pub run_time: Duration,
+    /// Total probability mass the filter dropped.
+    pub dropped_mass: f64,
+}
+
+/// Regenerates Fig. 7 on `profile`: sweep `P_m`, comparing against a run
+/// with event dropping disabled (exactly the paper's methodology).
+pub fn fig7(profile: IscasProfile) -> Vec<Fig7Row> {
+    let bench = bench_circuit(profile);
+    let reference = analyze(
+        &bench.netlist,
+        &bench.timing,
+        &AnalysisConfig {
+            min_event_prob: 0.0,
+            ..AnalysisConfig::default()
+        },
+    );
+    [1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+        .into_iter()
+        .map(|p_min| {
+            let (pep, run_time) = timed_pep(
+                &bench,
+                &AnalysisConfig {
+                    min_event_prob: p_min,
+                    ..AnalysisConfig::default()
+                },
+            );
+            let cmp = compare::against_reference(&bench.netlist, &reference, &pep);
+            let (mean_err, std_err) = cmp.report();
+            Fig7Row {
+                p_min,
+                mean_err,
+                std_err,
+                run_time,
+                dropped_mass: pep.stats().dropped_mass,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 7's series.
+pub fn print_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| P_m | mean err % | sigma err % | run time | dropped mass |\n");
+    out.push_str("|-----|------------|-------------|----------|--------------|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {:.0e} | {:.3} | {:.3} | {:.0?} | {:.4} |\n",
+            r.p_min, r.mean_err, r.std_err, r.run_time, r.dropped_mass
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — error and run time vs the number of data samples N_s.
+// ---------------------------------------------------------------------
+
+/// One point of Fig. 8.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Number of samples per delay distribution.
+    pub samples: usize,
+    /// Mean-arrival error % vs Monte Carlo.
+    pub mean_err: f64,
+    /// σ error % vs Monte Carlo.
+    pub std_err: f64,
+    /// Analysis wall time.
+    pub run_time: Duration,
+}
+
+/// Regenerates Fig. 8 on `profile`: sweep `N_s` against the Monte Carlo
+/// reference, with the paper's `P_m = 10⁻⁵`.
+pub fn fig8(profile: IscasProfile) -> Vec<Fig8Row> {
+    let bench = bench_circuit(profile);
+    let mc = reference_mc(&bench);
+    [5, 8, 10, 15, 20, 25, 30, 40]
+        .into_iter()
+        .map(|samples| {
+            let (pep, run_time) = timed_pep(
+                &bench,
+                &AnalysisConfig {
+                    samples,
+                    ..AnalysisConfig::default()
+                },
+            );
+            let cmp = compare::against_monte_carlo(&bench.netlist, &pep, &mc);
+            let (mean_err, std_err) = cmp.report();
+            Fig8Row {
+                samples,
+                mean_err,
+                std_err,
+                run_time,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 8's series.
+pub fn print_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| N_s | mean err % | sigma err % | run time |\n");
+    out.push_str("|-----|------------|-------------|----------|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.0?} |\n",
+            r.samples, r.mean_err, r.std_err, r.run_time
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — error and run time vs the supergate depth limit D.
+// ---------------------------------------------------------------------
+
+/// One point of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Supergate depth limit.
+    pub depth: u32,
+    /// Mean-arrival error % vs Monte Carlo.
+    pub mean_err: f64,
+    /// σ error % vs Monte Carlo.
+    pub std_err: f64,
+    /// Analysis wall time.
+    pub run_time: Duration,
+}
+
+/// Regenerates Fig. 9 on `profile`: sweep the supergate depth `D` against
+/// the Monte Carlo reference.
+pub fn fig9(profile: IscasProfile) -> Vec<Fig9Row> {
+    let bench = bench_circuit(profile);
+    let mc = reference_mc(&bench);
+    [1u32, 2, 3, 4, 5, 6, 8, 10]
+        .into_iter()
+        .map(|depth| {
+            let (pep, run_time) = timed_pep(
+                &bench,
+                &AnalysisConfig {
+                    supergate_depth: Some(depth),
+                    ..AnalysisConfig::default()
+                },
+            );
+            let cmp = compare::against_monte_carlo(&bench.netlist, &pep, &mc);
+            let (mean_err, std_err) = cmp.report();
+            Fig9Row {
+                depth,
+                mean_err,
+                std_err,
+                run_time,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 9's series.
+pub fn print_fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| D | mean err % | sigma err % | run time |\n");
+    out.push_str("|---|------------|-------------|----------|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.0?} |\n",
+            r.depth, r.mean_err, r.std_err, r.run_time
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 — speedup over Monte Carlo and errors per circuit.
+// ---------------------------------------------------------------------
+
+/// One bar-group of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Circuit name.
+    pub circuit: &'static str,
+    /// PEP analysis wall time.
+    pub pep_time: Duration,
+    /// Monte Carlo (5 000 runs, single thread) wall time.
+    pub mc_time: Duration,
+    /// `mc_time / pep_time`.
+    pub speedup: f64,
+    /// Mean-arrival error % vs Monte Carlo (`M_e + 3σ_e`).
+    pub mean_err: f64,
+    /// σ error % vs Monte Carlo.
+    pub std_err: f64,
+    /// The Monte Carlo sample-mean error bound over the primary outputs
+    /// (the paper's ~0.95% context figure).
+    pub mc_bound: f64,
+}
+
+/// Regenerates Fig. 10 across all six circuits with the default (paper
+/// operating point) configuration.
+pub fn fig10() -> Vec<Fig10Row> {
+    IscasProfile::all()
+        .into_iter()
+        .map(|p| {
+            let bench = bench_circuit(p);
+            let (pep, pep_time) = timed_pep(&bench, &AnalysisConfig::default());
+            let (mc, mc_time) = timed_mc_single_thread(&bench);
+            let cmp = compare::against_monte_carlo(&bench.netlist, &pep, &mc);
+            let (mean_err, std_err) = cmp.report();
+            // Pseudo-outputs driven directly by primary inputs carry no
+            // timing (mean 0) and would make the relative bound infinite.
+            let mc_bound = mc.worst_error_bound(
+                bench
+                    .netlist
+                    .primary_outputs()
+                    .iter()
+                    .copied()
+                    .filter(|&po| mc.mean(po) > 0.0),
+            ) * 100.0;
+            Fig10Row {
+                circuit: p.name(),
+                pep_time,
+                mc_time,
+                speedup: mc_time.as_secs_f64() / pep_time.as_secs_f64(),
+                mean_err,
+                std_err,
+                mc_bound,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 10's series.
+pub fn print_fig10(rows: &[Fig10Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Ckt | PEP time | MC time | speedup | mean err % | sigma err % | MC bound % |\n",
+    );
+    out.push_str(
+        "|-----|----------|---------|---------|------------|-------------|------------|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.0?} | {:.0?} | {:.1}x | {:.2} | {:.2} | {:.2} |\n",
+            r.circuit, r.pep_time, r.mc_time, r.speedup, r.mean_err, r.std_err, r.mc_bound
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Heuristic ablation — accuracy and cost of each §3.3 approximation.
+// ---------------------------------------------------------------------
+
+/// One ablation configuration's outcome.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Analysis wall time.
+    pub run_time: Duration,
+    /// Mean-arrival error % vs Monte Carlo.
+    pub mean_err: f64,
+    /// σ error % vs Monte Carlo.
+    pub std_err: f64,
+    /// Stems conditioned across the circuit.
+    pub stems_conditioned: usize,
+}
+
+/// Ablates each heuristic in isolation on `profile` against the Monte
+/// Carlo reference — the quantified version of DESIGN.md's design-choice
+/// list.
+pub fn ablation(profile: IscasProfile) -> Vec<AblationRow> {
+    use pep_core::{HybridMcConfig, StemRanking};
+    let bench = bench_circuit(profile);
+    let mc = reference_mc(&bench);
+    let configs: Vec<(&'static str, AnalysisConfig)> = vec![
+        ("default", AnalysisConfig::default()),
+        (
+            "no event dropping",
+            AnalysisConfig {
+                min_event_prob: 0.0,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "no stem filter",
+            AnalysisConfig {
+                filter_stems: false,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "no conditioning",
+            AnalysisConfig {
+                max_effective_stems: Some(0),
+                ..AnalysisConfig::default()
+            },
+        ),
+        ("two-stem", AnalysisConfig::two_stem()),
+        (
+            "sensitivity ranking",
+            AnalysisConfig {
+                stem_ranking: StemRanking::Sensitivity,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "uncapped enumeration",
+            AnalysisConfig {
+                max_conditioning_events: None,
+                conditioning_resolution: None,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "hybrid MC (>2 stems)",
+            AnalysisConfig {
+                hybrid_mc: Some(HybridMcConfig {
+                    stem_threshold: 2,
+                    runs: 2_000,
+                    seed: 7,
+                }),
+                ..AnalysisConfig::default()
+            },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, config)| {
+            let (pep, run_time) = timed_pep(&bench, &config);
+            let (mean_err, std_err) =
+                compare::against_monte_carlo(&bench.netlist, &pep, &mc).report();
+            AblationRow {
+                label,
+                run_time,
+                mean_err,
+                std_err,
+                stems_conditioned: pep.stats().stems_conditioned,
+            }
+        })
+        .collect()
+}
+
+/// Prints the ablation table.
+pub fn print_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| configuration | run time | mean err % | sigma err % | stems conditioned |
+");
+    out.push_str("|---------------|----------|------------|-------------|-------------------|
+");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.0?} | {:.2} | {:.2} | {} |
+",
+            r.label, r.run_time, r.mean_err, r.std_err, r.stems_conditioned
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_circuits() {
+        // Structure only (cheap): the smallest circuit's row.
+        let nl = iscas_profile(IscasProfile::S5378);
+        let supports = SupportSets::compute(&nl);
+        let st = supergate::stats(&nl, &supports, Some(TABLE1_DEPTH));
+        assert!(st.count > 100);
+        assert!(st.avg_gates >= 1.0);
+        assert!(st.avg_stems >= 0.5);
+    }
+
+    #[test]
+    fn fig7_shape_on_small_circuit() {
+        // Use the smallest profile to keep test time sane; assert the
+        // paper's qualitative shape: error grows with P_m.
+        let rows = fig7(IscasProfile::S5378);
+        assert_eq!(rows.len(), 9);
+        let first = &rows[0]; // P_m = 1e-10
+        let last = &rows[rows.len() - 1]; // P_m = 1e-2
+        assert!(last.mean_err > first.mean_err);
+        assert!(last.dropped_mass > first.dropped_mass);
+    }
+}

@@ -1,0 +1,36 @@
+//! Cell library and statistical delay annotation.
+//!
+//! The DAC 2001 experiments model every cell delay as a random variable
+//! whose *mean is a function of the cell's number of inputs and outputs*
+//! and whose standard deviation is a fixed, per-cell fraction of the mean
+//! drawn from (4%, 10%) (§4). [`DelayModel`] encodes that rule (and lets a
+//! user change every parameter); [`Timing`] applies it to a
+//! [`Netlist`](pep_netlist::Netlist), producing one pin-to-pin delay
+//! distribution per timing arc plus optional wire delays per fanout
+//! branch.
+//!
+//! # Example
+//!
+//! ```
+//! use pep_celllib::{DelayModel, Timing};
+//! use pep_netlist::samples;
+//!
+//! let nl = samples::c17();
+//! let timing = Timing::annotate(&nl, &DelayModel::dac2001(7));
+//! let g10 = nl.node_id("10").expect("c17 gate");
+//! let arc = timing.cell_arc(g10, 0);
+//! assert!(arc.mean() > 0.0);
+//! let frac = arc.std_dev() / arc.mean();
+//! assert!((0.04..=0.10).contains(&frac));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+mod model;
+mod timing;
+
+pub use library::Library;
+pub use model::{DelayModel, DelayShape};
+pub use timing::Timing;

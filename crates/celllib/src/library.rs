@@ -1,0 +1,326 @@
+//! A small text format for custom statistical cell libraries.
+//!
+//! The built-in [`DelayModel`] rule (mean from pin
+//! counts) matches the paper's experiments, but real users carry per-cell
+//! characterization. `Library` holds per-gate-kind delay rules, parsed
+//! from a simple line-oriented format:
+//!
+//! ```text
+//! # kind   base  per_fanin  per_fanout  sigma_lo  sigma_hi
+//! default  2.0   1.0        0.5         0.04      0.10
+//! NAND     1.6   0.9        0.45        0.05      0.08
+//! XOR      3.2   1.4        0.5         0.06      0.10
+//! ```
+//!
+//! Unlisted kinds fall back to the `default` row. The library lowers to a
+//! per-netlist [`Timing`] through
+//! [`Library::annotate`].
+
+use crate::{DelayModel, DelayShape, Timing};
+use pep_netlist::{GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One cell kind's delay rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellRule {
+    /// Constant part of the mean delay.
+    pub base: f64,
+    /// Mean-delay increment per input pin.
+    pub per_fanin: f64,
+    /// Mean-delay increment per fanout branch.
+    pub per_fanout: f64,
+    /// Lower bound of the per-cell σ/mean draw.
+    pub sigma_lo: f64,
+    /// Upper bound of the per-cell σ/mean draw.
+    pub sigma_hi: f64,
+}
+
+impl CellRule {
+    fn validate(&self) -> Result<(), String> {
+        if ![self.base, self.per_fanin, self.per_fanout, self.sigma_lo, self.sigma_hi]
+            .iter()
+            .all(|v| v.is_finite())
+        {
+            return Err("all rule fields must be finite".to_owned());
+        }
+        if self.base + self.per_fanin <= 0.0 {
+            return Err("smallest cells would get a non-positive mean".to_owned());
+        }
+        if !(0.0 < self.sigma_lo && self.sigma_lo <= self.sigma_hi && self.sigma_hi < 1.0) {
+            return Err("need 0 < sigma_lo <= sigma_hi < 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Errors from parsing a library file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLibraryError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLibraryError {}
+
+/// A statistical cell library: per-gate-kind delay rules plus a default.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::library::Library;
+/// use pep_netlist::samples;
+///
+/// let lib = Library::parse(
+///     "default 2.0 1.0 0.5 0.04 0.10\n\
+///      NAND    1.6 0.9 0.45 0.05 0.08\n",
+/// )?;
+/// let nl = samples::c17(); // all NANDs
+/// let timing = lib.annotate(&nl, 7);
+/// let g = nl.node_id("10").expect("c17 gate");
+/// // NAND with 2 fanins, 1 fanout: 1.6 + 2*0.9 + 1*0.45.
+/// assert!((timing.cell_arc(g, 0).mean() - 3.85).abs() < 1e-12);
+/// # Ok::<(), pep_celllib::library::ParseLibraryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    default: CellRule,
+    rules: HashMap<GateKind, CellRule>,
+    shape: DelayShape,
+}
+
+impl Library {
+    /// A library in which every kind uses the paper's default rule.
+    pub fn dac2001() -> Self {
+        Library {
+            default: CellRule {
+                base: 2.0,
+                per_fanin: 1.0,
+                per_fanout: 0.5,
+                sigma_lo: 0.04,
+                sigma_hi: 0.10,
+            },
+            rules: HashMap::new(),
+            shape: DelayShape::Normal,
+        }
+    }
+
+    /// Parses the line-oriented library format (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed line, unknown gate kind, invalid rule,
+    /// or a missing `default` row.
+    pub fn parse(source: &str) -> Result<Self, ParseLibraryError> {
+        let mut default = None;
+        let mut rules = HashMap::new();
+        for (lineno, raw) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 6 {
+                return Err(ParseLibraryError {
+                    line: lineno,
+                    message: format!(
+                        "expected `kind base per_fanin per_fanout sigma_lo sigma_hi`, got {} fields",
+                        fields.len()
+                    ),
+                });
+            }
+            let nums: Vec<f64> = fields[1..]
+                .iter()
+                .map(|f| {
+                    f.parse::<f64>().map_err(|_| ParseLibraryError {
+                        line: lineno,
+                        message: format!("`{f}` is not a number"),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let rule = CellRule {
+                base: nums[0],
+                per_fanin: nums[1],
+                per_fanout: nums[2],
+                sigma_lo: nums[3],
+                sigma_hi: nums[4],
+            };
+            rule.validate().map_err(|message| ParseLibraryError {
+                line: lineno,
+                message,
+            })?;
+            if fields[0].eq_ignore_ascii_case("default") {
+                default = Some(rule);
+            } else {
+                let kind =
+                    GateKind::from_bench_name(fields[0]).ok_or_else(|| ParseLibraryError {
+                        line: lineno,
+                        message: format!("unknown gate kind `{}`", fields[0]),
+                    })?;
+                rules.insert(kind, rule);
+            }
+        }
+        let default = default.ok_or(ParseLibraryError {
+            line: 0,
+            message: "missing `default` row".to_owned(),
+        })?;
+        Ok(Library {
+            default,
+            rules,
+            shape: DelayShape::Normal,
+        })
+    }
+
+    /// Replaces the pdf shape (normal by default).
+    #[must_use]
+    pub fn with_shape(mut self, shape: DelayShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// The rule in effect for a gate kind.
+    pub fn rule(&self, kind: GateKind) -> &CellRule {
+        self.rules.get(&kind).unwrap_or(&self.default)
+    }
+
+    /// Serializes back to the text format (kinds sorted for stability).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# kind base per_fanin per_fanout sigma_lo sigma_hi\n");
+        let fmt_rule = |name: &str, r: &CellRule| {
+            format!(
+                "{name} {} {} {} {} {}\n",
+                r.base, r.per_fanin, r.per_fanout, r.sigma_lo, r.sigma_hi
+            )
+        };
+        out.push_str(&fmt_rule("default", &self.default));
+        let mut kinds: Vec<_> = self.rules.keys().copied().collect();
+        kinds.sort_by_key(|k| k.bench_name());
+        for k in kinds {
+            out.push_str(&fmt_rule(k.bench_name(), &self.rules[&k]));
+        }
+        out
+    }
+
+    /// Annotates a netlist: each gate draws its σ fraction from its kind's
+    /// rule, keyed on `(seed, node name)` exactly like
+    /// [`Timing::annotate`].
+    pub fn annotate(&self, netlist: &Netlist, seed: u64) -> Timing {
+        Timing::annotate_with(netlist, seed, self.shape, |kind, fanins, fanouts| {
+            let r = self.rule(kind);
+            let mean = r.base + r.per_fanin * fanins as f64 + r.per_fanout * fanouts as f64;
+            (mean, r.sigma_lo, r.sigma_hi)
+        })
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::dac2001()
+    }
+}
+
+impl From<&DelayModel> for Library {
+    /// Lifts the uniform pin-count model into a single-rule library.
+    fn from(model: &DelayModel) -> Self {
+        let (sigma_lo, sigma_hi) = model.sigma_range();
+        Library {
+            default: CellRule {
+                base: model.mean_delay(0, 0),
+                per_fanin: model.mean_delay(1, 0) - model.mean_delay(0, 0),
+                per_fanout: model.mean_delay(0, 1) - model.mean_delay(0, 0),
+                sigma_lo,
+                sigma_hi,
+            },
+            rules: HashMap::new(),
+            shape: model.shape(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_netlist::samples;
+
+    const SAMPLE: &str = "\
+# demo library
+default 2.0 1.0 0.5 0.04 0.10
+NAND    1.6 0.9 0.45 0.05 0.08
+XOR     3.2 1.4 0.5  0.06 0.10
+";
+
+    #[test]
+    fn parses_and_selects_rules() {
+        let lib = Library::parse(SAMPLE).unwrap();
+        assert_eq!(lib.rule(GateKind::Nand).base, 1.6);
+        assert_eq!(lib.rule(GateKind::Xor).per_fanin, 1.4);
+        // Unlisted kinds fall back to default.
+        assert_eq!(lib.rule(GateKind::Or).base, 2.0);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let lib = Library::parse(SAMPLE).unwrap();
+        let again = Library::parse(&lib.to_text()).unwrap();
+        assert_eq!(lib, again);
+    }
+
+    #[test]
+    fn parse_errors_located() {
+        let err = Library::parse("default 2.0 1.0 0.5 0.04\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Library::parse("default 2.0 1.0 0.5 0.04 0.10\nMAJ 1 1 1 .05 .06\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("MAJ"));
+        let err = Library::parse("NAND 2.0 1.0 0.5 0.04 0.10\n").unwrap_err();
+        assert!(err.message.contains("default"));
+        let err = Library::parse("default 2.0 1.0 0.5 0.4 0.1\n").unwrap_err();
+        assert!(err.message.contains("sigma"));
+        let err = Library::parse("default x 1.0 0.5 0.04 0.10\n").unwrap_err();
+        assert!(err.message.contains("not a number"));
+    }
+
+    #[test]
+    fn annotation_uses_per_kind_rules() {
+        let lib = Library::parse(SAMPLE).unwrap();
+        let nl = samples::mux2(); // NOT, two ANDs, one OR
+        let t = lib.annotate(&nl, 5);
+        let ns = nl.node_id("ns").unwrap(); // NOT: 1 fanin, 1 fanout
+        assert!((t.cell_arc(ns, 0).mean() - (2.0 + 1.0 + 0.5)).abs() < 1e-12);
+        // σ fractions respect the default rule's range.
+        let frac = t.cell_arc(ns, 0).std_dev() / t.cell_arc(ns, 0).mean();
+        assert!((0.04..=0.10).contains(&frac));
+    }
+
+    #[test]
+    fn library_from_model_matches_model_annotation() {
+        let model = DelayModel::dac2001(9);
+        let lib = Library::from(&model);
+        let nl = samples::c17();
+        let a = model_annotate(&nl, &model);
+        let b = lib.annotate(&nl, model.seed());
+        for id in nl.node_ids() {
+            for pin in 0..nl.fanins(id).len() {
+                assert_eq!(a.cell_arc(id, pin), b.cell_arc(id, pin));
+            }
+        }
+    }
+
+    fn model_annotate(nl: &Netlist, model: &DelayModel) -> Timing {
+        Timing::annotate(nl, model)
+    }
+}

@@ -1,0 +1,178 @@
+use serde::{Deserialize, Serialize};
+
+/// The pdf shape given to each delay random variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayShape {
+    /// Gaussian (the default process-variation model).
+    Normal,
+    /// Symmetric triangular over ±√6·σ (the paper's Fig. 2 shape).
+    Triangular,
+    /// Uniform over ±√3·σ.
+    Uniform,
+}
+
+/// A parametric statistical delay model, playing the role of a cell
+/// library.
+///
+/// The paper's §4 assignment rule is the default ([`DelayModel::dac2001`]):
+/// mean = `base + per_fanin·(#inputs) + per_fanout·(#outputs)`, standard
+/// deviation a per-cell constant fraction of the mean drawn uniformly from
+/// `sigma_range` using the model's seed. Wire delays are off by default
+/// (set [`wire_fraction`](DelayModel::with_wire_fraction) to enable).
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::{DelayModel, DelayShape};
+///
+/// let model = DelayModel::dac2001(1)
+///     .with_shape(DelayShape::Triangular)
+///     .with_sigma_range(0.05, 0.08);
+/// assert_eq!(model.shape(), DelayShape::Triangular);
+/// assert!((model.mean_delay(2, 3) - (2.0 + 2.0 * 1.0 + 3.0 * 0.5)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    base: f64,
+    per_fanin: f64,
+    per_fanout: f64,
+    sigma_lo: f64,
+    sigma_hi: f64,
+    shape: DelayShape,
+    wire_fraction: f64,
+    seed: u64,
+}
+
+impl DelayModel {
+    /// The paper's §4 model: mean a linear function of pin counts
+    /// (base 2.0, +1.0 per input pin, +0.5 per fanout branch, in arbitrary
+    /// library time units), σ uniform in (4%, 10%) of the mean, normal
+    /// shape, no wire delay.
+    ///
+    /// `seed` fixes the per-cell σ draws, so a given `(netlist, model)`
+    /// pair always produces identical timing.
+    pub fn dac2001(seed: u64) -> Self {
+        DelayModel {
+            base: 2.0,
+            per_fanin: 1.0,
+            per_fanout: 0.5,
+            sigma_lo: 0.04,
+            sigma_hi: 0.10,
+            shape: DelayShape::Normal,
+            wire_fraction: 0.0,
+            seed,
+        }
+    }
+
+    /// Replaces the mean-delay coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting mean could be non-positive for a 1-input,
+    /// 0-fanout cell (`base + per_fanin <= 0`).
+    #[must_use]
+    pub fn with_mean_coefficients(mut self, base: f64, per_fanin: f64, per_fanout: f64) -> Self {
+        assert!(
+            base + per_fanin > 0.0,
+            "smallest cells would get a non-positive mean delay"
+        );
+        self.base = base;
+        self.per_fanin = per_fanin;
+        self.per_fanout = per_fanout;
+        self
+    }
+
+    /// Replaces the σ/mean range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo <= hi < 1`.
+    #[must_use]
+    pub fn with_sigma_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(0.0 < lo && lo <= hi && hi < 1.0, "need 0 < lo <= hi < 1");
+        self.sigma_lo = lo;
+        self.sigma_hi = hi;
+        self
+    }
+
+    /// Replaces the pdf shape.
+    #[must_use]
+    pub fn with_shape(mut self, shape: DelayShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Enables wire delays: each fanout branch gets a delay with mean
+    /// `fraction` × the driving cell's mean (0 disables; the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative.
+    #[must_use]
+    pub fn with_wire_fraction(mut self, fraction: f64) -> Self {
+        assert!(fraction >= 0.0, "wire fraction must be non-negative");
+        self.wire_fraction = fraction;
+        self
+    }
+
+    /// Replaces the σ-draw seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The mean delay assigned to a cell with the given pin counts.
+    pub fn mean_delay(&self, fanins: usize, fanouts: usize) -> f64 {
+        self.base + self.per_fanin * fanins as f64 + self.per_fanout * fanouts as f64
+    }
+
+    /// The σ/mean range `(lo, hi)`.
+    pub fn sigma_range(&self) -> (f64, f64) {
+        (self.sigma_lo, self.sigma_hi)
+    }
+
+    /// The configured pdf shape.
+    pub fn shape(&self) -> DelayShape {
+        self.shape
+    }
+
+    /// The wire-delay fraction (0 = wire delays disabled).
+    pub fn wire_fraction(&self) -> f64 {
+        self.wire_fraction
+    }
+
+    /// The σ-draw seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_matches_paper() {
+        let m = DelayModel::dac2001(0);
+        assert_eq!(m.sigma_range(), (0.04, 0.10));
+        assert_eq!(m.shape(), DelayShape::Normal);
+        assert_eq!(m.wire_fraction(), 0.0);
+        // Mean grows with pin counts.
+        assert!(m.mean_delay(3, 2) > m.mean_delay(2, 2));
+        assert!(m.mean_delay(2, 3) > m.mean_delay(2, 2));
+    }
+
+    #[test]
+    fn builder_validation() {
+        let m = DelayModel::dac2001(0);
+        let ok = m.clone().with_sigma_range(0.02, 0.02);
+        assert_eq!(ok.sigma_range(), (0.02, 0.02));
+        let r = std::panic::catch_unwind(|| m.clone().with_sigma_range(0.3, 0.2));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| m.clone().with_mean_coefficients(-5.0, 1.0, 0.0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| m.clone().with_wire_fraction(-0.1));
+        assert!(r.is_err());
+    }
+}

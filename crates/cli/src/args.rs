@@ -1,0 +1,230 @@
+//! Minimal argv parsing: positionals, `--flag` switches and
+//! `--option value` pairs, with typed accessors and precise errors.
+
+use std::fmt;
+
+/// CLI failure: bad usage, unreadable input, or a malformed circuit.
+#[derive(Debug)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// A usage error with the given message.
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an I/O error.
+    pub fn io(e: std::io::Error) -> Self {
+        CliError {
+            message: format!("i/o error: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<pep_netlist::NetlistError> for CliError {
+    fn from(e: pep_netlist::NetlistError) -> Self {
+        CliError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A consumable view over argv.
+pub struct Args {
+    items: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Args {
+    /// Wraps the (command-stripped or full) argument list.
+    pub fn new(argv: &[String]) -> Self {
+        Args {
+            items: argv.to_vec(),
+            used: vec![false; argv.len()],
+        }
+    }
+
+    /// Consumes and returns the next unused positional (non-`--`)
+    /// argument.
+    pub fn next_positional(&mut self) -> Option<String> {
+        for i in 0..self.items.len() {
+            if self.used[i] {
+                continue;
+            }
+            if self.items[i].starts_with("--") {
+                // Skip the option and, if present, its value.
+                continue;
+            }
+            // A bare value directly after an option string belongs to the
+            // option; positional scanning must not steal it. Check the
+            // previous unused token.
+            if i > 0 && !self.used[i - 1] && self.items[i - 1].starts_with("--") {
+                continue;
+            }
+            self.used[i] = true;
+            return Some(self.items[i].clone());
+        }
+        None
+    }
+
+    /// Whether the boolean switch is present (consumes it).
+    pub fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes `name value`, returning the raw value if present.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the option is present but its value is missing or looks
+    /// like another option.
+    pub fn option(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        for i in 0..self.items.len() {
+            if self.used[i] || self.items[i] != name {
+                continue;
+            }
+            self.used[i] = true;
+            let value = self
+                .items
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("`{name}` needs a value")))?;
+            self.used[i + 1] = true;
+            return Ok(Some(value));
+        }
+        Ok(None)
+    }
+
+    /// Consumes every occurrence of `name value`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any occurrence is missing its value.
+    pub fn options(&mut self, name: &str) -> Result<Vec<String>, CliError> {
+        let mut values = Vec::new();
+        while let Some(v) = self.option(name)? {
+            values.push(v);
+        }
+        Ok(values)
+    }
+
+    /// Consumes `name value` parsed as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing or unparseable value.
+    pub fn parsed<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.option(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("`{name}`: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Consumes `name value` parsed as `T`, returning `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing or unparseable value.
+    pub fn parsed_opt<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+    ) -> Result<Option<T>, CliError> {
+        match self.option(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("`{name}`: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Errors if any argument was never consumed (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first leftover token.
+    pub fn finish(&self) -> Result<(), CliError> {
+        for (i, u) in self.used.iter().enumerate() {
+            if !u {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{}`",
+                    self.items[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::new(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positionals_skip_option_values() {
+        let mut a = args(&["--seed", "7", "circuit.bench", "--csv"]);
+        assert_eq!(a.next_positional().as_deref(), Some("circuit.bench"));
+        assert_eq!(a.parsed::<u64>("--seed", 0).unwrap(), 7);
+        assert!(a.flag("--csv"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let mut a = args(&["--seed"]);
+        let err = a.option("--seed").unwrap_err();
+        assert!(err.to_string().contains("--seed"));
+        // A following option is not a value either.
+        let mut a = args(&["--seed", "--csv"]);
+        assert!(a.option("--seed").is_err());
+    }
+
+    #[test]
+    fn repeated_options_collect() {
+        let mut a = args(&["--quantile", "0.5", "--quantile", "0.99"]);
+        assert_eq!(a.options("--quantile").unwrap(), vec!["0.5", "0.99"]);
+    }
+
+    #[test]
+    fn leftover_arguments_detected() {
+        let a = args(&["surprise"]);
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn parse_failures_name_the_option() {
+        let mut a = args(&["--runs", "many"]);
+        let err = a.parsed::<usize>("--runs", 1).unwrap_err();
+        assert!(err.to_string().contains("--runs"));
+        assert!(err.to_string().contains("many"));
+    }
+}

@@ -1,0 +1,88 @@
+//! `psta analyze` — arrival-time distributions via probabilistic event
+//! propagation.
+
+use crate::args::{Args, CliError};
+use crate::commands::analysis_config;
+use crate::input::load_annotated;
+use crate::report::{num, Table};
+use pep_netlist::GateKind;
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let config = analysis_config(args)?;
+    let all = args.flag("--all");
+    let csv = args.flag("--csv");
+    let plots = args.options("--plot")?;
+    let quantiles: Vec<f64> = args
+        .options("--quantile")?
+        .into_iter()
+        .map(|q| {
+            q.parse::<f64>()
+                .ok()
+                .filter(|q| (0.0..=1.0).contains(q))
+                .ok_or_else(|| CliError::usage(format!("`--quantile`: bad value `{q}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    args.finish()?;
+
+    let started = std::time::Instant::now();
+    let analysis = pep_core::analyze(&netlist, &timing, &config);
+    let elapsed = started.elapsed();
+
+    let mut headers = vec!["node".to_owned(), "level".to_owned(), "mean".to_owned(), "sigma".to_owned()];
+    for q in &quantiles {
+        headers.push(format!("q{q}"));
+    }
+    let mut table = Table::new(headers, csv);
+    let nodes: Vec<_> = if all {
+        netlist
+            .node_ids()
+            .filter(|&n| netlist.kind(n) != GateKind::Input)
+            .collect()
+    } else {
+        netlist.primary_outputs().to_vec()
+    };
+    for n in nodes {
+        let mut cells = vec![
+            netlist.node_name(n).to_owned(),
+            netlist.level(n).to_string(),
+            num(analysis.mean_time(n)),
+            num(analysis.std_time(n)),
+        ];
+        for &q in &quantiles {
+            cells.push(
+                analysis
+                    .quantile_time(n, q)
+                    .map(num)
+                    .unwrap_or_default(),
+            );
+        }
+        table.row(cells);
+    }
+    out.write_all(table.render().as_bytes()).map_err(CliError::io)?;
+    for name in &plots {
+        let node = netlist
+            .node_id(name)
+            .ok_or_else(|| CliError::usage(format!("`--plot`: no node named `{name}`")))?;
+        writeln!(out, "\narrival-time distribution of {name}:").map_err(CliError::io)?;
+        out.write_all(
+            crate::report::ascii_histogram(analysis.group(node), analysis.step()).as_bytes(),
+        )
+        .map_err(CliError::io)?;
+    }
+    if !csv {
+        let stats = analysis.stats();
+        writeln!(
+            out,
+            "\n{} gates analyzed in {:.0?}; {} supergates ({} stems conditioned, {} filtered)",
+            netlist.gate_count(),
+            elapsed,
+            stats.supergates,
+            stats.stems_conditioned,
+            stats.stems_filtered,
+        )
+        .map_err(CliError::io)?;
+    }
+    Ok(())
+}

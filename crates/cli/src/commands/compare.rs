@@ -1,0 +1,52 @@
+//! `psta compare` — PEP vs Monte Carlo accuracy and speed, the paper's
+//! Fig. 10 for one circuit.
+
+use crate::args::{Args, CliError};
+use crate::commands::analysis_config;
+use crate::input::load_annotated;
+use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let config = analysis_config(args)?;
+    let runs: usize = args.parsed("--runs", 5_000)?;
+    if runs == 0 {
+        return Err(CliError::usage("`--runs` must be positive"));
+    }
+    args.finish()?;
+
+    let t0 = std::time::Instant::now();
+    let pep = pep_core::analyze(&netlist, &timing, &config);
+    let pep_time = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let mc = run_monte_carlo(
+        &netlist,
+        &timing,
+        &McConfig {
+            runs,
+            threads: 1,
+            ..McConfig::default()
+        },
+    );
+    let mc_time = t0.elapsed();
+
+    let cmp = pep_core::compare::against_monte_carlo(&netlist, &pep, &mc);
+    let (mean_err, std_err) = cmp.report();
+    writeln!(out, "circuit: {} ({} gates)", netlist.name(), netlist.gate_count())
+        .map_err(CliError::io)?;
+    writeln!(out, "PEP:         {pep_time:.0?}").map_err(CliError::io)?;
+    writeln!(out, "Monte Carlo: {mc_time:.0?} ({runs} runs, 1 thread)")
+        .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "speedup:     {:.1}x",
+        mc_time.as_secs_f64() / pep_time.as_secs_f64()
+    )
+    .map_err(CliError::io)?;
+    writeln!(out, "mean error:  {mean_err:.3}%  (M_e + 3 sigma_e over all nodes)")
+        .map_err(CliError::io)?;
+    writeln!(out, "sigma error: {std_err:.3}%").map_err(CliError::io)?;
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! `psta dot` — Graphviz export, optionally highlighting the critical
+//! path.
+
+use crate::args::{Args, CliError};
+use crate::input::load_annotated;
+use pep_netlist::dot::{to_dot, DotOptions};
+use pep_sta::slack::k_longest_paths;
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let critical = args.flag("--critical");
+    let rank = args.flag("--rank");
+    args.finish()?;
+
+    let highlight = if critical {
+        k_longest_paths(&netlist, &timing, 1)
+            .into_iter()
+            .next()
+            .map(|p| p.nodes)
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let text = to_dot(
+        &netlist,
+        &DotOptions {
+            highlight,
+            rank_by_level: rank,
+        },
+    );
+    out.write_all(text.as_bytes()).map_err(CliError::io)
+}

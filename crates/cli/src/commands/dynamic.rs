@@ -1,0 +1,75 @@
+//! `psta dynamic` — two-vector transition analysis.
+
+use crate::args::{Args, CliError};
+use crate::commands::analysis_config;
+use crate::input::load_annotated;
+use crate::report::{num, Table};
+use std::io::Write;
+
+fn parse_vector(name: &str, bits: &str, want: usize) -> Result<Vec<bool>, CliError> {
+    let v: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(CliError::usage(format!(
+                "`{name}`: expected 0/1 bits, found `{other}`"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+    if v.len() != want {
+        return Err(CliError::usage(format!(
+            "`{name}`: circuit has {want} inputs, vector has {} bits",
+            v.len()
+        )));
+    }
+    Ok(v)
+}
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let config = analysis_config(args)?;
+    let n_in = netlist.primary_inputs().len();
+    let v1 = parse_vector(
+        "--v1",
+        &args
+            .option("--v1")?
+            .ok_or_else(|| CliError::usage("`--v1` is required"))?,
+        n_in,
+    )?;
+    let v2 = parse_vector(
+        "--v2",
+        &args
+            .option("--v2")?
+            .ok_or_else(|| CliError::usage("`--v2` is required"))?,
+        n_in,
+    )?;
+    let csv = args.flag("--csv");
+    args.finish()?;
+
+    let d = pep_core::dynamic::analyze_transition(&netlist, &timing, &v1, &v2, &config);
+    let switching = netlist.node_ids().filter(|&n| d.transitions(n)).count();
+    if !csv {
+        writeln!(
+            out,
+            "{} of {} nodes switch between the vectors\n",
+            switching,
+            netlist.node_count()
+        )
+        .map_err(CliError::io)?;
+    }
+    let mut table = Table::new(vec!["output", "edge", "mean", "sigma"], csv);
+    for &po in netlist.primary_outputs() {
+        if !d.transitions(po) {
+            table.row(vec![netlist.node_name(po).to_owned(), "-".to_owned()]);
+            continue;
+        }
+        table.row(vec![
+            netlist.node_name(po).to_owned(),
+            if d.is_rising(po) { "rise" } else { "fall" }.to_owned(),
+            num(d.mean_time(po).expect("switches")),
+            num(d.std_time(po).expect("switches")),
+        ]);
+    }
+    out.write_all(table.render().as_bytes()).map_err(CliError::io)
+}

@@ -1,0 +1,37 @@
+//! `psta generate` — emit a synthetic `.bench` circuit.
+
+use crate::args::{Args, CliError};
+use crate::input::profile_by_name;
+use pep_netlist::generate::{iscas_profile, random_circuit, RandomCircuitSpec};
+use pep_netlist::to_bench;
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let netlist = if let Some(profile) = args.option("--profile")? {
+        let profile = profile_by_name(&profile)?;
+        args.finish()?;
+        iscas_profile(profile)
+    } else {
+        let mut spec = RandomCircuitSpec {
+            name: "generated".into(),
+            ..RandomCircuitSpec::default()
+        };
+        spec.gates = args.parsed("--gates", spec.gates)?;
+        spec.inputs = args.parsed("--inputs", spec.inputs)?;
+        spec.depth = args.parsed("--depth", spec.depth)?;
+        spec.max_fanin = args.parsed("--max-fanin", spec.max_fanin)?;
+        spec.seed = args.parsed("--seed", spec.seed)?;
+        args.finish()?;
+        if spec.gates == 0 || spec.inputs == 0 || spec.depth == 0 || spec.depth > spec.gates {
+            return Err(CliError::usage(
+                "need gates > 0, inputs > 0 and 0 < depth <= gates",
+            ));
+        }
+        if spec.max_fanin < 2 {
+            return Err(CliError::usage("`--max-fanin` must be at least 2"));
+        }
+        random_circuit(&spec)
+    };
+    out.write_all(to_bench(&netlist).as_bytes())
+        .map_err(CliError::io)
+}

@@ -1,0 +1,49 @@
+//! `psta mc` — the Monte Carlo baseline.
+
+use crate::args::{Args, CliError};
+use crate::input::load_annotated;
+use crate::report::{num, Table};
+use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let runs: usize = args.parsed("--runs", 5_000)?;
+    if runs == 0 {
+        return Err(CliError::usage("`--runs` must be positive"));
+    }
+    let threads: usize = args.parsed("--threads", 0)?;
+    let csv = args.flag("--csv");
+    args.finish()?;
+
+    let started = std::time::Instant::now();
+    let mc = run_monte_carlo(
+        &netlist,
+        &timing,
+        &McConfig {
+            runs,
+            threads,
+            ..McConfig::default()
+        },
+    );
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new(vec!["node", "mean", "sigma", "bound%"], csv);
+    for &po in netlist.primary_outputs() {
+        table.row(vec![
+            netlist.node_name(po).to_owned(),
+            num(mc.mean(po)),
+            num(mc.std(po)),
+            if mc.error_bound(po).is_finite() {
+                num(mc.error_bound(po) * 100.0)
+            } else {
+                "-".to_owned()
+            },
+        ]);
+    }
+    out.write_all(table.render().as_bytes()).map_err(CliError::io)?;
+    if !csv {
+        writeln!(out, "\n{runs} runs in {elapsed:.0?}").map_err(CliError::io)?;
+    }
+    Ok(())
+}

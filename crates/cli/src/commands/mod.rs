@@ -1,0 +1,40 @@
+//! Subcommand implementations.
+
+pub mod analyze;
+pub mod compare;
+pub mod dot;
+pub mod dynamic;
+pub mod generate;
+pub mod mc;
+pub mod paths;
+pub mod supergates;
+
+use crate::args::{Args, CliError};
+use pep_core::{AnalysisConfig, CombineMode};
+
+/// Parses the analysis knobs shared by `analyze`, `compare` and
+/// `dynamic`.
+pub fn analysis_config(args: &mut Args) -> Result<AnalysisConfig, CliError> {
+    let mut config = if args.flag("--exact") {
+        AnalysisConfig::exact()
+    } else {
+        AnalysisConfig::default()
+    };
+    config.samples = args.parsed("--samples", config.samples)?;
+    if let Some(pm) = args.parsed_opt::<f64>("--pm")? {
+        if !(0.0..1.0).contains(&pm) {
+            return Err(CliError::usage("`--pm` must be in [0, 1)"));
+        }
+        config.min_event_prob = pm;
+    }
+    if let Some(depth) = args.parsed_opt::<u32>("--depth")? {
+        config.supergate_depth = if depth == 0 { None } else { Some(depth) };
+    }
+    if let Some(stems) = args.parsed_opt::<usize>("--stems")? {
+        config.max_effective_stems = Some(stems);
+    }
+    if args.flag("--earliest") {
+        config.mode = CombineMode::Earliest;
+    }
+    Ok(config)
+}

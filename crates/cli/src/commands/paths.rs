@@ -1,0 +1,33 @@
+//! `psta paths` — K longest paths and the slack summary.
+
+use crate::args::{Args, CliError};
+use crate::input::load_annotated;
+use pep_sta::slack::{k_longest_paths, SlackReport};
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args)?;
+    let k: usize = args.parsed("-k", 5)?;
+    if k == 0 {
+        return Err(CliError::usage("`-k` must be positive"));
+    }
+    let period: Option<f64> = args.parsed_opt("--period")?;
+    args.finish()?;
+
+    let report = SlackReport::analyze(&netlist, &timing, period);
+    writeln!(
+        out,
+        "clock period {:.3}, worst slack {:.3}",
+        report.clock_period(),
+        report.worst_slack()
+    )
+    .map_err(CliError::io)?;
+    writeln!(out).map_err(CliError::io)?;
+
+    for (i, p) in k_longest_paths(&netlist, &timing, k).iter().enumerate() {
+        let names: Vec<&str> = p.nodes.iter().map(|&n| netlist.node_name(n)).collect();
+        writeln!(out, "#{:<2} delay {:8.3}  {}", i + 1, p.delay, names.join(" -> "))
+            .map_err(CliError::io)?;
+    }
+    Ok(())
+}

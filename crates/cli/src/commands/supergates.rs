@@ -1,0 +1,46 @@
+//! `psta supergates` — reconvergence structure statistics (the paper's
+//! Table 1 for one circuit).
+
+use crate::args::{Args, CliError};
+use crate::input::load_circuit;
+use pep_netlist::cone::SupportSets;
+use pep_netlist::supergate;
+use std::io::Write;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let spec = args
+        .next_positional()
+        .ok_or_else(|| CliError::usage("missing circuit argument"))?;
+    let netlist = load_circuit(&spec)?;
+    let depth: u32 = args.parsed("--depth", 8)?;
+    args.finish()?;
+
+    let supports = SupportSets::compute(&netlist);
+    let stats = supergate::stats(
+        &netlist,
+        &supports,
+        if depth == 0 { None } else { Some(depth) },
+    );
+    writeln!(
+        out,
+        "{}: {} gates, {} fanout stems",
+        netlist.name(),
+        netlist.gate_count(),
+        supports.stems().len()
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "reconvergent gates (supergates): {} ({:.1}% of gates)",
+        stats.count,
+        100.0 * stats.count as f64 / netlist.gate_count().max(1) as f64
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "avg gates/supergate {:.1} (max {}), avg stems/supergate {:.2} (max {})",
+        stats.avg_gates, stats.max_gates, stats.avg_stems, stats.max_stems
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Circuit and library loading, including the `sample:`/`profile:`
+//! pseudo-paths that make the CLI usable without any files.
+
+use crate::args::{Args, CliError};
+use pep_celllib::{DelayModel, Library, Timing};
+use pep_netlist::generate::IscasProfile;
+use pep_netlist::{generate, parse_bench, samples, Netlist};
+
+/// Resolves a circuit argument: a `.bench` path, `sample:<name>` or
+/// `profile:<name>`.
+pub fn load_circuit(spec: &str) -> Result<Netlist, CliError> {
+    if let Some(name) = spec.strip_prefix("sample:") {
+        return match name {
+            "c17" => Ok(samples::c17()),
+            "mux2" => Ok(samples::mux2()),
+            "fig6" => Ok(samples::fig6()),
+            other => Err(CliError::usage(format!(
+                "unknown sample `{other}` (try c17, mux2, fig6)"
+            ))),
+        };
+    }
+    if let Some(name) = spec.strip_prefix("profile:") {
+        let profile = profile_by_name(name)?;
+        return Ok(generate::iscas_profile(profile));
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::usage(format!("cannot read `{spec}`: {e}")))?;
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_owned();
+    Ok(parse_bench(&name, &text)?)
+}
+
+/// Looks an ISCAS89 profile up by name.
+pub fn profile_by_name(name: &str) -> Result<IscasProfile, CliError> {
+    IscasProfile::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown profile `{name}` (try s5378, s9234, s13207, s15850, s35932, s38584)"
+            ))
+        })
+}
+
+/// The circuit positional plus the shared `--seed`/`--library`
+/// annotation options.
+pub fn load_annotated(args: &mut Args) -> Result<(Netlist, Timing), CliError> {
+    let spec = args
+        .next_positional()
+        .ok_or_else(|| CliError::usage("missing circuit argument"))?;
+    let netlist = load_circuit(&spec)?;
+    let seed: u64 = args.parsed("--seed", 1)?;
+    let timing = match args.option("--library")? {
+        None => Timing::annotate(&netlist, &DelayModel::dac2001(seed)),
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::usage(format!("cannot read `{path}`: {e}")))?;
+            let library = Library::parse(&text)
+                .map_err(|e| CliError::usage(format!("{path}: {e}")))?;
+            library.annotate(&netlist, seed)
+        }
+    };
+    Ok((netlist, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_resolve() {
+        assert_eq!(load_circuit("sample:c17").unwrap().gate_count(), 6);
+        assert_eq!(load_circuit("sample:mux2").unwrap().gate_count(), 4);
+        assert!(load_circuit("sample:bogus").is_err());
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        assert_eq!(
+            load_circuit("profile:s5378").unwrap().gate_count(),
+            2_779
+        );
+        assert!(load_circuit("profile:s999").is_err());
+    }
+
+    #[test]
+    fn files_resolve() {
+        let dir = std::env::temp_dir().join("psta_cli_input_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let nl = load_circuit(path.to_str().unwrap()).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.name(), "tiny");
+        assert!(load_circuit("/definitely/not/here.bench").is_err());
+    }
+}

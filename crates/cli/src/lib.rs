@@ -1,0 +1,250 @@
+//! Implementation of the `psta` command-line tool.
+//!
+//! All functionality lives behind [`run`] (argv in, report out), so the
+//! whole CLI is unit-testable without spawning processes.
+//!
+//! ```text
+//! psta analyze  <circuit> [options]   statistical arrival-time analysis
+//! psta mc       <circuit> [options]   Monte Carlo baseline
+//! psta compare  <circuit> [options]   PEP vs Monte Carlo error report
+//! psta paths    <circuit> [options]   K longest paths and slack
+//! psta supergates <circuit> [opts]    reconvergence / supergate statistics
+//! psta generate [options]             emit a synthetic .bench circuit
+//! psta dynamic  <circuit> --v1 .. --v2 ..   two-vector transition analysis
+//! ```
+//!
+//! `<circuit>` is a `.bench` file path, or one of the built-in pseudo
+//! paths `sample:c17`, `sample:mux2`, `sample:fig6`,
+//! `profile:<s5378|s9234|s13207|s15850|s35932|s38584>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod input;
+mod report;
+
+pub use args::CliError;
+
+use std::io::Write;
+
+/// Entry point: executes `argv` and writes the report to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage, unreadable inputs or
+/// malformed circuits; I/O failures while writing the report are wrapped
+/// the same way.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let mut args = args::Args::new(argv);
+    let Some(command) = args.next_positional() else {
+        out.write_all(USAGE.as_bytes()).map_err(CliError::io)?;
+        return Ok(());
+    };
+    match command.as_str() {
+        "analyze" => commands::analyze::run(&mut args, out),
+        "mc" => commands::mc::run(&mut args, out),
+        "compare" => commands::compare::run(&mut args, out),
+        "paths" => commands::paths::run(&mut args, out),
+        "supergates" => commands::supergates::run(&mut args, out),
+        "generate" => commands::generate::run(&mut args, out),
+        "dynamic" => commands::dynamic::run(&mut args, out),
+        "dot" => commands::dot::run(&mut args, out),
+        "help" | "--help" | "-h" => {
+            out.write_all(USAGE.as_bytes()).map_err(CliError::io)?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    }
+}
+
+const USAGE: &str = "\
+psta — statistical timing analysis by probabilistic event propagation
+
+USAGE:
+  psta <command> [arguments]
+
+COMMANDS:
+  analyze <circuit>     arrival-time distributions (PEP analysis)
+      --seed N          delay-annotation seed            [1]
+      --library FILE    cell library file (see pep-celllib::library)
+      --samples N       N_s, samples per delay pdf       [20]
+      --pm P            P_m, event-dropping floor        [1e-5]
+      --depth D         supergate depth limit            [5]
+      --stems K         effective stems per supergate    [1]
+      --exact           exact mode (small circuits only)
+      --earliest        earliest-arrival analysis
+      --all             report every node, not just outputs
+      --quantile Q      extra quantile column (repeatable)
+      --plot NODE       ASCII waveform of a node's distribution
+      --csv             machine-readable CSV output
+
+  mc <circuit>          Monte Carlo baseline
+      --seed N, --library FILE as above
+      --runs N          simulation runs                  [5000]
+      --threads N       worker threads (0 = all)         [0]
+
+  compare <circuit>     PEP vs Monte Carlo error report
+      (analyze + mc options)
+
+  paths <circuit>       K longest paths and slack report
+      -k N              number of paths                  [5]
+      --period T        clock period (default: worst arrival)
+
+  supergates <circuit>  reconvergence and supergate statistics
+      --depth D         extraction depth limit           [8]
+
+  generate              emit a .bench netlist on stdout
+      --profile NAME    ISCAS89 profile (s5378 .. s38584)
+      --gates N --inputs N --depth N --seed N   custom random circuit
+
+  dynamic <circuit>     two-vector transition analysis
+      --v1 BITS --v2 BITS   input vectors, e.g. 01011
+      (analyze options apply)
+
+  dot <circuit>         Graphviz export
+      --critical        highlight the longest mean-delay path
+      --rank            align nodes by logic level
+
+CIRCUITS:
+  a .bench file path, sample:c17 | sample:mux2 | sample:fig6,
+  or profile:<s5378|s9234|s13207|s15850|s35932|s38584>
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out)?;
+        Ok(String::from_utf8(out).expect("reports are UTF-8"))
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let text = run_to_string(&[]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("analyze"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = run_to_string(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn analyze_sample_outputs() {
+        let text = run_to_string(&["analyze", "sample:c17"]).unwrap();
+        assert!(text.contains("22"), "c17 output 22 reported: {text}");
+        assert!(text.contains("mean"));
+    }
+
+    #[test]
+    fn analyze_csv_mode() {
+        let text = run_to_string(&["analyze", "sample:c17", "--csv", "--quantile", "0.99"]).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().expect("has header");
+        assert!(header.starts_with("node,level,mean,sigma"));
+        assert!(header.contains("q0.99"));
+        assert_eq!(lines.count(), 2, "two outputs");
+    }
+
+    #[test]
+    fn analyze_all_nodes() {
+        let text = run_to_string(&["analyze", "sample:c17", "--all", "--csv"]).unwrap();
+        assert_eq!(text.lines().count(), 1 + 6, "header + six gates");
+    }
+
+    #[test]
+    fn mc_runs() {
+        let text = run_to_string(&["mc", "sample:c17", "--runs", "200"]).unwrap();
+        assert!(text.contains("200 runs"));
+        assert!(text.contains("22"));
+    }
+
+    #[test]
+    fn compare_reports_errors() {
+        let text = run_to_string(&["compare", "sample:mux2", "--runs", "500"]).unwrap();
+        assert!(text.contains("mean error"));
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn paths_lists_k() {
+        let text = run_to_string(&["paths", "sample:c17", "-k", "3"]).unwrap();
+        assert_eq!(text.matches("delay").count(), 3, "{text}");
+        assert!(text.contains("worst slack"));
+    }
+
+    #[test]
+    fn supergates_stats() {
+        let text = run_to_string(&["supergates", "sample:fig6"]).unwrap();
+        assert!(text.contains("reconvergent"));
+        assert!(text.contains("stems"));
+    }
+
+    #[test]
+    fn generate_emits_bench() {
+        let text =
+            run_to_string(&["generate", "--gates", "50", "--inputs", "8", "--depth", "5"])
+                .unwrap();
+        assert!(text.contains("INPUT(pi0)"));
+        // And it parses back.
+        pep_netlist::parse_bench("gen", &text).unwrap();
+    }
+
+    #[test]
+    fn dynamic_runs_vectors() {
+        let text = run_to_string(&[
+            "dynamic",
+            "sample:mux2",
+            "--v1",
+            "100",
+            "--v2",
+            "101",
+        ])
+        .unwrap();
+        assert!(text.contains("y"), "output reported: {text}");
+        assert!(text.contains("rise") || text.contains("fall"));
+    }
+
+    #[test]
+    fn analyze_plot_renders_waveform() {
+        let text =
+            run_to_string(&["analyze", "sample:c17", "--plot", "22"]).unwrap();
+        assert!(text.contains("distribution of 22"));
+        assert!(text.contains('#'));
+        let err = run_to_string(&["analyze", "sample:c17", "--plot", "ghost"]).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn dot_command_emits_graph() {
+        let text = run_to_string(&["dot", "sample:mux2", "--critical", "--rank"]).unwrap();
+        assert!(text.starts_with("digraph"));
+        assert!(text.contains("fillcolor"), "critical path highlighted");
+    }
+
+    #[test]
+    fn dynamic_rejects_bad_vectors() {
+        let err = run_to_string(&["dynamic", "sample:mux2", "--v1", "10", "--v2", "101"])
+            .unwrap_err();
+        assert!(err.to_string().contains("3 inputs"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = run_to_string(&["analyze", "sample:c17", "--samples"]).unwrap_err();
+        assert!(err.to_string().contains("--samples"));
+    }
+
+    #[test]
+    fn bad_circuit_rejected() {
+        let err = run_to_string(&["analyze", "sample:nope"]).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text table and CSV rendering helpers.
+
+/// A simple column-aligned text table (or CSV) builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: bool,
+}
+
+impl Table {
+    /// Starts a table with the given headers; `csv` selects the output
+    /// format.
+    pub fn new<S: Into<String>>(headers: Vec<S>, csv: bool) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Appends one row (cells are padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        if self.csv {
+            let mut out = self.headers.join(",");
+            out.push('\n');
+            for r in &self.rows {
+                out.push_str(&r.join(","));
+                out.push('\n');
+            }
+            return out;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:>w$}", w = *w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+        }
+        out
+    }
+}
+
+/// Renders a distribution as an ASCII histogram (the "waveform of the
+/// arrival time distribution" the paper highlights as PEP's advantage).
+pub fn ascii_histogram(group: &pep_dist::DiscreteDist, step: pep_dist::TimeStep) -> String {
+    const WIDTH: usize = 50;
+    const ROWS: usize = 24;
+    if group.is_empty() {
+        return "(no events)
+".to_owned();
+    }
+    let lo = group.min_tick().expect("non-empty");
+    let hi = group.max_tick().expect("non-empty");
+    let span = (hi - lo + 1) as usize;
+    let bucket = span.div_ceil(ROWS).max(1);
+    let mut out = String::new();
+    let mut t = lo;
+    let mut peak = 0.0f64;
+    let mut rows = Vec::new();
+    while t <= hi {
+        let end = (t + bucket as i64 - 1).min(hi);
+        let mass: f64 = (t..=end).map(|tick| group.prob_at(tick)).sum();
+        rows.push((t, end, mass));
+        peak = peak.max(mass);
+        t = end + 1;
+    }
+    for (start, _end, mass) in rows {
+        let bar = if peak > 0.0 {
+            (mass / peak * WIDTH as f64).round() as usize
+        } else {
+            0
+        };
+        let label = format!("{:>10.3}", step.time_of(start));
+        out.push_str(&format!("{label} |{:<WIDTH$}| {mass:.4}\n", "#".repeat(bar)));
+    }
+    out
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = Table::new(vec!["node", "mean"], false);
+        t.row(vec!["a", "1.5"]);
+        t.row(vec!["longer", "10.25"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].len(), lines[2].len(), "aligned columns");
+    }
+
+    #[test]
+    fn csv_table_is_raw() {
+        let mut t = Table::new(vec!["a", "b"], true);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.render(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"], true);
+        t.row(vec!["1"]);
+        assert_eq!(t.render(), "a,b,c\n1,,\n");
+    }
+
+    #[test]
+    fn histogram_scales_to_peak() {
+        use pep_dist::{DiscreteDist, TimeStep};
+        let g = DiscreteDist::from_ratios([(0, 1), (1, 4), (2, 1)]);
+        let h = ascii_histogram(&g, TimeStep::default());
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].matches('#').count() > lines[0].matches('#').count());
+        assert_eq!(
+            ascii_histogram(&DiscreteDist::empty(), TimeStep::default()),
+            "(no events)\n"
+        );
+    }
+
+    #[test]
+    fn num_precision() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(1.23456), "1.235");
+        assert_eq!(num(123.456), "123.5");
+    }
+}

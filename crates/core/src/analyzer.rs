@@ -1,0 +1,336 @@
+use crate::arcs::ArcPmfs;
+use crate::node_eval::{NodeEval, StaticEval};
+use crate::region::RegionEval;
+use crate::AnalysisConfig;
+use pep_celllib::Timing;
+use pep_dist::{DiscreteDist, TimeStep};
+use pep_netlist::cone::SupportSets;
+use pep_netlist::supergate::SupergateExtractor;
+use pep_netlist::{GateKind, Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how an analysis ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Reconvergent gates handled through supergate evaluation.
+    pub supergates: usize,
+    /// Total stems conditioned on by sampling-evaluation.
+    pub stems_conditioned: usize,
+    /// Stems removed by the filtering/effective-stem heuristics.
+    pub stems_filtered: usize,
+    /// Supergates evaluated by the hybrid Monte Carlo path.
+    pub hybrid_evaluations: usize,
+    /// Probability mass dropped by the `P_m` filter, summed over all
+    /// cell outputs (diagnostic for Fig. 7-style accuracy studies).
+    pub dropped_mass: f64,
+}
+
+/// The result of a probabilistic-event-propagation analysis: one
+/// arrival-time event group per node (the full distribution, not just
+/// moments — the representational advantage the paper points out over
+/// Monte Carlo in §4).
+#[derive(Debug, Clone)]
+pub struct PepAnalysis {
+    step: TimeStep,
+    groups: Vec<DiscreteDist>,
+    stats: AnalysisStats,
+}
+
+impl PepAnalysis {
+    /// The sampling step all groups are expressed on.
+    pub fn step(&self) -> TimeStep {
+        self.step
+    }
+
+    /// The arrival-time event group at a node.
+    pub fn group(&self, node: NodeId) -> &DiscreteDist {
+        &self.groups[node.index()]
+    }
+
+    /// Mean arrival time at a node, in physical time units.
+    pub fn mean_time(&self, node: NodeId) -> f64 {
+        self.groups[node.index()].mean_time(self.step)
+    }
+
+    /// Arrival-time standard deviation at a node, in physical time units.
+    pub fn std_time(&self, node: NodeId) -> f64 {
+        self.groups[node.index()].std_time(self.step)
+    }
+
+    /// The `q`-quantile of a node's arrival time, in physical time units.
+    pub fn quantile_time(&self, node: NodeId, q: f64) -> Option<f64> {
+        self.groups[node.index()]
+            .quantile(q)
+            .map(|t| self.step.time_of(t))
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// The circuit-delay distribution: the max-combine of all primary
+    /// output groups.
+    ///
+    /// Output groups may share stems, so this combine treats them as
+    /// independent — an approximation consistent with how the paper's
+    /// applications (e.g. yield estimation) consume per-output
+    /// distributions. For a pessimism-free answer on a specific output,
+    /// use [`group`](PepAnalysis::group) directly.
+    pub fn circuit_delay(&self, netlist: &Netlist) -> DiscreteDist {
+        crate::cell_eval::combine_latest(
+            netlist.primary_outputs().iter().map(|&po| self.group(po)),
+        )
+    }
+}
+
+/// Analyzes a circuit with every primary input arriving deterministically
+/// at time zero (the usual vectorless setup).
+///
+/// See [`AnalysisConfig`] for the approximation knobs; the defaults are
+/// the paper's tuned operating point.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::{DelayModel, Timing};
+/// use pep_core::{analyze, AnalysisConfig};
+/// use pep_netlist::samples;
+///
+/// let nl = samples::fig6();
+/// let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+/// let a = analyze(&nl, &timing, &AnalysisConfig::default());
+/// assert!(a.stats().supergates > 0, "fig6 has reconvergent gates");
+/// ```
+pub fn analyze(netlist: &Netlist, timing: &Timing, config: &AnalysisConfig) -> PepAnalysis {
+    let zero = DiscreteDist::point(0);
+    analyze_with_inputs(netlist, timing, config, |_| zero.clone())
+}
+
+/// Analyzes a circuit with caller-supplied arrival groups at the primary
+/// inputs (e.g. clock-skewed or staggered inputs).
+pub fn analyze_with_inputs<F>(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    pi_group: F,
+) -> PepAnalysis
+where
+    F: Fn(NodeId) -> DiscreteDist,
+{
+    let step = config
+        .step_override
+        .unwrap_or_else(|| timing.step_for_samples(config.samples));
+    let arcs = ArcPmfs::discretize_all(netlist, timing, step);
+    let supports = SupportSets::compute(netlist);
+    let eval = StaticEval {
+        arcs: &arcs,
+        mode: config.mode,
+    };
+    let (groups, stats) = run(netlist, &arcs, &supports, &eval, config, pi_group, |_| true);
+    PepAnalysis {
+        step,
+        groups,
+        stats,
+    }
+}
+
+/// The shared levelized driver: plain cell evaluation on independent
+/// fanins, supergate sampling-evaluation on reconvergent gates.
+pub(crate) fn run<E, F, A>(
+    netlist: &Netlist,
+    arcs: &ArcPmfs,
+    supports: &SupportSets,
+    eval: &E,
+    config: &AnalysisConfig,
+    pi_group: F,
+    is_active: A,
+) -> (Vec<DiscreteDist>, AnalysisStats)
+where
+    E: NodeEval,
+    F: Fn(NodeId) -> DiscreteDist,
+    A: Fn(NodeId) -> bool,
+{
+    let mut groups: Vec<DiscreteDist> = vec![DiscreteDist::empty(); netlist.node_count()];
+    let mut stats = AnalysisStats::default();
+    let mut extractor = SupergateExtractor::new(netlist, supports, config.supergate_depth);
+    for &node in netlist.topo_order() {
+        if netlist.kind(node) == GateKind::Input {
+            groups[node.index()] = pi_group(node);
+            continue;
+        }
+        if !is_active(node) {
+            continue;
+        }
+        let mut g = if supports.is_reconvergent(netlist, node) {
+            let sg = extractor.extract(node);
+            // Interior nodes already carry (supergate-corrected) global
+            // groups; only the output itself is re-derived locally.
+            let mut region = RegionEval::new(
+                netlist,
+                arcs,
+                eval,
+                &sg,
+                |n| (n != node).then(|| &groups[n.index()]),
+                config.min_event_prob,
+            );
+            region.set_resolution(config.conditioning_resolution);
+            let (g, outcome) = region.evaluate(config);
+            stats.supergates += 1;
+            stats.stems_conditioned += outcome.stems_conditioned;
+            stats.stems_filtered += outcome.stems_filtered;
+            stats.hybrid_evaluations += outcome.used_hybrid as usize;
+            g
+        } else {
+            let fanin_groups: Vec<&DiscreteDist> = netlist
+                .fanins(node)
+                .iter()
+                .map(|&f| &groups[f.index()])
+                .collect();
+            eval.eval_node(node, &fanin_groups)
+        };
+        if config.min_event_prob > 0.0 {
+            // Track the dropped mass for Fig. 7-style studies, then
+            // renormalize so event groups keep their unit-mass invariant
+            // (§2.1) instead of decaying multiplicatively with depth.
+            stats.dropped_mass += g.truncate_below(config.min_event_prob);
+            g.normalize();
+        }
+        groups[node.index()] = g;
+    }
+    (groups, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CombineMode;
+    use pep_celllib::DelayModel;
+    use pep_netlist::{generate, samples, GateKind};
+
+    #[test]
+    fn unit_delay_tree_is_levelized() {
+        let nl = generate::comb_tree(GateKind::And, 8);
+        let t = Timing::uniform(&nl, 1.0);
+        let a = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig::exact_with_step(TimeStep::new(1.0).expect("valid")),
+        );
+        for id in nl.node_ids() {
+            assert_eq!(a.group(id), &DiscreteDist::point(nl.level(id) as i64));
+        }
+        assert_eq!(a.stats().supergates, 0);
+    }
+
+    #[test]
+    fn deterministic_repeatability() {
+        // The paper's headline property: same inputs, same outputs.
+        let nl = samples::fig6();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(9));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let b = analyze(&nl, &t, &AnalysisConfig::default());
+        for id in nl.node_ids() {
+            assert_eq!(a.group(id), b.group(id));
+        }
+    }
+
+    #[test]
+    fn reconvergent_gates_use_supergates() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        assert!(a.stats().supergates >= 2, "c17 reconverges at 22 and 23");
+        assert!(a.stats().stems_conditioned > 0);
+    }
+
+    #[test]
+    fn dropped_mass_accounted() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let none = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                min_event_prob: 0.0,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert_eq!(none.stats().dropped_mass, 0.0);
+        let strict = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                min_event_prob: 1e-2,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert!(strict.stats().dropped_mass > 0.0);
+        // Groups stay unit-mass: dropping renormalizes (DESIGN.md §4).
+        let po = nl.primary_outputs()[0];
+        assert!((strict.group(po).total_mass() - 1.0).abs() < 1e-9);
+        assert!(strict.mean_time(po) > 0.0);
+        // And the aggressive filter visibly coarsens the distribution.
+        assert!(strict.group(po).support_len() < none.group(po).support_len());
+    }
+
+    #[test]
+    fn earliest_mode_lower_than_latest() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let late = analyze(&nl, &t, &AnalysisConfig::default());
+        let early = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                mode: CombineMode::Earliest,
+                ..AnalysisConfig::default()
+            },
+        );
+        for &po in nl.primary_outputs() {
+            assert!(early.mean_time(po) <= late.mean_time(po) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_input_arrivals() {
+        let nl = samples::c17();
+        let t = Timing::uniform(&nl, 1.0);
+        let cfg = AnalysisConfig::exact_with_step(TimeStep::new(1.0).expect("valid"));
+        let base = analyze(&nl, &t, &cfg);
+        // Delay every input by 5 ticks: all arrivals shift by 5.
+        let shifted = analyze_with_inputs(&nl, &t, &cfg, |_| DiscreteDist::point(5));
+        for &po in nl.primary_outputs() {
+            assert_eq!(
+                shifted.group(po),
+                &base.group(po).shifted(5),
+                "uniform input delay shifts outputs"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_delay_covers_outputs() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let cd = a.circuit_delay(&nl);
+        for &po in nl.primary_outputs() {
+            assert!(
+                cd.mean_ticks() + 1e-9 >= a.group(po).mean_ticks(),
+                "circuit delay dominates every output"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_exposed() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let po = nl.primary_outputs()[0];
+        let q50 = a.quantile_time(po, 0.5).expect("non-empty");
+        let q99 = a.quantile_time(po, 0.99).expect("non-empty");
+        assert!(q99 >= q50);
+    }
+}

@@ -1,0 +1,170 @@
+use pep_celllib::Timing;
+use pep_dist::{discretize, DiscreteDist, TimeStep};
+use pep_netlist::{GateKind, Netlist, NodeId};
+
+/// Discretized delay distributions for every timing arc (paper §2.2).
+///
+/// One *cell* distribution per gate (shared by its pins, since a cell's
+/// delay is a single random variable) and, when the annotation carries
+/// wire delays, one *wire* distribution per pin.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::{DelayModel, Timing};
+/// use pep_core::ArcPmfs;
+/// use pep_netlist::samples;
+///
+/// let nl = samples::c17();
+/// let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+/// let step = timing.step_for_samples(20);
+/// let arcs = ArcPmfs::discretize_all(&nl, &timing, step);
+/// let g = nl.node_id("22").expect("c17 gate");
+/// assert!((arcs.cell(g).total_mass() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArcPmfs {
+    step: TimeStep,
+    cell: Vec<DiscreteDist>,
+    /// `wire[n][pin]`; empty inner vectors when wire delays are disabled.
+    wire: Vec<Vec<DiscreteDist>>,
+    has_wires: bool,
+}
+
+impl ArcPmfs {
+    /// Discretizes every delay of `timing` on the grid `step`.
+    pub fn discretize_all(netlist: &Netlist, timing: &Timing, step: TimeStep) -> Self {
+        let n = netlist.node_count();
+        let mut cell = Vec::with_capacity(n);
+        let mut wire = Vec::with_capacity(n);
+        for id in netlist.node_ids() {
+            if netlist.kind(id) == GateKind::Input {
+                cell.push(DiscreteDist::point(0));
+                wire.push(Vec::new());
+                continue;
+            }
+            cell.push(discretize(timing.cell_arc(id, 0), step));
+            if timing.has_wire_delays() {
+                wire.push(
+                    (0..netlist.fanins(id).len())
+                        .map(|pin| discretize(timing.wire_arc(id, pin), step))
+                        .collect(),
+                );
+            } else {
+                wire.push(Vec::new());
+            }
+        }
+        ArcPmfs {
+            step,
+            cell,
+            wire,
+            has_wires: timing.has_wire_delays(),
+        }
+    }
+
+    /// The sampling step all distributions live on.
+    pub fn step(&self) -> TimeStep {
+        self.step
+    }
+
+    /// The discretized cell delay of a gate.
+    #[inline]
+    pub fn cell(&self, gate: NodeId) -> &DiscreteDist {
+        &self.cell[gate.index()]
+    }
+
+    /// The discretized wire delay into a gate pin, if wire delays exist.
+    #[inline]
+    pub fn wire(&self, gate: NodeId, pin: usize) -> Option<&DiscreteDist> {
+        if self.has_wires {
+            Some(&self.wire[gate.index()][pin])
+        } else {
+            None
+        }
+    }
+
+    /// Whether wire arcs carry delay.
+    pub fn has_wires(&self) -> bool {
+        self.has_wires
+    }
+
+    /// The earliest (min) and latest (max) possible delay, in ticks, along
+    /// the arc into `gate`'s `pin` — wire plus cell.
+    pub fn arc_bounds(&self, gate: NodeId, pin: usize) -> (i64, i64) {
+        let c = &self.cell[gate.index()];
+        let (mut lo, mut hi) = (
+            c.min_tick().unwrap_or(0),
+            c.max_tick().unwrap_or(0),
+        );
+        if let Some(w) = self.wire(gate, pin) {
+            lo += w.min_tick().unwrap_or(0);
+            hi += w.max_tick().unwrap_or(0);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_celllib::DelayModel;
+    use pep_netlist::samples;
+
+    #[test]
+    fn cell_pmfs_are_normalized_and_sized() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let step = t.step_for_samples(20);
+        let arcs = ArcPmfs::discretize_all(&nl, &t, step);
+        let mut total_span = 0usize;
+        let mut gates = 0usize;
+        for id in nl.node_ids() {
+            if nl.kind(id) == GateKind::Input {
+                continue;
+            }
+            let c = arcs.cell(id);
+            assert!((c.total_mass() - 1.0).abs() < 1e-9);
+            total_span += c.support_span();
+            gates += 1;
+        }
+        let avg = total_span as f64 / gates as f64;
+        assert!(
+            (avg - 20.0).abs() < 4.0,
+            "average span {avg} should track N_s = 20"
+        );
+    }
+
+    #[test]
+    fn inputs_have_zero_delay_pmf() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let arcs = ArcPmfs::discretize_all(&nl, &t, t.step_for_samples(10));
+        for &pi in nl.primary_inputs() {
+            assert_eq!(arcs.cell(pi), &DiscreteDist::point(0));
+        }
+    }
+
+    #[test]
+    fn wire_arcs_present_when_enabled() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1).with_wire_fraction(0.2));
+        let arcs = ArcPmfs::discretize_all(&nl, &t, t.step_for_samples(10));
+        assert!(arcs.has_wires());
+        let g = nl.node_id("22").expect("c17 gate");
+        let w = arcs.wire(g, 0).expect("wire arcs enabled");
+        assert!((w.total_mass() - 1.0).abs() < 1e-9);
+        let (lo, hi) = arcs.arc_bounds(g, 0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn arc_bounds_cover_cell_support() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let arcs = ArcPmfs::discretize_all(&nl, &t, t.step_for_samples(15));
+        let g = nl.node_id("10").expect("c17 gate");
+        let (lo, hi) = arcs.arc_bounds(g, 0);
+        assert_eq!(lo, arcs.cell(g).min_tick().expect("non-empty"));
+        assert_eq!(hi, arcs.cell(g).max_tick().expect("non-empty"));
+    }
+}

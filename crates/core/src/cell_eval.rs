@@ -1,0 +1,203 @@
+//! Signal arrival-time evaluation for a single cell (paper §2).
+//!
+//! These are the three primitive operations the whole analyzer is built
+//! from, in the paper's vocabulary:
+//!
+//! * [`propagate_event`] — a single probabilistic event through a cell
+//!   (Fig. 3): the cell-delay distribution shifted by the event time and
+//!   scaled by its probability,
+//! * [`propagate_group`] — an event group through a cell (Fig. 4):
+//!   *shift with scaling* for every event, then *group* — i.e.
+//!   convolution,
+//! * [`combine_latest`] / [`combine_earliest`] — multiple event groups at
+//!   a cell's output (Fig. 5): the statistical max/min over independent
+//!   groups, where "the dominating events define the final transition".
+
+use crate::CombineMode;
+use pep_dist::DiscreteDist;
+
+/// Propagates a single probabilistic event `⟨tick, prob⟩` through a cell
+/// with the given discretized delay (paper Fig. 3).
+///
+/// The output group is the cell delay shifted by the event's arrival time;
+/// for a deterministic event (`prob = 1`) the output probabilities equal
+/// the delay distribution's, exactly as the figure shows.
+///
+/// # Example
+///
+/// ```
+/// use pep_core::cell_eval::propagate_event;
+/// use pep_dist::DiscreteDist;
+///
+/// // Fig. 3: a deterministic event at t, cell delay {1:.1, 2:.3, 3:.4, 4:.2}.
+/// let delay = DiscreteDist::from_pairs([(1, 0.1), (2, 0.3), (3, 0.4), (4, 0.2)]);
+/// let out = propagate_event(10, 1.0, &delay);
+/// assert!((out.prob_at(12) - 0.3).abs() < 1e-12);
+/// assert_eq!(out.min_tick(), Some(11));
+/// ```
+pub fn propagate_event(tick: i64, prob: f64, cell_delay: &DiscreteDist) -> DiscreteDist {
+    cell_delay.shifted(tick).scaled(prob)
+}
+
+/// Propagates an event group through a cell (paper Fig. 4): *shift with
+/// scaling* applied per input event, then the *group* operation merging
+/// events at equal arrival times.
+///
+/// Mathematically this is the convolution of the arrival-time and
+/// cell-delay distributions.
+///
+/// # Example
+///
+/// ```
+/// use pep_core::cell_eval::{propagate_event, propagate_group};
+/// use pep_dist::DiscreteDist;
+///
+/// let group = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+/// let delay = DiscreteDist::from_ratios([(1, 1), (2, 2), (3, 1)]);
+/// let out = propagate_group(&group, &delay);
+/// // Same result as per-event shift-with-scaling plus grouping:
+/// let mut manual = propagate_event(0, 0.5, &delay);
+/// manual.accumulate(&propagate_event(2, 0.5, &delay));
+/// assert!(out.l1_distance(&manual) < 1e-12);
+/// ```
+pub fn propagate_group(group: &DiscreteDist, cell_delay: &DiscreteDist) -> DiscreteDist {
+    group.convolve(cell_delay)
+}
+
+/// Combines per-input output groups into the final group when the *latest*
+/// event dominates (e.g. a rising AND output): the statistical maximum.
+///
+/// Empty groups (signals carrying no events) are skipped; combining no
+/// groups yields the empty group.
+pub fn combine_latest<'a, I>(groups: I) -> DiscreteDist
+where
+    I: IntoIterator<Item = &'a DiscreteDist>,
+{
+    combine(groups, CombineMode::Latest)
+}
+
+/// Combines per-input output groups when the *earliest* event dominates
+/// (the paper's falling-AND example, Fig. 5): the statistical minimum.
+pub fn combine_earliest<'a, I>(groups: I) -> DiscreteDist
+where
+    I: IntoIterator<Item = &'a DiscreteDist>,
+{
+    combine(groups, CombineMode::Earliest)
+}
+
+/// Mode-parameterized combining.
+pub fn combine<'a, I>(groups: I, mode: CombineMode) -> DiscreteDist
+where
+    I: IntoIterator<Item = &'a DiscreteDist>,
+{
+    let mut acc: Option<DiscreteDist> = None;
+    for g in groups {
+        if g.is_empty() {
+            continue;
+        }
+        acc = Some(match acc {
+            None => g.clone(),
+            Some(a) => match mode {
+                CombineMode::Latest => a.max(g),
+                CombineMode::Earliest => a.min(g),
+            },
+        });
+    }
+    acc.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    /// Paper Fig. 3: a single (deterministic) falling event at time t
+    /// through an AND gate whose delay has four discrete points. The
+    /// output events carry the same probabilities as the delay
+    /// distribution, shifted by t.
+    #[test]
+    fn fig3_single_event() {
+        let delay = DiscreteDist::from_ratios([(1, 1), (2, 3), (3, 3), (4, 1)]);
+        let out = propagate_event(7, 1.0, &delay);
+        assert!(close(out.prob_at(8), 1.0 / 8.0));
+        assert!(close(out.prob_at(9), 3.0 / 8.0));
+        assert!(close(out.prob_at(10), 3.0 / 8.0));
+        assert!(close(out.prob_at(11), 1.0 / 8.0));
+        assert!(close(out.total_mass(), 1.0));
+    }
+
+    /// Paper Fig. 4: an event group of two events through a cell with a
+    /// four-point delay: shift-with-scaling gives 2 × 4 = 8 events,
+    /// grouping merges same-time events down to 7 when the shifted copies
+    /// overlap in one slot.
+    #[test]
+    fn fig4_group_propagation() {
+        // Two events at 0 and 3 (probabilities ½ each); delay over 4
+        // consecutive ticks 1..=4.
+        let group = DiscreteDist::from_ratios([(0, 1), (3, 1)]);
+        let delay = DiscreteDist::from_ratios([(1, 1), (2, 1), (3, 1), (4, 1)]);
+        let out = propagate_group(&group, &delay);
+        // Support 1..=7: 4 + 4 shifted events with exactly one overlap at 4.
+        assert_eq!(out.support_len(), 7);
+        assert!(close(out.prob_at(4), 2.0 / 8.0), "overlapping slot groups");
+        assert!(close(out.prob_at(1), 1.0 / 8.0));
+        assert!(close(out.total_mass(), 1.0));
+    }
+
+    /// Paper Fig. 5: two event groups at an AND gate whose output falls —
+    /// the earliest event dominates, so groups combine with the minimum
+    /// operation; each surviving event's probability is the product-sum
+    /// over the dominating pairs.
+    #[test]
+    fn fig5_min_combine() {
+        // Lower group has an event at t=1 that dominates everything in the
+        // upper group (earliest arrival).
+        let upper = DiscreteDist::from_ratios([(2, 2), (3, 1), (4, 1)]);
+        let lower = DiscreteDist::from_ratios([(1, 1), (3, 2), (4, 1)]);
+        let out = combine_earliest([&upper, &lower]);
+        // P(min = 1) = P(lower = 1) = 1/4 — dominates all upper events.
+        assert!(close(out.prob_at(1), 0.25));
+        // P(min = 2) = P(upper = 2) * P(lower > 2) = 1/2 * 3/4.
+        assert!(close(out.prob_at(2), 0.5 * 0.75));
+        // P(min = 3): upper=3,lower>3 + lower=3,upper>3 + both=3.
+        assert!(close(
+            out.prob_at(3),
+            0.25 * 0.25 + 0.5 * 0.25 + 0.25 * 0.5
+        ));
+        // P(min = 4): both must be 4.
+        assert!(close(out.prob_at(4), 0.25 * 0.25));
+        assert!(close(out.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn combine_latest_is_max() {
+        let a = DiscreteDist::from_ratios([(1, 1), (5, 1)]);
+        let b = DiscreteDist::from_ratios([(3, 1)]);
+        let out = combine_latest([&a, &b]);
+        assert!(close(out.prob_at(3), 0.5));
+        assert!(close(out.prob_at(5), 0.5));
+    }
+
+    #[test]
+    fn combine_skips_empty_groups() {
+        let a = DiscreteDist::point(4);
+        let e = DiscreteDist::empty();
+        assert_eq!(combine_latest([&e, &a, &e]), a);
+        assert!(combine_latest(std::iter::empty::<&DiscreteDist>()).is_empty());
+    }
+
+    #[test]
+    fn combine_many_groups_associates() {
+        let gs = [
+            DiscreteDist::from_ratios([(0, 1), (2, 1)]),
+            DiscreteDist::from_ratios([(1, 1), (3, 1)]),
+            DiscreteDist::from_ratios([(2, 1), (4, 1)]),
+        ];
+        let left = combine_latest(gs.iter());
+        let right = gs[0].max(&gs[1].max(&gs[2]));
+        assert!(left.l1_distance(&right) < 1e-12);
+    }
+}

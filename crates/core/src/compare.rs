@@ -1,0 +1,156 @@
+//! PEP-vs-Monte-Carlo comparison, using the paper's error metric.
+//!
+//! The paper reports, per circuit, the error percentage `M_e + 3σ_e` over
+//! the per-node relative errors of arrival-time means and standard
+//! deviations against the Monte Carlo reference (§4, Figs. 7–10).
+
+use crate::PepAnalysis;
+use pep_dist::stats::ErrorSummary;
+use pep_netlist::{GateKind, Netlist};
+use pep_sta::monte_carlo::McResult;
+use serde::{Deserialize, Serialize};
+
+/// Error summaries for arrival-time means and standard deviations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Per-node relative errors of the arrival-time means.
+    pub means: ErrorSummary,
+    /// Per-node relative errors of the arrival-time standard deviations.
+    pub stds: ErrorSummary,
+}
+
+impl Comparison {
+    /// The paper's headline numbers: `(mean error %, σ error %)`, each as
+    /// `M_e + 3σ_e`.
+    pub fn report(&self) -> (f64, f64) {
+        (self.means.report_percent(), self.stds.report_percent())
+    }
+}
+
+/// Compares a PEP analysis against a Monte Carlo reference over every
+/// signal node (gates; primary inputs carry no timing and are skipped).
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::{DelayModel, Timing};
+/// use pep_core::{analyze, compare, AnalysisConfig};
+/// use pep_netlist::samples;
+/// use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+///
+/// let nl = samples::c17();
+/// let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+/// let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+/// let mc = run_monte_carlo(&nl, &timing, &McConfig { runs: 2_000, ..McConfig::default() });
+/// let cmp = compare::against_monte_carlo(&nl, &pep, &mc);
+/// let (mean_err, std_err) = cmp.report();
+/// assert!(mean_err < 3.0, "means within a few percent, got {mean_err}");
+/// assert!(std_err < 30.0, "sigmas in the right ballpark, got {std_err}");
+/// ```
+pub fn against_monte_carlo(
+    netlist: &Netlist,
+    pep: &PepAnalysis,
+    mc: &McResult,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for id in netlist.node_ids() {
+        if netlist.kind(id) == GateKind::Input || pep.group(id).is_empty() {
+            continue;
+        }
+        cmp.means.push_pair(mc.mean(id), pep.mean_time(id));
+        cmp.stds.push_pair(mc.std(id), pep.std_time(id));
+    }
+    cmp
+}
+
+/// Compares two PEP analyses node-by-node (used by the Fig. 7 study,
+/// where the reference is a no-event-dropping run rather than Monte
+/// Carlo).
+pub fn against_reference(
+    netlist: &Netlist,
+    reference: &PepAnalysis,
+    measured: &PepAnalysis,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for id in netlist.node_ids() {
+        if netlist.kind(id) == GateKind::Input
+            || reference.group(id).is_empty()
+            || measured.group(id).is_empty()
+        {
+            continue;
+        }
+        cmp.means
+            .push_pair(reference.mean_time(id), measured.mean_time(id));
+        cmp.stds
+            .push_pair(reference.std_time(id), measured.std_time(id));
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use pep_celllib::{DelayModel, Timing};
+    use pep_netlist::samples;
+    use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+
+    #[test]
+    fn self_comparison_is_zero_error() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let cmp = against_reference(&nl, &a, &a);
+        assert_eq!(cmp.report(), (0.0, 0.0));
+        assert_eq!(cmp.means.count(), nl.gate_count() as u64);
+    }
+
+    #[test]
+    fn pep_tracks_monte_carlo_on_c17() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let pep = analyze(&nl, &t, &AnalysisConfig::default());
+        let mc = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 5_000,
+                ..McConfig::default()
+            },
+        );
+        let cmp = against_monte_carlo(&nl, &pep, &mc);
+        let (mean_err, std_err) = cmp.report();
+        assert!(mean_err < 2.0, "mean error {mean_err}%");
+        assert!(std_err < 20.0, "std error {std_err}%");
+    }
+
+    #[test]
+    fn exact_beats_heavily_approximate() {
+        let nl = samples::fig6();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(2));
+        let mc = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 20_000,
+                ..McConfig::default()
+            },
+        );
+        let exact = analyze(&nl, &t, &AnalysisConfig::exact());
+        let sloppy = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                min_event_prob: 5e-2,
+                samples: 5,
+                ..AnalysisConfig::default()
+            },
+        );
+        let (e_mean, _) = against_monte_carlo(&nl, &exact, &mc).report();
+        let (s_mean, _) = against_monte_carlo(&nl, &sloppy, &mc).report();
+        assert!(
+            e_mean < s_mean,
+            "exact ({e_mean}%) should beat sloppy ({s_mean}%)"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+use pep_dist::TimeStep;
+use serde::{Deserialize, Serialize};
+
+/// Whether the analysis tracks latest (setup-style) or earliest
+/// (hold-style) arrival times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombineMode {
+    /// Latest arrival: groups combine with the statistical maximum.
+    Latest,
+    /// Earliest arrival: groups combine with the statistical minimum.
+    Earliest,
+}
+
+/// How candidate stems are ranked when selecting the most *effective*
+/// stems of a supergate (§3.3, "choosing effective stems").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StemRanking {
+    /// The paper's method: run a (coarsened) single-stem
+    /// sampling-evaluation per candidate and rank by how much the result
+    /// differs from the no-conditioning propagation.
+    Sensitivity,
+    /// A cheap structural proxy: rank by the overlap of the stem's
+    /// influence window with the output window, scaled by its interior
+    /// branch count. An order of magnitude faster on stem-dense circuits
+    /// and only slightly less accurate.
+    Window,
+}
+
+/// Monte Carlo evaluation *inside* a supergate (the paper's §4 hybrid).
+///
+/// Supergates whose conditioning stem count exceeds `stem_threshold` are
+/// evaluated by direct sampling from the probabilistic events at their
+/// inputs instead of by exhaustive sampling-evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridMcConfig {
+    /// Use MC when more than this many stems would need conditioning.
+    pub stem_threshold: usize,
+    /// Samples per supergate evaluation.
+    pub runs: usize,
+    /// RNG seed (the hybrid is the only non-deterministic-by-nature part;
+    /// seeding keeps the whole analysis reproducible).
+    pub seed: u64,
+}
+
+impl Default for HybridMcConfig {
+    fn default() -> Self {
+        HybridMcConfig {
+            stem_threshold: 4,
+            runs: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Configuration of the probabilistic-event-propagation analysis.
+///
+/// The defaults reproduce the paper's tuned operating point (§4):
+/// `N_s = 20` samples per delay distribution, `P_m = 10⁻⁵`, stem
+/// filtering on, single-stem estimation, supergate depth `D = 5`.
+///
+/// # Example
+///
+/// ```
+/// use pep_core::AnalysisConfig;
+///
+/// // The paper's exact (no-heuristics) algorithm — exponential in the
+/// // number of stems per supergate; use on small circuits only.
+/// let exact = AnalysisConfig::exact();
+/// assert_eq!(exact.min_event_prob, 0.0);
+/// assert_eq!(exact.supergate_depth, None);
+/// assert_eq!(exact.max_effective_stems, None);
+///
+/// // The fast approximate algorithm with a custom probability floor.
+/// let fast = AnalysisConfig { min_event_prob: 1e-6, ..AnalysisConfig::default() };
+/// assert!(fast.filter_stems);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// `N_s`: target number of data samples when discretizing each delay
+    /// random variable (sets the sampling step; Fig. 8's knob).
+    pub samples: usize,
+    /// Overrides the derived sampling step when set (then `samples` is
+    /// ignored).
+    pub step_override: Option<TimeStep>,
+    /// `P_m`: events below this probability are dropped at every cell
+    /// output (0 disables; Fig. 7's knob).
+    pub min_event_prob: f64,
+    /// `D`: supergate depth limit in logic levels (`None` = unlimited;
+    /// Fig. 9's knob).
+    pub supergate_depth: Option<u32>,
+    /// Keep only the most effective stems per supergate for
+    /// sampling-evaluation (`None` = condition on every stem — the exact
+    /// algorithm; `Some(1)` is the paper's single-stem estimation).
+    pub max_effective_stems: Option<usize>,
+    /// How candidates are ranked when `max_effective_stems` is set.
+    pub stem_ranking: StemRanking,
+    /// When ranking by [`StemRanking::Sensitivity`], stem groups are
+    /// coarsened to at most this many events for the ranking pass only.
+    pub ranking_events: usize,
+    /// Filter out stems whose events can never affect the supergate
+    /// output's arrival window (§3.3, "filtering out unnecessary stems").
+    pub filter_stems: bool,
+    /// Caps the number of events enumerated per conditioned stem by
+    /// quantile coarsening (`None` = enumerate every event, as the paper
+    /// describes). Bounds the `O(N_e^N_s)` enumeration at a tiny accuracy
+    /// cost; coarsening preserves each bucket's mass and mean.
+    pub max_conditioning_events: Option<usize>,
+    /// Event-count resolution of the *intermediate* groups recomputed
+    /// during conditioned propagation (`None` = full resolution). The
+    /// final accumulated output still carries up to
+    /// `max_conditioning_events × conditioning_resolution` events.
+    pub conditioning_resolution: Option<usize>,
+    /// Evaluate stem-dense supergates with seeded Monte Carlo sampling of
+    /// the probabilistic events instead (the paper's §4 hybrid).
+    pub hybrid_mc: Option<HybridMcConfig>,
+    /// Latest- or earliest-arrival analysis.
+    pub mode: CombineMode,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            samples: 20,
+            step_override: None,
+            min_event_prob: 1e-5,
+            supergate_depth: Some(5),
+            max_effective_stems: Some(1),
+            stem_ranking: StemRanking::Window,
+            ranking_events: 8,
+            filter_stems: true,
+            max_conditioning_events: Some(32),
+            conditioning_resolution: None,
+            hybrid_mc: None,
+            mode: CombineMode::Latest,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The exact algorithm (§3.2): no event dropping, no depth limit,
+    /// condition on every stem. Exponential — small circuits only.
+    pub fn exact() -> Self {
+        AnalysisConfig {
+            min_event_prob: 0.0,
+            supergate_depth: None,
+            max_effective_stems: None,
+            filter_stems: false,
+            max_conditioning_events: None,
+            conditioning_resolution: None,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Like [`exact`](AnalysisConfig::exact) but with an explicit
+    /// sampling step, for tests that need exactly reproducible grids.
+    pub fn exact_with_step(step: TimeStep) -> Self {
+        AnalysisConfig {
+            step_override: Some(step),
+            ..AnalysisConfig::exact()
+        }
+    }
+
+    /// Two-stem estimation (the paper's higher-accuracy variant).
+    pub fn two_stem() -> Self {
+        AnalysisConfig {
+            max_effective_stems: Some(2),
+            ..AnalysisConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let d = AnalysisConfig::default();
+        assert_eq!(d.samples, 20);
+        assert_eq!(d.min_event_prob, 1e-5);
+        assert_eq!(d.supergate_depth, Some(5));
+        assert_eq!(d.max_effective_stems, Some(1));
+        assert_eq!(d.mode, CombineMode::Latest);
+
+        let e = AnalysisConfig::exact();
+        assert_eq!(e.min_event_prob, 0.0);
+        assert!(!e.filter_stems);
+
+        let t = AnalysisConfig::two_stem();
+        assert_eq!(t.max_effective_stems, Some(2));
+    }
+}

@@ -1,0 +1,246 @@
+//! Statistical criticality — performance-sensitivity applications of the
+//! analyzer (the paper's conclusion: "performance sensitivity analysis
+//! and target selection for delay fault testing").
+//!
+//! Everything here consumes the full arrival-time distributions a
+//! [`PepAnalysis`] produces, which is precisely what point-valued STA
+//! cannot offer: criticality becomes a probability, not a binary label.
+
+use crate::{cell_eval, PepAnalysis};
+use pep_celllib::Timing;
+use pep_netlist::{GateKind, Netlist, NodeId};
+
+/// Per-output probability of defining the circuit's latest arrival.
+///
+/// Computed from the output event groups under the analyzer's
+/// independence treatment: output `o` is critical when its arrival
+/// exceeds the max of the others, so
+/// `P(o critical) = Σ_t p_o(t) · Π_{o'≠o} F_{o'}(t⁻·…)` — evaluated
+/// exactly on the discrete groups (ties are split evenly across the tied
+/// outputs, so the probabilities sum to one).
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::{DelayModel, Timing};
+/// use pep_core::{analyze, criticality, AnalysisConfig};
+/// use pep_netlist::samples;
+///
+/// let nl = samples::c17();
+/// let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+/// let analysis = analyze(&nl, &timing, &AnalysisConfig::default());
+/// let crit = criticality::output_criticality(&nl, &analysis);
+/// let total: f64 = crit.iter().map(|&(_, p)| p).sum();
+/// assert!((total - 1.0).abs() < 1e-6);
+/// ```
+pub fn output_criticality(netlist: &Netlist, analysis: &PepAnalysis) -> Vec<(NodeId, f64)> {
+    let outputs = netlist.primary_outputs();
+    let mut result = Vec::with_capacity(outputs.len());
+    for (i, &po) in outputs.iter().enumerate() {
+        let g = analysis.group(po).normalized();
+        if g.is_empty() {
+            result.push((po, 0.0));
+            continue;
+        }
+        let mut p_crit = 0.0;
+        for (t, p) in g.iter() {
+            // Probability that every other output arrives no later,
+            // splitting exact ties evenly among the tied outputs.
+            let mut p_others_leq = p;
+            let mut tie_weight = 1.0;
+            for (j, &other) in outputs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let og = analysis.group(other).normalized();
+                if og.is_empty() {
+                    continue;
+                }
+                let mass = og.total_mass();
+                let leq = og.cdf_at(t) / mass;
+                let tie = og.prob_at(t) / mass;
+                p_others_leq *= leq;
+                // Expected share under an even split of ties: approximate
+                // by halving each pairwise tie's weight.
+                if tie > 0.0 && leq > 0.0 {
+                    tie_weight *= 1.0 - 0.5 * tie / leq;
+                }
+            }
+            p_crit += p_others_leq * tie_weight;
+        }
+        result.push((po, p_crit));
+    }
+    // The independence treatment plus tie-splitting is not exactly
+    // measure-preserving; renormalize so the shares read as a profile.
+    let total: f64 = result.iter().map(|&(_, p)| p).sum();
+    if total > 0.0 {
+        for (_, p) in &mut result {
+            *p /= total;
+        }
+    }
+    result
+}
+
+/// Per-node probability that an extra delay of `fault_time` at the node
+/// makes some output violate `deadline` (both in physical time units) —
+/// the ranking used for delay-fault test-target selection.
+///
+/// For node `n` with arrival distribution `A_n` and (mean) longest
+/// residual path `r_n` to any output, the violation probability is
+/// `P(A_n + δ + r_n > T)`, read directly off the node's event group.
+///
+/// # Panics
+///
+/// Panics if `deadline` or `fault_time` is not finite.
+pub fn violation_probabilities(
+    netlist: &Netlist,
+    timing: &Timing,
+    analysis: &PepAnalysis,
+    deadline: f64,
+    fault_time: f64,
+) -> Vec<(NodeId, f64)> {
+    assert!(
+        deadline.is_finite() && fault_time.is_finite(),
+        "deadline and fault size must be finite"
+    );
+    let step = analysis.step();
+    let residual = mean_residual_ticks(netlist, timing, step);
+    let deadline_tick = step.ticks_of(deadline);
+    let fault_ticks = step.ticks_of(fault_time);
+    let mut scored: Vec<(NodeId, f64)> = netlist
+        .node_ids()
+        .filter(|&n| netlist.kind(n) != GateKind::Input)
+        .map(|n| {
+            let g = analysis.group(n);
+            if g.is_empty() {
+                return (n, 0.0);
+            }
+            let cut = deadline_tick - fault_ticks - residual[n.index()];
+            let p = 1.0 - g.cdf_at(cut) / g.total_mass();
+            (n, p.clamp(0.0, 1.0))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+    scored
+}
+
+/// The latest arrival distribution over a *set* of nodes (e.g. a timing
+/// group of outputs), max-combined under independence.
+pub fn latest_of<'a, I>(analysis: &PepAnalysis, nodes: I) -> pep_dist::DiscreteDist
+where
+    I: IntoIterator<Item = &'a NodeId>,
+{
+    cell_eval::combine_latest(nodes.into_iter().map(|&n| analysis.group(n)))
+}
+
+/// Mean longest residual path (in ticks) from every node to any primary
+/// output.
+fn mean_residual_ticks(
+    netlist: &Netlist,
+    timing: &Timing,
+    step: pep_dist::TimeStep,
+) -> Vec<i64> {
+    let mut residual = vec![0i64; netlist.node_count()];
+    for &id in netlist.topo_order().iter().rev() {
+        for (pin, &f) in netlist.fanins(id).iter().enumerate() {
+            let through = step.ticks_of(timing.arc_mean(id, pin)) + residual[id.index()];
+            if through > residual[f.index()] {
+                residual[f.index()] = through;
+            }
+        }
+    }
+    residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use pep_celllib::DelayModel;
+    use pep_netlist::{samples, GateKind, NetlistBuilder};
+
+    #[test]
+    fn output_criticality_sums_to_one() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let crit = output_criticality(&nl, &a);
+        assert_eq!(crit.len(), 2);
+        let total: f64 = crit.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for &(_, p) in &crit {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn dominant_output_gets_the_criticality() {
+        // Two outputs: one a long chain, one a single gate. The chain
+        // should be critical with probability ~1.
+        let mut b = NetlistBuilder::new("dom");
+        b.input("a").unwrap();
+        b.gate("fast", GateKind::Not, &["a"]).unwrap();
+        let mut prev = "a".to_owned();
+        for i in 0..6 {
+            let name = format!("s{i}");
+            b.gate(&name, GateKind::Buf, &[&prev]).unwrap();
+            prev = name;
+        }
+        b.output("fast").unwrap();
+        b.output(&prev).unwrap();
+        let nl = b.build().unwrap();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let crit = output_criticality(&nl, &a);
+        let slow = nl.node_id("s5").unwrap();
+        let &(_, p_slow) = crit
+            .iter()
+            .find(|&&(n, _)| n == slow)
+            .expect("slow output present");
+        assert!(p_slow > 0.99, "deep chain dominates: {p_slow}");
+    }
+
+    #[test]
+    fn violation_probability_monotone_in_fault_size() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let deadline = a
+            .quantile_time(nl.primary_outputs()[0], 0.999)
+            .expect("non-empty")
+            .max(
+                a.quantile_time(nl.primary_outputs()[1], 0.999)
+                    .expect("non-empty"),
+            );
+        let small = violation_probabilities(&nl, &t, &a, deadline, 0.5);
+        let large = violation_probabilities(&nl, &t, &a, deadline, 5.0);
+        let lookup = |v: &[(pep_netlist::NodeId, f64)], n| {
+            v.iter().find(|&&(m, _)| m == n).expect("present").1
+        };
+        for id in nl.node_ids() {
+            if nl.kind(id) == GateKind::Input {
+                continue;
+            }
+            assert!(
+                lookup(&large, id) + 1e-12 >= lookup(&small, id),
+                "bigger faults can only violate more at {}",
+                nl.node_name(id)
+            );
+        }
+        // Results come back sorted most-critical-first.
+        for w in small.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn latest_of_dominates_members() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let a = analyze(&nl, &t, &AnalysisConfig::default());
+        let combined = latest_of(&a, nl.primary_outputs());
+        for &po in nl.primary_outputs() {
+            assert!(combined.mean_ticks() + 1e-9 >= a.group(po).mean_ticks());
+        }
+    }
+}

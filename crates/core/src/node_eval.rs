@@ -1,0 +1,281 @@
+//! Per-node group evaluation strategies shared by the levelized analyzer
+//! and the supergate sampling-evaluation.
+//!
+//! A [`NodeEval`] computes a gate's output event group from its fanin
+//! groups. The static (vectorless) evaluator combines all fanins with the
+//! configured min/max; the dynamic evaluator selects min or max per gate
+//! from the transition pattern, as the paper's Fig. 5 example prescribes.
+
+use crate::arcs::ArcPmfs;
+use crate::cell_eval;
+use crate::CombineMode;
+use pep_dist::DiscreteDist;
+use pep_netlist::{Netlist, NodeId};
+use pep_sta::transition::TransitionSim;
+
+/// Computes one gate's output group from its fanin groups.
+pub(crate) trait NodeEval {
+    /// Evaluates `node`; `fanin_groups[pin]` is the group at the pin's
+    /// driver.
+    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist;
+
+    /// Sampled (single-trajectory) counterpart of
+    /// [`eval_node`](NodeEval::eval_node) for the hybrid
+    /// Monte-Carlo-inside-a-supergate path: given concrete fanin arrival
+    /// ticks (`None` = the fanin carries no event), draw the node's output
+    /// tick. Delay randomness is sampled from the same discretized
+    /// distributions event propagation uses.
+    fn sample_node(
+        &self,
+        node: NodeId,
+        fanin_ticks: &[Option<i64>],
+        rng: &mut rand::rngs::StdRng,
+    ) -> Option<i64>;
+}
+
+/// Vectorless static evaluation: all fanins compete under one combine
+/// mode; the cell delay (one random variable per cell, shared by its
+/// pins) is convolved in *after* combining, matching the Monte Carlo
+/// baseline's sampling semantics.
+pub(crate) struct StaticEval<'a> {
+    pub arcs: &'a ArcPmfs,
+    pub mode: CombineMode,
+}
+
+impl NodeEval for StaticEval<'_> {
+    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist {
+        let combined = if self.arcs.has_wires() {
+            let wired: Vec<DiscreteDist> = fanin_groups
+                .iter()
+                .enumerate()
+                .map(|(pin, g)| {
+                    match self.arcs.wire(node, pin) {
+                        Some(w) => g.convolve(w),
+                        None => (*g).clone(),
+                    }
+                })
+                .collect();
+            cell_eval::combine(wired.iter(), self.mode)
+        } else {
+            cell_eval::combine(fanin_groups.iter().copied(), self.mode)
+        };
+        cell_eval::propagate_group(&combined, self.arcs.cell(node))
+    }
+
+    fn sample_node(
+        &self,
+        node: NodeId,
+        fanin_ticks: &[Option<i64>],
+        rng: &mut rand::rngs::StdRng,
+    ) -> Option<i64> {
+        let mut combined: Option<i64> = None;
+        for (pin, t) in fanin_ticks.iter().enumerate() {
+            let Some(mut t) = *t else { continue };
+            if let Some(w) = self.arcs.wire(node, pin) {
+                t += w.sample(rng).unwrap_or(0);
+            }
+            combined = Some(match (combined, self.mode) {
+                (None, _) => t,
+                (Some(c), CombineMode::Latest) => c.max(t),
+                (Some(c), CombineMode::Earliest) => c.min(t),
+            });
+        }
+        let cell = self.arcs.cell(node).sample(rng).unwrap_or(0);
+        combined.map(|c| c + cell)
+    }
+}
+
+/// Transition-aware evaluation for a two-vector dynamic analysis.
+///
+/// Whether a gate output's transition follows the earliest or the latest
+/// input event is decided from the gate's controlling value and the
+/// output's final state (paper §2.3 / Fig. 5): switching *into* the
+/// controlled state follows the earliest newly-controlling input;
+/// switching *out* follows the latest leaving input; parity gates follow
+/// the last switching input.
+pub(crate) struct DynamicEval<'a> {
+    pub netlist: &'a Netlist,
+    pub arcs: &'a ArcPmfs,
+    pub sim: &'a TransitionSim,
+}
+
+impl NodeEval for DynamicEval<'_> {
+    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist {
+        if !self.sim.transitions(node) {
+            return DiscreteDist::empty();
+        }
+        let fanins = self.netlist.fanins(node);
+        let kind = self.netlist.kind(node);
+        // Wire delays apply per pin before the selection.
+        let wired: Vec<DiscreteDist> = fanin_groups
+            .iter()
+            .enumerate()
+            .map(|(pin, g)| match self.arcs.wire(node, pin) {
+                Some(w) if !g.is_empty() => g.convolve(w),
+                _ => (*g).clone(),
+            })
+            .collect();
+        let combined = match kind.controlling_value() {
+            Some(c) => {
+                let output_controlled = fanins
+                    .iter()
+                    .any(|&f| self.sim.final_values[f.index()] == c);
+                if output_controlled {
+                    // Earliest input to reach the controlling value wins.
+                    let candidates = fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| self.sim.final_values[f.index()] == c)
+                        .map(|(pin, _)| &wired[pin]);
+                    cell_eval::combine(candidates, CombineMode::Earliest)
+                } else {
+                    // Output enables when the last input leaves the
+                    // controlling value.
+                    cell_eval::combine(wired.iter(), CombineMode::Latest)
+                }
+            }
+            // Parity and single-input gates settle with the last
+            // switching input.
+            None => cell_eval::combine(wired.iter(), CombineMode::Latest),
+        };
+        cell_eval::propagate_group(&combined, self.arcs.cell(node))
+    }
+
+    fn sample_node(
+        &self,
+        node: NodeId,
+        fanin_ticks: &[Option<i64>],
+        rng: &mut rand::rngs::StdRng,
+    ) -> Option<i64> {
+        if !self.sim.transitions(node) {
+            return None;
+        }
+        let fanins = self.netlist.fanins(node);
+        let kind = self.netlist.kind(node);
+        let mut wired: Vec<Option<i64>> = Vec::with_capacity(fanin_ticks.len());
+        for (pin, t) in fanin_ticks.iter().enumerate() {
+            wired.push(t.map(|t| {
+                t + self
+                    .arcs
+                    .wire(node, pin)
+                    .and_then(|w| w.sample(rng))
+                    .unwrap_or(0)
+            }));
+        }
+        let combined = match kind.controlling_value() {
+            Some(c) => {
+                let output_controlled = fanins
+                    .iter()
+                    .any(|&f| self.sim.final_values[f.index()] == c);
+                if output_controlled {
+                    fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| self.sim.final_values[f.index()] == c)
+                        .filter_map(|(pin, _)| wired[pin])
+                        .min()
+                } else {
+                    wired.iter().flatten().copied().max()
+                }
+            }
+            None => wired.iter().flatten().copied().max(),
+        };
+        let cell = self.arcs.cell(node).sample(rng).unwrap_or(0);
+        combined.map(|c| c + cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_celllib::Timing;
+    use pep_dist::TimeStep;
+    use pep_netlist::{GateKind, NetlistBuilder};
+    use pep_sta::transition::simulate_transition;
+
+    fn and2() -> Netlist {
+        let mut b = NetlistBuilder::new("and2");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_eval_combines_then_convolves() {
+        let nl = and2();
+        let t = Timing::uniform(&nl, 2.0);
+        let arcs = ArcPmfs::discretize_all(&nl, &t, TimeStep::new(1.0).unwrap());
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        let y = nl.node_id("y").unwrap();
+        let a = DiscreteDist::from_ratios([(0, 1), (4, 1)]);
+        let b = DiscreteDist::point(2);
+        let out = eval.eval_node(y, &[&a, &b]);
+        // max{a, b} = {2:.5, 4:.5}, then +2 delay.
+        assert!((out.prob_at(4) - 0.5).abs() < 1e-12);
+        assert!((out.prob_at(6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_eval_falling_and_uses_earliest() {
+        let nl = and2();
+        let t = Timing::uniform(&nl, 1.0);
+        let arcs = ArcPmfs::discretize_all(&nl, &t, TimeStep::new(1.0).unwrap());
+        // Both inputs fall: output falls, earliest controlling input wins.
+        let sim = simulate_transition(&nl, &[true, true], &[false, false], |_, _| 1.0);
+        let eval = DynamicEval {
+            netlist: &nl,
+            arcs: &arcs,
+            sim: &sim,
+        };
+        let y = nl.node_id("y").unwrap();
+        let ga = DiscreteDist::from_ratios([(2, 1), (6, 1)]);
+        let gb = DiscreteDist::point(4);
+        let out = eval.eval_node(y, &[&ga, &gb]);
+        // min{ga, gb} = {2:.5, 4:.5}; +1 delay.
+        assert!((out.prob_at(3) - 0.5).abs() < 1e-12);
+        assert!((out.prob_at(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_eval_rising_and_uses_latest() {
+        let nl = and2();
+        let t = Timing::uniform(&nl, 1.0);
+        let arcs = ArcPmfs::discretize_all(&nl, &t, TimeStep::new(1.0).unwrap());
+        let sim = simulate_transition(&nl, &[false, false], &[true, true], |_, _| 1.0);
+        let eval = DynamicEval {
+            netlist: &nl,
+            arcs: &arcs,
+            sim: &sim,
+        };
+        let y = nl.node_id("y").unwrap();
+        let ga = DiscreteDist::from_ratios([(2, 1), (6, 1)]);
+        let gb = DiscreteDist::point(4);
+        let out = eval.eval_node(y, &[&ga, &gb]);
+        // max{ga, gb} = {4:.5, 6:.5}; +1 delay.
+        assert!((out.prob_at(5) - 0.5).abs() < 1e-12);
+        assert!((out.prob_at(7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_eval_no_transition_yields_empty() {
+        let nl = and2();
+        let t = Timing::uniform(&nl, 1.0);
+        let arcs = ArcPmfs::discretize_all(&nl, &t, TimeStep::new(1.0).unwrap());
+        // b rises but a stays 0: the AND output never moves.
+        let sim = simulate_transition(&nl, &[false, false], &[false, true], |_, _| 1.0);
+        let eval = DynamicEval {
+            netlist: &nl,
+            arcs: &arcs,
+            sim: &sim,
+        };
+        let y = nl.node_id("y").unwrap();
+        let ga = DiscreteDist::empty();
+        let gb = DiscreteDist::point(4);
+        assert!(eval.eval_node(y, &[&ga, &gb]).is_empty());
+    }
+}

@@ -1,0 +1,742 @@
+//! Supergate evaluation by stem conditioning (paper §3.2–§3.3).
+//!
+//! The evaluation of a supergate output is the paper's
+//! *sampling-evaluation*: take one event per stem (in topological stem
+//! order — the cross-product over same-level stems and the recursion over
+//! dependent stems arise from the same enumeration), re-propagate the
+//! supergate interior with the stem fixed to that event, scale by the
+//! event's probability, and accumulate at the output. Conditioning on
+//! every stem makes the result exact; the approximations (stem filtering,
+//! effective-stem selection, depth-limited regions, hybrid Monte Carlo)
+//! all reduce how much of that enumeration runs.
+
+use crate::arcs::ArcPmfs;
+use crate::node_eval::NodeEval;
+use crate::{AnalysisConfig, CombineMode, StemRanking};
+use pep_dist::DiscreteDist;
+use pep_netlist::supergate::Supergate;
+use pep_netlist::{Netlist, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Outcome counters for one supergate evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RegionOutcome {
+    /// Stems the heuristics removed before conditioning.
+    pub stems_filtered: usize,
+    /// Stems actually conditioned on.
+    pub stems_conditioned: usize,
+    /// Whether the hybrid Monte Carlo path evaluated this supergate.
+    pub used_hybrid: bool,
+}
+
+/// Mutable enumeration state shared across the conditioning recursion:
+/// per-node recomputed groups and the currently fixed stem events.
+struct CondState {
+    cur: Vec<DiscreteDist>,
+    ov: Vec<Option<DiscreteDist>>,
+    /// Whether the node's conditioned group currently differs from its
+    /// base group (events a dominating side-input absorbs stop affecting
+    /// anything, collapsing the recompute cone per enumeration event).
+    live: Vec<bool>,
+}
+
+/// One supergate's evaluation context: local indexing, base (unconditioned)
+/// groups, and the conditioning machinery.
+pub(crate) struct RegionEval<'r, E: NodeEval> {
+    netlist: &'r Netlist,
+    arcs: &'r ArcPmfs,
+    eval: &'r E,
+    sg: &'r Supergate,
+    /// Region nodes: `sg.inputs` then `sg.interior`, both already
+    /// topologically ordered.
+    nodes: Vec<NodeId>,
+    local: HashMap<NodeId, usize>,
+    n_inputs: usize,
+    output_local: usize,
+    /// Per region node, the local indices of its fanins (all fanins of
+    /// interior nodes are in-region by well-formedness; inputs have none).
+    fanin_locals: Vec<Vec<u32>>,
+    /// Unconditioned groups per region node (borrowed from the global
+    /// analysis where available, locally propagated otherwise).
+    base: Vec<Cow<'r, DiscreteDist>>,
+    p_min: f64,
+    /// Event-count cap applied to intermediate conditioned groups.
+    resolution: Option<usize>,
+}
+
+impl<'r, E: NodeEval> RegionEval<'r, E> {
+    /// Builds the region and its unconditioned base groups.
+    ///
+    /// `get(node)` supplies already-computed arrival groups: it must
+    /// return `Some` for every supergate input, and *may* return `Some`
+    /// for interior nodes (the analyzer passes its global groups, so no
+    /// work is repeated). Nodes it returns `None` for — at minimum the
+    /// output under evaluation — are propagated locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `get` returns `None` for a supergate input.
+    pub fn new<G>(
+        netlist: &'r Netlist,
+        arcs: &'r ArcPmfs,
+        eval: &'r E,
+        sg: &'r Supergate,
+        get: G,
+        p_min: f64,
+    ) -> Self
+    where
+        G: Fn(NodeId) -> Option<&'r DiscreteDist>,
+    {
+        let nodes: Vec<NodeId> = sg.inputs.iter().chain(&sg.interior).copied().collect();
+        let local: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let output_local = local[&sg.output];
+        let fanin_locals: Vec<Vec<u32>> = nodes
+            .iter()
+            .enumerate()
+            .map(|(li, &n)| {
+                if li < sg.inputs.len() {
+                    Vec::new()
+                } else {
+                    netlist.fanins(n).iter().map(|f| local[f] as u32).collect()
+                }
+            })
+            .collect();
+        let mut region = RegionEval {
+            netlist,
+            arcs,
+            eval,
+            sg,
+            nodes,
+            local,
+            n_inputs: sg.inputs.len(),
+            output_local,
+            fanin_locals,
+            base: Vec::new(),
+            p_min,
+            resolution: None,
+        };
+        let mut base: Vec<Cow<'r, DiscreteDist>> = Vec::with_capacity(region.nodes.len());
+        for (li, &node) in region.nodes.iter().enumerate() {
+            let g = if li < region.n_inputs {
+                Cow::Borrowed(get(node).expect("supergate input groups must be available"))
+            } else {
+                match get(node) {
+                    Some(g) => Cow::Borrowed(g),
+                    None => Cow::Owned(
+                        region.eval_local(node, |f| base[region.local[&f]].as_ref()),
+                    ),
+                }
+            };
+            base.push(g);
+        }
+        region.base = base;
+        region
+    }
+
+    /// Sets the event-count cap for intermediate conditioned groups
+    /// (see [`AnalysisConfig::conditioning_resolution`]).
+    pub fn set_resolution(&mut self, resolution: Option<usize>) {
+        self.resolution = resolution;
+    }
+
+    /// The unconditioned group at the supergate output (what plain
+    /// propagation — no reconvergence handling — would produce).
+    pub fn base_output(&self) -> &DiscreteDist {
+        self.base[self.output_local].as_ref()
+    }
+
+    /// Full heuristic evaluation per the configuration: stem filtering,
+    /// effective-stem selection, then conditioning (or hybrid MC).
+    pub fn evaluate(&self, config: &AnalysisConfig) -> (DiscreteDist, RegionOutcome) {
+        let mut outcome = RegionOutcome::default();
+        let mut stems: Vec<NodeId> = self.sg.stems.clone();
+        if config.filter_stems {
+            let kept = self.filter_stems(&stems, config.mode);
+            outcome.stems_filtered += stems.len() - kept.len();
+            stems = kept;
+        }
+        if let Some(k) = config.max_effective_stems {
+            if stems.len() > k {
+                let ranked = self.rank_stems(&stems, config);
+                outcome.stems_filtered += stems.len() - k;
+                stems = ranked.into_iter().take(k).collect();
+                // Conditioning order must stay topological.
+                stems.sort_by_key(|&s| {
+                    self.sg
+                        .stems
+                        .iter()
+                        .position(|&x| x == s)
+                        .expect("ranked stems come from sg.stems")
+                });
+            }
+        }
+        if let Some(h) = config.hybrid_mc {
+            if stems.len() > h.stem_threshold {
+                outcome.used_hybrid = true;
+                outcome.stems_conditioned = 0;
+                return (self.hybrid_eval(h.runs, h.seed), outcome);
+            }
+        }
+        outcome.stems_conditioned = stems.len();
+        if stems.is_empty() {
+            return (self.base_output().clone(), outcome);
+        }
+        (
+            self.conditioned_eval(&stems, config.max_conditioning_events),
+            outcome,
+        )
+    }
+
+    /// Evaluates one region node given a fanin-group lookup.
+    fn eval_local<'g, F>(&self, node: NodeId, get: F) -> DiscreteDist
+    where
+        F: Fn(NodeId) -> &'g DiscreteDist,
+    {
+        let fanin_groups: Vec<&DiscreteDist> =
+            self.netlist.fanins(node).iter().map(|&f| get(f)).collect();
+        let mut g = self.eval.eval_node(node, &fanin_groups);
+        if self.p_min > 0.0 {
+            // Drop, then renormalize: event groups keep unit mass (§2.1's
+            // invariant), so the filter compounds as a loss of resolution
+            // rather than a loss of probability down deep paths.
+            g.truncate_below(self.p_min);
+            g.normalize();
+        }
+        g
+    }
+
+    /// The paper's sampling-evaluation, conditioning on `stems`
+    /// (topologically ordered). `coarsen` limits each stem group to that
+    /// many events (quantile bucketing) before enumeration.
+    pub fn conditioned_eval(&self, stems: &[NodeId], coarsen: Option<usize>) -> DiscreteDist {
+        if stems.is_empty() {
+            return self.base_output().clone();
+        }
+        assert!(stems.len() < usize::from(u8::MAX), "too many conditioning stems");
+        let n = self.nodes.len();
+        // tag[li] = first conditioning level whose stem reaches the node
+        // (u8::MAX = unaffected); drives which nodes each enumeration
+        // level must re-propagate.
+        let mut tag = vec![u8::MAX; n];
+        for (k, &stem) in stems.iter().enumerate() {
+            let si = self.local[&stem];
+            if tag[si] == u8::MAX {
+                tag[si] = k as u8;
+            }
+            for li in self.n_inputs..n {
+                if tag[li] != u8::MAX {
+                    continue;
+                }
+                if self.fanin_locals[li]
+                    .iter()
+                    .any(|&fi| tag[fi as usize] != u8::MAX)
+                {
+                    tag[li] = k as u8;
+                }
+            }
+        }
+        let mut state = CondState {
+            cur: vec![DiscreteDist::empty(); n],
+            ov: vec![None; n],
+            live: vec![false; n],
+        };
+        let mut out = DiscreteDist::empty();
+        self.cond_recurse(stems, &tag, &mut state, 0, 1.0, coarsen, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cond_recurse(
+        &self,
+        stems: &[NodeId],
+        tag: &[u8],
+        state: &mut CondState,
+        level: usize,
+        scale: f64,
+        coarsen: Option<usize>,
+        out: &mut DiscreteDist,
+    ) {
+        if level == stems.len() {
+            let k = (stems.len() - 1) as u8;
+            self.propagate_affected(tag, state, k, self.output_local);
+            let result = self.cond_value(tag, state, self.output_local, k);
+            out.accumulate(&result.scaled(scale));
+            return;
+        }
+        let si = self.local[&stems[level]];
+        // The stem's own group under the already-fixed shallower stems.
+        let group = if level > 0 {
+            let k = (level - 1) as u8;
+            self.propagate_affected(tag, state, k, si);
+            self.cond_value(tag, state, si, k).clone()
+        } else {
+            self.base[si].as_ref().clone()
+        };
+        let group = match coarsen {
+            Some(k) => group.coarsened(k.max(1)),
+            None => group,
+        };
+        for (t, p) in group.iter() {
+            state.ov[si] = Some(DiscreteDist::point(t));
+            self.cond_recurse(stems, tag, state, level + 1, scale * p, coarsen, out);
+        }
+        state.ov[si] = None;
+    }
+
+    /// Recomputes every non-overridden interior node with `tag <= k`, in
+    /// topological order, up to and including `target`. A node none of
+    /// whose fanins currently deviate from base is skipped (its value is
+    /// its base group), so each enumeration event only pays for the part
+    /// of the cone it actually perturbs.
+    fn propagate_affected(&self, tag: &[u8], state: &mut CondState, k: u8, target: usize) {
+        for li in self.n_inputs..=target {
+            if tag[li] > k {
+                continue;
+            }
+            if state.ov[li].is_some() {
+                state.live[li] = true;
+                continue;
+            }
+            let fanin_live = self.fanin_locals[li].iter().any(|&fi| {
+                let fi = fi as usize;
+                state.ov[fi].is_some() || (tag[fi] <= k && state.live[fi])
+            });
+            if !fanin_live {
+                state.live[li] = false;
+                continue;
+            }
+            let g = {
+                let refs: Vec<&DiscreteDist> = self.fanin_locals[li]
+                    .iter()
+                    .map(|&fi| self.cond_value(tag, state, fi as usize, k))
+                    .collect();
+                let mut g = self.eval.eval_node(self.nodes[li], &refs);
+                if self.p_min > 0.0 {
+                    g.truncate_below(self.p_min);
+                    g.normalize();
+                }
+                match self.resolution {
+                    Some(r) => g.coarsened(r),
+                    None => g,
+                }
+            };
+            state.live[li] = g != *self.base[li].as_ref();
+            if state.live[li] {
+                state.cur[li] = g;
+            }
+        }
+    }
+
+    /// The group currently in effect at a local node, at enumeration
+    /// filter level `k`.
+    #[inline]
+    fn cond_value<'s>(&'s self, tag: &[u8], state: &'s CondState, li: usize, k: u8) -> &'s DiscreteDist {
+        if let Some(ov) = &state.ov[li] {
+            return ov;
+        }
+        if tag[li] <= k && state.live[li] {
+            &state.cur[li]
+        } else {
+            self.base[li].as_ref()
+        }
+    }
+
+    /// Earliest/latest structural path delay, in ticks, from each region
+    /// node to the output (∞-style sentinels where no path exists —
+    /// impossible for well-formed regions, but kept defensive).
+    fn delays_to_output(&self) -> (Vec<i64>, Vec<i64>) {
+        let n = self.nodes.len();
+        let mut dmin = vec![i64::MAX; n];
+        let mut dmax = vec![i64::MIN; n];
+        dmin[self.output_local] = 0;
+        dmax[self.output_local] = 0;
+        // Walk interior nodes in reverse topological order, relaxing their
+        // fanin edges.
+        for li in (self.n_inputs..n).rev() {
+            if dmin[li] == i64::MAX {
+                continue;
+            }
+            let node = self.nodes[li];
+            for (pin, &f) in self.netlist.fanins(node).iter().enumerate() {
+                let fi = self.local[&f];
+                let (lo, hi) = self.arcs.arc_bounds(node, pin);
+                dmin[fi] = dmin[fi].min(lo + dmin[li]);
+                dmax[fi] = dmax[fi].max(hi + dmax[li]);
+            }
+        }
+        (dmin, dmax)
+    }
+
+    /// The window of output arrival times the events of `stem` can cause.
+    fn stem_window(&self, stem: NodeId, dmin: &[i64], dmax: &[i64]) -> Option<(i64, i64)> {
+        let li = self.local[&stem];
+        let g = self.base[li].as_ref();
+        match (g.min_tick(), g.max_tick()) {
+            (Some(lo), Some(hi)) if dmin[li] != i64::MAX => {
+                Some((lo + dmin[li], hi + dmax[li]))
+            }
+            _ => None,
+        }
+    }
+
+    /// The paper's "filtering out unnecessary stems" (§3.3): a stem whose
+    /// events arrive "so early that they will never affect the arrival
+    /// time at the output" is removed from the sampling-evaluation.
+    ///
+    /// Soundness: a stem `s` is dropped only when some *rival*
+    /// contribution — an input none of whose region paths pass through
+    /// `s` — is always at least as late (Latest mode; symmetric for
+    /// Earliest) as anything `s` can deliver, so no `s`-branch event ever
+    /// defines the output and the branch correlation cannot matter.
+    fn filter_stems(&self, stems: &[NodeId], mode: CombineMode) -> Vec<NodeId> {
+        if stems.is_empty() {
+            return Vec::new();
+        }
+        let (dmin, dmax) = self.delays_to_output();
+        stems
+            .iter()
+            .copied()
+            .filter(|&s| {
+                let Some((slo, shi)) = self.stem_window(s, &dmin, &dmax) else {
+                    // No events or no path: the stem cannot matter.
+                    return false;
+                };
+                // A stem's branch correlation can only matter if at
+                // least two of its interior branch contributions can tie:
+                // with pairwise-disjoint branch windows the max always has
+                // a fixed winner and independent combining is exact.
+                if !self.branches_can_tie(s, &dmin, &dmax) {
+                    return false;
+                }
+                let ancestors = self.region_ancestors(s);
+                let mut keep = true;
+                for j in 0..self.n_inputs {
+                    if ancestors[j] || self.nodes[j] == s || dmin[j] == i64::MAX {
+                        continue;
+                    }
+                    let g = self.base[j].as_ref();
+                    match mode {
+                        CombineMode::Latest => {
+                            if let Some(jlo) = g.min_tick() {
+                                if jlo + dmin[j] > shi {
+                                    keep = false;
+                                    break;
+                                }
+                            }
+                        }
+                        CombineMode::Earliest => {
+                            if let Some(jhi) = g.max_tick() {
+                                if jhi + dmax[j] < slo {
+                                    keep = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                keep
+            })
+            .collect()
+    }
+
+    /// Whether two interior fanout branches of `stem` have overlapping
+    /// output-arrival windows (the precondition for reconvergent
+    /// interaction at the supergate output).
+    fn branches_can_tie(&self, stem: NodeId, dmin: &[i64], dmax: &[i64]) -> bool {
+        let sl = self.local[&stem];
+        let g = self.base[sl].as_ref();
+        let (Some(slo), Some(shi)) = (g.min_tick(), g.max_tick()) else {
+            return false;
+        };
+        // One window per interior branch edge (a duplicated pin is two
+        // edges, which trivially tie).
+        let mut windows: Vec<(i64, i64)> = Vec::new();
+        for &b in self.netlist.fanouts(stem) {
+            let Some(&bi) = self.local.get(&b) else { continue };
+            if bi < self.n_inputs || dmin[bi] == i64::MAX {
+                continue;
+            }
+            for (pin, &f) in self.netlist.fanins(b).iter().enumerate() {
+                if f != stem {
+                    continue;
+                }
+                let (alo, ahi) = self.arcs.arc_bounds(b, pin);
+                windows.push((slo + alo + dmin[bi], shi + ahi + dmax[bi]));
+            }
+        }
+        for (i, &(lo_a, hi_a)) in windows.iter().enumerate() {
+            for &(lo_b, hi_b) in &windows[i + 1..] {
+                if lo_a <= hi_b && lo_b <= hi_a {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Region nodes (by local index) from which `target` is reachable.
+    fn region_ancestors(&self, target: NodeId) -> Vec<bool> {
+        let mut reach = vec![false; self.nodes.len()];
+        let ti = self.local[&target];
+        reach[ti] = true;
+        // Walk forward in local (topological) order: a node reaches the
+        // target iff one of its region fanouts does; equivalently, walk
+        // nodes in order and mark fanins of reached nodes — do it
+        // backward over interior nodes.
+        for li in (0..=ti).rev() {
+            if !reach[li] {
+                continue;
+            }
+            let node = self.nodes[li];
+            for f in self.netlist.fanins(node) {
+                if let Some(&fi) = self.local.get(f) {
+                    reach[fi] = true;
+                }
+            }
+        }
+        reach
+    }
+
+    /// Ranks stems most-effective-first (§3.3, "choosing effective
+    /// stems").
+    fn rank_stems(&self, stems: &[NodeId], config: &AnalysisConfig) -> Vec<NodeId> {
+        let mut scored: Vec<(f64, NodeId)> = match config.stem_ranking {
+            StemRanking::Sensitivity => {
+                let base_out = self.base_output();
+                stems
+                    .iter()
+                    .map(|&s| {
+                        let r =
+                            self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
+                        (r.l1_distance(base_out), s)
+                    })
+                    .collect()
+            }
+            StemRanking::Window => {
+                let (dmin, dmax) = self.delays_to_output();
+                let out_lo = self
+                    .base_output()
+                    .min_tick()
+                    .unwrap_or(i64::MIN);
+                let out_hi = self.base_output().max_tick().unwrap_or(i64::MAX);
+                stems
+                    .iter()
+                    .map(|&s| {
+                        let score = match self.stem_window(s, &dmin, &dmax) {
+                            Some((lo, hi)) => {
+                                let overlap =
+                                    (hi.min(out_hi) - lo.max(out_lo) + 1).max(0) as f64;
+                                let branches = self
+                                    .netlist
+                                    .fanouts(s)
+                                    .iter()
+                                    .filter(|f| self.local.contains_key(f))
+                                    .count();
+                                overlap * branches as f64
+                            }
+                            None => 0.0,
+                        };
+                        (score, s)
+                    })
+                    .collect()
+            }
+        };
+        // Highest score first; ties keep topological order (stable sort).
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        scored.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// The paper's §4 hybrid: Monte Carlo sampling directly from the
+    /// probabilistic events at the supergate inputs. Every interior stem's
+    /// correlation is captured exactly (one sample per node per run); the
+    /// error is pure sampling noise, which shrinks with `s/m` inside a
+    /// supergate as the paper argues.
+    pub fn hybrid_eval(&self, runs: usize, seed: u64) -> DiscreteDist {
+        assert!(runs > 0, "need at least one hybrid run");
+        let n = self.nodes.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ self.sg.output.index() as u64);
+        let mut tally: HashMap<i64, u32> = HashMap::new();
+        let mut ticks: Vec<Option<i64>> = vec![None; n];
+        let mut input_mass = 1.0;
+        for li in 0..self.n_inputs {
+            input_mass *= self.base[li].total_mass();
+        }
+        // Input groups are wide; prebuilt cumulative samplers turn each
+        // per-run draw from O(span) into O(log span).
+        let samplers: Vec<Option<pep_dist::TickSampler>> = (0..self.n_inputs)
+            .map(|li| self.base[li].sampler())
+            .collect();
+        let mut effective_runs = 0usize;
+        for _ in 0..runs {
+            for (tick, sampler) in ticks.iter_mut().zip(&samplers) {
+                *tick = sampler.as_ref().map(|s| s.sample(&mut rng));
+            }
+            for li in self.n_inputs..n {
+                let node = self.nodes[li];
+                let fanin_ticks: Vec<Option<i64>> = self
+                    .netlist
+                    .fanins(node)
+                    .iter()
+                    .map(|f| ticks[self.local[f]])
+                    .collect();
+                ticks[li] = self.eval.sample_node(node, &fanin_ticks, &mut rng);
+            }
+            if let Some(t) = ticks[self.output_local] {
+                *tally.entry(t).or_insert(0) += 1;
+                effective_runs += 1;
+            }
+        }
+        if effective_runs == 0 {
+            return DiscreteDist::empty();
+        }
+        let scale = input_mass / effective_runs as f64;
+        DiscreteDist::from_pairs(tally.into_iter().map(|(t, c)| (t, c as f64 * scale)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_eval::StaticEval;
+    use crate::CombineMode;
+    use pep_celllib::Timing;
+    use pep_dist::TimeStep;
+    use pep_netlist::cone::SupportSets;
+    use pep_netlist::{supergate, GateKind, NetlistBuilder};
+
+    /// A diamond on stem `a`: y = AND(BUF(a), BUF(a)); with unit delays
+    /// the two AND inputs are *identical*, so max(y) = a + 2 exactly —
+    /// while independent combining squares the CDF and is wrong.
+    fn diamond() -> Netlist {
+        let mut b = NetlistBuilder::new("diamond");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Buf, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        b.build().unwrap()
+    }
+
+    fn setup(
+        nl: &Netlist,
+    ) -> (ArcPmfs, SupportSets, Supergate) {
+        let t = Timing::uniform(nl, 1.0);
+        let arcs = ArcPmfs::discretize_all(nl, &t, TimeStep::new(1.0).unwrap());
+        let supports = SupportSets::compute(nl);
+        let y = nl.node_id("y").unwrap();
+        let sg = supergate::extract(nl, &supports, y, None);
+        (arcs, supports, sg)
+    }
+
+    #[test]
+    fn conditioning_corrects_diamond() {
+        let nl = diamond();
+        let (arcs, _supports, sg) = setup(&nl);
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        // Stem group: arrival 0 or 2, equally likely.
+        let a_group = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+        let a = nl.node_id("a").unwrap();
+        let region = RegionEval::new(
+            &nl,
+            &arcs,
+            &eval,
+            &sg,
+            |n| (n == a).then_some(&a_group),
+            0.0,
+        );
+
+        // Naive (base) propagation treats the two branches as
+        // independent: P(max = t+2) = squared CDF increments — wrong.
+        let naive = region.base_output();
+        assert!((naive.prob_at(2) - 0.25).abs() < 1e-12, "naive squares the CDF");
+
+        // Conditioning on the stem restores the exact answer:
+        // y = a + 2 with a's own distribution.
+        let exact = region.conditioned_eval(&sg.stems, None);
+        assert!((exact.prob_at(2) - 0.5).abs() < 1e-12);
+        assert!((exact.prob_at(4) - 0.5).abs() < 1e-12);
+        assert!((exact.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_with_default_config_conditions_single_stem() {
+        let nl = diamond();
+        let (arcs, _s, sg) = setup(&nl);
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        let a_group = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+        let a = nl.node_id("a").unwrap();
+        let region = RegionEval::new(
+            &nl,
+            &arcs,
+            &eval,
+            &sg,
+            |n| (n == a).then_some(&a_group),
+            0.0,
+        );
+        let (g, outcome) = region.evaluate(&AnalysisConfig {
+            min_event_prob: 0.0,
+            ..AnalysisConfig::default()
+        });
+        assert_eq!(outcome.stems_conditioned, 1);
+        assert!(!outcome.used_hybrid);
+        assert!((g.prob_at(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_matches_conditioning_on_diamond() {
+        let nl = diamond();
+        let (arcs, _s, sg) = setup(&nl);
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        let a_group = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+        let a = nl.node_id("a").unwrap();
+        let region = RegionEval::new(
+            &nl,
+            &arcs,
+            &eval,
+            &sg,
+            |n| (n == a).then_some(&a_group),
+            0.0,
+        );
+        let exact = region.conditioned_eval(&sg.stems, None);
+        let mc = region.hybrid_eval(20_000, 7);
+        assert!(
+            exact.l1_distance(&mc) < 0.03,
+            "hybrid MC within sampling noise of exact: {}",
+            exact.l1_distance(&mc)
+        );
+    }
+
+    #[test]
+    fn filter_keeps_single_stem() {
+        let nl = diamond();
+        let (arcs, _s, sg) = setup(&nl);
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        let a_group = DiscreteDist::point(0);
+        let a = nl.node_id("a").unwrap();
+        let region = RegionEval::new(
+            &nl,
+            &arcs,
+            &eval,
+            &sg,
+            |n| (n == a).then_some(&a_group),
+            0.0,
+        );
+        assert_eq!(region.filter_stems(&sg.stems, CombineMode::Latest), sg.stems);
+    }
+}

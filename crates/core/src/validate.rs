@@ -1,0 +1,221 @@
+//! Brute-force validation oracle.
+//!
+//! [`enumerate_exact`] computes the *true* joint arrival-time
+//! distributions of a circuit by enumerating every combination of
+//! discretized cell-delay values — exponential, but exact, and therefore
+//! the ground truth the exact sampling-evaluation algorithm (paper §3.2)
+//! is tested against on small circuits.
+
+use crate::arcs::ArcPmfs;
+use crate::CombineMode;
+use pep_dist::DiscreteDist;
+use pep_netlist::{GateKind, Netlist};
+use std::collections::HashMap;
+
+/// Upper bound on enumerated combinations; beyond this the oracle would
+/// effectively never finish.
+const MAX_COMBINATIONS: f64 = 2e7;
+
+/// Enumerates every joint assignment of the (discretized) cell delays and
+/// returns the exact arrival-time distribution per node.
+///
+/// Semantics match the analyzer and the Monte Carlo engine: one delay
+/// value per cell shared by its pins; primary inputs arrive at tick 0.
+///
+/// # Panics
+///
+/// Panics if `arcs` carries wire delays (enumerate cell delays only) or
+/// if the total combination count exceeds an internal safety bound
+/// (~2·10⁷) — this is a test oracle for *small* circuits.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::Timing;
+/// use pep_core::{validate, AnalysisConfig, ArcPmfs, CombineMode};
+/// use pep_dist::TimeStep;
+/// use pep_netlist::samples;
+///
+/// let nl = samples::mux2();
+/// let timing = Timing::uniform(&nl, 1.0);
+/// let arcs = ArcPmfs::discretize_all(&nl, &timing, TimeStep::new(1.0)?);
+/// let truth = validate::enumerate_exact(&nl, &arcs, CombineMode::Latest);
+/// let y = nl.node_id("y").expect("present");
+/// assert_eq!(truth[y.index()].support_len(), 1, "unit delays are deterministic");
+/// # Ok::<(), pep_dist::DistError>(())
+/// ```
+pub fn enumerate_exact(
+    netlist: &Netlist,
+    arcs: &ArcPmfs,
+    mode: CombineMode,
+) -> Vec<DiscreteDist> {
+    assert!(
+        !arcs.has_wires(),
+        "the enumeration oracle supports cell delays only"
+    );
+    let gates: Vec<_> = netlist
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&n| netlist.kind(n) != GateKind::Input)
+        .collect();
+    let events: Vec<Vec<(i64, f64)>> = gates
+        .iter()
+        .map(|&g| arcs.cell(g).iter().collect())
+        .collect();
+    let combos: f64 = events.iter().map(|e| e.len() as f64).product();
+    assert!(
+        combos <= MAX_COMBINATIONS,
+        "{combos:.0} combinations exceed the enumeration bound"
+    );
+
+    let n = netlist.node_count();
+    let mut tallies: Vec<HashMap<i64, f64>> = vec![HashMap::new(); n];
+    let mut choice = vec![0usize; gates.len()];
+    let mut arrival = vec![0i64; n];
+    loop {
+        // Evaluate this assignment.
+        let mut weight = 1.0;
+        for (gi, &g) in gates.iter().enumerate() {
+            let (delay, p) = events[gi][choice[gi]];
+            weight *= p;
+            let combined = netlist
+                .fanins(g)
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(None, |acc: Option<i64>, t| {
+                    Some(match (acc, mode) {
+                        (None, _) => t,
+                        (Some(a), CombineMode::Latest) => a.max(t),
+                        (Some(a), CombineMode::Earliest) => a.min(t),
+                    })
+                })
+                .expect("gates have fanins");
+            arrival[g.index()] = combined + delay;
+        }
+        for id in netlist.node_ids() {
+            *tallies[id.index()].entry(arrival[id.index()]).or_insert(0.0) += weight;
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == gates.len() {
+                return tallies
+                    .into_iter()
+                    .map(DiscreteDist::from_pairs)
+                    .collect();
+            }
+            choice[pos] += 1;
+            if choice[pos] < events[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use pep_celllib::{DelayModel, DelayShape, Timing};
+    use pep_dist::TimeStep;
+    use pep_netlist::{samples, GateKind, NetlistBuilder};
+
+    /// The exact PEP algorithm must equal brute-force enumeration on every
+    /// node — including through reconvergent fanout.
+    fn assert_exact_on(nl: &pep_netlist::Netlist, step: f64, seed: u64) {
+        let model = DelayModel::dac2001(seed)
+            .with_shape(DelayShape::Uniform)
+            .with_sigma_range(0.06, 0.09);
+        let timing = Timing::annotate(nl, &model);
+        let ts = TimeStep::new(step).expect("valid step");
+        let arcs = ArcPmfs::discretize_all(nl, &timing, ts);
+        let truth = enumerate_exact(nl, &arcs, CombineMode::Latest);
+        let analysis = analyze(nl, &timing, &AnalysisConfig::exact_with_step(ts));
+        for id in nl.node_ids() {
+            let got = analysis.group(id);
+            let want = &truth[id.index()];
+            assert!(
+                got.l1_distance(want) < 1e-9,
+                "node {} differs: got {got}, want {want}",
+                nl.node_name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_single_stem_diamond() {
+        let mut b = NetlistBuilder::new("diamond");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        // Coarse grid keeps the enumeration small: 4 gates with ~3 events.
+        assert_exact_on(&nl, 1.5, 3);
+    }
+
+    #[test]
+    fn exact_on_mux() {
+        assert_exact_on(&samples::mux2(), 2.0, 5);
+    }
+
+    #[test]
+    fn exact_on_c17() {
+        // 6 gates; a coarse step keeps each delay at ~3 events -> ~700
+        // combinations.
+        assert_exact_on(&samples::c17(), 2.5, 7);
+    }
+
+    #[test]
+    fn exact_on_nested_stems() {
+        // Two stems where one lies in the other's fanout cone — exercises
+        // the recursive part of sampling-evaluation.
+        let mut b = NetlistBuilder::new("nested");
+        b.input("s1").unwrap();
+        b.gate("s2", GateKind::Not, &["s1"]).unwrap(); // stem in s1's cone
+        b.gate("p", GateKind::Buf, &["s2"]).unwrap();
+        b.gate("q", GateKind::Not, &["s2"]).unwrap();
+        b.gate("r", GateKind::Buf, &["s1"]).unwrap();
+        b.gate("m", GateKind::And, &["p", "q"]).unwrap();
+        b.gate("y", GateKind::Or, &["m", "r"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        assert_exact_on(&nl, 2.0, 11);
+    }
+
+    #[test]
+    fn exact_in_earliest_mode() {
+        let nl = samples::mux2();
+        let model = DelayModel::dac2001(2).with_shape(DelayShape::Uniform);
+        let timing = Timing::annotate(&nl, &model);
+        let ts = TimeStep::new(2.0).expect("valid");
+        let arcs = ArcPmfs::discretize_all(&nl, &timing, ts);
+        let truth = enumerate_exact(&nl, &arcs, CombineMode::Earliest);
+        let cfg = AnalysisConfig {
+            mode: CombineMode::Earliest,
+            ..AnalysisConfig::exact_with_step(ts)
+        };
+        let analysis = analyze(&nl, &timing, &cfg);
+        for id in nl.node_ids() {
+            assert!(
+                analysis.group(id).l1_distance(&truth[id.index()]) < 1e-9,
+                "node {}",
+                nl.node_name(id)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "combinations exceed")]
+    fn enumeration_bound_guards() {
+        let nl = pep_netlist::generate::iscas_profile(pep_netlist::generate::IscasProfile::S5378);
+        let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let ts = timing.step_for_samples(20);
+        let arcs = ArcPmfs::discretize_all(&nl, &timing, ts);
+        let _ = enumerate_exact(&nl, &arcs, CombineMode::Latest);
+    }
+}

@@ -1,0 +1,238 @@
+//! Edge-case tests of the analyzer's public surface: degenerate
+//! circuits, configuration extremes and the dynamic mode's corner cases.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{
+    analyze, analyze_with_inputs, criticality, dynamic, AnalysisConfig, CombineMode,
+    HybridMcConfig,
+};
+use pep_dist::{DiscreteDist, TimeStep};
+use pep_netlist::{samples, GateKind, NetlistBuilder};
+
+fn inverter_chain(n: usize) -> pep_netlist::Netlist {
+    let mut b = NetlistBuilder::new("chain");
+    b.input("a").unwrap();
+    let mut prev = "a".to_owned();
+    for i in 0..n {
+        let name = format!("n{i}");
+        b.gate(&name, GateKind::Not, &[&prev]).unwrap();
+        prev = name;
+    }
+    b.output(&prev).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn chain_arrival_is_sum_of_delays() {
+    // No reconvergence: the output group is the exact convolution of all
+    // cell delays; its mean is the sum of means.
+    let nl = inverter_chain(10);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    let pep = analyze(
+        &nl,
+        &timing,
+        &AnalysisConfig {
+            min_event_prob: 0.0,
+            ..AnalysisConfig::default()
+        },
+    );
+    assert_eq!(pep.stats().supergates, 0);
+    let po = nl.primary_outputs()[0];
+    let expected: f64 = nl
+        .node_ids()
+        .filter(|&n| nl.kind(n) != GateKind::Input)
+        .map(|n| timing.cell_arc(n, 0).mean())
+        .sum();
+    let step = pep.step().size();
+    assert!(
+        (pep.mean_time(po) - expected).abs() < step,
+        "chain mean {} vs sum {expected}",
+        pep.mean_time(po)
+    );
+    // Variances add too.
+    let expected_var: f64 = nl
+        .node_ids()
+        .filter(|&n| nl.kind(n) != GateKind::Input)
+        .map(|n| timing.cell_arc(n, 0).variance())
+        .sum();
+    let got_var = pep.std_time(po) * pep.std_time(po);
+    assert!((got_var - expected_var).abs() / expected_var < 0.05);
+}
+
+#[test]
+fn single_gate_circuit() {
+    let mut b = NetlistBuilder::new("one");
+    b.input("a").unwrap();
+    b.gate("y", GateKind::Buf, &["a"]).unwrap();
+    b.output("y").unwrap();
+    let nl = b.build().unwrap();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(2));
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+    let y = nl.node_id("y").unwrap();
+    let arc = timing.cell_arc(y, 0);
+    assert!((pep.mean_time(y) - arc.mean()).abs() < pep.step().size());
+    assert!((pep.std_time(y) - arc.std_dev()).abs() < pep.step().size());
+}
+
+#[test]
+fn zero_stems_config_equals_naive_propagation() {
+    // max_effective_stems = 0 must reproduce plain (tree-style)
+    // propagation even on reconvergent circuits.
+    let nl = samples::c17();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(3));
+    let cfg0 = AnalysisConfig {
+        max_effective_stems: Some(0),
+        filter_stems: false,
+        ..AnalysisConfig::default()
+    };
+    let a = analyze(&nl, &timing, &cfg0);
+    assert_eq!(a.stats().stems_conditioned, 0);
+    // Independent re-derivation with DiscreteDist ops.
+    let step = a.step();
+    let arcs = pep_core::ArcPmfs::discretize_all(&nl, &timing, step);
+    let mut groups = vec![DiscreteDist::empty(); nl.node_count()];
+    for &id in nl.topo_order() {
+        if nl.kind(id) == GateKind::Input {
+            groups[id.index()] = DiscreteDist::point(0);
+            continue;
+        }
+        let combined = nl
+            .fanins(id)
+            .iter()
+            .map(|f| groups[f.index()].clone())
+            .reduce(|x, y| x.max(&y))
+            .expect("gates have fanins");
+        let mut g = combined.convolve(arcs.cell(id));
+        g.truncate_below(1e-5);
+        g.normalize();
+        groups[id.index()] = g;
+    }
+    for id in nl.node_ids() {
+        assert!(
+            a.group(id).l1_distance(&groups[id.index()]) < 1e-9,
+            "node {}",
+            nl.node_name(id)
+        );
+    }
+}
+
+#[test]
+fn staggered_inputs_shift_results() {
+    let nl = samples::mux2();
+    let timing = Timing::uniform(&nl, 1.0);
+    let cfg = AnalysisConfig::exact_with_step(TimeStep::new(1.0).expect("valid"));
+    // Input `s` arrives late and uncertain.
+    let s_id = nl.node_id("s").unwrap();
+    let a = analyze_with_inputs(&nl, &timing, &cfg, |pi| {
+        if pi == s_id {
+            DiscreteDist::from_ratios([(5, 1), (8, 1)])
+        } else {
+            DiscreteDist::point(0)
+        }
+    });
+    let y = nl.node_id("y").unwrap();
+    // y = OR(t0, t1); the path through ns/t1 sees s + 3 gates.
+    assert_eq!(a.group(y).max_tick(), Some(8 + 3));
+    assert!(a.group(y).min_tick() >= Some(2));
+}
+
+#[test]
+fn hybrid_threshold_gates_usage() {
+    let nl = samples::fig6();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(7));
+    // Threshold higher than any stem count: hybrid never fires.
+    let cfg = AnalysisConfig {
+        hybrid_mc: Some(HybridMcConfig {
+            stem_threshold: 100,
+            runs: 100,
+            seed: 1,
+        }),
+        ..AnalysisConfig::default()
+    };
+    let a = analyze(&nl, &timing, &cfg);
+    assert_eq!(a.stats().hybrid_evaluations, 0);
+    // Threshold zero: every conditioned supergate goes hybrid.
+    let cfg = AnalysisConfig {
+        hybrid_mc: Some(HybridMcConfig {
+            stem_threshold: 0,
+            runs: 500,
+            seed: 1,
+        }),
+        ..AnalysisConfig::default()
+    };
+    let a = analyze(&nl, &timing, &cfg);
+    assert!(a.stats().hybrid_evaluations > 0);
+}
+
+#[test]
+fn earliest_mode_on_chain_equals_latest() {
+    // A pure chain has one path: min and max analyses coincide.
+    let nl = inverter_chain(5);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let step = TimeStep::new(0.05).expect("valid");
+    let late = analyze(
+        &nl,
+        &timing,
+        &AnalysisConfig {
+            step_override: Some(step),
+            ..AnalysisConfig::default()
+        },
+    );
+    let early = analyze(
+        &nl,
+        &timing,
+        &AnalysisConfig {
+            step_override: Some(step),
+            mode: CombineMode::Earliest,
+            ..AnalysisConfig::default()
+        },
+    );
+    let po = nl.primary_outputs()[0];
+    assert!(late.group(po).l1_distance(early.group(po)) < 1e-9);
+}
+
+#[test]
+fn dynamic_xor_chain_parity() {
+    // An XOR chain where one input toggles: every stage toggles.
+    let mut b = NetlistBuilder::new("xorchain");
+    b.input("a").unwrap();
+    b.input("b").unwrap();
+    b.gate("x0", GateKind::Xor, &["a", "b"]).unwrap();
+    b.gate("x1", GateKind::Xor, &["x0", "b"]).unwrap();
+    b.output("x1").unwrap();
+    let nl = b.build().unwrap();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(2));
+    let d = dynamic::analyze_transition(
+        &nl,
+        &timing,
+        &[false, false],
+        &[true, false],
+        &AnalysisConfig::default(),
+    );
+    assert!(d.transitions(nl.node_id("x0").unwrap()));
+    assert!(d.transitions(nl.node_id("x1").unwrap()));
+    let m0 = d.mean_time(nl.node_id("x0").unwrap()).expect("switches");
+    let m1 = d.mean_time(nl.node_id("x1").unwrap()).expect("switches");
+    assert!(m1 > m0, "second stage switches later");
+}
+
+#[test]
+fn criticality_on_single_output_is_one() {
+    let nl = inverter_chain(3);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let a = analyze(&nl, &timing, &AnalysisConfig::default());
+    let crit = criticality::output_criticality(&nl, &a);
+    assert_eq!(crit.len(), 1);
+    assert!((crit[0].1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn violation_probability_zero_for_generous_deadline() {
+    let nl = samples::c17();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let a = analyze(&nl, &timing, &AnalysisConfig::default());
+    let scored = criticality::violation_probabilities(&nl, &timing, &a, 1e6, 0.0);
+    for (n, p) in scored {
+        assert_eq!(p, 0.0, "node {} violates a huge deadline", nl.node_name(n));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the analyzer: randomized exactness against the
+//! brute-force enumeration oracle, and structural sanity of the
+//! approximate algorithm.
+
+use pep_celllib::{DelayModel, DelayShape, Timing};
+use pep_core::{analyze, validate, AnalysisConfig, ArcPmfs, CombineMode};
+use pep_dist::TimeStep;
+use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+use pep_netlist::Netlist;
+use proptest::prelude::*;
+
+/// Small circuits the enumeration oracle can exhaust: at most 8 gates
+/// with coarse (≤ 4-point) delay distributions.
+fn tiny_spec() -> impl Strategy<Value = RandomCircuitSpec> {
+    (2usize..5, 3usize..=8, 2usize..5, 0.0f64..0.5, any::<u64>()).prop_map(
+        |(inputs, gates, depth, inv, seed)| RandomCircuitSpec {
+            name: "tiny".into(),
+            inputs,
+            gates,
+            depth: depth.min(gates),
+            max_fanin: 3,
+            level_reach: 2,
+            window: 1.0,
+            inverter_fraction: inv,
+            seed,
+        },
+    )
+}
+
+/// A coarse grid giving each cell-delay pdf roughly 2–4 points.
+fn coarse_step(netlist: &Netlist, timing: &Timing) -> TimeStep {
+    let fine = timing.step_for_samples(3);
+    let _ = netlist;
+    fine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The central correctness property of the whole reproduction: on any
+    /// circuit the enumeration oracle can exhaust, the exact
+    /// sampling-evaluation reproduces the true joint distribution at
+    /// every node, in both combine modes.
+    #[test]
+    fn exact_equals_enumeration(spec in tiny_spec(), seed in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let model = DelayModel::dac2001(seed)
+            .with_shape(DelayShape::Uniform)
+            .with_sigma_range(0.05, 0.09);
+        let timing = Timing::annotate(&nl, &model);
+        let step = coarse_step(&nl, &timing);
+        let arcs = ArcPmfs::discretize_all(&nl, &timing, step);
+        let combos: f64 = nl
+            .node_ids()
+            .filter(|&n| nl.kind(n) != pep_netlist::GateKind::Input)
+            .map(|n| arcs.cell(n).support_len() as f64)
+            .product();
+        prop_assume!(combos <= 1e5);
+        for mode in [CombineMode::Latest, CombineMode::Earliest] {
+            let truth = validate::enumerate_exact(&nl, &arcs, mode);
+            let cfg = AnalysisConfig {
+                mode,
+                ..AnalysisConfig::exact_with_step(step)
+            };
+            let analysis = analyze(&nl, &timing, &cfg);
+            for id in nl.node_ids() {
+                prop_assert!(
+                    analysis.group(id).l1_distance(&truth[id.index()]) < 1e-9,
+                    "{mode:?} node {} differs",
+                    nl.node_name(id)
+                );
+            }
+        }
+    }
+
+    /// The approximate algorithm's means stay close to exact on circuits
+    /// where exact is feasible — the heuristics trade tails, not bulk.
+    #[test]
+    fn approximate_tracks_exact_means(spec in tiny_spec(), seed in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let model = DelayModel::dac2001(seed).with_shape(DelayShape::Uniform);
+        let timing = Timing::annotate(&nl, &model);
+        let step = timing.step_for_samples(6);
+        let exact = analyze(&nl, &timing, &AnalysisConfig::exact_with_step(step));
+        let approx = analyze(
+            &nl,
+            &timing,
+            &AnalysisConfig {
+                step_override: Some(step),
+                ..AnalysisConfig::default()
+            },
+        );
+        for id in nl.node_ids() {
+            let e = exact.mean_time(id);
+            if e == 0.0 {
+                continue;
+            }
+            let a = approx.mean_time(id);
+            prop_assert!(
+                ((a - e) / e).abs() < 0.05,
+                "node {}: approx {a} vs exact {e}",
+                nl.node_name(id)
+            );
+        }
+    }
+
+    /// Invariants of any analysis result: unit mass (up to dropping with
+    /// renormalization), arrivals bounded by the structural min/max path
+    /// delays, and monotonicity along edges.
+    #[test]
+    fn analysis_invariants(spec in tiny_spec(), seed in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let timing = Timing::annotate(&nl, &DelayModel::dac2001(seed));
+        let a = analyze(&nl, &timing, &AnalysisConfig::default());
+        for id in nl.node_ids() {
+            let g = a.group(id);
+            prop_assert!((g.total_mass() - 1.0).abs() < 1e-6, "node {}", nl.node_name(id));
+            // A gate's arrival mean exceeds each fanin's by at least
+            // (close to) the arc's minimum delay.
+            for (pin, &f) in nl.fanins(id).iter().enumerate() {
+                let (lo, _) = timing.cell_arc(id, pin).discretization_range();
+                prop_assert!(
+                    a.mean_time(id) >= a.mean_time(f) + lo - a.step().size(),
+                    "edge {} -> {}",
+                    nl.node_name(f),
+                    nl.node_name(id)
+                );
+            }
+        }
+    }
+
+    /// Determinism across repeated runs, for arbitrary configurations.
+    #[test]
+    fn deterministic_for_any_config(
+        spec in tiny_spec(),
+        pm in prop::sample::select(vec![0.0, 1e-6, 1e-3]),
+        stems in 0usize..3,
+        depth in prop::option::of(1u32..6),
+    ) {
+        let nl = random_circuit(&spec);
+        let timing = Timing::annotate(&nl, &DelayModel::dac2001(3));
+        let cfg = AnalysisConfig {
+            min_event_prob: pm,
+            max_effective_stems: Some(stems),
+            supergate_depth: depth,
+            ..AnalysisConfig::default()
+        };
+        let a = analyze(&nl, &timing, &cfg);
+        let b = analyze(&nl, &timing, &cfg);
+        for id in nl.node_ids() {
+            prop_assert_eq!(a.group(id), b.group(id));
+        }
+    }
+}

@@ -1,0 +1,426 @@
+use crate::DistError;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A continuous delay model, as attached to cells and wires by a library.
+///
+/// The paper models every cell delay as a random variable with a known pdf;
+/// the three shapes here cover the paper's examples (triangular, Fig. 2) and
+/// the usual process-variation models (normal). All are parameterized in the
+/// library's physical time unit.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::ContinuousDist;
+///
+/// let d = ContinuousDist::normal(10.0, 0.8)?;
+/// assert_eq!(d.mean(), 10.0);
+/// assert!((d.cdf(10.0) - 0.5).abs() < 1e-6);
+/// # Ok::<(), pep_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContinuousDist {
+    /// Gaussian with the given mean and standard deviation.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation (strictly positive).
+        sigma: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// Triangular on `[lo, hi]` with the given mode.
+    Triangular {
+        /// Lower bound.
+        lo: f64,
+        /// Mode (peak of the pdf), within `[lo, hi]`.
+        mode: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// A deterministic (zero-variance) delay.
+    Point {
+        /// The single possible value.
+        value: f64,
+    },
+}
+
+/// How many standard deviations of a normal are covered when discretizing.
+///
+/// ±4σ captures 99.994% of the mass; the remainder is folded into the
+/// boundary bins so the discrete distribution still sums to one.
+pub(crate) const NORMAL_SUPPORT_SIGMAS: f64 = 4.0;
+
+impl ContinuousDist {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite parameters and non-positive `sigma`.
+    pub fn normal(mean: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() || !sigma.is_finite() {
+            return Err(DistError::NotFinite {
+                what: "normal parameter",
+            });
+        }
+        if sigma <= 0.0 {
+            return Err(DistError::NonPositive {
+                what: "sigma",
+                value: sigma,
+            });
+        }
+        Ok(ContinuousDist::Normal { mean, sigma })
+    }
+
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite bounds and `lo >= hi`.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(DistError::NotFinite {
+                what: "uniform bound",
+            });
+        }
+        if lo >= hi {
+            return Err(DistError::BadRange { lo, hi });
+        }
+        Ok(ContinuousDist::Uniform { lo, hi })
+    }
+
+    /// Creates a triangular distribution on `[lo, hi]` with the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite parameters, `lo >= hi`, and a mode outside the
+    /// bounds.
+    pub fn triangular(lo: f64, mode: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !mode.is_finite() || !hi.is_finite() {
+            return Err(DistError::NotFinite {
+                what: "triangular parameter",
+            });
+        }
+        if lo >= hi {
+            return Err(DistError::BadRange { lo, hi });
+        }
+        if mode < lo || mode > hi {
+            return Err(DistError::ModeOutOfRange { mode, lo, hi });
+        }
+        Ok(ContinuousDist::Triangular { lo, mode, hi })
+    }
+
+    /// Creates a deterministic delay.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite values.
+    pub fn point(value: f64) -> Result<Self, DistError> {
+        if !value.is_finite() {
+            return Err(DistError::NotFinite {
+                what: "point value",
+            });
+        }
+        Ok(ContinuousDist::Point { value })
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ContinuousDist::Normal { mean, .. } => mean,
+            ContinuousDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            ContinuousDist::Triangular { lo, mode, hi } => (lo + mode + hi) / 3.0,
+            ContinuousDist::Point { value } => value,
+        }
+    }
+
+    /// The variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            ContinuousDist::Normal { sigma, .. } => sigma * sigma,
+            ContinuousDist::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            ContinuousDist::Triangular { lo, mode, hi } => {
+                (lo * lo + mode * mode + hi * hi - lo * mode - lo * hi - mode * hi) / 18.0
+            }
+            ContinuousDist::Point { .. } => 0.0,
+        }
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The cumulative distribution function `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            ContinuousDist::Normal { mean, sigma } => normal_cdf((x - mean) / sigma),
+            ContinuousDist::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            ContinuousDist::Triangular { lo, mode, hi } => {
+                if x <= lo {
+                    0.0
+                } else if x >= hi {
+                    1.0
+                } else if x <= mode {
+                    // lo < x <= mode implies mode > lo, so the division is safe.
+                    (x - lo) * (x - lo) / ((hi - lo) * (mode - lo))
+                } else {
+                    // mode <= x < hi implies mode < hi, so the division is safe.
+                    1.0 - (hi - x) * (hi - x) / ((hi - lo) * (hi - mode))
+                }
+            }
+            ContinuousDist::Point { value } => {
+                if x >= value {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The probability density function at `x` (a Dirac spike reports `0`
+    /// except exactly at its location, where it reports `f64::INFINITY`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        match *self {
+            ContinuousDist::Normal { mean, sigma } => {
+                let z = (x - mean) / sigma;
+                (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            }
+            ContinuousDist::Uniform { lo, hi } => {
+                if x >= lo && x <= hi {
+                    1.0 / (hi - lo)
+                } else {
+                    0.0
+                }
+            }
+            ContinuousDist::Triangular { lo, mode, hi } => {
+                if x < lo || x > hi {
+                    0.0
+                } else if x < mode {
+                    2.0 * (x - lo) / ((hi - lo) * (mode - lo))
+                } else if x > mode {
+                    2.0 * (hi - x) / ((hi - lo) * (hi - mode))
+                } else {
+                    2.0 / (hi - lo)
+                }
+            }
+            ContinuousDist::Point { value } => {
+                if x == value {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ContinuousDist::Normal { mean, sigma } => mean + sigma * sample_standard_normal(rng),
+            ContinuousDist::Uniform { lo, hi } => rng.random_range(lo..=hi),
+            ContinuousDist::Triangular { lo, mode, hi } => {
+                // Inverse-CDF sampling.
+                let u: f64 = rng.random();
+                let fc = (mode - lo) / (hi - lo);
+                if u < fc {
+                    lo + (u * (hi - lo) * (mode - lo)).sqrt()
+                } else {
+                    hi - ((1.0 - u) * (hi - lo) * (hi - mode)).sqrt()
+                }
+            }
+            ContinuousDist::Point { value } => value,
+        }
+    }
+
+    /// The finite range used when discretizing the distribution.
+    ///
+    /// Bounded distributions return their exact support; the normal is
+    /// truncated at ±4σ (the clipped tail mass is folded into the boundary
+    /// bins by [`discretize`](crate::discretize)).
+    pub fn discretization_range(&self) -> (f64, f64) {
+        match *self {
+            ContinuousDist::Normal { mean, sigma } => (
+                mean - NORMAL_SUPPORT_SIGMAS * sigma,
+                mean + NORMAL_SUPPORT_SIGMAS * sigma,
+            ),
+            ContinuousDist::Uniform { lo, hi } => (lo, hi),
+            ContinuousDist::Triangular { lo, hi, .. } => (lo, hi),
+            ContinuousDist::Point { value } => (value, value),
+        }
+    }
+}
+
+/// Standard normal CDF via the complementary error function.
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, `1 - erf(x)`.
+///
+/// Uses the rational Chebyshev approximation from Numerical Recipes
+/// (`erfcc`), accurate to about 1.2e-7 everywhere — more than enough for
+/// timing-grade discretization.
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Marsaglia polar method for a standard normal sample.
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ContinuousDist::normal(0.0, 0.0).is_err());
+        assert!(ContinuousDist::normal(f64::NAN, 1.0).is_err());
+        assert!(ContinuousDist::uniform(2.0, 1.0).is_err());
+        assert!(ContinuousDist::triangular(0.0, 3.0, 2.0).is_err());
+        assert!(ContinuousDist::triangular(0.0, -1.0, 2.0).is_err());
+        assert!(ContinuousDist::point(f64::INFINITY).is_err());
+        assert!(ContinuousDist::triangular(0.0, 1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        let d = ContinuousDist::normal(0.0, 1.0).unwrap();
+        // The erfc approximation is accurate to ~1.2e-7.
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-6);
+        for z in [0.5, 1.0, 2.0, 3.0] {
+            assert!((d.cdf(z) + d.cdf(-z) - 1.0).abs() < 1e-7);
+        }
+        // Standard values.
+        assert!((d.cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((d.cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn triangular_moments() {
+        let d = ContinuousDist::triangular(1.0, 2.0, 4.0).unwrap();
+        assert!((d.mean() - 7.0 / 3.0).abs() < 1e-12);
+        let expect_var = (1.0 + 4.0 + 16.0 - 2.0 - 4.0 - 8.0) / 18.0;
+        assert!((d.variance() - expect_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_cdf_is_monotone_and_normalized() {
+        let d = ContinuousDist::triangular(0.0, 1.0, 3.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..=300 {
+            let x = i as f64 * 0.01;
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-12, "cdf must not decrease");
+            prev = c;
+        }
+        assert!((d.cdf(3.0) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12, "F(mode) = (mode-lo)/(hi-lo)");
+    }
+
+    #[test]
+    fn triangular_degenerate_modes() {
+        // mode == lo (pure ramp down) and mode == hi (pure ramp up).
+        let down = ContinuousDist::triangular(0.0, 0.0, 2.0).unwrap();
+        let up = ContinuousDist::triangular(0.0, 2.0, 2.0).unwrap();
+        assert!((down.cdf(2.0) - 1.0).abs() < 1e-12);
+        assert!((up.cdf(2.0) - 1.0).abs() < 1e-12);
+        assert!((up.cdf(1.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [
+            ContinuousDist::normal(5.0, 0.5).unwrap(),
+            ContinuousDist::uniform(1.0, 3.0).unwrap(),
+            ContinuousDist::triangular(0.0, 1.0, 4.0).unwrap(),
+        ] {
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                sum += x;
+                sumsq += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sumsq / n as f64 - mean * mean;
+            assert!(
+                (mean - d.mean()).abs() < 0.02,
+                "sample mean {mean} vs {}",
+                d.mean()
+            );
+            assert!(
+                (var - d.variance()).abs() < 0.05,
+                "sample var {var} vs {}",
+                d.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn point_is_deterministic() {
+        let d = ContinuousDist::point(3.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 3.5);
+        assert_eq!(d.mean(), 3.5);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cdf(3.4), 0.0);
+        assert_eq!(d.cdf(3.5), 1.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for d in [
+            ContinuousDist::normal(2.0, 0.7).unwrap(),
+            ContinuousDist::uniform(0.0, 2.0).unwrap(),
+            ContinuousDist::triangular(0.0, 0.5, 2.0).unwrap(),
+        ] {
+            let (lo, hi) = d.discretization_range();
+            let n = 20_000;
+            let h = (hi - lo) / n as f64;
+            let mut integral = 0.0;
+            for i in 0..n {
+                let x = lo + (i as f64 + 0.5) * h;
+                integral += d.pdf(x) * h;
+            }
+            assert!((integral - 1.0).abs() < 1e-3, "pdf of {d:?} integrates to {integral}");
+        }
+    }
+}

@@ -1,0 +1,1003 @@
+use crate::TimeStep;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Probabilities smaller than this are treated as exact zeros when trimming.
+const TRIM_EPS: f64 = 0.0;
+
+/// Tolerance for "mass may exceed one" checks (accumulated rounding).
+const MASS_EPS: f64 = 1e-6;
+
+/// A discrete (sub-)probability distribution over integer time ticks.
+///
+/// This is the *event group* of the paper (§2.1): a set of probabilistic
+/// events `⟨t, p⟩`, stored densely over consecutive ticks of the global
+/// [`TimeStep`] grid. Both discretized cell delays (Fig. 2) and signal
+/// arrival times are values of this type.
+///
+/// The distribution may be *sub*-probability: the paper's
+/// low-probability-event dropping heuristic (§3.3) removes mass, and
+/// conditioned stem evaluations carry scaled-down mass. [`total_mass`]
+/// reports the current mass; [`normalize`] rescales to one.
+///
+/// # Invariants
+///
+/// * all probabilities are finite and non-negative,
+/// * total mass never exceeds `1 + ε`,
+/// * the dense vector is trimmed: its first and last entries are non-zero
+///   (or the distribution is empty).
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::DiscreteDist;
+///
+/// // The paper's Fig. 1(b): arrival 10 with p=0.1, 13 with 0.3, 14 with
+/// // 0.3, 21 with 0.3 (probability ratios 1/3/3/3 over 10).
+/// let g = DiscreteDist::from_pairs([(10, 0.1), (13, 0.3), (14, 0.3), (21, 0.3)]);
+/// assert_eq!(g.support_len(), 4);
+/// assert!((g.total_mass() - 1.0).abs() < 1e-12);
+/// assert_eq!(g.min_tick(), Some(10));
+/// assert_eq!(g.max_tick(), Some(21));
+/// ```
+///
+/// [`total_mass`]: DiscreteDist::total_mass
+/// [`normalize`]: DiscreteDist::normalize
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiscreteDist {
+    /// Tick of `probs[0]`.
+    origin: i64,
+    /// Dense probabilities; `probs[i]` is the mass at tick `origin + i`.
+    probs: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// The empty (zero-mass) distribution.
+    pub fn empty() -> Self {
+        DiscreteDist::default()
+    }
+
+    /// A deterministic event at `tick` with probability one.
+    pub fn point(tick: i64) -> Self {
+        DiscreteDist {
+            origin: tick,
+            probs: vec![1.0],
+        }
+    }
+
+    /// A single probabilistic event `⟨tick, prob⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `prob` is negative, non-finite or exceeds
+    /// `1 + ε`.
+    pub fn event(tick: i64, prob: f64) -> Self {
+        let mut d = DiscreteDist {
+            origin: tick,
+            probs: vec![prob],
+        };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// Builds a distribution from `(tick, probability)` pairs.
+    ///
+    /// Pairs may arrive in any order; masses at equal ticks are summed
+    /// (the paper's *group* operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any probability is negative or non-finite,
+    /// or if the total mass exceeds `1 + ε`.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (i64, f64)>,
+    {
+        let pairs: Vec<(i64, f64)> = pairs.into_iter().filter(|&(_, p)| p != 0.0).collect();
+        if pairs.is_empty() {
+            return DiscreteDist::empty();
+        }
+        let lo = pairs.iter().map(|&(t, _)| t).min().expect("non-empty");
+        let hi = pairs.iter().map(|&(t, _)| t).max().expect("non-empty");
+        let mut probs = vec![0.0; (hi - lo) as usize + 1];
+        for (t, p) in pairs {
+            probs[(t - lo) as usize] += p;
+        }
+        let mut d = DiscreteDist { origin: lo, probs };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// Builds a distribution from integer *probability ratios*, the paper's
+    /// Fig. 1(c) notation: each ratio is divided by the sum of all ratios.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pep_dist::DiscreteDist;
+    ///
+    /// // Fig. 1(c): ratios 1, 3, 3, 3 at ticks 10, 13, 14, 21.
+    /// let g = DiscreteDist::from_ratios([(10, 1), (13, 3), (14, 3), (21, 3)]);
+    /// assert!((g.prob_at(10) - 0.1).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if all ratios are zero.
+    pub fn from_ratios<I>(ratios: I) -> Self
+    where
+        I: IntoIterator<Item = (i64, u64)>,
+    {
+        let ratios: Vec<(i64, u64)> = ratios.into_iter().collect();
+        let total: u64 = ratios.iter().map(|&(_, r)| r).sum();
+        assert!(total > 0, "probability ratios must not all be zero");
+        DiscreteDist::from_pairs(
+            ratios
+                .into_iter()
+                .map(|(t, r)| (t, r as f64 / total as f64)),
+        )
+    }
+
+    /// Builds a distribution from a dense probability vector starting at
+    /// `origin`.
+    pub fn from_dense(origin: i64, probs: Vec<f64>) -> Self {
+        let mut d = DiscreteDist { origin, probs };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// Whether the distribution carries no mass.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Number of ticks in the (dense, trimmed) support window.
+    pub fn support_span(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Number of events with strictly positive probability.
+    pub fn support_len(&self) -> usize {
+        self.probs.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// Earliest tick with positive probability, if any.
+    pub fn min_tick(&self) -> Option<i64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.origin)
+        }
+    }
+
+    /// Latest tick with positive probability, if any.
+    pub fn max_tick(&self) -> Option<i64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.origin + self.probs.len() as i64 - 1)
+        }
+    }
+
+    /// The probability mass at `tick`.
+    pub fn prob_at(&self, tick: i64) -> f64 {
+        let idx = tick - self.origin;
+        if idx < 0 || idx as usize >= self.probs.len() {
+            0.0
+        } else {
+            self.probs[idx as usize]
+        }
+    }
+
+    /// Total probability mass (1 for a full distribution, less after event
+    /// dropping or conditioning).
+    pub fn total_mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Iterates over `(tick, probability)` events with positive mass.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(move |(i, &p)| (self.origin + i as i64, p))
+    }
+
+    /// Mean arrival time, in ticks, of the *normalized* distribution.
+    ///
+    /// Returns NaN for an empty distribution.
+    pub fn mean_ticks(&self) -> f64 {
+        let mass = self.total_mass();
+        let mut acc = 0.0;
+        for (t, p) in self.iter() {
+            acc += t as f64 * p;
+        }
+        acc / mass
+    }
+
+    /// Variance, in ticks², of the *normalized* distribution.
+    ///
+    /// Returns NaN for an empty distribution.
+    pub fn variance_ticks(&self) -> f64 {
+        let mass = self.total_mass();
+        let mean = self.mean_ticks();
+        let mut acc = 0.0;
+        for (t, p) in self.iter() {
+            let d = t as f64 - mean;
+            acc += d * d * p;
+        }
+        acc / mass
+    }
+
+    /// Standard deviation in ticks of the normalized distribution.
+    pub fn std_ticks(&self) -> f64 {
+        self.variance_ticks().sqrt()
+    }
+
+    /// Mean arrival time converted to physical time.
+    pub fn mean_time(&self, step: TimeStep) -> f64 {
+        step.time_of_f(self.mean_ticks())
+    }
+
+    /// Standard deviation converted to physical time.
+    pub fn std_time(&self, step: TimeStep) -> f64 {
+        step.time_of_f(self.std_ticks())
+    }
+
+    /// `P(X <= tick)` (not normalized; tops out at [`total_mass`]).
+    ///
+    /// [`total_mass`]: DiscreteDist::total_mass
+    pub fn cdf_at(&self, tick: i64) -> f64 {
+        if self.is_empty() || tick < self.origin {
+            return 0.0;
+        }
+        let hi = ((tick - self.origin) as usize).min(self.probs.len() - 1);
+        self.probs[..=hi].iter().sum()
+    }
+
+    /// Smallest tick `t` with normalized `P(X <= t) >= q`.
+    ///
+    /// Returns `None` for an empty distribution or `q` outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        if self.is_empty() || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let target = q * self.total_mass();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if acc + 1e-15 >= target {
+                return Some(self.origin + i as i64);
+            }
+        }
+        self.max_tick()
+    }
+
+    /// Draws a tick according to the normalized distribution.
+    ///
+    /// Returns `None` if the distribution is empty.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<i64> {
+        if self.is_empty() {
+            return None;
+        }
+        let target: f64 = rng.random::<f64>() * self.total_mass();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if target < acc {
+                return Some(self.origin + i as i64);
+            }
+        }
+        self.max_tick()
+    }
+
+    /// Builds a reusable O(log n)-per-draw sampler over the normalized
+    /// distribution.
+    ///
+    /// [`sample`](DiscreteDist::sample) walks the whole support per draw;
+    /// when thousands of draws come from the same group (the hybrid
+    /// Monte-Carlo-inside-a-supergate path), build a sampler once instead.
+    ///
+    /// Returns `None` if the distribution is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pep_dist::DiscreteDist;
+    /// use rand::SeedableRng;
+    ///
+    /// let g = DiscreteDist::from_ratios([(3, 1), (9, 3)]);
+    /// let sampler = g.sampler().expect("non-empty");
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let t = sampler.sample(&mut rng);
+    /// assert!(t == 3 || t == 9);
+    /// ```
+    pub fn sampler(&self) -> Option<TickSampler> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(self.probs.len());
+        let mut acc = 0.0;
+        for &p in &self.probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        Some(TickSampler {
+            origin: self.origin,
+            total: acc,
+            cdf,
+        })
+    }
+
+    /// Shifts every event by `dt` ticks (the paper's *shift* operation).
+    pub fn shift(&mut self, dt: i64) {
+        self.origin += dt;
+    }
+
+    /// Returns a copy shifted by `dt` ticks.
+    #[must_use]
+    pub fn shifted(&self, dt: i64) -> Self {
+        let mut d = self.clone();
+        d.shift(dt);
+        d
+    }
+
+    /// Scales every probability by `k` (the paper's *scaling*).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `k` is negative or non-finite.
+    pub fn scale(&mut self, k: f64) {
+        debug_assert!(k.is_finite() && k >= 0.0, "scale factor {k} invalid");
+        if k == 0.0 {
+            self.probs.clear();
+            return;
+        }
+        for p in &mut self.probs {
+            *p *= k;
+        }
+    }
+
+    /// Returns a copy scaled by `k`.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        let mut d = self.clone();
+        d.scale(k);
+        d
+    }
+
+    /// Adds `other`'s mass into `self` (the paper's *group* operation, `+`).
+    ///
+    /// Events at equal ticks merge by summing probabilities.
+    pub fn accumulate(&mut self, other: &DiscreteDist) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        let lo = self.origin.min(other.origin);
+        let hi = (self.origin + self.probs.len() as i64)
+            .max(other.origin + other.probs.len() as i64);
+        let mut probs = vec![0.0; (hi - lo) as usize];
+        for (i, &p) in self.probs.iter().enumerate() {
+            probs[(self.origin - lo) as usize + i] += p;
+        }
+        for (i, &p) in other.probs.iter().enumerate() {
+            probs[(other.origin - lo) as usize + i] += p;
+        }
+        self.origin = lo;
+        self.probs = probs;
+        self.debug_check();
+    }
+
+    /// The distribution of the *sum* of two independent variables
+    /// (arrival time + cell delay).
+    ///
+    /// This is the paper's *shift with scaling* followed by *group* applied
+    /// over all input events (Fig. 4), i.e. ordinary convolution.
+    #[must_use]
+    pub fn convolve(&self, other: &DiscreteDist) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return DiscreteDist::empty();
+        }
+        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
+        // Iterate the shorter operand in the outer loop for cache behavior.
+        let (a, b) = if self.probs.len() <= other.probs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (i, &pa) in a.probs.iter().enumerate() {
+            if pa == 0.0 {
+                continue;
+            }
+            for (j, &pb) in b.probs.iter().enumerate() {
+                probs[i + j] += pa * pb;
+            }
+        }
+        let mut d = DiscreteDist {
+            origin: self.origin + other.origin,
+            probs,
+        };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// The distribution of the *maximum* of two independent variables
+    /// (latest-arrival combining at a gate with multiple inputs).
+    ///
+    /// Missing mass (from dropped events) is interpreted as "the event never
+    /// happens"; the result's mass is the product of the operands' masses,
+    /// exactly as the paper's pairwise comparison produces.
+    #[must_use]
+    pub fn max(&self, other: &DiscreteDist) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return DiscreteDist::empty();
+        }
+        let lo = self.origin.max(other.origin);
+        let hi = self
+            .max_tick()
+            .expect("non-empty")
+            .max(other.max_tick().expect("non-empty"));
+        let n = (hi - lo + 1) as usize;
+        let mut probs = vec![0.0; n];
+        // F_max(t) = F1(t) * F2(t); p(t) = F(t) - F(t-1).
+        let mut f1 = self.cdf_at(lo - 1);
+        let mut f2 = other.cdf_at(lo - 1);
+        let mut prev = f1 * f2;
+        for (i, slot) in probs.iter_mut().enumerate() {
+            let t = lo + i as i64;
+            f1 += self.prob_at(t);
+            f2 += other.prob_at(t);
+            let cur = f1 * f2;
+            *slot = (cur - prev).max(0.0);
+            prev = cur;
+        }
+        let mut d = DiscreteDist { origin: lo, probs };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// The distribution of the *minimum* of two independent variables
+    /// (earliest-arrival combining, e.g. a falling AND output — Fig. 5).
+    ///
+    /// Mass semantics mirror [`max`](DiscreteDist::max): the result carries
+    /// the product of the operands' masses.
+    #[must_use]
+    pub fn min(&self, other: &DiscreteDist) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return DiscreteDist::empty();
+        }
+        let lo = self.origin.min(other.origin);
+        // min(X, Y) never exceeds the smaller of the two maxima, and the
+        // smaller maximum is always >= the smaller origin, so hi >= lo.
+        let hi = self
+            .max_tick()
+            .expect("non-empty")
+            .min(other.max_tick().expect("non-empty"));
+        let m1 = self.total_mass();
+        let m2 = other.total_mass();
+        let n = (hi - lo + 1) as usize;
+        let mut probs = vec![0.0; n];
+        // P(min <= t) = m1*m2 - S1(t)*S2(t) with S(t) = mass - F(t).
+        let mut f1 = self.cdf_at(lo - 1);
+        let mut f2 = other.cdf_at(lo - 1);
+        let mut prev = m1 * m2 - (m1 - f1) * (m2 - f2);
+        for (i, slot) in probs.iter_mut().enumerate() {
+            let t = lo + i as i64;
+            f1 += self.prob_at(t);
+            f2 += other.prob_at(t);
+            let cur = m1 * m2 - (m1 - f1) * (m2 - f2);
+            *slot = (cur - prev).max(0.0);
+            prev = cur;
+        }
+        let mut d = DiscreteDist { origin: lo, probs };
+        d.trim();
+        d.debug_check();
+        d
+    }
+
+    /// Drops events with probability below `p_min` (the paper's
+    /// low-probability-event filter, §3.3) and returns the removed mass.
+    ///
+    /// The distribution is *not* renormalized, matching the paper; call
+    /// [`normalize`](DiscreteDist::normalize) to rescale if desired.
+    pub fn truncate_below(&mut self, p_min: f64) -> f64 {
+        let mut dropped = 0.0;
+        for p in &mut self.probs {
+            if *p < p_min {
+                dropped += *p;
+                *p = 0.0;
+            }
+        }
+        self.trim();
+        dropped
+    }
+
+    /// Rescales the distribution to total mass one.
+    ///
+    /// Empty distributions stay empty.
+    pub fn normalize(&mut self) {
+        let mass = self.total_mass();
+        if mass > 0.0 {
+            for p in &mut self.probs {
+                *p /= mass;
+            }
+        }
+    }
+
+    /// Returns a normalized copy.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut d = self.clone();
+        d.normalize();
+        d
+    }
+
+    /// Reduces the distribution to at most `k` events by merging runs of
+    /// adjacent events with (roughly) equal mass into single events at
+    /// their conditional mean tick.
+    ///
+    /// Total mass, and the mean up to rounding, are preserved; the shape
+    /// is coarsened. Used to cheapen sensitivity-ranking passes that only
+    /// need an approximate answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn coarsened(&self, k: usize) -> Self {
+        assert!(k > 0, "need at least one bucket");
+        if self.support_len() <= k {
+            return self.clone();
+        }
+        let mass = self.total_mass();
+        let target = mass / k as f64;
+        let mut out: Vec<(i64, f64)> = Vec::with_capacity(k);
+        let mut bucket_mass = 0.0;
+        let mut bucket_moment = 0.0;
+        for (t, p) in self.iter() {
+            bucket_mass += p;
+            bucket_moment += t as f64 * p;
+            if bucket_mass + 1e-15 >= target && out.len() < k - 1 {
+                out.push(((bucket_moment / bucket_mass).round() as i64, bucket_mass));
+                bucket_mass = 0.0;
+                bucket_moment = 0.0;
+            }
+        }
+        if bucket_mass > 0.0 {
+            out.push(((bucket_moment / bucket_mass).round() as i64, bucket_mass));
+        }
+        DiscreteDist::from_pairs(out)
+    }
+
+    /// Kolmogorov–Smirnov distance between the normalized distributions:
+    /// the largest absolute CDF difference, in `[0, 1]`.
+    ///
+    /// Less sensitive to grid alignment than [`l1_distance`]
+    /// (neighbouring-tick mass moves barely register), which makes it the
+    /// better metric for comparing analyses run on different grids.
+    ///
+    /// [`l1_distance`]: DiscreteDist::l1_distance
+    pub fn kolmogorov_distance(&self, other: &DiscreteDist) -> f64 {
+        let a = self.normalized();
+        let b = other.normalized();
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 1.0;
+        }
+        let lo = a.origin.min(b.origin);
+        let hi = a
+            .max_tick()
+            .expect("non-empty")
+            .max(b.max_tick().expect("non-empty"));
+        let mut fa = 0.0;
+        let mut fb = 0.0;
+        let mut worst = 0.0f64;
+        for t in lo..=hi {
+            fa += a.prob_at(t);
+            fb += b.prob_at(t);
+            worst = worst.max((fa - fb).abs());
+        }
+        worst
+    }
+
+    /// Skewness of the normalized distribution (`E[(X−μ)³]/σ³`); 0 for
+    /// symmetric shapes, NaN when the variance is zero or the
+    /// distribution is empty.
+    pub fn skewness(&self) -> f64 {
+        let mass = self.total_mass();
+        let mean = self.mean_ticks();
+        let sigma = self.std_ticks();
+        let mut acc = 0.0;
+        for (t, p) in self.iter() {
+            let d = t as f64 - mean;
+            acc += d * d * d * p;
+        }
+        acc / mass / (sigma * sigma * sigma)
+    }
+
+    /// L1 distance between the normalized distributions
+    /// (`Σ |p(t) − q(t)|`); 0 for identical shapes, up to 2 for disjoint.
+    pub fn l1_distance(&self, other: &DiscreteDist) -> f64 {
+        let a = self.normalized();
+        let b = other.normalized();
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 2.0;
+        }
+        let lo = a.origin.min(b.origin);
+        let hi = a.max_tick().expect("non-empty").max(b.max_tick().expect("non-empty"));
+        let mut acc = 0.0;
+        for t in lo..=hi {
+            acc += (a.prob_at(t) - b.prob_at(t)).abs();
+        }
+        acc
+    }
+
+    /// Removes leading/trailing zero (or sub-epsilon) entries.
+    fn trim(&mut self) {
+        let first = self.probs.iter().position(|&p| p > TRIM_EPS);
+        match first {
+            None => {
+                self.probs.clear();
+                self.origin = 0;
+            }
+            Some(first) => {
+                let last = self
+                    .probs
+                    .iter()
+                    .rposition(|&p| p > TRIM_EPS)
+                    .expect("some entry positive");
+                self.probs.drain(last + 1..);
+                self.probs.drain(..first);
+                self.origin += first as i64;
+            }
+        }
+    }
+
+    /// Debug-mode invariant checks.
+    fn debug_check(&self) {
+        debug_assert!(
+            self.probs.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "probabilities must be finite and non-negative: {self:?}"
+        );
+        debug_assert!(
+            self.total_mass() <= 1.0 + MASS_EPS,
+            "mass {} exceeds one",
+            self.total_mass()
+        );
+        if !self.probs.is_empty() {
+            debug_assert!(self.probs[0] > 0.0 && *self.probs.last().expect("non-empty") > 0.0);
+        }
+    }
+}
+
+/// Precomputed cumulative table for repeated sampling from one
+/// [`DiscreteDist`]; see [`DiscreteDist::sampler`].
+#[derive(Debug, Clone)]
+pub struct TickSampler {
+    origin: i64,
+    total: f64,
+    cdf: Vec<f64>,
+}
+
+impl TickSampler {
+    /// Draws one tick in O(log n).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> i64 {
+        let target: f64 = rng.random::<f64>() * self.total;
+        let idx = self.cdf.partition_point(|&c| c <= target);
+        self.origin + idx.min(self.cdf.len() - 1) as i64
+    }
+}
+
+impl FromIterator<(i64, f64)> for DiscreteDist {
+    fn from_iter<I: IntoIterator<Item = (i64, f64)>>(iter: I) -> Self {
+        DiscreteDist::from_pairs(iter)
+    }
+}
+
+impl std::fmt::Display for DiscreteDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        let mut first = true;
+        for (t, p) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}: {p:.4}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn point_mass() {
+        let d = DiscreteDist::point(5);
+        assert_eq!(d.support_len(), 1);
+        assert!(close(d.prob_at(5), 1.0));
+        assert!(close(d.mean_ticks(), 5.0));
+        assert!(close(d.variance_ticks(), 0.0));
+    }
+
+    #[test]
+    fn from_pairs_merges_duplicates() {
+        let d = DiscreteDist::from_pairs([(3, 0.25), (3, 0.25), (5, 0.5)]);
+        assert!(close(d.prob_at(3), 0.5));
+        assert!(close(d.total_mass(), 1.0));
+        assert_eq!(d.support_len(), 2);
+        assert_eq!(d.support_span(), 3);
+    }
+
+    #[test]
+    fn from_ratios_fig1() {
+        let d = DiscreteDist::from_ratios([(10, 1), (13, 3), (14, 3), (21, 3)]);
+        assert!(close(d.prob_at(10), 0.1));
+        assert!(close(d.prob_at(13), 0.3));
+        assert!(close(d.prob_at(21), 0.3));
+        assert!(close(d.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn shift_and_scale() {
+        let mut d = DiscreteDist::from_pairs([(0, 0.5), (2, 0.5)]);
+        d.shift(3);
+        assert_eq!(d.min_tick(), Some(3));
+        assert_eq!(d.max_tick(), Some(5));
+        d.scale(0.5);
+        assert!(close(d.total_mass(), 0.5));
+        d.scale(0.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn accumulate_is_group_operation() {
+        let mut a = DiscreteDist::from_pairs([(1, 0.2), (3, 0.3)]);
+        let b = DiscreteDist::from_pairs([(3, 0.1), (6, 0.4)]);
+        a.accumulate(&b);
+        assert!(close(a.prob_at(1), 0.2));
+        assert!(close(a.prob_at(3), 0.4));
+        assert!(close(a.prob_at(6), 0.4));
+        assert!(close(a.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn accumulate_into_empty() {
+        let mut a = DiscreteDist::empty();
+        let b = DiscreteDist::point(4);
+        a.accumulate(&b);
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.accumulate(&DiscreteDist::empty());
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn convolve_points() {
+        let a = DiscreteDist::point(3);
+        let b = DiscreteDist::point(4);
+        assert_eq!(a.convolve(&b), DiscreteDist::point(7));
+    }
+
+    #[test]
+    fn convolve_fig4_shape() {
+        // One event group {t: 1/2, t+2: 1/2} through a two-point delay
+        // {1: 1/2, 2: 1/2}: shift-with-scaling + grouping.
+        let arr = DiscreteDist::from_pairs([(10, 0.5), (12, 0.5)]);
+        let delay = DiscreteDist::from_pairs([(1, 0.5), (2, 0.5)]);
+        let out = arr.convolve(&delay);
+        assert!(close(out.prob_at(11), 0.25));
+        assert!(close(out.prob_at(12), 0.25));
+        assert!(close(out.prob_at(13), 0.25));
+        assert!(close(out.prob_at(14), 0.25));
+        assert!(close(out.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn convolve_commutes() {
+        let a = DiscreteDist::from_pairs([(0, 0.3), (1, 0.2), (5, 0.5)]);
+        let b = DiscreteDist::from_pairs([(2, 0.9), (3, 0.1)]);
+        assert_eq!(a.convolve(&b), b.convolve(&a));
+    }
+
+    #[test]
+    fn max_of_points() {
+        let a = DiscreteDist::point(3);
+        let b = DiscreteDist::point(7);
+        assert_eq!(a.max(&b), DiscreteDist::point(7));
+        assert_eq!(a.min(&b), DiscreteDist::point(3));
+    }
+
+    #[test]
+    fn max_matches_enumeration() {
+        let a = DiscreteDist::from_pairs([(1, 0.25), (4, 0.75)]);
+        let b = DiscreteDist::from_pairs([(2, 0.6), (4, 0.4)]);
+        let m = a.max(&b);
+        // max=2: a=1,b=2 -> 0.15 ; max=4: rest.
+        assert!(close(m.prob_at(2), 0.25 * 0.6));
+        assert!(close(m.prob_at(4), 1.0 - 0.25 * 0.6));
+        assert!(close(m.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn min_matches_enumeration() {
+        let a = DiscreteDist::from_pairs([(1, 0.25), (4, 0.75)]);
+        let b = DiscreteDist::from_pairs([(2, 0.6), (4, 0.4)]);
+        let m = a.min(&b);
+        // min=1: a=1 (any b) -> 0.25; min=2: a=4,b=2 -> 0.45; min=4: 0.3.
+        assert!(close(m.prob_at(1), 0.25));
+        assert!(close(m.prob_at(2), 0.75 * 0.6));
+        assert!(close(m.prob_at(4), 0.75 * 0.4));
+        assert!(close(m.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn min_disjoint_supports() {
+        let a = DiscreteDist::from_pairs([(1, 0.5), (2, 0.5)]);
+        let b = DiscreteDist::from_pairs([(10, 1.0)]);
+        assert_eq!(a.min(&b), a);
+        assert_eq!(b.min(&a), a);
+        assert_eq!(a.max(&b), b);
+    }
+
+    #[test]
+    fn subprobability_combining_mass_products() {
+        let a = DiscreteDist::from_pairs([(1, 0.4)]); // mass 0.4
+        let b = DiscreteDist::from_pairs([(2, 0.5)]); // mass 0.5
+        assert!(close(a.max(&b).total_mass(), 0.2));
+        assert!(close(a.min(&b).total_mass(), 0.2));
+        assert!(close(a.convolve(&b).total_mass(), 0.2));
+    }
+
+    #[test]
+    fn truncate_below_reports_dropped_mass() {
+        let mut d = DiscreteDist::from_pairs([(0, 0.005), (1, 0.495), (2, 0.5)]);
+        let dropped = d.truncate_below(0.01);
+        assert!(close(dropped, 0.005));
+        assert_eq!(d.min_tick(), Some(1));
+        assert!(close(d.total_mass(), 0.995));
+        d.normalize();
+        assert!(close(d.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let d = DiscreteDist::from_pairs([(1, 0.2), (3, 0.5), (4, 0.3)]);
+        assert!(close(d.cdf_at(0), 0.0));
+        assert!(close(d.cdf_at(1), 0.2));
+        assert!(close(d.cdf_at(2), 0.2));
+        assert!(close(d.cdf_at(3), 0.7));
+        assert!(close(d.cdf_at(100), 1.0));
+        assert_eq!(d.quantile(0.2), Some(1));
+        assert_eq!(d.quantile(0.5), Some(3));
+        assert_eq!(d.quantile(1.0), Some(4));
+        assert_eq!(d.quantile(0.0), None);
+    }
+
+    #[test]
+    fn moments() {
+        let d = DiscreteDist::from_pairs([(0, 0.5), (10, 0.5)]);
+        assert!(close(d.mean_ticks(), 5.0));
+        assert!(close(d.variance_ticks(), 25.0));
+        assert!(close(d.std_ticks(), 5.0));
+    }
+
+    #[test]
+    fn moments_of_subprobability_are_normalized() {
+        let full = DiscreteDist::from_pairs([(0, 0.5), (10, 0.5)]);
+        let half = full.scaled(0.5);
+        assert!(close(half.mean_ticks(), full.mean_ticks()));
+        assert!(close(half.variance_ticks(), full.variance_ticks()));
+    }
+
+    #[test]
+    fn sampler_matches_linear_sampling_statistics() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = DiscreteDist::from_pairs([(0, 0.1), (3, 0.2), (4, 0.3), (10, 0.4)]);
+        let sampler = d.sampler().expect("non-empty");
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sampler.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for (t, p) in d.iter() {
+            let got = *counts.get(&t).expect("all support hit") as f64 / n as f64;
+            assert!((got - p).abs() < 0.02, "tick {t}: {got} vs {p}");
+        }
+        assert!(DiscreteDist::empty().sampler().is_none());
+    }
+
+    #[test]
+    fn sample_hits_support() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = DiscreteDist::from_pairs([(2, 0.25), (7, 0.75)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seven = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            match d.sample(&mut rng).expect("non-empty") {
+                2 => {}
+                7 => seven += 1,
+                other => panic!("sampled {other} outside support"),
+            }
+        }
+        let frac = seven as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "P(7) sampled at {frac}");
+    }
+
+    #[test]
+    fn l1_distance_bounds() {
+        let a = DiscreteDist::from_pairs([(0, 1.0)]);
+        let b = DiscreteDist::from_pairs([(5, 1.0)]);
+        assert!(close(a.l1_distance(&a), 0.0));
+        assert!(close(a.l1_distance(&b), 2.0));
+        assert!(close(DiscreteDist::empty().l1_distance(&DiscreteDist::empty()), 0.0));
+        assert!(close(a.l1_distance(&DiscreteDist::empty()), 2.0));
+    }
+
+    #[test]
+    fn coarsened_preserves_mass_and_mean() {
+        let d = DiscreteDist::from_pairs((0..40).map(|t| (t, 0.025)));
+        let c = d.coarsened(5);
+        assert!(c.support_len() <= 5);
+        assert!(close(c.total_mass(), d.total_mass()));
+        assert!((c.mean_ticks() - d.mean_ticks()).abs() < 1.0);
+        // Small distributions pass through unchanged.
+        let small = DiscreteDist::from_pairs([(1, 0.5), (9, 0.5)]);
+        assert_eq!(small.coarsened(5), small);
+    }
+
+    #[test]
+    fn coarsened_to_one_is_mean_point() {
+        let d = DiscreteDist::from_pairs([(0, 0.5), (10, 0.5)]);
+        let c = d.coarsened(1);
+        assert_eq!(c.support_len(), 1);
+        assert_eq!(c.min_tick(), Some(5));
+        assert!(close(c.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(format!("{}", DiscreteDist::empty()), "{}");
+        let d = DiscreteDist::point(3);
+        assert!(format!("{d}").contains("3"));
+    }
+
+    #[test]
+    fn empty_interactions() {
+        let e = DiscreteDist::empty();
+        let d = DiscreteDist::point(1);
+        assert!(e.convolve(&d).is_empty());
+        assert!(e.max(&d).is_empty());
+        assert!(e.min(&d).is_empty());
+        assert_eq!(e.min_tick(), None);
+        assert_eq!(e.quantile(0.5), None);
+    }
+}

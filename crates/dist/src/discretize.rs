@@ -1,0 +1,155 @@
+use crate::{ContinuousDist, DiscreteDist, TimeStep};
+
+/// Discretizes a continuous delay pdf onto the tick grid (paper Fig. 2).
+///
+/// Each grid tick `t` receives the probability mass of the half-open bin
+/// `((t − ½)·step, (t + ½)·step]`; the first and last bins absorb any tail
+/// mass outside the distribution's [discretization range], so the result
+/// always sums to one.
+///
+/// A smaller `step` yields more data points (the paper's `N_s` knob): higher
+/// resolution, slower analysis.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::{ContinuousDist, TimeStep, discretize};
+///
+/// let tri = ContinuousDist::triangular(0.0, 2.0, 4.0)?;
+/// let pmf = discretize(&tri, TimeStep::new(1.0)?);
+/// assert!((pmf.total_mass() - 1.0).abs() < 1e-12);
+/// // Symmetric triangle: mean preserved on the grid.
+/// assert!((pmf.mean_ticks() - 2.0).abs() < 1e-9);
+/// # Ok::<(), pep_dist::DistError>(())
+/// ```
+///
+/// [discretization range]: ContinuousDist::discretization_range
+pub fn discretize(dist: &ContinuousDist, step: TimeStep) -> DiscreteDist {
+    let (lo, hi) = dist.discretization_range();
+    let t_lo = step.ticks_of(lo);
+    let t_hi = step.ticks_of(hi).max(t_lo);
+    let n = (t_hi - t_lo) as usize + 1;
+    let mut probs = vec![0.0; n];
+    let h = step.size();
+    let mut prev_cdf = 0.0; // everything below the first bin's lower edge
+    for (i, slot) in probs.iter_mut().enumerate() {
+        let t = t_lo + i as i64;
+        let cur_cdf = if t == t_hi {
+            1.0 // last bin absorbs the upper tail
+        } else {
+            dist.cdf((t as f64 + 0.5) * h)
+        };
+        *slot = (cur_cdf - prev_cdf).max(0.0);
+        prev_cdf = cur_cdf;
+    }
+    DiscreteDist::from_dense(t_lo, probs)
+}
+
+/// Chooses a step so that `dist` discretizes to approximately `n_samples`
+/// data points, then discretizes with it.
+///
+/// This is the direct implementation of the paper's "number of data samples
+/// of each random variable" (`N_s`) parameterization (§4, Fig. 8). Returns
+/// the chosen step alongside the distribution.
+///
+/// # Panics
+///
+/// Panics if `n_samples` is zero.
+pub fn discretize_with_samples(dist: &ContinuousDist, n_samples: usize) -> (DiscreteDist, TimeStep) {
+    let step = step_for_samples(dist, n_samples);
+    (discretize(dist, step), step)
+}
+
+/// The step that gives `dist` approximately `n_samples` grid points over its
+/// discretization range.
+///
+/// Degenerate (zero-width) distributions get a unit step.
+///
+/// # Panics
+///
+/// Panics if `n_samples` is zero.
+pub fn step_for_samples(dist: &ContinuousDist, n_samples: usize) -> TimeStep {
+    assert!(n_samples > 0, "need at least one sample");
+    let (lo, hi) = dist.discretization_range();
+    let width = hi - lo;
+    if width <= 0.0 {
+        return TimeStep::new(1.0).expect("1.0 is a valid step");
+    }
+    TimeStep::new(width / n_samples as f64).expect("positive width / positive count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_discretization_matches_fig2() {
+        // Fig. 2: a triangle pdf discretized with a sampling step; mass in
+        // each bin follows the ramp shape.
+        let tri = ContinuousDist::triangular(0.0, 2.0, 4.0).unwrap();
+        let pmf = discretize(&tri, TimeStep::new(1.0).unwrap());
+        assert!((pmf.total_mass() - 1.0).abs() < 1e-12);
+        // Symmetry of the symmetric triangle.
+        assert!((pmf.prob_at(0) - pmf.prob_at(4)).abs() < 1e-12);
+        assert!((pmf.prob_at(1) - pmf.prob_at(3)).abs() < 1e-12);
+        // The mode bin has the most mass.
+        assert!(pmf.prob_at(2) > pmf.prob_at(1));
+        assert!(pmf.prob_at(1) > pmf.prob_at(0));
+    }
+
+    #[test]
+    fn finer_steps_converge_to_continuous_moments() {
+        let d = ContinuousDist::normal(20.0, 1.5).unwrap();
+        let mut prev_err = f64::INFINITY;
+        for step in [2.0, 1.0, 0.5, 0.25] {
+            let ts = TimeStep::new(step).unwrap();
+            let pmf = discretize(&d, ts);
+            let mean_err = (pmf.mean_time(ts) - d.mean()).abs();
+            let std_err = (pmf.std_time(ts) - d.std_dev()).abs();
+            let err = mean_err + std_err;
+            assert!(err <= prev_err + 1e-9, "error should shrink with the step");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.05);
+    }
+
+    #[test]
+    fn normal_tails_folded_into_boundary_bins() {
+        let d = ContinuousDist::normal(10.0, 1.0).unwrap();
+        let pmf = discretize(&d, TimeStep::new(0.5).unwrap());
+        assert!((pmf.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_distribution_discretizes_to_point() {
+        let d = ContinuousDist::point(7.2).unwrap();
+        let pmf = discretize(&d, TimeStep::new(1.0).unwrap());
+        assert_eq!(pmf, DiscreteDist::point(7));
+    }
+
+    #[test]
+    fn with_samples_hits_requested_count() {
+        let d = ContinuousDist::uniform(0.0, 10.0).unwrap();
+        for n in [4, 10, 25] {
+            let (pmf, _) = discretize_with_samples(&d, n);
+            let got = pmf.support_span();
+            assert!(
+                (got as i64 - n as i64).unsigned_abs() <= 1,
+                "requested {n} samples, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_bins_are_flat() {
+        let d = ContinuousDist::uniform(0.0, 8.0).unwrap();
+        let pmf = discretize(&d, TimeStep::new(1.0).unwrap());
+        // Interior bins all carry step/width mass.
+        for t in 1..8 {
+            assert!((pmf.prob_at(t) - 1.0 / 8.0).abs() < 1e-12);
+        }
+        // Boundary bins carry half bins.
+        assert!((pmf.prob_at(0) - 0.5 / 8.0).abs() < 1e-12);
+        assert!((pmf.total_mass() - 1.0).abs() < 1e-12);
+    }
+}

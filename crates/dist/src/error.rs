@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors produced while constructing or manipulating distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Distribution bounds were inverted or degenerate (`lo >= hi`).
+    BadRange {
+        /// Lower bound supplied by the caller.
+        lo: f64,
+        /// Upper bound supplied by the caller.
+        hi: f64,
+    },
+    /// The triangular mode lies outside `[lo, hi]`.
+    ModeOutOfRange {
+        /// The rejected mode.
+        mode: f64,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// A probability was negative or not finite.
+    BadProbability {
+        /// The rejected probability value.
+        value: f64,
+    },
+    /// A value was NaN or infinite where a finite number is required.
+    NotFinite {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            DistError::BadRange { lo, hi } => {
+                write!(f, "invalid range: lo {lo} must be less than hi {hi}")
+            }
+            DistError::ModeOutOfRange { mode, lo, hi } => {
+                write!(f, "triangular mode {mode} outside [{lo}, {hi}]")
+            }
+            DistError::BadProbability { value } => {
+                write!(f, "invalid probability {value}")
+            }
+            DistError::NotFinite { what } => write!(f, "{what} must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

@@ -1,0 +1,77 @@
+//! Reference `O(n²)` implementations of the combining operators, written
+//! directly from the paper's pairwise-event description (§2.3).
+//!
+//! These exist to differentially test the fast CDF-based operators in
+//! [`DiscreteDist`] and to serve as executable documentation of the paper's
+//! semantics; production code should use the methods on [`DiscreteDist`].
+
+use crate::DiscreteDist;
+
+/// Pairwise-event maximum: every event pair `(t₁,p₁) × (t₂,p₂)` contributes
+/// `p₁·p₂` at `max(t₁,t₂)`.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::DiscreteDist;
+/// use pep_dist::naive;
+///
+/// let a = DiscreteDist::from_pairs([(1, 0.5), (3, 0.5)]);
+/// let b = DiscreteDist::from_pairs([(2, 1.0)]);
+/// let fast = a.max(&b);
+/// let slow = naive::max(&a, &b);
+/// assert!(fast.l1_distance(&slow) < 1e-12);
+/// ```
+pub fn max(a: &DiscreteDist, b: &DiscreteDist) -> DiscreteDist {
+    combine(a, b, i64::max)
+}
+
+/// Pairwise-event minimum: every event pair contributes `p₁·p₂` at
+/// `min(t₁,t₂)` — the operation illustrated in the paper's Fig. 5.
+pub fn min(a: &DiscreteDist, b: &DiscreteDist) -> DiscreteDist {
+    combine(a, b, i64::min)
+}
+
+/// Pairwise-event sum (convolution by enumeration).
+pub fn convolve(a: &DiscreteDist, b: &DiscreteDist) -> DiscreteDist {
+    combine(a, b, |x, y| x + y)
+}
+
+fn combine(a: &DiscreteDist, b: &DiscreteDist, f: fn(i64, i64) -> i64) -> DiscreteDist {
+    let mut pairs = Vec::new();
+    for (ta, pa) in a.iter() {
+        for (tb, pb) in b.iter() {
+            pairs.push((f(ta, tb), pa * pb));
+        }
+    }
+    DiscreteDist::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_ops_agree_with_fast_ops() {
+        let a = DiscreteDist::from_pairs([(0, 0.1), (2, 0.4), (3, 0.2), (7, 0.3)]);
+        let b = DiscreteDist::from_pairs([(1, 0.6), (3, 0.15), (5, 0.25)]);
+        assert!(a.max(&b).l1_distance(&max(&a, &b)) < 1e-12);
+        assert!(a.min(&b).l1_distance(&min(&a, &b)) < 1e-12);
+        assert!(a.convolve(&b).l1_distance(&convolve(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn fig5_style_min_combine() {
+        // Two groups feeding a falling AND output: the earliest event
+        // dominates. Probability-ratio bookkeeping per the paper.
+        let upper = DiscreteDist::from_ratios([(2, 1), (3, 2), (4, 1)]);
+        let lower = DiscreteDist::from_ratios([(1, 1), (2, 2), (3, 1)]);
+        let fast = upper.min(&lower);
+        let slow = min(&upper, &lower);
+        assert!(fast.l1_distance(&slow) < 1e-12);
+        // The t=1 event of the lower group dominates everything in the
+        // upper group, so its full probability (1/4) survives.
+        assert!((fast.prob_at(1) - 0.25).abs() < 1e-12);
+        assert!((fast.total_mass() - 1.0).abs() < 1e-12);
+    }
+}

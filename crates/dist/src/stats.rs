@@ -1,0 +1,358 @@
+//! Running statistics, confidence bounds and the paper's error metrics.
+//!
+//! The DAC 2001 evaluation (§4) reports two derived quantities that live
+//! here so every crate shares one definition:
+//!
+//! * the Monte Carlo *sample-mean error bound* `c·s / (√n · m)`, where `c`
+//!   is a Student-t critical value at the chosen confidence level
+//!   ([`mc_error_bound`]),
+//! * the per-circuit *error percentage* `M_e + 3σ_e` over the per-node
+//!   error percentages of all signal arrival times ([`ErrorSummary`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable (Welford) accumulator for mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.count(), 8);
+/// assert!((r.mean() - 5.0).abs() < 1e-12);
+/// assert!((r.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `Σ(x−m)²/n` (0 when fewer than 1 observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance `Σ(x−m)²/(n−1)` (0 when fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut r = Running::new();
+        r.extend(iter);
+        r
+    }
+}
+
+/// Confidence levels for Student-t critical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// 90% two-sided confidence.
+    P90,
+    /// 95% two-sided confidence.
+    P95,
+    /// 99% two-sided confidence (the paper's γ = 0.99).
+    P99,
+}
+
+/// Two-sided Student-t critical values for small degrees of freedom,
+/// indexed `[dof-1]`, for 90/95/99% confidence.
+const T_TABLE_90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+const T_TABLE_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+const T_TABLE_99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
+/// Asymptotic (normal) two-sided critical values for large dof.
+const Z_90: f64 = 1.645;
+const Z_95: f64 = 1.960;
+const Z_99: f64 = 2.576;
+
+/// Two-sided Student-t critical value `c` with `P(|T| <= c) = conf`.
+///
+/// Exact table values for `dof <= 30`, the normal limit beyond — adequate
+/// for the Monte Carlo convergence bound, which is only ever evaluated for
+/// hundreds-to-thousands of runs.
+///
+/// # Panics
+///
+/// Panics if `dof` is zero.
+pub fn student_t_critical(conf: Confidence, dof: u64) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    let (table, z) = match conf {
+        Confidence::P90 => (&T_TABLE_90, Z_90),
+        Confidence::P95 => (&T_TABLE_95, Z_95),
+        Confidence::P99 => (&T_TABLE_99, Z_99),
+    };
+    if dof <= 30 {
+        table[(dof - 1) as usize]
+    } else {
+        z
+    }
+}
+
+/// The paper's Monte Carlo sample-mean relative error bound `c·s / (√n·m)`
+/// (§4): `s` sample standard deviation, `m` sample mean, `n` run count and
+/// `c` the Student-t critical value for the requested confidence.
+///
+/// Returns `f64::INFINITY` when the mean is zero or fewer than two samples
+/// exist.
+pub fn mc_error_bound(stats: &Running, conf: Confidence) -> f64 {
+    if stats.count() < 2 || stats.mean() == 0.0 {
+        return f64::INFINITY;
+    }
+    let c = student_t_critical(conf, stats.count() - 1);
+    c * stats.sample_std() / ((stats.count() as f64).sqrt() * stats.mean().abs())
+}
+
+/// Aggregates per-node error percentages into the paper's reported
+/// error metric.
+///
+/// The paper (§4): *"all error percentages used in this paper are
+/// `M_e + 3σ_e`, where `M_e` and `σ_e` are the mean and the [standard
+/// deviation] of error percentages of signal arrival times of all signal
+/// nodes in the circuit"*.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::stats::ErrorSummary;
+///
+/// let mut e = ErrorSummary::new();
+/// e.push_pair(10.0, 10.1); // reference, measured
+/// e.push_pair(20.0, 19.9);
+/// assert!(e.report_percent() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    errors: Running,
+    worst: f64,
+}
+
+impl ErrorSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        ErrorSummary::default()
+    }
+
+    /// Records the absolute relative error (in percent) between a reference
+    /// and a measured value. Nodes with a zero reference are skipped (they
+    /// carry no timing information).
+    pub fn push_pair(&mut self, reference: f64, measured: f64) {
+        if reference == 0.0 || !reference.is_finite() || !measured.is_finite() {
+            return;
+        }
+        let pct = ((measured - reference) / reference).abs() * 100.0;
+        self.errors.push(pct);
+        if pct > self.worst {
+            self.worst = pct;
+        }
+    }
+
+    /// Number of node pairs recorded.
+    pub fn count(&self) -> u64 {
+        self.errors.count()
+    }
+
+    /// Mean of the per-node error percentages (`M_e`).
+    pub fn mean_percent(&self) -> f64 {
+        self.errors.mean()
+    }
+
+    /// Standard deviation of the per-node error percentages (`σ_e`).
+    pub fn std_percent(&self) -> f64 {
+        self.errors.population_std()
+    }
+
+    /// Worst per-node error percentage observed.
+    pub fn worst_percent(&self) -> f64 {
+        self.worst
+    }
+
+    /// The paper's reported error percentage, `M_e + 3σ_e` — covers more
+    /// than 99% of nodes by its 3σ range.
+    pub fn report_percent(&self) -> f64 {
+        self.mean_percent() + 3.0 * self.std_percent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0).collect();
+        let r: Running = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((r.mean() - mean).abs() < 1e-10);
+        assert!((r.population_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 1.3 - 7.0).collect();
+        let (a, b) = xs.split_at(17);
+        let mut left: Running = a.iter().copied().collect();
+        let right: Running = b.iter().copied().collect();
+        left.merge(&right);
+        let all: Running = xs.iter().copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.population_variance() - all.population_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Running::new();
+        let b: Running = [1.0, 2.0, 3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let mut c = b;
+        c.merge(&Running::new());
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn t_critical_values() {
+        assert!((student_t_critical(Confidence::P99, 1) - 63.657).abs() < 1e-9);
+        assert!((student_t_critical(Confidence::P95, 10) - 2.228).abs() < 1e-9);
+        // Large dof approaches the normal quantile.
+        assert!((student_t_critical(Confidence::P99, 5000) - 2.576).abs() < 1e-9);
+        assert!(student_t_critical(Confidence::P99, 5) > student_t_critical(Confidence::P95, 5));
+    }
+
+    #[test]
+    fn mc_bound_shrinks_with_runs() {
+        // Same mean/std, different n.
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..20 {
+            small.push(if i % 2 == 0 { 9.0 } else { 11.0 });
+        }
+        for i in 0..2000 {
+            large.push(if i % 2 == 0 { 9.0 } else { 11.0 });
+        }
+        let bs = mc_error_bound(&small, Confidence::P99);
+        let bl = mc_error_bound(&large, Confidence::P99);
+        assert!(bl < bs);
+        assert!(bl < 0.01, "2000 runs of ±10% noise bound at {bl}");
+    }
+
+    #[test]
+    fn mc_bound_degenerate_cases() {
+        let empty = Running::new();
+        assert!(mc_error_bound(&empty, Confidence::P99).is_infinite());
+        let zero_mean: Running = [-1.0, 1.0].into_iter().collect();
+        assert!(mc_error_bound(&zero_mean, Confidence::P99).is_infinite());
+    }
+
+    #[test]
+    fn error_summary_metric() {
+        let mut e = ErrorSummary::new();
+        e.push_pair(100.0, 101.0); // 1%
+        e.push_pair(100.0, 99.0); // 1%
+        e.push_pair(100.0, 103.0); // 3%
+        assert_eq!(e.count(), 3);
+        assert!((e.mean_percent() - 5.0 / 3.0).abs() < 1e-9);
+        assert!((e.worst_percent() - 3.0).abs() < 1e-9);
+        let sigma = e.std_percent();
+        assert!((e.report_percent() - (5.0 / 3.0 + 3.0 * sigma)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_summary_skips_zero_reference() {
+        let mut e = ErrorSummary::new();
+        e.push_pair(0.0, 5.0);
+        e.push_pair(f64::NAN, 5.0);
+        e.push_pair(10.0, f64::NAN);
+        assert_eq!(e.count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+use crate::DistError;
+use serde::{Deserialize, Serialize};
+
+/// The fixed *sampling step* (time unit) of the analysis.
+///
+/// The paper (§2.2) discretizes every delay random variable on a single
+/// user-chosen time unit; the same unit is then used for all arrival-time
+/// evaluations. `TimeStep` converts between physical time (`f64`, in the
+/// library's delay units) and grid *ticks* (`i64`).
+///
+/// A smaller step yields more data points per distribution (higher accuracy,
+/// slower analysis); this is the `N_s` knob of the paper's Fig. 8.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::TimeStep;
+///
+/// let step = TimeStep::new(0.25)?;
+/// assert_eq!(step.ticks_of(1.0), 4);
+/// assert_eq!(step.time_of(4), 1.0);
+/// # Ok::<(), pep_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct TimeStep(f64);
+
+impl TimeStep {
+    /// Creates a new time step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NonPositive`] if `step` is not strictly positive
+    /// or [`DistError::NotFinite`] if it is NaN/infinite.
+    pub fn new(step: f64) -> Result<Self, DistError> {
+        if !step.is_finite() {
+            return Err(DistError::NotFinite { what: "time step" });
+        }
+        if step <= 0.0 {
+            return Err(DistError::NonPositive {
+                what: "time step",
+                value: step,
+            });
+        }
+        Ok(TimeStep(step))
+    }
+
+    /// The step size in physical time units.
+    #[inline]
+    pub fn size(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a physical time to the nearest grid tick.
+    #[inline]
+    pub fn ticks_of(self, time: f64) -> i64 {
+        (time / self.0).round() as i64
+    }
+
+    /// Converts a grid tick back to physical time.
+    #[inline]
+    pub fn time_of(self, tick: i64) -> f64 {
+        tick as f64 * self.0
+    }
+
+    /// Converts a tick-domain quantity (e.g. a mean measured in ticks) to
+    /// physical time without rounding.
+    #[inline]
+    pub fn time_of_f(self, ticks: f64) -> f64 {
+        ticks * self.0
+    }
+}
+
+impl Default for TimeStep {
+    /// A unit step, so ticks and physical time coincide.
+    fn default() -> Self {
+        TimeStep(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_steps() {
+        assert!(TimeStep::new(0.0).is_err());
+        assert!(TimeStep::new(-1.0).is_err());
+        assert!(TimeStep::new(f64::NAN).is_err());
+        assert!(TimeStep::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn round_trips() {
+        let s = TimeStep::new(0.5).unwrap();
+        for t in -10..10 {
+            assert_eq!(s.ticks_of(s.time_of(t)), t);
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        let s = TimeStep::new(1.0).unwrap();
+        assert_eq!(s.ticks_of(1.4), 1);
+        assert_eq!(s.ticks_of(1.6), 2);
+        assert_eq!(s.ticks_of(-1.4), -1);
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(TimeStep::default().size(), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Edge-case tests of the public distribution API, complementing the
+//! property suite with exact, hand-checkable expectations.
+
+use pep_dist::stats::{Confidence, ErrorSummary, Running};
+use pep_dist::{discretize, naive, ContinuousDist, DiscreteDist, TimeStep};
+
+#[test]
+fn convolving_with_a_point_is_a_shift() {
+    let g = DiscreteDist::from_ratios([(2, 1), (5, 3)]);
+    assert_eq!(g.convolve(&DiscreteDist::point(7)), g.shifted(7));
+    assert_eq!(g.convolve(&DiscreteDist::point(0)), g);
+}
+
+#[test]
+fn max_with_itself_squares_the_cdf() {
+    // max(X, X') of two *independent* copies is NOT X: P(max<=t)=F(t)^2.
+    let g = DiscreteDist::from_ratios([(0, 1), (1, 1)]);
+    let m = g.max(&g);
+    assert!((m.prob_at(0) - 0.25).abs() < 1e-12);
+    assert!((m.prob_at(1) - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn negative_ticks_work_everywhere() {
+    let g = DiscreteDist::from_pairs([(-10, 0.5), (-3, 0.5)]);
+    assert_eq!(g.min_tick(), Some(-10));
+    assert!((g.mean_ticks() + 6.5).abs() < 1e-12);
+    let shifted = g.shifted(-100);
+    assert_eq!(shifted.min_tick(), Some(-110));
+    let c = g.convolve(&DiscreteDist::point(-5));
+    assert_eq!(c.max_tick(), Some(-8));
+    assert_eq!(g.quantile(0.5), Some(-10));
+}
+
+#[test]
+fn zero_probability_events_are_dropped_at_construction() {
+    let g = DiscreteDist::from_pairs([(1, 0.0), (2, 1.0), (3, 0.0)]);
+    assert_eq!(g.support_len(), 1);
+    assert_eq!(g.min_tick(), Some(2));
+    assert!(DiscreteDist::event(5, 0.0).is_empty());
+}
+
+#[test]
+fn from_dense_trims_leading_and_trailing_zeros() {
+    let g = DiscreteDist::from_dense(10, vec![0.0, 0.0, 0.4, 0.6, 0.0]);
+    assert_eq!(g.min_tick(), Some(12));
+    assert_eq!(g.max_tick(), Some(13));
+    assert_eq!(g.support_span(), 2);
+}
+
+#[test]
+fn quantile_of_subprobability_uses_normalized_mass() {
+    let g = DiscreteDist::from_pairs([(1, 0.2), (9, 0.2)]); // mass 0.4
+    assert_eq!(g.quantile(0.5), Some(1));
+    assert_eq!(g.quantile(0.51), Some(9));
+    assert_eq!(g.quantile(1.0), Some(9));
+}
+
+#[test]
+fn naive_ops_cover_subprobability_inputs() {
+    let a = DiscreteDist::from_pairs([(0, 0.3), (2, 0.3)]);
+    let b = DiscreteDist::from_pairs([(1, 0.5)]);
+    assert!((naive::max(&a, &b).total_mass() - 0.3).abs() < 1e-12);
+    assert!(naive::min(&a, &b).l1_distance(&a.min(&b)) < 1e-12);
+    assert!(naive::convolve(&a, &b).l1_distance(&a.convolve(&b)) < 1e-12);
+}
+
+#[test]
+fn coarsened_is_idempotent_at_target_size() {
+    let g = DiscreteDist::from_pairs((0..100).map(|t| (t, 0.01)));
+    let once = g.coarsened(10);
+    let twice = once.coarsened(10);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn discretize_point_like_uniform() {
+    // A very narrow uniform collapses to one or two grid points.
+    let d = ContinuousDist::uniform(5.0, 5.001).expect("valid");
+    let g = discretize(&d, TimeStep::new(1.0).expect("valid"));
+    assert!(g.support_len() <= 2);
+    assert!((g.total_mass() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn discretize_offset_grids_round_consistently() {
+    let d = ContinuousDist::uniform(0.0, 10.0).expect("valid");
+    for step in [0.3, 0.7, 1.9] {
+        let ts = TimeStep::new(step).expect("valid");
+        let g = discretize(&d, ts);
+        assert!((g.total_mass() - 1.0).abs() < 1e-9, "step {step}");
+        assert!((g.mean_time(ts) - 5.0).abs() < step, "step {step}");
+    }
+}
+
+#[test]
+fn running_with_one_sample() {
+    let r: Running = [42.0].into_iter().collect();
+    assert_eq!(r.count(), 1);
+    assert_eq!(r.mean(), 42.0);
+    assert_eq!(r.sample_variance(), 0.0);
+    assert_eq!(r.population_variance(), 0.0);
+}
+
+#[test]
+fn error_summary_tracks_worst() {
+    let mut e = ErrorSummary::new();
+    e.push_pair(10.0, 10.5); // 5%
+    e.push_pair(10.0, 9.0); // 10%
+    e.push_pair(10.0, 10.01); // 0.1%
+    assert!((e.worst_percent() - 10.0).abs() < 1e-9);
+    assert!(e.report_percent() > e.mean_percent());
+}
+
+#[test]
+fn student_t_monotone_in_confidence_and_dof() {
+    use pep_dist::stats::student_t_critical;
+    for dof in [1, 5, 10, 30, 100] {
+        let c90 = student_t_critical(Confidence::P90, dof);
+        let c95 = student_t_critical(Confidence::P95, dof);
+        let c99 = student_t_critical(Confidence::P99, dof);
+        assert!(c90 < c95 && c95 < c99, "dof {dof}");
+    }
+    // Critical values shrink toward the normal limit as dof grows.
+    assert!(
+        student_t_critical(Confidence::P99, 2) > student_t_critical(Confidence::P99, 20)
+    );
+}
+
+#[test]
+fn tick_sampler_is_deterministic_per_seed() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let g = DiscreteDist::from_ratios([(1, 1), (4, 2), (9, 1)]);
+    let s = g.sampler().expect("non-empty");
+    let draw = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..16).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+    };
+    assert_eq!(draw(7), draw(7));
+    assert_ne!(draw(7), draw(8));
+}
+
+#[test]
+fn kolmogorov_distance_properties() {
+    let a = DiscreteDist::from_ratios([(0, 1), (10, 1)]);
+    let shifted = a.shifted(1);
+    // A one-tick shift barely moves KS for wide shapes but saturates L1.
+    assert!(a.kolmogorov_distance(&shifted) <= 0.5);
+    assert!((a.l1_distance(&shifted) - 2.0).abs() < 1e-12);
+    assert_eq!(a.kolmogorov_distance(&a), 0.0);
+    let far = DiscreteDist::point(100);
+    assert!((a.kolmogorov_distance(&far) - 1.0).abs() < 1e-12);
+    assert_eq!(
+        DiscreteDist::empty().kolmogorov_distance(&DiscreteDist::empty()),
+        0.0
+    );
+    assert_eq!(a.kolmogorov_distance(&DiscreteDist::empty()), 1.0);
+    // Subprobability inputs compare by shape.
+    assert!(a.kolmogorov_distance(&a.scaled(0.3)) < 1e-12);
+}
+
+#[test]
+fn skewness_signs() {
+    let symmetric = DiscreteDist::from_ratios([(0, 1), (1, 2), (2, 1)]);
+    assert!(symmetric.skewness().abs() < 1e-12);
+    let right_tailed = DiscreteDist::from_ratios([(0, 8), (1, 2), (10, 1)]);
+    assert!(right_tailed.skewness() > 0.0);
+    let left_tailed = DiscreteDist::from_ratios([(0, 1), (9, 2), (10, 8)]);
+    assert!(left_tailed.skewness() < 0.0);
+    assert!(DiscreteDist::point(5).skewness().is_nan());
+}
+
+#[test]
+fn l1_distance_is_a_metric_on_samples() {
+    let a = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+    let b = DiscreteDist::from_ratios([(0, 1), (3, 1)]);
+    let c = DiscreteDist::from_ratios([(1, 1), (3, 1)]);
+    // Symmetry and triangle inequality.
+    assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-12);
+    assert!(a.l1_distance(&c) <= a.l1_distance(&b) + b.l1_distance(&c) + 1e-12);
+    assert_eq!(a.l1_distance(&a), 0.0);
+}

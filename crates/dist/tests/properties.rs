@@ -1,0 +1,150 @@
+//! Property-based tests of the probability substrate's algebraic laws.
+
+use pep_dist::{naive, ContinuousDist, DiscreteDist, TimeStep};
+use proptest::prelude::*;
+
+/// Strategy producing a normalized discrete distribution with up to
+/// `max_events` events on ticks in `[-50, 50]`.
+fn arb_dist(max_events: usize) -> impl Strategy<Value = DiscreteDist> {
+    prop::collection::vec((-50i64..50, 1u32..1000), 1..=max_events).prop_map(|pairs| {
+        let total: u64 = pairs.iter().map(|&(_, w)| w as u64).sum();
+        DiscreteDist::from_pairs(
+            pairs
+                .into_iter()
+                .map(|(t, w)| (t, w as f64 / total as f64)),
+        )
+    })
+}
+
+/// Strategy for a (possibly sub-probability) distribution.
+fn arb_subdist(max_events: usize) -> impl Strategy<Value = DiscreteDist> {
+    (arb_dist(max_events), 0.05f64..=1.0).prop_map(|(d, k)| d.scaled(k))
+}
+
+proptest! {
+    #[test]
+    fn mass_is_conserved_by_convolution(a in arb_dist(8), b in arb_dist(8)) {
+        let c = a.convolve(&b);
+        prop_assert!((c.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_adds_means(a in arb_dist(8), b in arb_dist(8)) {
+        let c = a.convolve(&b);
+        prop_assert!((c.mean_ticks() - (a.mean_ticks() + b.mean_ticks())).abs() < 1e-6);
+        prop_assert!(
+            (c.variance_ticks() - (a.variance_ticks() + b.variance_ticks())).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn max_dominates_min(a in arb_dist(8), b in arb_dist(8)) {
+        let hi = a.max(&b);
+        let lo = a.min(&b);
+        prop_assert!(hi.mean_ticks() + 1e-9 >= lo.mean_ticks());
+        prop_assert!(hi.min_tick() >= lo.min_tick());
+        prop_assert!(hi.max_tick() >= lo.max_tick());
+    }
+
+    #[test]
+    fn max_min_masses_multiply(a in arb_subdist(8), b in arb_subdist(8)) {
+        let expect = a.total_mass() * b.total_mass();
+        prop_assert!((a.max(&b).total_mass() - expect).abs() < 1e-9);
+        prop_assert!((a.min(&b).total_mass() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_ops_match_naive(a in arb_subdist(6), b in arb_subdist(6)) {
+        prop_assert!(a.max(&b).l1_distance(&naive::max(&a, &b)) < 1e-9);
+        prop_assert!(a.min(&b).l1_distance(&naive::min(&a, &b)) < 1e-9);
+        prop_assert!(a.convolve(&b).l1_distance(&naive::convolve(&a, &b)) < 1e-9);
+    }
+
+    #[test]
+    fn combining_is_commutative(a in arb_dist(6), b in arb_dist(6)) {
+        prop_assert_eq!(a.max(&b), b.max(&a));
+        prop_assert_eq!(a.min(&b), b.min(&a));
+    }
+
+    #[test]
+    fn combining_is_associative(a in arb_dist(4), b in arb_dist(4), c in arb_dist(4)) {
+        let left = a.max(&b).max(&c);
+        let right = a.max(&b.max(&c));
+        prop_assert!(left.l1_distance(&right) < 1e-9);
+        let left = a.min(&b).min(&c);
+        let right = a.min(&b.min(&c));
+        prop_assert!(left.l1_distance(&right) < 1e-9);
+    }
+
+    #[test]
+    fn max_with_point_below_support_is_identity(a in arb_dist(8)) {
+        let floor = DiscreteDist::point(a.min_tick().expect("non-empty") - 1);
+        // Up to 1 ulp of rounding from the CDF differencing.
+        prop_assert!(a.max(&floor).l1_distance(&a) < 1e-12);
+        prop_assert!(a.min(&floor).l1_distance(&floor) < 1e-12);
+    }
+
+    #[test]
+    fn shift_preserves_shape(a in arb_dist(8), dt in -100i64..100) {
+        let shifted = a.shifted(dt);
+        prop_assert!((shifted.mean_ticks() - (a.mean_ticks() + dt as f64)).abs() < 1e-9);
+        prop_assert!((shifted.variance_ticks() - a.variance_ticks()).abs() < 1e-9);
+        prop_assert!((shifted.total_mass() - a.total_mass()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_then_mass_accounting(a in arb_dist(12), pmin in 0.0f64..0.2) {
+        let mut t = a.clone();
+        let dropped = t.truncate_below(pmin);
+        prop_assert!((t.total_mass() + dropped - a.total_mass()).abs() < 1e-9);
+        for (tick, p) in t.iter() {
+            prop_assert!(p >= pmin || p == a.prob_at(tick));
+            prop_assert!(p >= pmin);
+        }
+    }
+
+    #[test]
+    fn normalize_restores_unit_mass(a in arb_subdist(8)) {
+        let n = a.normalized();
+        prop_assert!((n.total_mass() - 1.0).abs() < 1e-12);
+        // Shape is preserved.
+        prop_assert!((n.mean_ticks() - a.mean_ticks()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(a in arb_dist(10)) {
+        let q1 = a.quantile(0.25).expect("non-empty");
+        let q2 = a.quantile(0.5).expect("non-empty");
+        let q3 = a.quantile(0.99).expect("non-empty");
+        prop_assert!(q1 <= q2 && q2 <= q3);
+        prop_assert!(q1 >= a.min_tick().expect("non-empty"));
+        prop_assert!(q3 <= a.max_tick().expect("non-empty"));
+    }
+
+    #[test]
+    fn discretization_conserves_mass(
+        mean in 5.0f64..50.0,
+        sigma_frac in 0.04f64..0.10,
+        step in 0.1f64..2.0,
+    ) {
+        let d = ContinuousDist::normal(mean, mean * sigma_frac).expect("valid");
+        let ts = TimeStep::new(step).expect("valid");
+        let pmf = pep_dist::discretize(&d, ts);
+        prop_assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
+        // Mean error bounded by one step.
+        prop_assert!((pmf.mean_time(ts) - d.mean()).abs() <= step);
+    }
+
+    #[test]
+    fn running_merge_matches_sequential(xs in prop::collection::vec(-100.0f64..100.0, 2..50),
+                                        split in 0usize..49) {
+        use pep_dist::stats::Running;
+        let split = split.min(xs.len() - 1);
+        let mut a: Running = xs[..split].iter().copied().collect();
+        let b: Running = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        let all: Running = xs.iter().copied().collect();
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.population_variance() - all.population_variance()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,231 @@
+use serde::{Deserialize, Serialize};
+
+/// A fixed-universe bit set used for stem-support bookkeeping.
+///
+/// Supergate extraction needs thousands of "do these two cones share a
+/// stem?" queries; a dense `u64`-word bit set answers each in a handful of
+/// word operations.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::BitSet;
+///
+/// let mut a = BitSet::new(100);
+/// let mut b = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(64);
+/// b.insert(64);
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.len(), 2);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Inserts an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds the capacity chosen at construction.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Removes an element (no-op if absent or out of range).
+    #[inline]
+    pub fn remove(&mut self, idx: usize) {
+        if let Some(w) = self.words.get_mut(idx / 64) {
+            *w &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Whether `idx` is present.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+
+    /// Whether the two sets share any element.
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether the two sets share any element other than `skip`.
+    #[inline]
+    pub fn intersects_except(&self, other: &BitSet, skip: Option<usize>) -> bool {
+        match skip {
+            None => self.intersects(other),
+            Some(idx) => {
+                let (sw, sb) = (idx / 64, idx % 64);
+                self.words
+                    .iter()
+                    .zip(&other.words)
+                    .enumerate()
+                    .any(|(wi, (a, b))| {
+                        let mut w = a & b;
+                        if wi == sw {
+                            w &= !(1u64 << sb);
+                        }
+                        w != 0
+                    })
+            }
+        }
+    }
+
+    /// Adds every element of `other` to `self`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of elements present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over present elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Elements present in both sets (word-wise, so cost scales with the
+    /// intersection size plus one AND per word).
+    pub fn intersection<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = usize> + 'a {
+        let words = self.words.len().min(other.words.len());
+        (0..words).flat_map(move |wi| {
+            let mut bits = self.words[wi] & other.words[wi];
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(199);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(500));
+        let mut t = s.clone();
+        t.remove(500); // no-op, no panic
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn intersects_and_union() {
+        let a: BitSet = [1, 5, 70].into_iter().collect();
+        let b: BitSet = [2, 6, 71].into_iter().collect();
+        assert!(!a.intersects(&b));
+        let c: BitSet = [70, 200].into_iter().collect();
+        assert!(a.intersects(&c));
+        let mut u = a.clone();
+        u.union_with(&c);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 70, 200]);
+        assert_eq!(u.intersection(&c).collect::<Vec<_>>(), vec![70, 200]);
+    }
+
+    #[test]
+    fn intersects_except_skips_the_named_bit() {
+        let a: BitSet = [5, 70].into_iter().collect();
+        let b: BitSet = [5, 200].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects_except(&b, Some(5)));
+        assert!(a.intersects_except(&b, None));
+        let c: BitSet = [5, 70, 200].into_iter().collect();
+        assert!(a.intersects_except(&c, Some(5)), "70 still shared");
+    }
+
+    #[test]
+    fn iter_order() {
+        let s: BitSet = [64, 3, 128, 0].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 128]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: BitSet = [1, 2, 3].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

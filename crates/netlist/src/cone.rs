@@ -1,0 +1,301 @@
+//! Fanin/fanout cones and stem-support analysis.
+//!
+//! Signal correlation in a combinational circuit is entirely mediated by
+//! *fanout stems* (signals driving two or more gate pins): two signals are
+//! correlated exactly when some stem reaches both of them. The
+//! [`SupportSets`] table precomputes, for every node, the set of stems in
+//! its fanin cone, making "are these signals independent?" a constant-ish
+//! time bit-set intersection — the workhorse query of supergate extraction
+//! (paper §3.1).
+
+use crate::{BitSet, Netlist, NodeId};
+
+/// All nodes in the fanin cone of `root`, including `root` itself,
+/// in topological (fanins-first) order.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{cone, GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a")?;
+/// b.input("b")?;
+/// b.gate("y", GateKind::And, &["a", "b"])?;
+/// b.output("y")?;
+/// let nl = b.build()?;
+/// let y = nl.node_id("y").expect("declared");
+/// assert_eq!(cone::fanin_cone(&nl, y).len(), 3);
+/// # Ok::<(), pep_netlist::NetlistError>(())
+/// ```
+pub fn fanin_cone(netlist: &Netlist, root: NodeId) -> Vec<NodeId> {
+    let mut in_cone = vec![false; netlist.node_count()];
+    in_cone[root.index()] = true;
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        for &f in netlist.fanins(n) {
+            if !in_cone[f.index()] {
+                in_cone[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    netlist
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|n| in_cone[n.index()])
+        .collect()
+}
+
+/// All nodes in the fanout cone of `root`, including `root` itself,
+/// in topological order.
+pub fn fanout_cone(netlist: &Netlist, root: NodeId) -> Vec<NodeId> {
+    let mut in_cone = vec![false; netlist.node_count()];
+    in_cone[root.index()] = true;
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        for &f in netlist.fanouts(n) {
+            if !in_cone[f.index()] {
+                in_cone[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    netlist
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|n| in_cone[n.index()])
+        .collect()
+}
+
+/// Per-node stem-support sets.
+///
+/// For each node `n`, `support(n)` contains every fanout stem in the fanin
+/// cone of `n`, *including `n` itself if `n` is a stem*. Two signals are
+/// correlated (share randomness) iff their supports intersect, because any
+/// common ancestry must pass through a node that fans out.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{cone::SupportSets, GateKind, NetlistBuilder};
+///
+/// // s fans out to g1 and g2, which reconverge at y.
+/// let mut b = NetlistBuilder::new("diamond");
+/// b.input("s")?;
+/// b.gate("g1", GateKind::Not, &["s"])?;
+/// b.gate("g2", GateKind::Buf, &["s"])?;
+/// b.gate("y", GateKind::And, &["g1", "g2"])?;
+/// b.output("y")?;
+/// let nl = b.build()?;
+/// let supports = SupportSets::compute(&nl);
+/// let g1 = nl.node_id("g1").expect("declared");
+/// let g2 = nl.node_id("g2").expect("declared");
+/// assert!(supports.correlated(g1, g2));
+/// # Ok::<(), pep_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupportSets {
+    /// Stems in topological order.
+    stems: Vec<NodeId>,
+    /// Map node index -> stem ordinal (dense), `u32::MAX` if not a stem.
+    stem_ordinal: Vec<u32>,
+    /// Per node, the set of stem ordinals in its support.
+    supports: Vec<BitSet>,
+}
+
+impl SupportSets {
+    /// Computes the support of every node in one topological sweep.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.node_count();
+        let stems = netlist.stems();
+        let mut stem_ordinal = vec![u32::MAX; n];
+        for (i, &s) in stems.iter().enumerate() {
+            stem_ordinal[s.index()] = i as u32;
+        }
+        let mut supports = vec![BitSet::new(stems.len()); n];
+        for &id in netlist.topo_order() {
+            // Own stem bit first, then inherit every fanin's support.
+            let ord = stem_ordinal[id.index()];
+            if ord != u32::MAX {
+                supports[id.index()].insert(ord as usize);
+            }
+            for fi in 0..netlist.fanins(id).len() {
+                let f = netlist.fanins(id)[fi];
+                if f != id {
+                    let (a, b) = borrow_two(&mut supports, id.index(), f.index());
+                    a.union_with(b);
+                }
+            }
+        }
+        SupportSets {
+            stems,
+            stem_ordinal,
+            supports,
+        }
+    }
+
+    /// The circuit's stems, in topological order (ordinal = position).
+    pub fn stems(&self) -> &[NodeId] {
+        &self.stems
+    }
+
+    /// The stem ordinal of a node, if it is a stem.
+    pub fn stem_ordinal(&self, id: NodeId) -> Option<usize> {
+        match self.stem_ordinal[id.index()] {
+            u32::MAX => None,
+            ord => Some(ord as usize),
+        }
+    }
+
+    /// The stem with the given ordinal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal` is out of range.
+    pub fn stem(&self, ordinal: usize) -> NodeId {
+        self.stems[ordinal]
+    }
+
+    /// The support set of a node (stem ordinals).
+    pub fn support(&self, id: NodeId) -> &BitSet {
+        &self.supports[id.index()]
+    }
+
+    /// Whether two signals share randomness (their supports intersect).
+    /// A signal is always correlated with itself if its cone contains any
+    /// stem.
+    pub fn correlated(&self, a: NodeId, b: NodeId) -> bool {
+        self.supports[a.index()].intersects(&self.supports[b.index()])
+    }
+
+    /// Whether the fanins of `gate` are mutually correlated — i.e. the gate
+    /// is *reconvergent* and naive min/max combining would mix dependent
+    /// events (paper §3.1).
+    pub fn is_reconvergent(&self, netlist: &Netlist, gate: NodeId) -> bool {
+        let fanins = netlist.fanins(gate);
+        for (i, &a) in fanins.iter().enumerate() {
+            for &b in &fanins[i + 1..] {
+                if a == b || self.correlated(a, b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Splits two distinct mutable borrows out of a slice.
+fn borrow_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &T) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+
+    /// Builds: a -> inv1 -> y(and) <- buf1 <- a   (diamond on stem a),
+    /// plus an independent input b -> z(not).
+    fn diamond() -> Netlist {
+        let mut b = NetlistBuilder::new("diamond");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("inv1", GateKind::Not, &["a"]).unwrap();
+        b.gate("buf1", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["inv1", "buf1"]).unwrap();
+        b.gate("z", GateKind::Not, &["b"]).unwrap();
+        b.output("y").unwrap();
+        b.output("z").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fanin_cone_contents() {
+        let nl = diamond();
+        let y = nl.node_id("y").unwrap();
+        let cone: Vec<&str> = fanin_cone(&nl, y)
+            .into_iter()
+            .map(|n| nl.node_name(n))
+            .collect();
+        assert_eq!(cone, vec!["a", "inv1", "buf1", "y"]);
+    }
+
+    #[test]
+    fn fanout_cone_contents() {
+        let nl = diamond();
+        let a = nl.node_id("a").unwrap();
+        let cone: Vec<&str> = fanout_cone(&nl, a)
+            .into_iter()
+            .map(|n| nl.node_name(n))
+            .collect();
+        assert_eq!(cone, vec!["a", "inv1", "buf1", "y"]);
+    }
+
+    #[test]
+    fn supports_track_stems() {
+        let nl = diamond();
+        let s = SupportSets::compute(&nl);
+        let a = nl.node_id("a").unwrap();
+        let inv1 = nl.node_id("inv1").unwrap();
+        let buf1 = nl.node_id("buf1").unwrap();
+        let z = nl.node_id("z").unwrap();
+        // `a` is the only stem.
+        assert_eq!(s.stems(), &[a]);
+        assert_eq!(s.stem_ordinal(a), Some(0));
+        assert_eq!(s.stem_ordinal(inv1), None);
+        assert!(s.support(inv1).contains(0));
+        assert!(s.support(buf1).contains(0));
+        assert!(s.support(a).contains(0), "stems include themselves");
+        assert!(s.support(z).is_empty());
+        assert!(s.correlated(inv1, buf1));
+        assert!(!s.correlated(inv1, z));
+    }
+
+    #[test]
+    fn reconvergence_detection() {
+        let nl = diamond();
+        let s = SupportSets::compute(&nl);
+        assert!(s.is_reconvergent(&nl, nl.node_id("y").unwrap()));
+        assert!(!s.is_reconvergent(&nl, nl.node_id("z").unwrap()));
+        assert!(!s.is_reconvergent(&nl, nl.node_id("inv1").unwrap()));
+    }
+
+    #[test]
+    fn duplicated_fanin_is_reconvergent() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::And, &["a", "a"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let s = SupportSets::compute(&nl);
+        assert!(s.is_reconvergent(&nl, nl.node_id("y").unwrap()));
+    }
+
+    #[test]
+    fn tree_circuit_has_no_reconvergence() {
+        let mut b = NetlistBuilder::new("tree");
+        for i in 0..4 {
+            b.input(&format!("i{i}")).unwrap();
+        }
+        b.gate("l", GateKind::And, &["i0", "i1"]).unwrap();
+        b.gate("r", GateKind::Or, &["i2", "i3"]).unwrap();
+        b.gate("y", GateKind::Xor, &["l", "r"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let s = SupportSets::compute(&nl);
+        assert!(s.stems().is_empty());
+        for id in nl.node_ids() {
+            assert!(!s.is_reconvergent(&nl, id));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Graphviz DOT export for circuit visualization.
+
+use crate::{GateKind, Netlist, NodeId};
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Highlight these nodes (e.g. a critical path or a supergate).
+    pub highlight: Vec<NodeId>,
+    /// Rank nodes left-to-right by logic level.
+    pub rank_by_level: bool,
+}
+
+/// Serializes the netlist as a Graphviz DOT digraph.
+///
+/// Primary inputs render as boxes, gates as ellipses labelled with their
+/// function, primary outputs with a double border; highlighted nodes are
+/// filled.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{dot, samples};
+///
+/// let nl = samples::mux2();
+/// let text = dot::to_dot(&nl, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph mux2"));
+/// assert!(text.contains("\"s\" -> \"ns\""));
+/// ```
+pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
+    let highlighted: std::collections::HashSet<NodeId> =
+        options.highlight.iter().copied().collect();
+    let outputs: std::collections::HashSet<NodeId> =
+        netlist.primary_outputs().iter().copied().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for id in netlist.node_ids() {
+        let name = netlist.node_name(id);
+        let mut attrs: Vec<String> = Vec::new();
+        match netlist.kind(id) {
+            GateKind::Input => attrs.push("shape=box".to_owned()),
+            kind => attrs.push(format!("label=\"{}\\n{}\"", escape(name), kind)),
+        }
+        if outputs.contains(&id) {
+            attrs.push("peripheries=2".to_owned());
+        }
+        if highlighted.contains(&id) {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightgoldenrod".to_owned());
+        }
+        let _ = writeln!(out, "  \"{}\" [{}];", escape(name), attrs.join(", "));
+    }
+    for id in netlist.node_ids() {
+        for &f in netlist.fanins(id) {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                escape(netlist.node_name(f)),
+                escape(netlist.node_name(id))
+            );
+        }
+    }
+    if options.rank_by_level {
+        for level in 0..=netlist.max_level() {
+            let names: Vec<String> = netlist
+                .node_ids()
+                .filter(|&n| netlist.level(n) == level)
+                .map(|n| format!("\"{}\"", escape(netlist.node_name(n))))
+                .collect();
+            if names.len() > 1 {
+                let _ = writeln!(out, "  {{ rank=same; {} }}", names.join("; "));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else if cleaned.is_empty() {
+        "circuit".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let nl = samples::c17();
+        let text = to_dot(&nl, &DotOptions::default());
+        for id in nl.node_ids() {
+            assert!(text.contains(&format!("\"{}\"", nl.node_name(id))));
+        }
+        let edges = nl
+            .node_ids()
+            .map(|n| nl.fanins(n).len())
+            .sum::<usize>();
+        assert_eq!(text.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn outputs_double_bordered_and_inputs_boxed() {
+        let nl = samples::mux2();
+        let text = to_dot(&nl, &DotOptions::default());
+        assert!(text.contains("\"y\" [label=\"y\\nOR\", peripheries=2]"));
+        assert!(text.contains("\"a\" [shape=box]"));
+    }
+
+    #[test]
+    fn highlights_and_ranks() {
+        let nl = samples::mux2();
+        let y = nl.node_id("y").unwrap();
+        let text = to_dot(
+            &nl,
+            &DotOptions {
+                highlight: vec![y],
+                rank_by_level: true,
+            },
+        );
+        assert!(text.contains("fillcolor=lightgoldenrod"));
+        assert!(text.contains("rank=same"));
+    }
+
+    #[test]
+    fn numeric_names_sanitized() {
+        let nl = samples::c17(); // circuit name "c17", node names numeric
+        let text = to_dot(&nl, &DotOptions::default());
+        assert!(text.starts_with("digraph c17 {"));
+    }
+}

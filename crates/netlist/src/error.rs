@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors from netlist construction and `.bench` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was declared more than once.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced signal was never declared.
+    UnknownSignal {
+        /// The undeclared name.
+        name: String,
+    },
+    /// A gate received the wrong number of fanins for its kind.
+    BadArity {
+        /// The gate's output-signal name.
+        name: String,
+        /// The gate kind as text.
+        kind: &'static str,
+        /// How many fanins were supplied.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    Cycle {
+        /// Name of one node on the cycle.
+        through: String,
+    },
+    /// The netlist has no primary outputs.
+    NoOutputs,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// A gate function in a `.bench` file is not supported.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized function name.
+        function: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { name } => {
+                write!(f, "signal `{name}` declared more than once")
+            }
+            NetlistError::UnknownSignal { name } => {
+                write!(f, "signal `{name}` referenced but never declared")
+            }
+            NetlistError::BadArity { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::Cycle { through } => {
+                write!(f, "combinational cycle through `{through}`")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnsupportedGate { line, function } => {
+                write!(f, "unsupported gate function `{function}` at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,206 @@
+use serde::{Deserialize, Serialize};
+
+/// The logic function of a netlist node.
+///
+/// `Input` marks primary inputs (and the pseudo-inputs created when
+/// sequential elements are cut); the rest are combinational gates.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.eval(&[true, true]), false);
+/// assert_eq!(GateKind::Xor.eval(&[true, false, true]), false);
+/// assert_eq!(GateKind::And.controlling_value(), Some(false));
+/// assert!(GateKind::Nor.is_inverting());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary (or pseudo) input; no fanins.
+    Input,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Odd parity.
+    Xor,
+    /// Even parity.
+    Xnor,
+    /// Inverter (single fanin).
+    Not,
+    /// Buffer (single fanin).
+    Buf,
+}
+
+impl GateKind {
+    /// Evaluates the gate on concrete input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`] or with an arity the kind
+    /// does not accept (guarded by netlist validation in normal use).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Input => panic!("primary inputs have no logic function"),
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "NOT takes exactly one input");
+                !inputs[0]
+            }
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF takes exactly one input");
+                inputs[0]
+            }
+        }
+    }
+
+    /// The *controlling value* of the gate's inputs: the value that alone
+    /// determines the output (AND/NAND: 0, OR/NOR: 1). Parity gates and
+    /// single-input gates have none.
+    ///
+    /// Used by the dynamic (transition-aware) propagation mode to decide
+    /// whether the earliest or the latest input event dominates, as in the
+    /// paper's falling-AND example (Fig. 5).
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts (output falls when the deciding input
+    /// rises). Parity gates report `false`; their polarity depends on the
+    /// other inputs and is resolved during simulation.
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateKind::Nand | GateKind::Nor | GateKind::Not)
+    }
+
+    /// Whether this kind accepts `n` fanins.
+    pub fn accepts_arity(self, n: usize) -> bool {
+        match self {
+            GateKind::Input => n == 0,
+            GateKind::Not | GateKind::Buf => n == 1,
+            _ => n >= 1,
+        }
+    }
+
+    /// Canonical upper-case name (as written in `.bench` files).
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+
+    /// Parses a `.bench` function name (case-insensitive; `BUF`/`BUFF`
+    /// both accepted).
+    pub fn from_bench_name(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            _ => None,
+        }
+    }
+
+    /// All combinational gate kinds (everything except [`GateKind::Input`]).
+    pub fn all_combinational() -> &'static [GateKind] {
+        &[
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ]
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_two_inputs() {
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (a, b) in cases {
+            let v = [a, b];
+            assert_eq!(GateKind::And.eval(&v), a && b);
+            assert_eq!(GateKind::Nand.eval(&v), !(a && b));
+            assert_eq!(GateKind::Or.eval(&v), a || b);
+            assert_eq!(GateKind::Nor.eval(&v), !(a || b));
+            assert_eq!(GateKind::Xor.eval(&v), a ^ b);
+            assert_eq!(GateKind::Xnor.eval(&v), !(a ^ b));
+        }
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+    }
+
+    #[test]
+    fn multi_input_parity() {
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Input.accepts_arity(0));
+        assert!(!GateKind::Input.accepts_arity(1));
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(5));
+        assert!(!GateKind::And.accepts_arity(0));
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for &k in GateKind::all_combinational() {
+            assert_eq!(GateKind::from_bench_name(k.bench_name()), Some(k));
+        }
+        assert_eq!(GateKind::from_bench_name("nand"), Some(GateKind::Nand));
+        assert_eq!(GateKind::from_bench_name("INV"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_name("DFF"), None);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+}

@@ -1,0 +1,625 @@
+//! Deterministic synthetic circuit generators.
+//!
+//! The paper evaluates on the combinational parts of six ISCAS89
+//! benchmarks. Those netlists are not redistributable inside this
+//! repository, so [`iscas_profile`] generates seeded random circuits whose
+//! *structural* parameters (gate count, input count, fanin width, logic
+//! depth and reconvergence density) track the published characteristics of
+//! each benchmark — which is what the paper's run-time/error trends depend
+//! on. Real `.bench` files can be dropped in through
+//! [`parse_bench`](crate::parse_bench) unchanged.
+//!
+//! Also provides classic structured circuits (adders, multipliers,
+//! reduction trees) used by examples and tests.
+
+use crate::{GateKind, Netlist, NetlistBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`random_circuit`].
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+///
+/// let spec = RandomCircuitSpec {
+///     name: "r100".into(),
+///     inputs: 10,
+///     gates: 100,
+///     depth: 8,
+///     seed: 42,
+///     ..RandomCircuitSpec::default()
+/// };
+/// let nl = random_circuit(&spec);
+/// assert_eq!(nl.gate_count(), 100);
+/// assert_eq!(nl.max_level(), 8);
+/// // Deterministic: the same spec regenerates the same circuit.
+/// assert_eq!(pep_netlist::to_bench(&nl), pep_netlist::to_bench(&random_circuit(&spec)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomCircuitSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of gates to create.
+    pub gates: usize,
+    /// Target logic depth; gates are distributed evenly across levels
+    /// `1..=depth`, so `gates / depth` sets the circuit's width. Real
+    /// benchmark circuits are wide and shallow (depth 10–50).
+    pub depth: usize,
+    /// Largest gate fanin (at least 2).
+    pub max_fanin: usize,
+    /// How many levels back non-leading fanins may reach (1 = strictly
+    /// the previous level). Longer reach spreads reconvergent regions over
+    /// more levels, producing larger supergates.
+    pub level_reach: usize,
+    /// Spatial locality of fanin selection, as a fraction of a level's
+    /// width: a gate at relative position `x` draws its extra fanins from
+    /// positions `x ± window` of the reachable levels. Real (placed)
+    /// netlists are local — cones stay sparse and two distant signals
+    /// share little ancestry. `1.0` disables locality.
+    pub window: f64,
+    /// Fraction of single-input gates (inverters/buffers).
+    pub inverter_fraction: f64,
+    /// RNG seed; the generator is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitSpec {
+    fn default() -> Self {
+        RandomCircuitSpec {
+            name: "random".into(),
+            inputs: 16,
+            gates: 200,
+            depth: 12,
+            max_fanin: 3,
+            level_reach: 2,
+            window: 0.2,
+            inverter_fraction: 0.40,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random level-structured combinational DAG.
+///
+/// Gates are placed on levels `1..=depth`; each gate's first fanin comes
+/// from the previous level (pinning its logic level) and the rest from the
+/// preceding `level_reach` levels. Because a level holds many fewer
+/// signals than the gates drawing from it, signals fan out and reconverge
+/// the way real netlists do. Every node with no fanout becomes a primary
+/// output, so no logic dangles.
+///
+/// # Panics
+///
+/// Panics if `inputs`, `gates` or `depth` is zero, `depth > gates`, or
+/// `max_fanin < 2`.
+pub fn random_circuit(spec: &RandomCircuitSpec) -> Netlist {
+    assert!(spec.inputs > 0, "need at least one primary input");
+    assert!(spec.gates > 0, "need at least one gate");
+    assert!(
+        spec.depth > 0 && spec.depth <= spec.gates,
+        "depth must be in 1..=gates"
+    );
+    assert!(spec.max_fanin >= 2, "max_fanin must be at least 2");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(spec.name.clone());
+    // levels[l] holds the node ids whose logic level is exactly l.
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new()];
+    let mut names: Vec<String> = Vec::new();
+    let mut used: Vec<bool> = Vec::new();
+    for i in 0..spec.inputs {
+        let name = format!("pi{i}");
+        levels[0].push(b.input(&name).expect("fresh input name"));
+        names.push(name);
+        used.push(false);
+    }
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let per_level = spec.gates / spec.depth;
+    let remainder = spec.gates % spec.depth;
+    let mut gate_no = 0usize;
+    for level in 1..=spec.depth {
+        let count = per_level + usize::from(level <= remainder);
+        let mut this_level = Vec::with_capacity(count);
+        // Leading fanins walk the previous level in order, so most nets
+        // have fanout one (as in real netlists), stems arise from the
+        // extra fanins only, and columns stay spatially aligned.
+        let rotation: Vec<NodeId> = levels[level - 1].clone();
+        let mut next_lead = 0usize;
+        for _ in 0..count {
+            let name = format!("g{gate_no}");
+            gate_no += 1;
+            // The leading fanin pins the gate to this level.
+            let lead = if rotation.is_empty() {
+                pick_from_level(&mut rng, &levels, level - 1)
+            } else {
+                let l = rotation[next_lead % rotation.len()];
+                next_lead += 1;
+                l
+            };
+            // The gate's relative position within its row anchors the
+            // locality window of its extra fanins.
+            let position = next_lead as f64 / count.max(1) as f64;
+            let (kind, fanins) = if rng.random::<f64>() < spec.inverter_fraction {
+                let kind = if rng.random::<f64>() < 0.8 {
+                    GateKind::Not
+                } else {
+                    GateKind::Buf
+                };
+                (kind, vec![lead])
+            } else {
+                let arity = rng.random_range(2..=spec.max_fanin);
+                let mut fanins = vec![lead];
+                let reach_lo = level.saturating_sub(spec.level_reach.max(1));
+                let mut guard = 0;
+                while fanins.len() < arity && guard < 64 {
+                    let l = rng.random_range(reach_lo..level);
+                    let f = pick_near(&mut rng, &levels, l, position, spec.window);
+                    if !fanins.contains(&f) {
+                        fanins.push(f);
+                    }
+                    guard += 1;
+                }
+                (kinds[rng.random_range(0..kinds.len())], fanins)
+            };
+            for &f in &fanins {
+                // Node ids are dense and assigned in creation order.
+                used[f.index()] = true;
+            }
+            let id = b.gate_ids(&name, kind, &fanins).expect("valid gate");
+            this_level.push(id);
+            names.push(name);
+            used.push(false);
+        }
+        levels.push(this_level);
+    }
+    // Sinks become primary outputs so nothing dangles.
+    for (i, &is_used) in used.iter().enumerate() {
+        if !is_used {
+            b.output(&names[i]).expect("declared signal");
+        }
+    }
+    b.build().expect("generated circuit is a valid DAG")
+}
+
+/// Picks a node near relative position `x` of the given level (wrapping
+/// falls back toward the inputs when a level is empty).
+fn pick_near(
+    rng: &mut StdRng,
+    levels: &[Vec<NodeId>],
+    level: usize,
+    x: f64,
+    window: f64,
+) -> NodeId {
+    let mut l = level;
+    loop {
+        let row = &levels[l];
+        if !row.is_empty() {
+            let n = row.len() as f64;
+            let half = (window.clamp(0.0, 1.0) * n).max(1.0);
+            let center = x * n;
+            let lo = (center - half).floor().max(0.0) as usize;
+            let hi = ((center + half).ceil() as usize).min(row.len() - 1);
+            return row[rng.random_range(lo..=hi)];
+        }
+        l = l.checked_sub(1).expect("level 0 holds the primary inputs");
+    }
+}
+
+fn pick_from_level(rng: &mut StdRng, levels: &[Vec<NodeId>], level: usize) -> NodeId {
+    // Levels below `level_reach` of the first gate rows may be sparse;
+    // fall back toward the inputs if a level is empty (cannot happen for
+    // level 0).
+    let mut l = level;
+    loop {
+        if !levels[l].is_empty() {
+            return levels[l][rng.random_range(0..levels[l].len())];
+        }
+        l = l.checked_sub(1).expect("level 0 holds the primary inputs");
+    }
+}
+
+/// Builds an `n`-bit ripple-carry adder (`a[i]`, `b[i]`, `cin` →
+/// `sum[i]`, `cout`).
+///
+/// Each full-adder slice contains reconvergent fanout on `a[i]`, `b[i]`
+/// and the incoming carry, making this a structured stress test for
+/// supergate handling with a long critical path.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn ripple_carry_adder(bits: usize) -> Netlist {
+    assert!(bits > 0, "need at least one bit");
+    let mut b = NetlistBuilder::new(format!("rca{bits}"));
+    for i in 0..bits {
+        b.input(&format!("a{i}")).expect("fresh name");
+        b.input(&format!("b{i}")).expect("fresh name");
+    }
+    b.input("cin").expect("fresh name");
+    let mut carry = "cin".to_owned();
+    for i in 0..bits {
+        let a = format!("a{i}");
+        let bb = format!("b{i}");
+        let x = format!("x{i}");
+        let s = format!("sum{i}");
+        let g1 = format!("fa{i}_g1");
+        let g2 = format!("fa{i}_g2");
+        let c = format!("c{i}");
+        b.gate(&x, GateKind::Xor, &[&a, &bb]).expect("valid");
+        b.gate(&s, GateKind::Xor, &[&x, &carry]).expect("valid");
+        b.gate(&g1, GateKind::And, &[&x, &carry]).expect("valid");
+        b.gate(&g2, GateKind::And, &[&a, &bb]).expect("valid");
+        b.gate(&c, GateKind::Or, &[&g1, &g2]).expect("valid");
+        b.output(&s).expect("declared");
+        carry = c;
+    }
+    b.output(&carry).expect("declared");
+    b.build().expect("adder is a valid DAG")
+}
+
+/// Builds an `n`×`n` array multiplier from AND partial products and
+/// ripple-carry rows — a quadratically growing circuit with heavy
+/// reconvergence, useful for scaling studies.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn array_multiplier(bits: usize) -> Netlist {
+    assert!(bits > 0, "need at least one bit");
+    let mut b = NetlistBuilder::new(format!("mul{bits}"));
+    for i in 0..bits {
+        b.input(&format!("a{i}")).expect("fresh name");
+    }
+    for j in 0..bits {
+        b.input(&format!("b{j}")).expect("fresh name");
+    }
+    // Partial products.
+    for i in 0..bits {
+        for j in 0..bits {
+            b.gate(
+                &format!("pp{i}_{j}"),
+                GateKind::And,
+                &[&format!("a{i}"), &format!("b{j}")],
+            )
+            .expect("valid");
+        }
+    }
+    // Row-by-row carry-save reduction with half/full adder cells.
+    // `acc[k]` holds the current partial-sum signal for output bit k.
+    let mut acc: Vec<Option<String>> = vec![None; 2 * bits];
+    let mut cell = 0usize;
+    for i in 0..bits {
+        let mut carry: Option<String> = None;
+        for j in 0..bits {
+            let k = i + j;
+            let pp = format!("pp{i}_{j}");
+            let mut addends: Vec<String> = vec![pp];
+            if let Some(prev) = acc[k].take() {
+                addends.push(prev);
+            }
+            if let Some(c) = carry.take() {
+                addends.push(c);
+            }
+            // Reduce the addends pairwise into a sum and carry chain.
+            while addends.len() > 1 {
+                let x = addends.remove(0);
+                let y = addends.remove(0);
+                let s = format!("s{cell}");
+                let c = format!("k{cell}");
+                cell += 1;
+                b.gate(&s, GateKind::Xor, &[&x, &y]).expect("valid");
+                b.gate(&c, GateKind::And, &[&x, &y]).expect("valid");
+                addends.insert(0, s);
+                carry = Some(match carry.take() {
+                    None => c,
+                    Some(prev) => {
+                        let merged = format!("kc{cell}");
+                        cell += 1;
+                        b.gate(&merged, GateKind::Or, &[&prev, &c]).expect("valid");
+                        merged
+                    }
+                });
+            }
+            acc[k] = Some(addends.remove(0));
+        }
+        if let Some(c) = carry {
+            let k = i + bits;
+            acc[k] = Some(match acc[k].take() {
+                None => c,
+                Some(prev) => {
+                    let merged = format!("m{cell}");
+                    cell += 1;
+                    b.gate(&merged, GateKind::Xor, &[&prev, &c]).expect("valid");
+                    merged
+                }
+            });
+        }
+    }
+    for (k, slot) in acc.iter().enumerate() {
+        if let Some(sig) = slot {
+            let p = format!("p{k}");
+            b.gate(&p, GateKind::Buf, &[sig]).expect("valid");
+            b.output(&p).expect("declared");
+        }
+    }
+    b.build().expect("multiplier is a valid DAG")
+}
+
+/// Builds a balanced reduction tree of `kind` gates over `inputs` leaves —
+/// a reconvergence-free circuit (every signal has fanout one), on which
+/// plain event propagation is already exact.
+///
+/// # Panics
+///
+/// Panics if `inputs < 2` or the kind cannot take two fanins.
+pub fn comb_tree(kind: GateKind, inputs: usize) -> Netlist {
+    assert!(inputs >= 2, "a tree needs at least two leaves");
+    assert!(kind.accepts_arity(2), "tree gates are two-input");
+    let mut b = NetlistBuilder::new(format!("tree_{}{}", kind.bench_name(), inputs));
+    let mut layer: Vec<String> = (0..inputs)
+        .map(|i| {
+            let name = format!("i{i}");
+            b.input(&name).expect("fresh name");
+            name
+        })
+        .collect();
+    let mut next_id = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.chunks(2);
+        for chunk in &mut it {
+            match chunk {
+                [a, b_sig] => {
+                    let name = format!("t{next_id}");
+                    next_id += 1;
+                    b.gate(&name, kind, &[a, b_sig]).expect("valid");
+                    next.push(name);
+                }
+                [solo] => next.push(solo.clone()),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            }
+        }
+        layer = next;
+    }
+    b.output(&layer[0]).expect("declared");
+    b.build().expect("tree is a valid DAG")
+}
+
+/// The six ISCAS89 benchmarks of the paper's evaluation (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IscasProfile {
+    /// s5378 — 2 779 combinational gates.
+    S5378,
+    /// s9234 — 5 597 combinational gates.
+    S9234,
+    /// s13207 — 7 951 combinational gates.
+    S13207,
+    /// s15850 — 9 772 combinational gates; the paper's Table 1 shows it has
+    /// the largest and stem-densest supergates (and the lowest speedup).
+    S15850,
+    /// s35932 — 16 065 combinational gates, wide and shallow.
+    S35932,
+    /// s38584 — 19 253 combinational gates.
+    S38584,
+}
+
+impl IscasProfile {
+    /// All profiles in the paper's presentation order.
+    pub fn all() -> [IscasProfile; 6] {
+        [
+            IscasProfile::S5378,
+            IscasProfile::S9234,
+            IscasProfile::S13207,
+            IscasProfile::S15850,
+            IscasProfile::S35932,
+            IscasProfile::S38584,
+        ]
+    }
+
+    /// The benchmark's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IscasProfile::S5378 => "s5378",
+            IscasProfile::S9234 => "s9234",
+            IscasProfile::S13207 => "s13207",
+            IscasProfile::S15850 => "s15850",
+            IscasProfile::S35932 => "s35932",
+            IscasProfile::S38584 => "s38584",
+        }
+    }
+
+    /// The generator parameters standing in for the real netlist.
+    ///
+    /// Inputs count PIs plus cut flip-flops (the combinational part's
+    /// pseudo-inputs); gate counts match the published combinational gate
+    /// counts; depths track the published critical-path lengths. Fanin
+    /// width and level reach are tuned per circuit so supergate statistics
+    /// vary the way Table 1 reports: largest and stem-densest for s15850,
+    /// smallest for the wide, shallow s35932.
+    pub fn spec(self) -> RandomCircuitSpec {
+        // (inputs, gates, depth, max_fanin, reach, window, inverters, seed)
+        // Inverter fractions track the published netlists — the ISCAS89
+        // benchmarks are famously inverter-heavy (s9234: ~64% NOT/BUF).
+        let (inputs, gates, depth, max_fanin, level_reach, window, inv, seed) = match self {
+            IscasProfile::S5378 => (214, 2_779, 25, 3, 2, 0.15, 0.60, 0x5378),
+            IscasProfile::S9234 => (247, 5_597, 38, 3, 2, 0.15, 0.64, 0x9234),
+            IscasProfile::S13207 => (700, 7_951, 32, 3, 2, 0.15, 0.60, 0x13207),
+            IscasProfile::S15850 => (611, 9_772, 47, 4, 5, 0.35, 0.50, 0x15850),
+            IscasProfile::S35932 => (1_763, 16_065, 12, 2, 1, 0.03, 0.30, 0x35932),
+            IscasProfile::S38584 => (1_464, 19_253, 30, 3, 2, 0.10, 0.45, 0x38584),
+        };
+        RandomCircuitSpec {
+            name: self.name().to_owned(),
+            inputs,
+            gates,
+            depth,
+            max_fanin,
+            level_reach,
+            window,
+            inverter_fraction: inv,
+            seed,
+        }
+    }
+}
+
+/// Generates the profile circuit standing in for an ISCAS89 benchmark.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::generate::{iscas_profile, IscasProfile};
+///
+/// let nl = iscas_profile(IscasProfile::S5378);
+/// assert_eq!(nl.name(), "s5378");
+/// assert_eq!(nl.gate_count(), 2779);
+/// ```
+pub fn iscas_profile(profile: IscasProfile) -> Netlist {
+    random_circuit(&profile.spec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::SupportSets;
+
+    #[test]
+    fn random_circuit_is_deterministic() {
+        let spec = RandomCircuitSpec {
+            gates: 150,
+            depth: 10,
+            seed: 9,
+            ..RandomCircuitSpec::default()
+        };
+        let a = random_circuit(&spec);
+        let b = random_circuit(&spec);
+        assert_eq!(crate::to_bench(&a), crate::to_bench(&b));
+        let c = random_circuit(&RandomCircuitSpec { seed: 10, ..spec });
+        assert_ne!(crate::to_bench(&a), crate::to_bench(&c));
+    }
+
+    #[test]
+    fn random_circuit_has_reconvergence() {
+        let nl = random_circuit(&RandomCircuitSpec::default());
+        let s = SupportSets::compute(&nl);
+        assert!(!s.stems().is_empty());
+        let reconv = nl
+            .topo_order()
+            .iter()
+            .filter(|&&g| nl.kind(g) != GateKind::Input && s.is_reconvergent(&nl, g))
+            .count();
+        assert!(reconv > 0, "default spec should produce reconvergent gates");
+    }
+
+    #[test]
+    fn random_circuit_no_dangling_nodes() {
+        let nl = random_circuit(&RandomCircuitSpec::default());
+        let po: std::collections::HashSet<_> =
+            nl.primary_outputs().iter().copied().collect();
+        for id in nl.node_ids() {
+            assert!(
+                nl.fanout_count(id) > 0 || po.contains(&id),
+                "node {} dangles",
+                nl.node_name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn adder_logic() {
+        let bits = 4;
+        let nl = ripple_carry_adder(bits);
+        // Inputs ordered a0,b0,a1,b1,...,cin.
+        for a in 0..16u32 {
+            for bv in [0u32, 5, 9, 15] {
+                for cin in [0u32, 1] {
+                    let mut inputs = Vec::new();
+                    for i in 0..bits {
+                        inputs.push(a >> i & 1 == 1);
+                        inputs.push(bv >> i & 1 == 1);
+                    }
+                    inputs.push(cin == 1);
+                    let vals = nl.eval(&inputs);
+                    let mut got = 0u32;
+                    for i in 0..bits {
+                        let s = nl.node_id(&format!("sum{i}")).expect("sum bit");
+                        if vals[s.index()] {
+                            got |= 1 << i;
+                        }
+                    }
+                    let cout = nl.node_id(&format!("c{}", bits - 1)).expect("carry out");
+                    if vals[cout.index()] {
+                        got |= 1 << bits;
+                    }
+                    assert_eq!(got, a + bv + cin, "{a} + {bv} + {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_logic() {
+        let bits = 3;
+        let nl = array_multiplier(bits);
+        for a in 0..8u32 {
+            for bv in 0..8u32 {
+                let mut inputs = Vec::new();
+                for i in 0..bits {
+                    inputs.push(a >> i & 1 == 1);
+                }
+                for j in 0..bits {
+                    inputs.push(bv >> j & 1 == 1);
+                }
+                let vals = nl.eval(&inputs);
+                let mut got = 0u32;
+                for k in 0..2 * bits {
+                    if let Some(p) = nl.node_id(&format!("p{k}")) {
+                        if vals[p.index()] {
+                            got |= 1 << k;
+                        }
+                    }
+                }
+                assert_eq!(got, a * bv, "{a} * {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_has_no_stems() {
+        let nl = comb_tree(GateKind::And, 16);
+        let s = SupportSets::compute(&nl);
+        assert!(s.stems().is_empty());
+        assert_eq!(nl.gate_count(), 15);
+        assert_eq!(nl.max_level(), 4);
+    }
+
+    #[test]
+    fn tree_with_odd_leaves() {
+        let nl = comb_tree(GateKind::Or, 5);
+        assert_eq!(nl.gate_count(), 4);
+        let vals = nl.eval(&[false, false, false, false, true]);
+        let y = nl.primary_outputs()[0];
+        assert!(vals[y.index()]);
+    }
+
+    #[test]
+    fn profiles_have_published_sizes() {
+        // Only the two smallest in unit tests; the rest are exercised by
+        // the benches.
+        let nl = iscas_profile(IscasProfile::S5378);
+        assert_eq!(nl.gate_count(), 2_779);
+        assert_eq!(nl.primary_inputs().len(), 214);
+        let s = SupportSets::compute(&nl);
+        assert!(s.stems().len() > 100, "profile must be stem-rich");
+    }
+}

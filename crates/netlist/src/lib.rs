@@ -1,0 +1,57 @@
+//! Gate-level netlist substrate for statistical timing analysis.
+//!
+//! Provides everything the probabilistic-event-propagation analyzer (crate
+//! `pep-core`) needs to know about circuit *structure*:
+//!
+//! * [`Netlist`] — an immutable, validated combinational gate-level circuit
+//!   built through [`NetlistBuilder`], with topological order and logic
+//!   levels precomputed,
+//! * [`parse_bench`] / [`to_bench`] — the ISCAS-85/89 `.bench` format
+//!   (sequential elements are cut into pseudo-PI/PO pairs, matching the
+//!   paper's use of the "combinational parts of ISCAS89"),
+//! * [`cone`] — fanin/fanout cones and per-node stem-support sets,
+//! * [`supergate`] — reconvergence detection and Seth–Agrawal-style
+//!   supergate extraction with the paper's depth limit `D` (§3.1, §3.3),
+//! * [`generate`] — deterministic synthetic circuit generators, including
+//!   ISCAS89-profile circuits standing in for the paper's benchmarks,
+//! * [`samples`] — small embedded circuits (c17, the paper's Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use pep_netlist::{GateKind, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("half_adder");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.gate("sum", GateKind::Xor, &["a", "b"])?;
+//! b.gate("carry", GateKind::And, &["a", "b"])?;
+//! b.output("sum")?;
+//! b.output("carry")?;
+//! let nl = b.build()?;
+//! assert_eq!(nl.gate_count(), 2);
+//! assert_eq!(nl.primary_inputs().len(), 2);
+//! # Ok::<(), pep_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod cone;
+pub mod dot;
+mod error;
+mod gate;
+pub mod generate;
+mod netlist;
+mod parser;
+pub mod samples;
+pub mod supergate;
+mod writer;
+
+pub use bitset::BitSet;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use netlist::{Netlist, NetlistBuilder, NodeId};
+pub use parser::parse_bench;
+pub use writer::to_bench;

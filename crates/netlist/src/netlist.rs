@@ -1,0 +1,587 @@
+use crate::{GateKind, NetlistError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a netlist node (a primary input or a gate).
+///
+/// Every node drives exactly one signal, so nodes and signals are
+/// interchangeable: the "signal `x`" is the output of node `x`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The node's dense index (valid for indexing per-node side tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist larger than u32::MAX nodes"))
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    kind: GateKind,
+    fanins: Vec<NodeId>,
+}
+
+/// An immutable, validated combinational gate-level circuit.
+///
+/// Built through [`NetlistBuilder`] (or [`parse_bench`]); construction
+/// validates arity, rejects cycles, and precomputes fanout lists, a
+/// topological order and logic levels so analyses never re-derive them.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("demo");
+/// b.input("a")?;
+/// b.gate("q", GateKind::Not, &["a"])?;
+/// b.output("q")?;
+/// let nl = b.build()?;
+/// let q = nl.node_id("q").expect("declared above");
+/// assert_eq!(nl.level(q), 1);
+/// assert_eq!(nl.fanouts(nl.node_id("a").expect("declared")), &[q]);
+/// # Ok::<(), pep_netlist::NetlistError>(())
+/// ```
+///
+/// [`parse_bench`]: crate::parse_bench
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    primary_inputs: Vec<NodeId>,
+    primary_outputs: Vec<NodeId>,
+    fanouts: Vec<Vec<NodeId>>,
+    topo: Vec<NodeId>,
+    topo_pos: Vec<u32>,
+    levels: Vec<u32>,
+    max_level: u32,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (primary inputs + gates).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of combinational gates (nodes that are not primary inputs).
+    pub fn gate_count(&self) -> usize {
+        self.nodes.len() - self.primary_inputs.len()
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn primary_inputs(&self) -> &[NodeId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs, in declaration order (the nodes driving them).
+    pub fn primary_outputs(&self) -> &[NodeId] {
+        &self.primary_outputs
+    }
+
+    /// The gate kind of a node.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The fanin signals of a node (empty for primary inputs).
+    #[inline]
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].fanins
+    }
+
+    /// The gates this node feeds. A node feeding the same gate through two
+    /// pins appears twice; being a primary output adds no entry.
+    #[inline]
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Number of fanout branches (edges into gates).
+    #[inline]
+    pub fn fanout_count(&self, id: NodeId) -> usize {
+        self.fanouts[id.index()].len()
+    }
+
+    /// Whether the node is a *fanout stem* — it drives two or more gate
+    /// input pins, so its signal can reconverge downstream (paper §3.1).
+    #[inline]
+    pub fn is_stem(&self, id: NodeId) -> bool {
+        self.fanouts[id.index()].len() >= 2
+    }
+
+    /// All fanout stems, in topological order.
+    pub fn stems(&self) -> Vec<NodeId> {
+        self.topo
+            .iter()
+            .copied()
+            .filter(|&n| self.is_stem(n))
+            .collect()
+    }
+
+    /// The node's declared name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a node up by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The nodes in a topological order (fanins before fanouts).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// A node's position in [`topo_order`](Netlist::topo_order) — usable
+    /// as a sort key that respects dependencies.
+    #[inline]
+    pub fn topo_position(&self, id: NodeId) -> usize {
+        self.topo_pos[id.index()] as usize
+    }
+
+    /// Logic level: 0 for primary inputs, `1 + max(fanin levels)` for gates.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// The deepest logic level in the circuit.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Evaluates the whole circuit on concrete input values, returning one
+    /// value per node (indexed by [`NodeId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not provide one value per primary input.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.primary_inputs.len(),
+            "need one value per primary input"
+        );
+        let mut values = vec![false; self.nodes.len()];
+        for (&pi, &v) in self.primary_inputs.iter().zip(inputs) {
+            values[pi.index()] = v;
+        }
+        let mut buf = Vec::with_capacity(8);
+        for &n in &self.topo {
+            let node = &self.nodes[n.index()];
+            if node.kind == GateKind::Input {
+                continue;
+            }
+            buf.clear();
+            buf.extend(node.fanins.iter().map(|f| values[f.index()]));
+            values[n.index()] = node.kind.eval(&buf);
+        }
+        values
+    }
+}
+
+/// Incremental constructor for [`Netlist`].
+///
+/// Declare inputs and gates in any order that references only
+/// already-declared signals, mark outputs, then call
+/// [`build`](NetlistBuilder::build) to validate and freeze.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    primary_inputs: Vec<NodeId>,
+    output_names: Vec<String>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            primary_inputs: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, name: &str, node: Node) -> Result<NodeId, NetlistError> {
+        if self.name_index.contains_key(name) {
+            return Err(NetlistError::DuplicateName {
+                name: name.to_owned(),
+            });
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(node);
+        self.names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already taken.
+    pub fn input(&mut self, name: &str) -> Result<NodeId, NetlistError> {
+        let id = self.add_node(
+            name,
+            Node {
+                kind: GateKind::Input,
+                fanins: Vec::new(),
+            },
+        )?;
+        self.primary_inputs.push(id);
+        Ok(id)
+    }
+
+    /// Declares a gate whose fanins are referenced *by name*.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, unknown fanins, or an arity the kind
+    /// rejects.
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: &[&str],
+    ) -> Result<NodeId, NetlistError> {
+        let ids = fanins
+            .iter()
+            .map(|f| {
+                self.name_index
+                    .get(*f)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownSignal {
+                        name: (*f).to_owned(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.gate_ids(name, kind, &ids)
+    }
+
+    /// Declares a gate whose fanins are referenced by id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or an arity the kind rejects.
+    pub fn gate_ids(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        if kind == GateKind::Input || !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::BadArity {
+                name: name.to_owned(),
+                kind: kind.bench_name(),
+                got: fanins.len(),
+            });
+        }
+        self.add_node(
+            name,
+            Node {
+                kind,
+                fanins: fanins.to_vec(),
+            },
+        )
+    }
+
+    /// Marks a declared signal as a primary output. The same signal may be
+    /// marked repeatedly; duplicates collapse.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names are rejected at [`build`](NetlistBuilder::build) time,
+    /// not here, so outputs may be declared before their drivers (as
+    /// `.bench` files do). This method itself never fails.
+    pub fn output(&mut self, name: &str) -> Result<(), NetlistError> {
+        if !self.output_names.iter().any(|n| n == name) {
+            self.output_names.push(name.to_owned());
+        }
+        Ok(())
+    }
+
+    /// Whether a signal with this name has been declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.name_index.contains_key(name)
+    }
+
+    /// Number of nodes declared so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an output references an undeclared signal, the circuit has
+    /// no outputs, or (defensively — the by-name API cannot create one) a
+    /// combinational cycle exists.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if self.output_names.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        let primary_outputs = self
+            .output_names
+            .iter()
+            .map(|n| {
+                self.name_index
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownSignal { name: n.clone() })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let n = self.nodes.len();
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut indegree: Vec<u32> = vec![0; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.fanins.len() as u32;
+            for &f in &node.fanins {
+                fanouts[f.index()].push(NodeId::new(i));
+            }
+        }
+
+        // Kahn's algorithm; queue seeded with in-degree-zero nodes in index
+        // order so the topological order is deterministic.
+        let mut topo = Vec::with_capacity(n);
+        let mut levels = vec![0u32; n];
+        let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+            .map(NodeId::new)
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        while let Some(id) = queue.pop_front() {
+            topo.push(id);
+            for &out in &fanouts[id.index()] {
+                let oi = out.index();
+                levels[oi] = levels[oi].max(levels[id.index()] + 1);
+                indegree[oi] -= 1;
+                if indegree[oi] == 0 {
+                    queue.push_back(out);
+                }
+            }
+        }
+        if topo.len() != n {
+            let on_cycle = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("some node keeps nonzero in-degree on a cycle");
+            return Err(NetlistError::Cycle {
+                through: self.names[on_cycle].clone(),
+            });
+        }
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        let mut topo_pos = vec![0u32; n];
+        for (i, id) in topo.iter().enumerate() {
+            topo_pos[id.index()] = i as u32;
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            nodes: self.nodes,
+            names: self.names,
+            name_index: self.name_index,
+            primary_inputs: self.primary_inputs,
+            primary_outputs,
+            fanouts,
+            topo,
+            topo_pos,
+            levels,
+            max_level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("full_adder");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.input("cin").unwrap();
+        b.gate("x1", GateKind::Xor, &["a", "b"]).unwrap();
+        b.gate("sum", GateKind::Xor, &["x1", "cin"]).unwrap();
+        b.gate("g1", GateKind::And, &["x1", "cin"]).unwrap();
+        b.gate("g2", GateKind::And, &["a", "b"]).unwrap();
+        b.gate("cout", GateKind::Or, &["g1", "g2"]).unwrap();
+        b.output("sum").unwrap();
+        b.output("cout").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let nl = full_adder();
+        assert_eq!(nl.node_count(), 8);
+        assert_eq!(nl.gate_count(), 5);
+        assert_eq!(nl.primary_inputs().len(), 3);
+        assert_eq!(nl.primary_outputs().len(), 2);
+        assert_eq!(nl.name(), "full_adder");
+    }
+
+    #[test]
+    fn levels_and_topo() {
+        let nl = full_adder();
+        let a = nl.node_id("a").unwrap();
+        let x1 = nl.node_id("x1").unwrap();
+        let sum = nl.node_id("sum").unwrap();
+        let cout = nl.node_id("cout").unwrap();
+        assert_eq!(nl.level(a), 0);
+        assert_eq!(nl.level(x1), 1);
+        assert_eq!(nl.level(sum), 2);
+        // cout goes through g1 = AND(x1, cin) at level 2.
+        assert_eq!(nl.level(cout), 3);
+        assert_eq!(nl.max_level(), 3);
+        // Topological: each node appears after all its fanins.
+        let pos: std::collections::HashMap<NodeId, usize> = nl
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for id in nl.node_ids() {
+            for &f in nl.fanins(id) {
+                assert!(pos[&f] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_and_stems() {
+        let nl = full_adder();
+        let a = nl.node_id("a").unwrap();
+        let x1 = nl.node_id("x1").unwrap();
+        let sum = nl.node_id("sum").unwrap();
+        assert!(nl.is_stem(a), "a feeds x1 and g2");
+        assert!(nl.is_stem(x1), "x1 feeds sum and g1");
+        assert!(!nl.is_stem(sum), "sum only feeds a PO");
+        assert_eq!(nl.fanout_count(sum), 0);
+        let stems = nl.stems();
+        assert!(stems.contains(&a) && stems.contains(&x1));
+    }
+
+    #[test]
+    fn eval_full_adder_truth_table() {
+        let nl = full_adder();
+        let sum = nl.node_id("sum").unwrap();
+        let cout = nl.node_id("cout").unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let vals = nl.eval(&[a, b, c]);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(vals[sum.index()], total % 2 == 1);
+                    assert_eq!(vals[cout.index()], total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        assert_eq!(
+            b.input("a"),
+            Err(NetlistError::DuplicateName { name: "a".into() })
+        );
+        assert!(matches!(
+            b.gate("a", GateKind::Not, &["a"]),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut b = NetlistBuilder::new("unk");
+        b.input("a").unwrap();
+        assert!(matches!(
+            b.gate("g", GateKind::And, &["a", "ghost"]),
+            Err(NetlistError::UnknownSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_rejected() {
+        let mut b = NetlistBuilder::new("arity");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        assert!(matches!(
+            b.gate("g", GateKind::Not, &["a", "b"]),
+            Err(NetlistError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_output_driver_rejected() {
+        let mut b = NetlistBuilder::new("noout");
+        b.input("a").unwrap();
+        b.output("ghost").unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::UnknownSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = NetlistBuilder::new("noout");
+        b.input("a").unwrap();
+        assert_eq!(b.build().err(), Some(NetlistError::NoOutputs));
+    }
+
+    #[test]
+    fn duplicate_outputs_collapse() {
+        let mut b = NetlistBuilder::new("dupout");
+        b.input("a").unwrap();
+        b.gate("q", GateKind::Buf, &["a"]).unwrap();
+        b.output("q").unwrap();
+        b.output("q").unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn node_names_round_trip() {
+        let nl = full_adder();
+        for id in nl.node_ids() {
+            assert_eq!(nl.node_id(nl.node_name(id)), Some(id));
+        }
+        assert_eq!(nl.node_id("nope"), None);
+    }
+}

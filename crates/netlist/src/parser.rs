@@ -1,0 +1,287 @@
+use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
+use std::collections::HashMap;
+
+/// Parses an ISCAS-85/89 `.bench` netlist.
+///
+/// Supported syntax:
+///
+/// * `INPUT(x)` / `OUTPUT(y)` declarations,
+/// * gate assignments `y = AND(a, b, ...)` with the functions `AND`,
+///   `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`/`INV`, `BUF`/`BUFF`,
+/// * `q = DFF(d)` sequential elements, which are *cut*: `q` becomes a
+///   pseudo primary input and `d` a pseudo primary output — yielding the
+///   "combinational part" of the circuit exactly as the paper's ISCAS89
+///   experiments require (§4),
+/// * `#` comments and blank lines.
+///
+/// Signals may be referenced before they are defined (as real `.bench`
+/// files do).
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] describing the first malformed line,
+/// unsupported function, undefined signal or combinational cycle.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::parse_bench;
+///
+/// let src = "\
+/// INPUT(a)   # toy circuit
+/// INPUT(b)
+/// OUTPUT(y)
+/// w = NAND(a, b)
+/// y = NOT(w)
+/// ";
+/// let nl = parse_bench("toy", src)?;
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok::<(), pep_netlist::NetlistError>(())
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Netlist, NetlistError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // output signal -> (kind, fanin names, defining line)
+    let mut defs: Vec<(String, GateKind, Vec<String>, usize)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = parse_call(line, "INPUT") {
+            inputs.push(inner.trim().to_owned());
+            continue;
+        }
+        if let Some(inner) = parse_call(line, "OUTPUT") {
+            outputs.push(inner.trim().to_owned());
+            continue;
+        }
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: format!("expected `signal = FUNC(...)`, got `{line}`"),
+        })?;
+        let lhs = lhs.trim().to_owned();
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: "missing `(` in gate definition".to_owned(),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: "missing `)` in gate definition".to_owned(),
+            });
+        }
+        let func = rhs[..open].trim();
+        let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if func.eq_ignore_ascii_case("DFF") {
+            // Cut the flop: q is a pseudo-PI, d a pseudo-PO.
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: "DFF takes exactly one input".to_owned(),
+                });
+            }
+            inputs.push(lhs);
+            outputs.push(args[0].clone());
+            continue;
+        }
+        let kind =
+            GateKind::from_bench_name(func).ok_or_else(|| NetlistError::UnsupportedGate {
+                line: lineno,
+                function: func.to_owned(),
+            })?;
+        defs.push((lhs, kind, args, lineno));
+    }
+
+    let mut builder = NetlistBuilder::new(name);
+    for i in &inputs {
+        builder.input(i)?;
+    }
+
+    // Definitions may reference later signals; insert in dependency order.
+    let mut pending: HashMap<usize, usize> = HashMap::new(); // def idx -> unresolved count
+    let mut waiters: HashMap<String, Vec<usize>> = HashMap::new(); // fanin name -> defs waiting on it
+    let mut ready: Vec<usize> = Vec::new();
+    for (i, (_, _, fanins, _)) in defs.iter().enumerate() {
+        let unresolved = fanins.iter().filter(|f| !builder.contains(f)).count();
+        if unresolved == 0 {
+            ready.push(i);
+        } else {
+            pending.insert(i, unresolved);
+            for f in fanins {
+                if !builder.contains(f) {
+                    waiters.entry(f.clone()).or_default().push(i);
+                }
+            }
+        }
+    }
+    let mut placed = 0;
+    while let Some(i) = ready.pop() {
+        let (lhs, kind, fanins, lineno) = &defs[i];
+        let fanin_refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
+        builder
+            .gate(lhs, *kind, &fanin_refs)
+            .map_err(|e| locate(e, *lineno))?;
+        placed += 1;
+        if let Some(ws) = waiters.remove(lhs.as_str()) {
+            for w in ws {
+                let cnt = pending.get_mut(&w).expect("waiter is pending");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    pending.remove(&w);
+                    ready.push(w);
+                }
+            }
+        }
+    }
+    if placed != defs.len() {
+        // Some definition never became ready: an undefined fanin or a cycle.
+        let (lhs, _, fanins, lineno) = defs
+            .iter()
+            .find(|(lhs, ..)| !builder.contains(lhs))
+            .expect("unplaced definition exists");
+        let undefined = fanins
+            .iter()
+            .find(|f| !defs.iter().any(|(l, ..)| l == *f) && !inputs.contains(f));
+        return Err(match undefined {
+            Some(f) => locate(
+                NetlistError::UnknownSignal {
+                    name: f.to_string(),
+                },
+                *lineno,
+            ),
+            None => NetlistError::Cycle {
+                through: lhs.clone(),
+            },
+        });
+    }
+
+    for o in &outputs {
+        builder.output(o)?;
+    }
+    builder.build()
+}
+
+/// Attaches a line number to errors that lack one.
+fn locate(e: NetlistError, line: usize) -> NetlistError {
+    match e {
+        NetlistError::Parse { .. } | NetlistError::UnsupportedGate { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Matches `KEYWORD( inner )` case-insensitively, returning `inner`.
+fn parse_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line
+        .len()
+        .checked_sub(keyword.len())
+        .and_then(|_| {
+            line.get(..keyword.len())
+                .filter(|head| head.eq_ignore_ascii_case(keyword))
+        })
+        .map(|_| line[keyword.len()..].trim())?;
+    rest.strip_prefix('(')?.strip_suffix(')')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_circuit() {
+        let nl = parse_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.kind(nl.node_id("y").unwrap()), GateKind::And);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let nl = parse_bench(
+            "fwd",
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(w)\nw = BUF(a)\n",
+        )
+        .unwrap();
+        assert_eq!(nl.gate_count(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nl = parse_bench(
+            "c",
+            "# header\n\nINPUT(a) # trailing\nOUTPUT(q)\nq = NOT(a)\n",
+        )
+        .unwrap();
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn dff_is_cut() {
+        let nl = parse_bench(
+            "seq",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, q)\ny = NOT(q)\n",
+        )
+        .unwrap();
+        // q became a pseudo-PI, d a pseudo-PO: no cycle remains.
+        assert_eq!(nl.primary_inputs().len(), 2);
+        assert!(nl.primary_outputs().contains(&nl.node_id("d").unwrap()));
+        assert_eq!(nl.kind(nl.node_id("q").unwrap()), GateKind::Input);
+    }
+
+    #[test]
+    fn unsupported_function_reported() {
+        let err = parse_bench("bad", "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UnsupportedGate { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_signal_reported() {
+        let err = parse_bench("bad", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        match err {
+            NetlistError::Parse { message, .. } => assert!(message.contains("ghost")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn combinational_cycle_reported() {
+        let err =
+            parse_bench("cyc", "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = BUF(x)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn malformed_lines_reported() {
+        assert!(matches!(
+            parse_bench("m", "INPUT(a)\nOUTPUT(a)\nnonsense line\n"),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_bench("m", "INPUT(a)\nOUTPUT(y)\ny = AND a, b\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let nl = parse_bench("k", "input(a)\noutput(y)\ny = nand(a, a)\n").unwrap();
+        assert_eq!(nl.kind(nl.node_id("y").unwrap()), GateKind::Nand);
+    }
+}

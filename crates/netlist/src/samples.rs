@@ -1,0 +1,167 @@
+//! Small embedded circuits used by tests, examples and documentation.
+
+use crate::{parse_bench, GateKind, Netlist, NetlistBuilder};
+
+/// The ISCAS-85 `c17` benchmark (six NAND gates), embedded verbatim.
+const C17_BENCH: &str = "\
+# c17 — ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// The ISCAS-85 `c17` circuit.
+///
+/// The smallest classic benchmark with real reconvergent fanout (stems
+/// `3`, `11` and `16`), handy as a fully-checkable example.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::samples;
+///
+/// let nl = samples::c17();
+/// assert_eq!(nl.gate_count(), 6);
+/// assert_eq!(nl.primary_inputs().len(), 5);
+/// assert_eq!(nl.primary_outputs().len(), 2);
+/// ```
+pub fn c17() -> Netlist {
+    parse_bench("c17", C17_BENCH).expect("embedded c17 netlist is valid")
+}
+
+/// A circuit realizing the structure of the paper's Fig. 6.
+///
+/// Two primary-input stems `s1` and `s2`; `s3` and `s4` are internal stems
+/// in the fanout cone of `s1`. Supergate `sg1` contains all four stems;
+/// supergate `sg2` (nested inside `sg1`'s cone) contains `s1`, `s3` and
+/// `s4`. The two supergates overlap, as the paper notes.
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{cone::SupportSets, samples, supergate};
+///
+/// let nl = samples::fig6();
+/// let supports = SupportSets::compute(&nl);
+/// let sg1 = supergate::extract(
+///     &nl,
+///     &supports,
+///     nl.node_id("sg1").expect("present"),
+///     None,
+/// );
+/// assert_eq!(sg1.stem_count(), 4);
+/// ```
+pub fn fig6() -> Netlist {
+    let mut b = NetlistBuilder::new("fig6");
+    b.input("s1").expect("fresh name");
+    b.input("s2").expect("fresh name");
+    // s1's three branches: x1 direct, and the internal stems s3, s4.
+    b.gate("x1", GateKind::Buf, &["s1"]).expect("valid");
+    b.gate("s3", GateKind::Not, &["s1"]).expect("valid");
+    b.gate("s4", GateKind::Buf, &["s1"]).expect("valid");
+    // s3 and s4 each fan out twice.
+    b.gate("c1", GateKind::Buf, &["s3"]).expect("valid");
+    b.gate("c2", GateKind::Not, &["s3"]).expect("valid");
+    b.gate("d1", GateKind::Buf, &["s4"]).expect("valid");
+    b.gate("d2", GateKind::Not, &["s4"]).expect("valid");
+    // s2's two branches.
+    b.gate("b1", GateKind::Buf, &["s2"]).expect("valid");
+    b.gate("b2", GateKind::Not, &["s2"]).expect("valid");
+    // sg2: reconvergence of s3/s4 (and transitively s1).
+    b.gate("m1", GateKind::And, &["c1", "d1"]).expect("valid");
+    b.gate("m2", GateKind::And, &["c2", "d2"]).expect("valid");
+    b.gate("sg2", GateKind::Or, &["m1", "m2"]).expect("valid");
+    // sg1: reconvergence of everything, through inputs a and b as in the
+    // paper's figure.
+    b.gate("a", GateKind::And, &["sg2", "b1"]).expect("valid");
+    b.gate("b", GateKind::Or, &["x1", "b2"]).expect("valid");
+    b.gate("sg1", GateKind::Nand, &["a", "b"]).expect("valid");
+    b.output("sg1").expect("declared");
+    b.build().expect("fig6 netlist is a valid DAG")
+}
+
+/// A 2:1 multiplexer — the smallest reconvergent circuit
+/// (`y = (a AND s) OR (b AND NOT s)`, stem `s`).
+pub fn mux2() -> Netlist {
+    let mut b = NetlistBuilder::new("mux2");
+    b.input("a").expect("fresh name");
+    b.input("b").expect("fresh name");
+    b.input("s").expect("fresh name");
+    b.gate("ns", GateKind::Not, &["s"]).expect("valid");
+    b.gate("t0", GateKind::And, &["a", "s"]).expect("valid");
+    b.gate("t1", GateKind::And, &["b", "ns"]).expect("valid");
+    b.gate("y", GateKind::Or, &["t0", "t1"]).expect("valid");
+    b.output("y").expect("declared");
+    b.build().expect("mux2 netlist is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::SupportSets;
+
+    #[test]
+    fn c17_structure() {
+        let nl = c17();
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(nl.max_level(), 3);
+        let supports = SupportSets::compute(&nl);
+        // Stems of c17: inputs 3, and gates 11, 16.
+        let stem_names: Vec<&str> = supports
+            .stems()
+            .iter()
+            .map(|&s| nl.node_name(s))
+            .collect();
+        assert_eq!(stem_names, vec!["3", "11", "16"]);
+    }
+
+    #[test]
+    fn c17_logic() {
+        let nl = c17();
+        let g22 = nl.node_id("22").unwrap();
+        let g23 = nl.node_id("23").unwrap();
+        // Inputs ordered 1, 2, 3, 6, 7.
+        let vals = nl.eval(&[true, true, true, true, true]);
+        // 10 = !(1&3) = 0; 11 = !(3&6) = 0; 16 = !(2&11) = 1;
+        // 19 = !(11&7) = 1; 22 = !(10&16) = 1; 23 = !(16&19) = 0.
+        assert!(vals[g22.index()]);
+        assert!(!vals[g23.index()]);
+    }
+
+    #[test]
+    fn mux2_logic() {
+        let nl = mux2();
+        let y = nl.node_id("y").unwrap();
+        // Inputs ordered a, b, s.
+        for a in [false, true] {
+            for b in [false, true] {
+                for s in [false, true] {
+                    let vals = nl.eval(&[a, b, s]);
+                    assert_eq!(vals[y.index()], if s { a } else { b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_stems() {
+        let nl = fig6();
+        let supports = SupportSets::compute(&nl);
+        let stem_names: Vec<&str> = supports
+            .stems()
+            .iter()
+            .map(|&s| nl.node_name(s))
+            .collect();
+        assert_eq!(stem_names, vec!["s1", "s2", "s3", "s4"]);
+    }
+}

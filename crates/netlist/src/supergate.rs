@@ -1,0 +1,507 @@
+//! Supergate extraction (paper §3.1, §3.3).
+//!
+//! A *supergate* is a single-output subcircuit whose inputs are mutually
+//! independent signals [Seth–Agrawal]. Events propagated from a fanout stem
+//! reconverge *inside* a supergate, so arrival-time evaluation at the
+//! supergate's output gate must condition on the stem events
+//! (sampling-evaluation, implemented in `pep-core`) instead of combining
+//! fanin groups with a plain min/max.
+//!
+//! Extraction grows the region backward from a reconvergent output gate
+//! until the input frontier is pairwise support-disjoint. The paper's
+//! approximation knob `D` limits how many logic levels the region may span;
+//! a truncated supergate has (weakly) correlated inputs, trading accuracy
+//! for run time (§3.3, Fig. 9).
+
+use crate::cone::SupportSets;
+use crate::{BitSet, GateKind, Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A single-output subcircuit with (ideally) independent inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Supergate {
+    /// The reconvergent output gate this supergate was grown from.
+    pub output: NodeId,
+    /// Input frontier signals, deduplicated, in topological order. Their
+    /// arrival-time groups come from the surrounding analysis.
+    pub inputs: Vec<NodeId>,
+    /// Interior nodes (every gate strictly inside, including `output`),
+    /// in topological order — the re-propagation schedule.
+    pub interior: Vec<NodeId>,
+    /// Stems whose fanout branches reconverge within this supergate
+    /// (frontier stems with ≥2 interior branches and interior stems),
+    /// in topological order — the sampling-evaluation schedule.
+    pub stems: Vec<NodeId>,
+    /// Whether the depth limit stopped expansion before the frontier became
+    /// independent (inputs may be weakly correlated).
+    pub truncated: bool,
+}
+
+impl Supergate {
+    /// Number of interior gates (the paper's `N_g` of Table 1).
+    pub fn gate_count(&self) -> usize {
+        self.interior.len()
+    }
+
+    /// Number of stems to condition on (the paper's `N_s` of Table 1).
+    pub fn stem_count(&self) -> usize {
+        self.stems.len()
+    }
+}
+
+/// Grows the supergate of `output`.
+///
+/// `depth_limit` is the paper's `D`: a frontier node more than `D` logic
+/// levels above the deepest point may not be expanded further; `None` means
+/// exact (unbounded) extraction.
+///
+/// The returned region is *well-formed*: every interior node's fanins are
+/// interior or frontier, and (when not truncated) frontier supports are
+/// pairwise disjoint.
+///
+/// Convenience wrapper over [`SupergateExtractor`]; callers extracting
+/// many supergates should hold an extractor to reuse its scratch buffers.
+///
+/// # Panics
+///
+/// Panics if `output` is a primary input.
+pub fn extract(
+    netlist: &Netlist,
+    supports: &SupportSets,
+    output: NodeId,
+    depth_limit: Option<u32>,
+) -> Supergate {
+    SupergateExtractor::new(netlist, supports, depth_limit).extract(output)
+}
+
+/// Reusable supergate extraction engine.
+///
+/// Holds per-circuit scratch buffers so that extracting thousands of
+/// (heavily overlapping) supergates allocates nothing per call and tracks
+/// stem conflicts incrementally.
+#[derive(Debug)]
+pub struct SupergateExtractor<'a> {
+    netlist: &'a Netlist,
+    supports: &'a SupportSets,
+    depth_limit: Option<u32>,
+    in_frontier: Vec<bool>,
+    in_interior: Vec<bool>,
+    /// How many current frontier nodes carry each (tracked) stem.
+    counts: Vec<u16>,
+    /// Stems carried by two or more frontier nodes.
+    conflicted: BitSet,
+    /// `level_masks[l]` = stems whose logic level is at least `l`; the
+    /// active mask makes the depth cut-off a word-wise AND instead of a
+    /// per-bit level test.
+    level_masks: Vec<BitSet>,
+    /// Stems below this level are ignored during the current extraction:
+    /// the depth limit makes their conflicts unresolvable anyway, so
+    /// chasing them would only inflate the region.
+    level_floor: u32,
+    frontier: Vec<NodeId>,
+    interior: Vec<NodeId>,
+}
+
+impl<'a> SupergateExtractor<'a> {
+    /// Creates an extractor for the circuit with the paper's depth limit
+    /// `D` (`None` = exact extraction).
+    pub fn new(
+        netlist: &'a Netlist,
+        supports: &'a SupportSets,
+        depth_limit: Option<u32>,
+    ) -> Self {
+        let n = netlist.node_count();
+        let n_stems = supports.stems().len();
+        let max_level = netlist.max_level() as usize;
+        let mut level_masks = vec![BitSet::new(n_stems); max_level + 2];
+        for (ord, &s) in supports.stems().iter().enumerate() {
+            // Insert into every mask with threshold <= the stem's level.
+            for mask in level_masks.iter_mut().take(netlist.level(s) as usize + 1) {
+                mask.insert(ord);
+            }
+        }
+        SupergateExtractor {
+            netlist,
+            supports,
+            depth_limit,
+            in_frontier: vec![false; n],
+            in_interior: vec![false; n],
+            counts: vec![0; n_stems],
+            conflicted: BitSet::new(n_stems),
+            level_masks,
+            level_floor: 0,
+            frontier: Vec::new(),
+            interior: Vec::new(),
+        }
+    }
+
+    fn add_frontier(&mut self, f: NodeId) {
+        self.in_frontier[f.index()] = true;
+        self.frontier.push(f);
+        let mask = &self.level_masks[self.level_floor as usize];
+        for ord in self.supports.support(f).intersection(mask) {
+            self.counts[ord] += 1;
+            if self.counts[ord] == 2 {
+                self.conflicted.insert(ord);
+            }
+        }
+    }
+
+    fn remove_frontier(&mut self, idx: usize) -> NodeId {
+        let f = self.frontier.swap_remove(idx);
+        self.in_frontier[f.index()] = false;
+        let mask = &self.level_masks[self.level_floor as usize];
+        for ord in self.supports.support(f).intersection(mask) {
+            self.counts[ord] -= 1;
+            if self.counts[ord] == 1 {
+                self.conflicted.remove(ord);
+            }
+        }
+        f
+    }
+
+    /// Extracts the supergate of `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is a primary input.
+    pub fn extract(&mut self, output: NodeId) -> Supergate {
+        assert!(
+            self.netlist.kind(output) != GateKind::Input,
+            "a primary input cannot be a supergate output"
+        );
+        let netlist = self.netlist;
+        let out_level = netlist.level(output);
+        // A stem deeper than the depth budget cannot be surfaced by
+        // expansion (the nodes just above it are unexpandable), so its
+        // conflicts are ignored rather than chased to the D-boundary.
+        self.level_floor = match self.depth_limit {
+            Some(d) => out_level.saturating_sub(d),
+            None => 0,
+        };
+        self.in_interior[output.index()] = true;
+        self.interior.push(output);
+        for fi in 0..netlist.fanins(output).len() {
+            let f = netlist.fanins(output)[fi];
+            if !self.in_frontier[f.index()] {
+                self.add_frontier(f);
+            }
+        }
+
+        let truncated = loop {
+            // A frontier node is a *carrier* of a conflicted stem `s` if
+            // `s` lies strictly inside its cone; carriers are the nodes to
+            // expand. (The stem itself, when on the frontier, is kept: it
+            // becomes an input stem of the supergate.)
+            let mut best: Option<(usize, u32)> = None;
+            let mut blocked = false;
+            for (i, &f) in self.frontier.iter().enumerate() {
+                let own = self.supports.stem_ordinal(f);
+                if !self
+                    .supports
+                    .support(f)
+                    .intersects_except(&self.conflicted, own)
+                {
+                    continue;
+                }
+                // Primary inputs never carry foreign stems (their support
+                // is at most themselves), so `f` is a gate here.
+                debug_assert!(netlist.kind(f) != GateKind::Input);
+                let depth_ok = self
+                    .depth_limit
+                    .is_none_or(|d| out_level.saturating_sub(netlist.level(f)) < d);
+                if !depth_ok {
+                    blocked = true;
+                    continue;
+                }
+                let level = netlist.level(f);
+                if best.is_none_or(|(_, bl)| level > bl) {
+                    best = Some((i, level));
+                }
+            }
+            match best {
+                None => {
+                    // With a level floor active, unresolvable deep-stem
+                    // correlation may remain between frontier signals even
+                    // when no tracked conflict is blocked.
+                    if !blocked && self.level_floor > 0 {
+                        'outer: for (i, &a) in self.frontier.iter().enumerate() {
+                            for &b in &self.frontier[i + 1..] {
+                                if self.supports.correlated(a, b) {
+                                    blocked = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    break blocked;
+                }
+                Some((i, _)) => {
+                    // Expand: f moves from frontier to interior, its fanins
+                    // join the frontier unless already inside the region.
+                    let f = self.remove_frontier(i);
+                    self.in_interior[f.index()] = true;
+                    self.interior.push(f);
+                    for gi in 0..netlist.fanins(f).len() {
+                        let g = netlist.fanins(f)[gi];
+                        if !self.in_interior[g.index()] && !self.in_frontier[g.index()] {
+                            self.add_frontier(g);
+                        }
+                    }
+                }
+            }
+        };
+
+        // Order inputs and interior topologically.
+        let mut inputs = self.frontier.clone();
+        inputs.sort_unstable_by_key(|&n| netlist.topo_position(n));
+        let mut interior_sorted = std::mem::take(&mut self.interior);
+        interior_sorted.sort_unstable_by_key(|&n| netlist.topo_position(n));
+
+        // Stems of the supergate: any node (frontier or interior, except
+        // the output) with two or more fanout branches into the interior.
+        // Inputs and interior are each sorted, but interleave in global
+        // topological position, so the collected stems are re-sorted.
+        let mut stems = Vec::new();
+        for &id in inputs.iter().chain(&interior_sorted) {
+            if id == output {
+                continue;
+            }
+            let branches = netlist
+                .fanouts(id)
+                .iter()
+                .filter(|f| self.in_interior[f.index()])
+                .count();
+            if branches >= 2 {
+                stems.push(id);
+            }
+        }
+        stems.sort_unstable_by_key(|&n| netlist.topo_position(n));
+
+        // Reset scratch state for the next call.
+        while !self.frontier.is_empty() {
+            self.remove_frontier(self.frontier.len() - 1);
+        }
+        for &id in &interior_sorted {
+            self.in_interior[id.index()] = false;
+        }
+        debug_assert!(self.conflicted.is_empty());
+        debug_assert!(self.counts.iter().all(|&c| c == 0));
+
+        Supergate {
+            output,
+            inputs,
+            interior: interior_sorted,
+            stems,
+            truncated,
+        }
+    }
+}
+
+/// Aggregate supergate statistics for a circuit — the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupergateStats {
+    /// Number of reconvergent gates (= number of supergates).
+    pub count: usize,
+    /// Average interior gate count per supergate (`N_g`).
+    pub avg_gates: f64,
+    /// Average stem count per supergate (`N_s`).
+    pub avg_stems: f64,
+    /// Largest interior gate count seen.
+    pub max_gates: usize,
+    /// Largest stem count seen.
+    pub max_stems: usize,
+}
+
+/// Extracts every supergate of the circuit (one per reconvergent gate) and
+/// reports the Table 1 statistics.
+pub fn stats(netlist: &Netlist, supports: &SupportSets, depth_limit: Option<u32>) -> SupergateStats {
+    let mut count = 0usize;
+    let mut total_gates = 0usize;
+    let mut total_stems = 0usize;
+    let mut max_gates = 0usize;
+    let mut max_stems = 0usize;
+    let mut extractor = SupergateExtractor::new(netlist, supports, depth_limit);
+    for &id in netlist.topo_order() {
+        if netlist.kind(id) == GateKind::Input || !supports.is_reconvergent(netlist, id) {
+            continue;
+        }
+        let sg = extractor.extract(id);
+        count += 1;
+        total_gates += sg.gate_count();
+        total_stems += sg.stem_count();
+        max_gates = max_gates.max(sg.gate_count());
+        max_stems = max_stems.max(sg.stem_count());
+    }
+    SupergateStats {
+        count,
+        avg_gates: if count == 0 {
+            0.0
+        } else {
+            total_gates as f64 / count as f64
+        },
+        avg_stems: if count == 0 {
+            0.0
+        } else {
+            total_stems as f64 / count as f64
+        },
+        max_gates,
+        max_stems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, GateKind, NetlistBuilder};
+
+    fn diamond() -> Netlist {
+        let mut b = NetlistBuilder::new("diamond");
+        b.input("a").unwrap();
+        b.gate("inv1", GateKind::Not, &["a"]).unwrap();
+        b.gate("buf1", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["inv1", "buf1"]).unwrap();
+        b.output("y").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_supergate() {
+        let nl = diamond();
+        let s = SupportSets::compute(&nl);
+        let y = nl.node_id("y").unwrap();
+        let sg = extract(&nl, &s, y, None);
+        assert_eq!(sg.output, y);
+        assert!(!sg.truncated);
+        // The frontier collapses to the stem `a` itself.
+        assert_eq!(sg.inputs, vec![nl.node_id("a").unwrap()]);
+        // Interior: inv1, buf1, y.
+        assert_eq!(sg.interior.len(), 3);
+        // One stem: `a` (a frontier stem with two interior branches).
+        assert_eq!(sg.stems, vec![nl.node_id("a").unwrap()]);
+    }
+
+    #[test]
+    fn region_is_well_formed() {
+        let nl = samples::fig6();
+        let s = SupportSets::compute(&nl);
+        for &g in nl.topo_order() {
+            if nl.kind(g) == GateKind::Input || !s.is_reconvergent(&nl, g) {
+                continue;
+            }
+            let sg = extract(&nl, &s, g, None);
+            let interior: std::collections::HashSet<_> = sg.interior.iter().copied().collect();
+            let frontier: std::collections::HashSet<_> = sg.inputs.iter().copied().collect();
+            // Every interior node's fanins stay inside the region.
+            for &n in &sg.interior {
+                for &f in nl.fanins(n) {
+                    assert!(
+                        interior.contains(&f) || frontier.contains(&f),
+                        "fanin {} of interior {} escapes the region of {}",
+                        nl.node_name(f),
+                        nl.node_name(n),
+                        nl.node_name(g),
+                    );
+                }
+            }
+            // Inputs are pairwise independent (not truncated here).
+            assert!(!sg.truncated);
+            for (i, &a) in sg.inputs.iter().enumerate() {
+                for &b in &sg.inputs[i + 1..] {
+                    assert!(
+                        !s.correlated(a, b),
+                        "supergate inputs {} and {} correlated",
+                        nl.node_name(a),
+                        nl.node_name(b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_supergates() {
+        // The paper's Fig. 6: SG1 contains stems S1..S4, SG2 contains
+        // S2, S3, S4; the supergates overlap.
+        let nl = samples::fig6();
+        let s = SupportSets::compute(&nl);
+        let sg1_out = nl.node_id("sg1").unwrap();
+        let sg2_out = nl.node_id("sg2").unwrap();
+        assert!(s.is_reconvergent(&nl, sg1_out));
+        assert!(s.is_reconvergent(&nl, sg2_out));
+
+        let sg1 = extract(&nl, &s, sg1_out, None);
+        let sg2 = extract(&nl, &s, sg2_out, None);
+        let stem_names = |sg: &Supergate| -> Vec<&str> {
+            sg.stems.iter().map(|&n| nl.node_name(n)).collect()
+        };
+        assert_eq!(stem_names(&sg1), vec!["s1", "s2", "s3", "s4"]);
+        assert_eq!(stem_names(&sg2), vec!["s1", "s3", "s4"]);
+        // Overlap: both supergates contain the gates driving s3/s4's
+        // reconvergence.
+        let i1: std::collections::HashSet<_> = sg1.interior.iter().copied().collect();
+        assert!(sg2.interior.iter().any(|n| i1.contains(n)));
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        // A long diamond: stem at distance 4 from the reconvergent gate.
+        let mut b = NetlistBuilder::new("deep");
+        b.input("a").unwrap();
+        b.gate("u1", GateKind::Buf, &["a"]).unwrap();
+        b.gate("u2", GateKind::Buf, &["u1"]).unwrap();
+        b.gate("u3", GateKind::Buf, &["u2"]).unwrap();
+        b.gate("v1", GateKind::Not, &["a"]).unwrap();
+        b.gate("v2", GateKind::Buf, &["v1"]).unwrap();
+        b.gate("v3", GateKind::Buf, &["v2"]).unwrap();
+        b.gate("y", GateKind::And, &["u3", "v3"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let s = SupportSets::compute(&nl);
+        let y = nl.node_id("y").unwrap();
+
+        let exact = extract(&nl, &s, y, None);
+        assert!(!exact.truncated);
+        assert_eq!(exact.stems.len(), 1);
+        assert_eq!(exact.interior.len(), 7);
+
+        let limited = extract(&nl, &s, y, Some(2));
+        assert!(limited.truncated);
+        assert!(limited.interior.len() < exact.interior.len());
+        // Truncated frontier stays correlated.
+        assert!(limited
+            .inputs
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| limited.inputs[i + 1..].iter().any(|&b| s.correlated(a, b))));
+
+        // A generous limit reproduces the exact supergate.
+        let wide = extract(&nl, &s, y, Some(10));
+        assert_eq!(wide, exact);
+    }
+
+    #[test]
+    fn duplicated_fanin_supergate() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::And, &["a", "a"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let s = SupportSets::compute(&nl);
+        let sg = extract(&nl, &s, nl.node_id("y").unwrap(), None);
+        assert_eq!(sg.inputs, vec![nl.node_id("a").unwrap()]);
+        assert_eq!(sg.stems, vec![nl.node_id("a").unwrap()]);
+        assert!(!sg.truncated);
+    }
+
+    #[test]
+    fn stats_on_fig6() {
+        let nl = samples::fig6();
+        let s = SupportSets::compute(&nl);
+        let st = stats(&nl, &s, None);
+        assert!(st.count >= 2);
+        assert!(st.avg_gates >= 1.0);
+        assert!(st.avg_stems >= 1.0);
+        assert!(st.max_stems >= 3);
+    }
+}

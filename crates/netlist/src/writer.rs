@@ -1,0 +1,88 @@
+use crate::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Serializes a netlist to ISCAS `.bench` text.
+///
+/// The output round-trips through [`parse_bench`](crate::parse_bench)
+/// (sequential elements never appear because [`Netlist`] is purely
+/// combinational).
+///
+/// # Example
+///
+/// ```
+/// use pep_netlist::{parse_bench, to_bench};
+///
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let nl = parse_bench("t", src)?;
+/// let round = parse_bench("t", &to_bench(&nl))?;
+/// assert_eq!(round.gate_count(), nl.gate_count());
+/// # Ok::<(), pep_netlist::NetlistError>(())
+/// ```
+pub fn to_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &pi in netlist.primary_inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node_name(pi));
+    }
+    for &po in netlist.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node_name(po));
+    }
+    for &id in netlist.topo_order() {
+        let kind = netlist.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<&str> = netlist
+            .fanins(id)
+            .iter()
+            .map(|&f| netlist.node_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.node_name(id),
+            kind.bench_name(),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_bench, to_bench, GateKind, NetlistBuilder};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut b = NetlistBuilder::new("rt");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("w", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("y", GateKind::Xor, &["w", "a"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+
+        let text = to_bench(&nl);
+        let back = parse_bench("rt", &text).unwrap();
+        assert_eq!(back.node_count(), nl.node_count());
+        assert_eq!(back.primary_inputs().len(), nl.primary_inputs().len());
+        assert_eq!(back.primary_outputs().len(), nl.primary_outputs().len());
+        for id in nl.node_ids() {
+            let other = back.node_id(nl.node_name(id)).expect("same names");
+            assert_eq!(back.kind(other), nl.kind(id));
+            assert_eq!(back.fanins(other).len(), nl.fanins(id).len());
+        }
+    }
+
+    #[test]
+    fn output_contains_expected_lines() {
+        let mut b = NetlistBuilder::new("lines");
+        b.input("x").unwrap();
+        b.gate("q", GateKind::Buf, &["x"]).unwrap();
+        b.output("q").unwrap();
+        let text = to_bench(&b.build().unwrap());
+        assert!(text.contains("INPUT(x)"));
+        assert!(text.contains("OUTPUT(q)"));
+        assert!(text.contains("q = BUFF(x)"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Edge-case tests of the netlist public API: parser corner cases,
+//! builder validation, generators at their smallest sizes, and supergate
+//! extraction on degenerate structures.
+
+use pep_netlist::cone::SupportSets;
+use pep_netlist::generate::{array_multiplier, comb_tree, ripple_carry_adder};
+use pep_netlist::supergate::{extract, SupergateExtractor};
+use pep_netlist::{parse_bench, samples, to_bench, GateKind, NetlistBuilder, NetlistError};
+
+#[test]
+fn parser_rejects_duplicate_declarations() {
+    let err = parse_bench("d", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n").unwrap_err();
+    assert!(err.to_string().contains('a'));
+    let err = parse_bench("d", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n").unwrap_err();
+    assert!(err.to_string().contains('y'), "{err}");
+}
+
+#[test]
+fn parser_accepts_output_of_an_input() {
+    // Feed-through: an input that is directly an output.
+    let nl = parse_bench("ft", "INPUT(a)\nOUTPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+    assert!(nl
+        .primary_outputs()
+        .contains(&nl.node_id("a").expect("declared")));
+}
+
+#[test]
+fn parser_accepts_single_input_and() {
+    // Some .bench files contain 1-input AND/OR; they act as buffers.
+    let nl = parse_bench("s", "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n").unwrap();
+    let y = nl.node_id("y").unwrap();
+    assert_eq!(nl.kind(y), GateKind::And);
+    assert_eq!(nl.fanins(y).len(), 1);
+    assert!(nl.eval(&[true])[y.index()]);
+}
+
+#[test]
+fn parser_handles_dff_forward_reference() {
+    // The flop's data input is defined after the DFF line.
+    let nl = parse_bench(
+        "seq",
+        "INPUT(a)\nOUTPUT(o)\nq = DFF(d)\no = NOT(q)\nd = AND(a, q)\n",
+    )
+    .unwrap();
+    assert_eq!(nl.primary_inputs().len(), 2, "a plus pseudo-input q");
+    assert!(nl
+        .primary_outputs()
+        .contains(&nl.node_id("d").expect("pseudo-output d")));
+}
+
+#[test]
+fn parser_tolerates_crlf_and_tabs() {
+    let nl = parse_bench("w", "INPUT(a)\r\nOUTPUT(y)\r\n\ty = NOT( a )\r\n").unwrap();
+    assert_eq!(nl.gate_count(), 1);
+}
+
+#[test]
+fn writer_escapes_nothing_but_round_trips_odd_names() {
+    let mut b = NetlistBuilder::new("odd");
+    b.input("sig.with.dots").unwrap();
+    b.gate("out[3]", GateKind::Not, &["sig.with.dots"]).unwrap();
+    b.output("out[3]").unwrap();
+    let nl = b.build().unwrap();
+    let back = parse_bench("odd", &to_bench(&nl)).unwrap();
+    assert!(back.node_id("out[3]").is_some());
+}
+
+#[test]
+#[should_panic(expected = "no logic function")]
+fn evaluating_input_kind_panics() {
+    GateKind::Input.eval(&[]);
+}
+
+#[test]
+fn one_bit_adder_and_multiplier() {
+    let add = ripple_carry_adder(1);
+    // inputs: a0, b0, cin.
+    let vals = add.eval(&[true, true, true]);
+    let sum = add.node_id("sum0").unwrap();
+    let cout = add.node_id("c0").unwrap();
+    assert!(vals[sum.index()], "1+1+1 = 0b11");
+    assert!(vals[cout.index()]);
+
+    let mul = array_multiplier(1);
+    let vals = mul.eval(&[true, true]);
+    let p0 = mul.node_id("p0").unwrap();
+    assert!(vals[p0.index()], "1*1 = 1");
+}
+
+#[test]
+fn two_leaf_tree_is_one_gate() {
+    let nl = comb_tree(GateKind::Xor, 2);
+    assert_eq!(nl.gate_count(), 1);
+    assert_eq!(nl.max_level(), 1);
+}
+
+#[test]
+fn extract_on_non_reconvergent_gate_is_trivial() {
+    // A plain AND of two independent inputs: the "supergate" is just the
+    // gate itself with no stems.
+    let mut b = NetlistBuilder::new("plain");
+    b.input("a").unwrap();
+    b.input("b").unwrap();
+    b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+    b.output("y").unwrap();
+    let nl = b.build().unwrap();
+    let supports = SupportSets::compute(&nl);
+    let y = nl.node_id("y").unwrap();
+    assert!(!supports.is_reconvergent(&nl, y));
+    let sg = extract(&nl, &supports, y, None);
+    assert_eq!(sg.interior, vec![y]);
+    assert_eq!(sg.inputs.len(), 2);
+    assert!(sg.stems.is_empty());
+    assert!(!sg.truncated);
+}
+
+#[test]
+fn depth_one_supergates_never_expand() {
+    let nl = samples::fig6();
+    let supports = SupportSets::compute(&nl);
+    let mut ex = SupergateExtractor::new(&nl, &supports, Some(1));
+    let sg1 = nl.node_id("sg1").unwrap();
+    let sg = ex.extract(sg1);
+    assert_eq!(sg.interior, vec![sg1], "D=1 keeps only the output");
+    assert!(sg.truncated, "fig6's sg1 inputs stay correlated at D=1");
+}
+
+#[test]
+fn stems_list_matches_is_stem() {
+    let nl = samples::c17();
+    let stems = nl.stems();
+    for id in nl.node_ids() {
+        assert_eq!(stems.contains(&id), nl.is_stem(id));
+    }
+}
+
+#[test]
+fn support_of_input_is_self_iff_stem() {
+    let nl = samples::c17();
+    let s = SupportSets::compute(&nl);
+    for &pi in nl.primary_inputs() {
+        let sup = s.support(pi);
+        if nl.is_stem(pi) {
+            assert_eq!(sup.len(), 1);
+            assert!(sup.contains(s.stem_ordinal(pi).expect("is a stem")));
+        } else {
+            assert!(sup.is_empty());
+        }
+    }
+}
+
+#[test]
+fn builder_error_display_messages() {
+    // Error Display strings are meaningful (C-GOOD-ERR).
+    let e = NetlistError::DuplicateName { name: "x".into() };
+    assert!(e.to_string().contains("declared more than once"));
+    let e = NetlistError::Cycle {
+        through: "loop".into(),
+    };
+    assert!(e.to_string().contains("cycle"));
+    let e = NetlistError::Parse {
+        line: 3,
+        message: "boom".into(),
+    };
+    assert!(e.to_string().contains("line 3"));
+}

@@ -1,0 +1,203 @@
+//! Property-based tests of netlist structure, generators, parsing and
+//! supergate extraction.
+
+use pep_netlist::cone::{fanin_cone, fanout_cone, SupportSets};
+use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+use pep_netlist::supergate::SupergateExtractor;
+use pep_netlist::{parse_bench, to_bench, GateKind};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = RandomCircuitSpec> {
+    (
+        2usize..24,      // inputs
+        10usize..120,    // gates
+        2usize..10,      // depth
+        2usize..5,       // max_fanin
+        1usize..4,       // level_reach
+        0.0f64..=1.0,    // window
+        0.0f64..0.7,     // inverter fraction
+        any::<u64>(),    // seed
+    )
+        .prop_map(
+            |(inputs, gates, depth, max_fanin, level_reach, window, inv, seed)| {
+                RandomCircuitSpec {
+                    name: "prop".into(),
+                    inputs,
+                    gates,
+                    depth: depth.min(gates),
+                    max_fanin,
+                    level_reach,
+                    window,
+                    inverter_fraction: inv,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_circuits_are_structurally_sound(spec in arb_spec()) {
+        let nl = random_circuit(&spec);
+        prop_assert_eq!(nl.gate_count(), spec.gates);
+        prop_assert_eq!(nl.primary_inputs().len(), spec.inputs);
+        prop_assert_eq!(nl.max_level() as usize, spec.depth);
+        // Topological order respects edges; levels are consistent.
+        for id in nl.node_ids() {
+            for &f in nl.fanins(id) {
+                prop_assert!(nl.topo_position(f) < nl.topo_position(id));
+                prop_assert!(nl.level(f) < nl.level(id));
+            }
+            if nl.kind(id) != GateKind::Input {
+                let max_fanin_level = nl
+                    .fanins(id)
+                    .iter()
+                    .map(|&f| nl.level(f))
+                    .max()
+                    .expect("gates have fanins");
+                prop_assert_eq!(nl.level(id), max_fanin_level + 1);
+            }
+        }
+        // No dangling logic.
+        let po: std::collections::HashSet<_> = nl.primary_outputs().iter().copied().collect();
+        for id in nl.node_ids() {
+            prop_assert!(nl.fanout_count(id) > 0 || po.contains(&id));
+        }
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_everything(spec in arb_spec()) {
+        let nl = random_circuit(&spec);
+        let text = to_bench(&nl);
+        let back = parse_bench(nl.name(), &text).expect("own output parses");
+        prop_assert_eq!(back.node_count(), nl.node_count());
+        prop_assert_eq!(back.primary_outputs().len(), nl.primary_outputs().len());
+        for id in nl.node_ids() {
+            let other = back.node_id(nl.node_name(id)).expect("names preserved");
+            prop_assert_eq!(back.kind(other), nl.kind(id));
+            let fanins: Vec<&str> =
+                nl.fanins(id).iter().map(|&f| nl.node_name(f)).collect();
+            let back_fanins: Vec<&str> =
+                back.fanins(other).iter().map(|&f| back.node_name(f)).collect();
+            prop_assert_eq!(fanins, back_fanins);
+        }
+    }
+
+    #[test]
+    fn supports_match_cone_membership(spec in arb_spec()) {
+        let nl = random_circuit(&spec);
+        let supports = SupportSets::compute(&nl);
+        // For a sample of nodes, the support equals the stems found by an
+        // explicit cone walk.
+        for id in nl.node_ids().step_by(7) {
+            let cone: std::collections::HashSet<_> =
+                fanin_cone(&nl, id).into_iter().collect();
+            for (ord, &stem) in supports.stems().iter().enumerate() {
+                let in_support = supports.support(id).contains(ord);
+                let expected = cone.contains(&stem);
+                prop_assert_eq!(
+                    in_support, expected,
+                    "stem {} vs node {}", nl.node_name(stem), nl.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cones_are_duals(spec in arb_spec()) {
+        let nl = random_circuit(&spec);
+        // b in fanin_cone(a) <=> a in fanout_cone(b), spot-checked.
+        let nodes: Vec<_> = nl.node_ids().step_by(11).collect();
+        for &a in &nodes {
+            let fic: std::collections::HashSet<_> = fanin_cone(&nl, a).into_iter().collect();
+            for &b in &nodes {
+                let foc_b: std::collections::HashSet<_> =
+                    fanout_cone(&nl, b).into_iter().collect();
+                prop_assert_eq!(fic.contains(&b), foc_b.contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn supergates_are_well_formed(spec in arb_spec(), depth in prop::option::of(1u32..8)) {
+        let nl = random_circuit(&spec);
+        let supports = SupportSets::compute(&nl);
+        let mut extractor = SupergateExtractor::new(&nl, &supports, depth);
+        for &g in nl.topo_order() {
+            if nl.kind(g) == GateKind::Input || !supports.is_reconvergent(&nl, g) {
+                continue;
+            }
+            let sg = extractor.extract(g);
+            prop_assert_eq!(sg.output, g);
+            let interior: std::collections::HashSet<_> = sg.interior.iter().copied().collect();
+            let inputs: std::collections::HashSet<_> = sg.inputs.iter().copied().collect();
+            prop_assert!(interior.contains(&g));
+            prop_assert!(interior.is_disjoint(&inputs));
+            // Region closure: interior fanins stay inside the region.
+            for &n in &sg.interior {
+                for &f in nl.fanins(n) {
+                    prop_assert!(interior.contains(&f) || inputs.contains(&f));
+                }
+            }
+            // Interior and stems are topologically sorted.
+            for w in sg.interior.windows(2) {
+                prop_assert!(nl.topo_position(w[0]) < nl.topo_position(w[1]));
+            }
+            for w in sg.stems.windows(2) {
+                prop_assert!(nl.topo_position(w[0]) < nl.topo_position(w[1]));
+            }
+            // Untruncated supergates have pairwise-independent inputs.
+            if !sg.truncated {
+                for (i, &a) in sg.inputs.iter().enumerate() {
+                    for &b in &sg.inputs[i + 1..] {
+                        prop_assert!(!supports.correlated(a, b));
+                    }
+                }
+            }
+            // Every stem fans out at least twice into the interior.
+            for &s in &sg.stems {
+                let branches = nl
+                    .fanouts(s)
+                    .iter()
+                    .filter(|f| interior.contains(f))
+                    .count();
+                prop_assert!(branches >= 2, "stem {} has {branches} branches", nl.node_name(s));
+            }
+        }
+    }
+
+    #[test]
+    fn extractor_reuse_is_stateless(spec in arb_spec()) {
+        // Reusing one extractor must give the same result as fresh ones.
+        let nl = random_circuit(&spec);
+        let supports = SupportSets::compute(&nl);
+        let mut shared = SupergateExtractor::new(&nl, &supports, Some(5));
+        for &g in nl.topo_order() {
+            if nl.kind(g) == GateKind::Input || !supports.is_reconvergent(&nl, g) {
+                continue;
+            }
+            let a = shared.extract(g);
+            let b = SupergateExtractor::new(&nl, &supports, Some(5)).extract(g);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn logic_eval_respects_gate_semantics(spec in arb_spec(), bits in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let inputs: Vec<bool> = (0..nl.primary_inputs().len())
+            .map(|i| bits >> (i % 64) & 1 == 1)
+            .collect();
+        let values = nl.eval(&inputs);
+        for id in nl.node_ids() {
+            if nl.kind(id) == GateKind::Input {
+                continue;
+            }
+            let fanin_vals: Vec<bool> =
+                nl.fanins(id).iter().map(|f| values[f.index()]).collect();
+            prop_assert_eq!(values[id.index()], nl.kind(id).eval(&fanin_vals));
+        }
+    }
+}

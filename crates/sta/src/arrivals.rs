@@ -1,0 +1,165 @@
+//! Deterministic arrival-time propagation — the inner analysis of every
+//! Monte Carlo run, and a corner/nominal STA in its own right.
+
+use pep_celllib::Timing;
+use pep_netlist::{GateKind, Netlist, NodeId};
+
+/// Propagates latest arrival times through the circuit with per-arc delays
+/// supplied by `arc_delay(gate, pin)`.
+///
+/// Primary inputs arrive at time 0; a gate's arrival is the maximum over
+/// its pins of `fanin arrival + arc delay`. Returns one arrival per node,
+/// indexed by [`NodeId::index`].
+///
+/// This generic core lets callers plug in nominal means
+/// ([`nominal_arrivals`]), sampled values (the Monte Carlo engine) or
+/// corner values without re-deriving the traversal.
+pub fn propagate<F>(netlist: &Netlist, mut arc_delay: F) -> Vec<f64>
+where
+    F: FnMut(NodeId, usize) -> f64,
+{
+    let mut arrival = vec![0.0f64; netlist.node_count()];
+    for &id in netlist.topo_order() {
+        if netlist.kind(id) == GateKind::Input {
+            continue;
+        }
+        let mut at = f64::NEG_INFINITY;
+        for (pin, &f) in netlist.fanins(id).iter().enumerate() {
+            at = at.max(arrival[f.index()] + arc_delay(id, pin));
+        }
+        arrival[id.index()] = at;
+    }
+    arrival
+}
+
+/// Nominal (mean-delay) arrival times.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::Timing;
+/// use pep_netlist::samples;
+/// use pep_sta::arrivals::nominal_arrivals;
+///
+/// let nl = samples::c17();
+/// let timing = Timing::uniform(&nl, 1.0);
+/// let at = nominal_arrivals(&nl, &timing);
+/// let po22 = nl.node_id("22").expect("c17 output");
+/// // Unit delays: arrival equals logic level.
+/// assert_eq!(at[po22.index()], nl.level(po22) as f64);
+/// ```
+pub fn nominal_arrivals(netlist: &Netlist, timing: &Timing) -> Vec<f64> {
+    propagate(netlist, |gate, pin| timing.arc_mean(gate, pin))
+}
+
+/// The latest-arriving primary output and its arrival time.
+///
+/// Returns `None` only for pathological circuits whose outputs are all
+/// primary inputs.
+pub fn latest_output(netlist: &Netlist, arrivals: &[f64]) -> Option<(NodeId, f64)> {
+    netlist
+        .primary_outputs()
+        .iter()
+        .map(|&po| (po, arrivals[po.index()]))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("arrivals are finite"))
+}
+
+/// Extracts one critical path ending at `endpoint`, following the
+/// latest-arriving fanin at every step; returned input-to-output.
+///
+/// `arc_delay` must be the same delay source used to compute `arrivals`.
+pub fn critical_path<F>(
+    netlist: &Netlist,
+    arrivals: &[f64],
+    mut arc_delay: F,
+    endpoint: NodeId,
+) -> Vec<NodeId>
+where
+    F: FnMut(NodeId, usize) -> f64,
+{
+    let mut path = vec![endpoint];
+    let mut cur = endpoint;
+    while netlist.kind(cur) != GateKind::Input {
+        let (pin, &f) = netlist
+            .fanins(cur)
+            .iter()
+            .enumerate()
+            .max_by(|(pa, a), (pb, b)| {
+                let ta = arrivals[a.index()] + arc_delay(cur, *pa);
+                let tb = arrivals[b.index()] + arc_delay(cur, *pb);
+                ta.partial_cmp(&tb).expect("arrivals are finite")
+            })
+            .expect("gates have fanins");
+        let _ = pin;
+        path.push(f);
+        cur = f;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_celllib::{DelayModel, Timing};
+    use pep_netlist::samples;
+
+    #[test]
+    fn unit_delay_arrivals_equal_levels() {
+        let nl = samples::c17();
+        let t = Timing::uniform(&nl, 1.0);
+        let at = nominal_arrivals(&nl, &t);
+        for id in nl.node_ids() {
+            assert_eq!(at[id.index()], nl.level(id) as f64, "{}", nl.node_name(id));
+        }
+    }
+
+    #[test]
+    fn nominal_arrivals_monotone_along_edges() {
+        let nl = samples::fig6();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(2));
+        let at = nominal_arrivals(&nl, &t);
+        for id in nl.node_ids() {
+            for &f in nl.fanins(id) {
+                assert!(at[id.index()] > at[f.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_is_connected_and_critical() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(3));
+        let at = nominal_arrivals(&nl, &t);
+        let (po, worst) = latest_output(&nl, &at).expect("c17 has outputs");
+        let path = critical_path(&nl, &at, |g, p| t.arc_mean(g, p), po);
+        assert_eq!(*path.last().expect("non-empty"), po);
+        assert_eq!(nl.kind(path[0]), pep_netlist::GateKind::Input);
+        // Consecutive nodes are connected.
+        for w in path.windows(2) {
+            assert!(nl.fanins(w[1]).contains(&w[0]));
+        }
+        // Path delay equals the endpoint arrival.
+        let mut acc = 0.0;
+        for w in path.windows(2) {
+            let pin = nl
+                .fanins(w[1])
+                .iter()
+                .position(|&f| f == w[0])
+                .expect("connected");
+            acc += t.arc_mean(w[1], pin);
+        }
+        assert!((acc - worst).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_delays_lengthen_arrivals() {
+        let nl = samples::c17();
+        let plain = Timing::annotate(&nl, &DelayModel::dac2001(3));
+        let wired = Timing::annotate(&nl, &DelayModel::dac2001(3).with_wire_fraction(0.25));
+        let at_plain = nominal_arrivals(&nl, &plain);
+        let at_wired = nominal_arrivals(&nl, &wired);
+        let po = nl.primary_outputs()[0];
+        assert!(at_wired[po.index()] > at_plain[po.index()]);
+    }
+}

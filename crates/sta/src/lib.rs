@@ -1,0 +1,38 @@
+//! Deterministic static timing analysis and the Monte Carlo statistical
+//! baseline.
+//!
+//! The DAC 2001 paper compares its probabilistic-event-propagation
+//! algorithm against "a Monte Carlo process for traditional static timing
+//! analysis" (§4). This crate provides that whole baseline stack:
+//!
+//! * [`arrivals`] — single-pass deterministic arrival-time propagation and
+//!   critical-path extraction (the analysis each Monte Carlo run performs),
+//! * [`monte_carlo`] — the sampling loop: draw every cell/wire delay,
+//!   analyze, accumulate per-node statistics, report the paper's
+//!   Student-t convergence bound,
+//! * [`transition`] — two-vector (dynamic) timing simulation for the
+//!   paper's "dynamic simulation with given input vectors" mode, plus its
+//!   Monte Carlo version.
+//!
+//! # Example
+//!
+//! ```
+//! use pep_celllib::{DelayModel, Timing};
+//! use pep_netlist::samples;
+//! use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+//!
+//! let nl = samples::c17();
+//! let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+//! let result = run_monte_carlo(&nl, &timing, &McConfig { runs: 500, ..McConfig::default() });
+//! let po = nl.primary_outputs()[0];
+//! assert!(result.mean(po) > 0.0);
+//! assert!(result.std(po) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod monte_carlo;
+pub mod slack;
+pub mod transition;

@@ -1,0 +1,289 @@
+//! Required times, slack, and K-longest-path extraction.
+//!
+//! The deterministic complement of the statistical analyzer: once a clock
+//! period is chosen (for instance from the probabilistic circuit-delay
+//! distribution's quantiles), these routines answer the classic STA
+//! questions — which nodes are critical, what the slack distribution over
+//! the netlist looks like, and which concrete paths are the longest.
+
+use crate::arrivals;
+use pep_celllib::Timing;
+use pep_netlist::{GateKind, Netlist, NodeId};
+use std::collections::BinaryHeap;
+
+/// Per-node arrival, required time and slack under mean delays.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::Timing;
+/// use pep_netlist::samples;
+/// use pep_sta::slack::SlackReport;
+///
+/// let nl = samples::c17();
+/// let timing = Timing::uniform(&nl, 1.0);
+/// let report = SlackReport::analyze(&nl, &timing, None);
+/// // With the period at the worst arrival, the critical path has slack 0.
+/// assert_eq!(report.worst_slack(), 0.0);
+/// assert!(!report.critical_nodes(&nl, 1e-9).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlackReport {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    clock_period: f64,
+}
+
+impl SlackReport {
+    /// Runs a mean-delay arrival/required/slack analysis.
+    ///
+    /// `clock_period = None` uses the worst primary-output arrival (so the
+    /// critical path gets slack exactly zero).
+    pub fn analyze(netlist: &Netlist, timing: &Timing, clock_period: Option<f64>) -> Self {
+        let arrival = arrivals::nominal_arrivals(netlist, timing);
+        let worst = arrivals::latest_output(netlist, &arrival)
+            .map(|(_, t)| t)
+            .unwrap_or(0.0);
+        let clock_period = clock_period.unwrap_or(worst);
+        // Required times propagate backward: POs are due at the period;
+        // every other node must arrive early enough for each fanout.
+        let mut required = vec![f64::INFINITY; netlist.node_count()];
+        for &po in netlist.primary_outputs() {
+            required[po.index()] = clock_period;
+        }
+        for &id in netlist.topo_order().iter().rev() {
+            if required[id.index()].is_infinite() && netlist.fanout_count(id) == 0 {
+                // Dangling node (not a PO): unconstrained.
+                continue;
+            }
+            for (pin, &f) in netlist.fanins(id).iter().enumerate() {
+                let due = required[id.index()] - timing.arc_mean(id, pin);
+                if due < required[f.index()] {
+                    required[f.index()] = due;
+                }
+            }
+        }
+        SlackReport {
+            arrival,
+            required,
+            clock_period,
+        }
+    }
+
+    /// The clock period the report was computed against.
+    pub fn clock_period(&self) -> f64 {
+        self.clock_period
+    }
+
+    /// Mean arrival time of a node.
+    pub fn arrival(&self, node: NodeId) -> f64 {
+        self.arrival[node.index()]
+    }
+
+    /// Required time of a node (`+∞` for unconstrained nodes).
+    pub fn required(&self, node: NodeId) -> f64 {
+        self.required[node.index()]
+    }
+
+    /// Slack of a node (`required − arrival`; `+∞` when unconstrained).
+    pub fn slack(&self, node: NodeId) -> f64 {
+        self.required[node.index()] - self.arrival[node.index()]
+    }
+
+    /// The smallest slack in the design.
+    pub fn worst_slack(&self) -> f64 {
+        (0..self.arrival.len())
+            .map(|i| self.required[i] - self.arrival[i])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Nodes whose slack is within `epsilon` of the worst slack — the
+    /// critical network.
+    pub fn critical_nodes(&self, netlist: &Netlist, epsilon: f64) -> Vec<NodeId> {
+        let worst = self.worst_slack();
+        netlist
+            .node_ids()
+            .filter(|&n| self.slack(n) <= worst + epsilon)
+            .collect()
+    }
+}
+
+/// One enumerated path, input to output, with its total mean delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Total mean delay along the path.
+    pub delay: f64,
+    /// The path's nodes, primary input first.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Heap entry for the K-longest-path search: a partial path (built
+/// backward from an endpoint) with an upper bound on its completed length.
+struct Partial {
+    bound: f64,
+    suffix_delay: f64,
+    nodes: Vec<NodeId>,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .expect("bounds are finite")
+    }
+}
+
+/// Enumerates the `k` longest input-to-output paths under mean delays, in
+/// non-increasing delay order.
+///
+/// Uses best-first search over partial paths grown backward from the
+/// endpoints, with the longest prefix arrival as an admissible bound, so
+/// paths pop off the heap in exact order and only `O(k · depth)` partials
+/// expand.
+///
+/// # Example
+///
+/// ```
+/// use pep_celllib::Timing;
+/// use pep_netlist::samples;
+/// use pep_sta::slack::k_longest_paths;
+///
+/// let nl = samples::c17();
+/// let timing = Timing::uniform(&nl, 1.0);
+/// let paths = k_longest_paths(&nl, &timing, 3);
+/// assert_eq!(paths.len(), 3);
+/// assert!(paths[0].delay >= paths[1].delay);
+/// assert_eq!(paths[0].delay, 3.0, "c17 is three levels deep");
+/// ```
+pub fn k_longest_paths(netlist: &Netlist, timing: &Timing, k: usize) -> Vec<TimingPath> {
+    let arrival = arrivals::nominal_arrivals(netlist, timing);
+    let mut heap: BinaryHeap<Partial> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|&po| Partial {
+            bound: arrival[po.index()],
+            suffix_delay: 0.0,
+            nodes: vec![po],
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    while let Some(p) = heap.pop() {
+        let head = p.nodes[0];
+        if netlist.kind(head) == GateKind::Input {
+            out.push(TimingPath {
+                delay: p.suffix_delay,
+                nodes: p.nodes,
+            });
+            if out.len() == k {
+                break;
+            }
+            continue;
+        }
+        for (pin, &f) in netlist.fanins(head).iter().enumerate() {
+            let arc = timing.arc_mean(head, pin);
+            let mut nodes = Vec::with_capacity(p.nodes.len() + 1);
+            nodes.push(f);
+            nodes.extend_from_slice(&p.nodes);
+            heap.push(Partial {
+                bound: arrival[f.index()] + arc + p.suffix_delay,
+                suffix_delay: arc + p.suffix_delay,
+                nodes,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_celllib::DelayModel;
+    use pep_netlist::{samples, NetlistBuilder};
+
+    #[test]
+    fn slack_zero_on_critical_path() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(4));
+        let report = SlackReport::analyze(&nl, &t, None);
+        assert!((report.worst_slack() - 0.0).abs() < 1e-9);
+        // The critical network is a connected input-to-output chain.
+        let critical = report.critical_nodes(&nl, 1e-9);
+        assert!(critical.len() >= 4, "at least one full path");
+        // Every node's required >= arrival at the relaxed period.
+        let relaxed = SlackReport::analyze(&nl, &t, Some(report.clock_period() + 10.0));
+        for id in nl.node_ids() {
+            assert!(relaxed.slack(id) >= 10.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unconstrained_nodes_have_infinite_slack() {
+        // A gate feeding nothing (not a PO) is unconstrained.
+        let mut b = NetlistBuilder::new("dangle");
+        b.input("a").unwrap();
+        b.gate("used", GateKind::Not, &["a"]).unwrap();
+        b.gate("dangling", GateKind::Buf, &["a"]).unwrap();
+        b.output("used").unwrap();
+        let nl = b.build().unwrap();
+        let t = Timing::uniform(&nl, 1.0);
+        let report = SlackReport::analyze(&nl, &t, None);
+        let dangling = nl.node_id("dangling").unwrap();
+        assert!(report.slack(dangling).is_infinite());
+        assert_eq!(report.slack(nl.node_id("used").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn k_longest_paths_ordered_and_valid() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(2));
+        let paths = k_longest_paths(&nl, &t, 5);
+        assert_eq!(paths.len(), 5);
+        for w in paths.windows(2) {
+            assert!(w[0].delay >= w[1].delay - 1e-12);
+        }
+        // Each path is connected PI -> PO and its delay re-adds correctly.
+        for p in &paths {
+            assert_eq!(nl.kind(p.nodes[0]), GateKind::Input);
+            assert!(nl
+                .primary_outputs()
+                .contains(p.nodes.last().expect("non-empty")));
+            let mut acc = 0.0;
+            for pair in p.nodes.windows(2) {
+                let pin = nl
+                    .fanins(pair[1])
+                    .iter()
+                    .position(|&f| f == pair[0])
+                    .expect("edge exists");
+                acc += t.arc_mean(pair[1], pin);
+            }
+            assert!((acc - p.delay).abs() < 1e-9);
+        }
+        // The longest equals the nominal worst arrival.
+        let arrival = arrivals::nominal_arrivals(&nl, &t);
+        let (_, worst) = arrivals::latest_output(&nl, &arrival).expect("has outputs");
+        assert!((paths[0].delay - worst).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_longest_paths_exhausts_small_circuits() {
+        // mux2 has a limited number of PI->PO paths; asking for more
+        // returns them all.
+        let nl = samples::mux2();
+        let t = Timing::uniform(&nl, 1.0);
+        let paths = k_longest_paths(&nl, &t, 100);
+        // Paths: a->t0->y, s->t0->y, b->t1->y, s->ns->t1->y.
+        assert_eq!(paths.len(), 4);
+        assert_eq!(paths[0].delay, 3.0, "through the inverter");
+    }
+}

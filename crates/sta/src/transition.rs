@@ -1,0 +1,344 @@
+//! Two-vector (dynamic) timing simulation.
+//!
+//! The paper's algorithm "can be applied for vectorless static analysis as
+//! well as for dynamic simulation with given input vectors" (§1). This
+//! module provides the deterministic dynamic reference: apply vector `v1`,
+//! let the circuit settle, apply `v2`, and compute when each signal's
+//! (single, glitch-free) transition arrives. Whether the earliest or the
+//! latest input event decides a gate's output follows from the gate's
+//! controlling value and the output's final state — exactly the paper's
+//! falling-AND example (Fig. 5), where the earliest controlling input
+//! dominates.
+
+use crate::monte_carlo::McConfig;
+use pep_celllib::Timing;
+use pep_dist::stats::Running;
+use pep_netlist::{GateKind, Netlist, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one deterministic two-vector simulation.
+#[derive(Debug, Clone)]
+pub struct TransitionSim {
+    /// Steady-state values under the first vector.
+    pub initial: Vec<bool>,
+    /// Steady-state values under the second vector.
+    pub final_values: Vec<bool>,
+    /// Per node: when its transition arrives (`None` if the node does not
+    /// switch between the two vectors).
+    pub arrival: Vec<Option<f64>>,
+}
+
+impl TransitionSim {
+    /// Whether the node switches between the vectors.
+    pub fn transitions(&self, node: NodeId) -> bool {
+        self.arrival[node.index()].is_some()
+    }
+
+    /// Whether the node's transition (if any) is rising.
+    pub fn is_rising(&self, node: NodeId) -> bool {
+        !self.initial[node.index()] && self.final_values[node.index()]
+    }
+}
+
+/// Simulates the vector pair `v1 → v2` with per-arc delays from
+/// `arc_delay(gate, pin)`.
+///
+/// Uses the single-transition (glitch-free) timing model: every node
+/// carries at most one event. A gate output switching *into* its
+/// controlled state is decided by the **earliest** newly-controlling
+/// input; switching *out of* it by the **latest** input to leave; parity
+/// gates settle with their last switching input.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from the primary input count.
+pub fn simulate_transition<F>(
+    netlist: &Netlist,
+    v1: &[bool],
+    v2: &[bool],
+    mut arc_delay: F,
+) -> TransitionSim
+where
+    F: FnMut(NodeId, usize) -> f64,
+{
+    let pis = netlist.primary_inputs();
+    assert_eq!(v1.len(), pis.len(), "v1 must cover every primary input");
+    assert_eq!(v2.len(), pis.len(), "v2 must cover every primary input");
+    let initial = netlist.eval(v1);
+    let final_values = netlist.eval(v2);
+    let mut arrival: Vec<Option<f64>> = vec![None; netlist.node_count()];
+    for (i, &pi) in pis.iter().enumerate() {
+        if v1[i] != v2[i] {
+            arrival[pi.index()] = Some(0.0);
+        }
+    }
+    for &id in netlist.topo_order() {
+        let kind = netlist.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        if initial[id.index()] == final_values[id.index()] {
+            continue;
+        }
+        let fanins = netlist.fanins(id);
+        let times = |pin: usize, f: NodeId, arc: &mut F| -> Option<f64> {
+            arrival[f.index()].map(|t| t + arc(id, pin))
+        };
+        let t = match kind.controlling_value() {
+            Some(c) => {
+                let output_controlled = fanins
+                    .iter()
+                    .any(|&f| final_values[f.index()] == c);
+                if output_controlled {
+                    // Earliest input to reach the controlling value wins.
+                    fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| final_values[f.index()] == c)
+                        .filter_map(|(pin, &f)| times(pin, f, &mut arc_delay))
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    // Output enables only after the last input leaves the
+                    // controlling value.
+                    fanins
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(pin, &f)| times(pin, f, &mut arc_delay))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                }
+            }
+            None => {
+                // Parity gates and single-input gates settle with the last
+                // switching input.
+                fanins
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pin, &f)| times(pin, f, &mut arc_delay))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            }
+        };
+        debug_assert!(
+            t.is_finite(),
+            "output of {} switched with no switching input",
+            netlist.node_name(id)
+        );
+        arrival[id.index()] = Some(t);
+    }
+    TransitionSim {
+        initial,
+        final_values,
+        arrival,
+    }
+}
+
+/// Per-node transition-time statistics from a dynamic Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct TransitionMcResult {
+    stats: Vec<Running>,
+    /// The (delay-independent) transition pattern of the vector pair.
+    pub pattern: TransitionSim,
+}
+
+impl TransitionMcResult {
+    /// Mean transition time at a node (`None` if the node never switches).
+    pub fn mean(&self, node: NodeId) -> Option<f64> {
+        self.pattern.arrival[node.index()].map(|_| self.stats[node.index()].mean())
+    }
+
+    /// Standard deviation of the transition time at a node.
+    pub fn std(&self, node: NodeId) -> Option<f64> {
+        self.pattern.arrival[node.index()].map(|_| self.stats[node.index()].sample_std())
+    }
+}
+
+/// Monte Carlo over the dynamic simulation: per run, sample every cell and
+/// wire delay and re-time the same vector pair.
+///
+/// # Panics
+///
+/// Panics if `config.runs` is zero or the vectors don't match the inputs.
+pub fn monte_carlo_transition(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &McConfig,
+) -> TransitionMcResult {
+    assert!(config.runs > 0, "need at least one run");
+    let n = netlist.node_count();
+    let mut stats = vec![Running::new(); n];
+    let mut pattern = None;
+    for run in 0..config.runs {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ run as u64);
+        // One cell-delay draw per gate, shared by its pins, matching the
+        // static Monte Carlo engine.
+        let mut cell_sample = vec![0.0f64; n];
+        let mut wire_sample: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &id in netlist.topo_order() {
+            if netlist.kind(id) == GateKind::Input {
+                continue;
+            }
+            cell_sample[id.index()] = timing.cell_arc(id, 0).sample(&mut rng);
+            wire_sample[id.index()] = (0..netlist.fanins(id).len())
+                .map(|pin| {
+                    if timing.has_wire_delays() {
+                        timing.wire_arc(id, pin).sample(&mut rng)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+        }
+        let sim = simulate_transition(netlist, v1, v2, |gate, pin| {
+            cell_sample[gate.index()] + wire_sample[gate.index()][pin]
+        });
+        for (i, t) in sim.arrival.iter().enumerate() {
+            if let Some(t) = t {
+                stats[i].push(*t);
+            }
+        }
+        if pattern.is_none() {
+            pattern = Some(sim);
+        }
+    }
+    TransitionMcResult {
+        stats,
+        pattern: pattern.expect("at least one run"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pep_celllib::DelayModel;
+    use pep_netlist::{samples, NetlistBuilder};
+
+    #[test]
+    fn and_gate_falling_takes_earliest() {
+        // Fig. 5's principle: a falling AND output follows the earliest
+        // falling input.
+        let mut b = NetlistBuilder::new("and2");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        // Both inputs fall: 1,1 -> 0,0. Give pin a delay 3, pin b delay 5.
+        let sim = simulate_transition(&nl, &[true, true], &[false, false], |_, pin| {
+            if pin == 0 {
+                3.0
+            } else {
+                5.0
+            }
+        });
+        let y = nl.node_id("y").unwrap();
+        assert_eq!(sim.arrival[y.index()], Some(3.0), "earliest dominates");
+        assert!(!sim.is_rising(y));
+    }
+
+    #[test]
+    fn and_gate_rising_takes_latest() {
+        let mut b = NetlistBuilder::new("and2");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let sim = simulate_transition(&nl, &[false, false], &[true, true], |_, pin| {
+            if pin == 0 {
+                3.0
+            } else {
+                5.0
+            }
+        });
+        let y = nl.node_id("y").unwrap();
+        assert_eq!(sim.arrival[y.index()], Some(5.0), "latest dominates");
+        assert!(sim.is_rising(y));
+    }
+
+    #[test]
+    fn side_input_masking() {
+        // Only one input switches; if the other holds the controlling
+        // value, the output never moves.
+        let mut b = NetlistBuilder::new("mask");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        let sim = simulate_transition(&nl, &[false, false], &[false, true], |_, _| 1.0);
+        let y = nl.node_id("y").unwrap();
+        assert_eq!(sim.arrival[y.index()], None, "a=0 masks b's rise");
+    }
+
+    #[test]
+    fn xor_follows_last_switching_input() {
+        let mut b = NetlistBuilder::new("x");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.input("c").unwrap();
+        b.gate("y", GateKind::Xor, &["a", "b", "c"]).unwrap();
+        b.output("y").unwrap();
+        let nl = b.build().unwrap();
+        // a, b, c all rise (odd parity flips 0 -> 1).
+        let sim = simulate_transition(
+            &nl,
+            &[false, false, false],
+            &[true, true, true],
+            |_, pin| (pin + 1) as f64,
+        );
+        let y = nl.node_id("y").unwrap();
+        assert_eq!(sim.arrival[y.index()], Some(3.0));
+    }
+
+    #[test]
+    fn chain_accumulates_delay() {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a").unwrap();
+        b.gate("n1", GateKind::Not, &["a"]).unwrap();
+        b.gate("n2", GateKind::Not, &["n1"]).unwrap();
+        b.gate("n3", GateKind::Not, &["n2"]).unwrap();
+        b.output("n3").unwrap();
+        let nl = b.build().unwrap();
+        let sim = simulate_transition(&nl, &[false], &[true], |_, _| 2.0);
+        let n3 = nl.node_id("n3").unwrap();
+        assert_eq!(sim.arrival[n3.index()], Some(6.0));
+        assert!(!sim.is_rising(n3), "three inversions flip the rise");
+    }
+
+    #[test]
+    fn mux_select_switch() {
+        let nl = samples::mux2();
+        // a=1, b=0; select flips from b (0) to a (1): y rises.
+        // Inputs ordered a, b, s.
+        let sim = simulate_transition(&nl, &[true, false, false], &[true, false, true], |_, _| 1.0);
+        let y = nl.node_id("y").unwrap();
+        assert!(sim.is_rising(y));
+        assert!(sim.arrival[y.index()].is_some());
+    }
+
+    #[test]
+    fn dynamic_monte_carlo_statistics() {
+        let nl = samples::mux2();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(4));
+        let mc = monte_carlo_transition(
+            &nl,
+            &t,
+            &[true, false, false],
+            &[true, false, true],
+            &McConfig {
+                runs: 400,
+                ..McConfig::default()
+            },
+        );
+        let y = nl.node_id("y").unwrap();
+        let mean = mc.mean(y).expect("y transitions");
+        let std = mc.std(y).expect("y transitions");
+        assert!(mean > 0.0);
+        assert!(std > 0.0);
+        // Non-switching nodes report no statistics.
+        let b_in = nl.node_id("b").unwrap();
+        assert_eq!(mc.mean(b_in), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the deterministic STA core, the Monte Carlo
+//! engine and the transition simulator.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+use pep_sta::arrivals::{critical_path, latest_output, nominal_arrivals};
+use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use pep_sta::slack::{k_longest_paths, SlackReport};
+use pep_sta::transition::simulate_transition;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = RandomCircuitSpec> {
+    (2usize..16, 8usize..80, 2usize..8, 0.0f64..0.6, any::<u64>()).prop_map(
+        |(inputs, gates, depth, inv, seed)| RandomCircuitSpec {
+            name: "prop".into(),
+            inputs,
+            gates,
+            depth: depth.min(gates),
+            max_fanin: 3,
+            level_reach: 2,
+            window: 1.0,
+            inverter_fraction: inv,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The critical path's re-accumulated delay equals the endpoint's
+    /// arrival, for any circuit and annotation.
+    #[test]
+    fn critical_path_delay_matches_arrival(spec in arb_spec(), seed in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(seed));
+        let arrivals = nominal_arrivals(&nl, &t);
+        let Some((po, worst)) = latest_output(&nl, &arrivals) else {
+            return Ok(());
+        };
+        let path = critical_path(&nl, &arrivals, |g, p| t.arc_mean(g, p), po);
+        let mut acc = 0.0;
+        for w in path.windows(2) {
+            let pin = nl
+                .fanins(w[1])
+                .iter()
+                .position(|&f| f == w[0])
+                .expect("path edges exist");
+            acc += t.arc_mean(w[1], pin);
+        }
+        prop_assert!((acc - worst).abs() < 1e-9);
+        // And the K-path enumerator's first path has the same delay.
+        let top = k_longest_paths(&nl, &t, 1);
+        prop_assert!((top[0].delay - worst).abs() < 1e-9);
+    }
+
+    /// Slack is non-negative everywhere at the self-derived period, and
+    /// relaxing the period raises every slack by exactly the relaxation.
+    #[test]
+    fn slack_shifts_with_period(spec in arb_spec(), seed in any::<u64>(), extra in 0.1f64..50.0) {
+        let nl = random_circuit(&spec);
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(seed));
+        let base = SlackReport::analyze(&nl, &t, None);
+        prop_assert!(base.worst_slack() > -1e-9);
+        let relaxed = SlackReport::analyze(&nl, &t, Some(base.clock_period() + extra));
+        for id in nl.node_ids() {
+            let b = base.slack(id);
+            let r = relaxed.slack(id);
+            if b.is_finite() {
+                prop_assert!((r - b - extra).abs() < 1e-9);
+            } else {
+                prop_assert!(r.is_infinite());
+            }
+        }
+    }
+
+    /// Monte Carlo with zero-variance delays reproduces the nominal STA
+    /// exactly, for any circuit.
+    #[test]
+    fn mc_degenerates_to_nominal(spec in arb_spec(), delay in 0.5f64..5.0) {
+        let nl = random_circuit(&spec);
+        let t = Timing::uniform(&nl, delay);
+        let mc = run_monte_carlo(&nl, &t, &McConfig { runs: 3, ..McConfig::default() });
+        let nominal = nominal_arrivals(&nl, &t);
+        for id in nl.node_ids() {
+            prop_assert!((mc.mean(id) - nominal[id.index()]).abs() < 1e-9);
+            prop_assert_eq!(mc.std(id), 0.0);
+        }
+    }
+
+    /// Transition simulation: final values match static evaluation and
+    /// every switching node's time is at least its depth below the
+    /// earliest switching input (with positive delays).
+    #[test]
+    fn transition_times_consistent(spec in arb_spec(), bits1 in any::<u64>(), bits2 in any::<u64>()) {
+        let nl = random_circuit(&spec);
+        let n_in = nl.primary_inputs().len();
+        let v1: Vec<bool> = (0..n_in).map(|i| bits1 >> (i % 64) & 1 == 1).collect();
+        let v2: Vec<bool> = (0..n_in).map(|i| bits2 >> (i % 64) & 1 == 1).collect();
+        let sim = simulate_transition(&nl, &v1, &v2, |_, _| 1.0);
+        let final_values = nl.eval(&v2);
+        for id in nl.node_ids() {
+            prop_assert_eq!(sim.final_values[id.index()], final_values[id.index()]);
+            // A switching node switches no earlier than one delay after
+            // some switching fanin (unit delays).
+            if let Some(t) = sim.arrival[id.index()] {
+                if nl.kind(id) != pep_netlist::GateKind::Input {
+                    let fanin_times: Vec<f64> = nl
+                        .fanins(id)
+                        .iter()
+                        .filter_map(|&f| sim.arrival[f.index()])
+                        .collect();
+                    prop_assert!(!fanin_times.is_empty());
+                    let lo = fanin_times.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = fanin_times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(t >= lo + 1.0 - 1e-9 && t <= hi + 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Monte Carlo statistics are independent of the thread count.
+    #[test]
+    fn mc_thread_count_invariant(spec in arb_spec()) {
+        let nl = random_circuit(&spec);
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(2));
+        let base = McConfig { runs: 64, ..McConfig::default() };
+        let one = run_monte_carlo(&nl, &t, &McConfig { threads: 1, ..base.clone() });
+        let many = run_monte_carlo(&nl, &t, &McConfig { threads: 5, ..base });
+        for id in nl.node_ids() {
+            prop_assert!((one.mean(id) - many.mean(id)).abs() < 1e-9);
+            prop_assert!((one.std(id) - many.std(id)).abs() < 1e-9);
+        }
+    }
+}

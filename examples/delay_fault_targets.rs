@@ -1,0 +1,68 @@
+//! Target selection for delay-fault testing — another application the
+//! paper's conclusion proposes.
+//!
+//! A small extra delay (a resistive open, crosstalk, a weak driver) only
+//! causes a failure if the affected node's arrival time can exceed the
+//! sampling deadline. `pep_core::criticality` ranks every node by the
+//! probability that an injected fault delay `δ` violates the deadline —
+//! the nodes most likely to fail first are the best delay-test targets.
+//!
+//! ```sh
+//! cargo run --release --example delay_fault_targets
+//! ```
+
+use psta::celllib::{DelayModel, Timing};
+use psta::core::{analyze, criticality, AnalysisConfig};
+use psta::netlist::generate::{random_circuit, RandomCircuitSpec};
+
+fn main() {
+    let nl = random_circuit(&RandomCircuitSpec {
+        name: "dut".into(),
+        inputs: 24,
+        gates: 400,
+        depth: 14,
+        seed: 99,
+        ..RandomCircuitSpec::default()
+    });
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+
+    // Deadline: the 99.9% quantile of the circuit delay — a realistic
+    // sampling edge with a little guard band.
+    let delay = pep.circuit_delay(&nl);
+    let step = pep.step();
+    let deadline = step.time_of(delay.quantile(0.999).expect("non-empty"));
+    // Injected fault size: 8% of the nominal circuit delay.
+    let fault = delay.mean_time(step) * 0.08;
+    println!(
+        "{}: {} gates; deadline T = {deadline:.2}, fault size δ = {fault:.2}\n",
+        nl.name(),
+        nl.gate_count()
+    );
+
+    let scored = criticality::violation_probabilities(&nl, &timing, &pep, deadline, fault);
+    println!("top delay-test targets (violation probability under δ):");
+    for (n, p) in scored.iter().take(10) {
+        println!(
+            "  {:>8}  level {:>2}  P(fail) = {:>6.2}%  arrival mean {:.2}",
+            nl.node_name(*n),
+            nl.level(*n),
+            p * 100.0,
+            pep.mean_time(*n)
+        );
+    }
+    let testable = scored.iter().filter(|(_, p)| *p > 0.01).count();
+    println!(
+        "\n{} of {} nodes are detectable targets (P(fail) > 1%) at this fault size",
+        testable,
+        nl.gate_count()
+    );
+
+    // Which outputs actually set the circuit's speed?
+    println!("\noutput criticality profile:");
+    let mut crit = criticality::output_criticality(&nl, &pep);
+    crit.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (po, p) in crit.iter().take(5) {
+        println!("  {:>8}  P(defines circuit delay) = {:>6.2}%", nl.node_name(*po), p * 100.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! `psta` — statistical static timing analysis by probabilistic event
+//! propagation.
+//!
+//! Umbrella crate re-exporting the workspace libraries. See the individual
+//! crates for details:
+//!
+//! * [`dist`] — probability substrate (distributions, discretization, stats),
+//! * [`netlist`] — gate-level circuits, supergates and generators,
+//! * [`celllib`] — cell library and statistical delay annotation,
+//! * [`sta`] — deterministic STA and the Monte Carlo baseline,
+//! * [`core`] — the probabilistic event propagation analyzer (the paper's
+//!   contribution).
+
+#![forbid(unsafe_code)]
+
+pub use pep_celllib as celllib;
+pub use pep_core as core;
+pub use pep_dist as dist;
+pub use pep_netlist as netlist;
+pub use pep_sta as sta;

@@ -1,0 +1,82 @@
+//! Integration tests of the dynamic (two-vector) analysis mode against
+//! the dynamic Monte Carlo baseline, across circuit families.
+
+use psta::celllib::{DelayModel, Timing};
+use psta::core::{dynamic, AnalysisConfig};
+use psta::netlist::generate::ripple_carry_adder;
+use psta::netlist::samples;
+use psta::sta::monte_carlo::McConfig;
+use psta::sta::transition::{monte_carlo_transition, simulate_transition};
+
+#[test]
+fn adder_carry_chain_transition_matches_mc() {
+    let bits = 4;
+    let nl = ripple_carry_adder(bits);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(9));
+    // 0 + 0 -> 0xF + 1: the carry ripples the full length.
+    let n_in = nl.primary_inputs().len();
+    let v1 = vec![false; n_in];
+    let mut v2 = vec![false; n_in];
+    for i in 0..bits {
+        v2[2 * i] = true;
+    }
+    v2[1] = true;
+
+    let pep = dynamic::analyze_transition(&nl, &timing, &v1, &v2, &AnalysisConfig::default());
+    let mc = monte_carlo_transition(
+        &nl,
+        &timing,
+        &v1,
+        &v2,
+        &McConfig {
+            runs: 5_000,
+            ..McConfig::default()
+        },
+    );
+    for id in nl.node_ids() {
+        assert_eq!(
+            pep.transitions(id),
+            mc.pattern.transitions(id),
+            "transition pattern must agree at {}",
+            nl.node_name(id)
+        );
+        if let (Some(pm), Some(mm)) = (pep.mean_time(id), mc.mean(id)) {
+            let rel = (pm - mm).abs() / mm.max(1e-9);
+            assert!(rel < 0.06, "{}: pep {pm} mc {mm}", nl.node_name(id));
+        }
+    }
+}
+
+#[test]
+fn transition_polarity_tracked_through_reconvergence() {
+    let nl = samples::fig6();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    let n_in = nl.primary_inputs().len();
+    let v1 = vec![false; n_in];
+    let v2 = vec![true; n_in];
+    let pep = dynamic::analyze_transition(&nl, &timing, &v1, &v2, &AnalysisConfig::default());
+    let pattern = simulate_transition(&nl, &v1, &v2, |g, p| timing.arc_mean(g, p));
+    for id in nl.node_ids() {
+        assert_eq!(pep.transitions(id), pattern.transitions(id));
+        if pep.transitions(id) {
+            assert_eq!(pep.is_rising(id), pattern.is_rising(id));
+            assert!(!pep.group(id).is_empty());
+        } else {
+            assert!(pep.group(id).is_empty());
+        }
+    }
+}
+
+#[test]
+fn glitch_free_vectors_produce_no_events() {
+    // Same vector twice: nothing switches anywhere.
+    let nl = samples::c17();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    let v = vec![true, false, true, false, true];
+    let pep = dynamic::analyze_transition(&nl, &timing, &v, &v, &AnalysisConfig::default());
+    for id in nl.node_ids() {
+        assert!(!pep.transitions(id));
+        assert!(pep.group(id).is_empty());
+    }
+    assert_eq!(pep.stats().supergates, 0, "nothing active, nothing evaluated");
+}

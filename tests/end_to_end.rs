@@ -1,0 +1,202 @@
+//! End-to-end integration tests spanning every crate: netlist parsing →
+//! delay annotation → analysis → comparison against the Monte Carlo and
+//! enumeration oracles.
+
+use psta::celllib::{DelayModel, DelayShape, Timing};
+use psta::core::{analyze, compare, validate, AnalysisConfig, ArcPmfs, CombineMode};
+use psta::dist::TimeStep;
+use psta::netlist::{parse_bench, samples, to_bench};
+use psta::sta::monte_carlo::{run_monte_carlo, McConfig};
+
+#[test]
+fn bench_text_through_full_pipeline() {
+    // Parse → write → reparse → annotate → analyze: identical results.
+    let nl1 = samples::c17();
+    let nl2 = parse_bench("c17", &to_bench(&nl1)).expect("round-trip parses");
+    let model = DelayModel::dac2001(3);
+    let t1 = Timing::annotate(&nl1, &model);
+    let t2 = Timing::annotate(&nl2, &model);
+    let a1 = analyze(&nl1, &t1, &AnalysisConfig::default());
+    let a2 = analyze(&nl2, &t2, &AnalysisConfig::default());
+    for id in nl1.node_ids() {
+        let other = nl2.node_id(nl1.node_name(id)).expect("same names");
+        assert_eq!(a1.group(id), a2.group(other));
+    }
+}
+
+#[test]
+fn approximate_analysis_tracks_monte_carlo() {
+    let nl = samples::fig6();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(8));
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+    let mc = run_monte_carlo(
+        &nl,
+        &timing,
+        &McConfig {
+            runs: 10_000,
+            ..McConfig::default()
+        },
+    );
+    let (mean_err, std_err) = compare::against_monte_carlo(&nl, &pep, &mc).report();
+    assert!(mean_err < 2.0, "mean error {mean_err}%");
+    assert!(std_err < 25.0, "sigma error {std_err}%");
+}
+
+#[test]
+fn exact_analysis_equals_enumeration_across_shapes() {
+    // The headline correctness statement: for every delay shape, the
+    // exact sampling-evaluation equals brute-force joint enumeration.
+    for shape in [DelayShape::Uniform, DelayShape::Triangular] {
+        let nl = samples::mux2();
+        let model = DelayModel::dac2001(4)
+            .with_shape(shape)
+            .with_sigma_range(0.05, 0.09);
+        let timing = Timing::annotate(&nl, &model);
+        let step = TimeStep::new(1.5).expect("valid step");
+        let arcs = ArcPmfs::discretize_all(&nl, &timing, step);
+        let truth = validate::enumerate_exact(&nl, &arcs, CombineMode::Latest);
+        let pep = analyze(&nl, &timing, &AnalysisConfig::exact_with_step(step));
+        for id in nl.node_ids() {
+            assert!(
+                pep.group(id).l1_distance(&truth[id.index()]) < 1e-9,
+                "{shape:?} node {} diverges",
+                nl.node_name(id)
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_agree_with_mc_histograms() {
+    let nl = psta::netlist::generate::ripple_carry_adder(6);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(6));
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+    let step = pep.step();
+    let mc = run_monte_carlo(
+        &nl,
+        &timing,
+        &McConfig {
+            runs: 10_000,
+            histogram_step: Some(step),
+            ..McConfig::default()
+        },
+    );
+    let cout = nl.node_id("c5").expect("carry out");
+    let pep_q95 = pep.quantile_time(cout, 0.95).expect("non-empty");
+    let mc_hist = mc.histogram(cout).expect("histograms enabled");
+    let mc_q95 = step.time_of(mc_hist.quantile(0.95).expect("non-empty"));
+    let rel = (pep_q95 - mc_q95).abs() / mc_q95;
+    assert!(rel < 0.03, "95% quantile: pep {pep_q95} vs mc {mc_q95}");
+}
+
+#[test]
+fn wire_delays_flow_through_the_whole_stack() {
+    let nl = samples::c17();
+    let model = DelayModel::dac2001(2).with_wire_fraction(0.25);
+    let timing = Timing::annotate(&nl, &model);
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+    let mc = run_monte_carlo(
+        &nl,
+        &timing,
+        &McConfig {
+            runs: 10_000,
+            ..McConfig::default()
+        },
+    );
+    let (mean_err, _) = compare::against_monte_carlo(&nl, &pep, &mc).report();
+    assert!(mean_err < 2.0, "wired mean error {mean_err}%");
+    // And arrivals are later than the unwired ones.
+    let unwired = Timing::annotate(&nl, &DelayModel::dac2001(2));
+    let pep_unwired = analyze(&nl, &unwired, &AnalysisConfig::default());
+    for &po in nl.primary_outputs() {
+        assert!(pep.mean_time(po) > pep_unwired.mean_time(po));
+    }
+}
+
+#[test]
+fn hybrid_mc_path_tracks_monte_carlo() {
+    // Force every multi-branch supergate through the hybrid
+    // Monte-Carlo-inside-a-supergate path and check accuracy holds.
+    use psta::core::HybridMcConfig;
+    let nl = psta::netlist::generate::random_circuit(
+        &psta::netlist::generate::RandomCircuitSpec {
+            gates: 250,
+            depth: 10,
+            inputs: 20,
+            seed: 41,
+            ..Default::default()
+        },
+    );
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(4));
+    let cfg = AnalysisConfig {
+        hybrid_mc: Some(HybridMcConfig {
+            stem_threshold: 0,
+            runs: 4_000,
+            seed: 9,
+        }),
+        ..AnalysisConfig::default()
+    };
+    let pep = analyze(&nl, &timing, &cfg);
+    assert!(pep.stats().hybrid_evaluations > 0, "hybrid path exercised");
+    let mc = run_monte_carlo(
+        &nl,
+        &timing,
+        &McConfig {
+            runs: 10_000,
+            ..McConfig::default()
+        },
+    );
+    let (mean_err, _) = compare::against_monte_carlo(&nl, &pep, &mc).report();
+    assert!(mean_err < 3.0, "hybrid mean error {mean_err}%");
+    // And hybrid runs are reproducible (seeded).
+    let again = analyze(&nl, &timing, &cfg);
+    for id in nl.node_ids() {
+        assert_eq!(pep.group(id), again.group(id));
+    }
+}
+
+#[test]
+fn custom_library_flows_end_to_end() {
+    use psta::celllib::Library;
+    let lib = Library::parse(
+        "default 2.0 1.0 0.5 0.04 0.10
+NAND 1.2 0.7 0.3 0.05 0.06
+",
+    )
+    .expect("valid library");
+    let nl = samples::c17();
+    let timing = lib.annotate(&nl, 11);
+    let pep = analyze(&nl, &timing, &AnalysisConfig::default());
+    let mc = run_monte_carlo(
+        &nl,
+        &timing,
+        &McConfig {
+            runs: 5_000,
+            ..McConfig::default()
+        },
+    );
+    let (mean_err, _) = compare::against_monte_carlo(&nl, &pep, &mc).report();
+    assert!(mean_err < 2.0, "library-annotated mean error {mean_err}%");
+    // The custom NAND rule really is faster than the generic one.
+    let generic = Library::dac2001().annotate(&nl, 11);
+    let g22 = nl.node_id("22").expect("present");
+    assert!(timing.cell_arc(g22, 0).mean() < generic.cell_arc(g22, 0).mean());
+}
+
+#[test]
+fn analysis_is_deterministic_across_repeats() {
+    let nl = psta::netlist::generate::random_circuit(
+        &psta::netlist::generate::RandomCircuitSpec {
+            gates: 300,
+            depth: 10,
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let a = analyze(&nl, &timing, &AnalysisConfig::default());
+    let b = analyze(&nl, &timing, &AnalysisConfig::default());
+    for id in nl.node_ids() {
+        assert_eq!(a.group(id), b.group(id), "node {}", nl.node_name(id));
+    }
+}
