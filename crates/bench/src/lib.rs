@@ -13,12 +13,13 @@
 #![warn(missing_docs)]
 
 use pep_celllib::{DelayModel, Timing};
-use pep_core::{analyze, compare, AnalysisConfig, PepAnalysis};
+use pep_core::{analyze, analyze_observed, compare, AnalysisConfig, PepAnalysis};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::generate::{iscas_profile, IscasProfile};
 use pep_netlist::{supergate, Netlist};
-use pep_sta::monte_carlo::{run_monte_carlo, McConfig, McResult};
-use std::time::{Duration, Instant};
+use pep_obs::Session;
+use pep_sta::monte_carlo::{run_monte_carlo, run_monte_carlo_observed, McConfig, McResult};
+use std::time::Duration;
 
 /// Seed used for all delay annotations, matching the probes in DESIGN.md.
 pub const DELAY_SEED: u64 = 1;
@@ -63,8 +64,15 @@ pub fn reference_mc(bench: &Bench) -> McResult {
 /// Times a single-threaded Monte Carlo run (the speedup baseline; the
 /// 2001 comparison was single-core).
 pub fn timed_mc_single_thread(bench: &Bench) -> (McResult, Duration) {
-    let t0 = Instant::now();
-    let mc = run_monte_carlo(
+    timed_mc_single_thread_observed(bench, &Session::new())
+}
+
+/// [`timed_mc_single_thread`], recording into a shared (enabled) `obs`
+/// session; the returned duration is this call's share of the
+/// `mc-baseline` phase.
+pub fn timed_mc_single_thread_observed(bench: &Bench, obs: &Session) -> (McResult, Duration) {
+    let before = obs.total_of("mc-baseline").unwrap_or_default();
+    let mc = run_monte_carlo_observed(
         &bench.netlist,
         &bench.timing,
         &McConfig {
@@ -72,15 +80,33 @@ pub fn timed_mc_single_thread(bench: &Bench) -> (McResult, Duration) {
             threads: 1,
             ..McConfig::default()
         },
+        obs,
     );
-    (mc, t0.elapsed())
+    let after = obs.total_of("mc-baseline").unwrap_or_default();
+    (mc, after - before)
 }
 
 /// Times a PEP analysis.
 pub fn timed_pep(bench: &Bench, config: &AnalysisConfig) -> (PepAnalysis, Duration) {
-    let t0 = Instant::now();
-    let pep = analyze(&bench.netlist, &bench.timing, config);
-    (pep, t0.elapsed())
+    timed_pep_observed(bench, config, &Session::new())
+}
+
+/// [`timed_pep`], recording into a shared (enabled) `obs` session; the
+/// returned duration is this call's share of the `analyze` phase (the
+/// phase timer aggregates same-named spans, so the delta is taken around
+/// the call).
+pub fn timed_pep_observed(
+    bench: &Bench,
+    config: &AnalysisConfig,
+    obs: &Session,
+) -> (PepAnalysis, Duration) {
+    let before = obs.total_of("analyze").unwrap_or_default();
+    let pep = {
+        let _phase = obs.phase("analyze");
+        analyze_observed(&bench.netlist, &bench.timing, config, obs)
+    };
+    let after = obs.total_of("analyze").unwrap_or_default();
+    (pep, after - before)
 }
 
 // ---------------------------------------------------------------------
@@ -500,10 +526,14 @@ pub fn ablation(profile: IscasProfile) -> Vec<AblationRow> {
 /// Prints the ablation table.
 pub fn print_ablation(rows: &[AblationRow]) -> String {
     let mut out = String::new();
-    out.push_str("| configuration | run time | mean err % | sigma err % | stems conditioned |
-");
-    out.push_str("|---------------|----------|------------|-------------|-------------------|
-");
+    out.push_str(
+        "| configuration | run time | mean err % | sigma err % | stems conditioned |
+",
+    );
+    out.push_str(
+        "|---------------|----------|------------|-------------|-------------------|
+",
+    );
     for r in rows {
         out.push_str(&format!(
             "| {} | {:.0?} | {:.2} | {:.2} | {} |

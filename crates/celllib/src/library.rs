@@ -39,9 +39,15 @@ pub struct CellRule {
 
 impl CellRule {
     fn validate(&self) -> Result<(), String> {
-        if ![self.base, self.per_fanin, self.per_fanout, self.sigma_lo, self.sigma_hi]
-            .iter()
-            .all(|v| v.is_finite())
+        if ![
+            self.base,
+            self.per_fanin,
+            self.per_fanout,
+            self.sigma_lo,
+            self.sigma_hi,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
         {
             return Err("all rule fields must be finite".to_owned());
         }
@@ -66,7 +72,11 @@ pub struct ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -59,8 +59,7 @@ impl Timing {
         for id in netlist.node_ids() {
             let fanins = netlist.fanins(id).len();
             let fanouts = netlist.fanout_count(id);
-            let mut rng =
-                StdRng::seed_from_u64(model.seed() ^ fnv1a(netlist.node_name(id)));
+            let mut rng = StdRng::seed_from_u64(model.seed() ^ fnv1a(netlist.node_name(id)));
             let (cell_dist, sigma_frac) = if netlist.kind(id) == GateKind::Input {
                 (zero, rng.random_range(slo..=shi))
             } else {
@@ -70,8 +69,7 @@ impl Timing {
             };
             cell.push(vec![cell_dist; fanins]);
             let w = if model.wire_fraction() > 0.0 {
-                let wmean = model.wire_fraction()
-                    * model.mean_delay(fanins.max(1), fanouts.max(1));
+                let wmean = model.wire_fraction() * model.mean_delay(fanins.max(1), fanouts.max(1));
                 make_dist(model.shape(), wmean, wmean * sigma_frac)
             } else {
                 zero
@@ -102,12 +100,7 @@ impl Timing {
     /// for a cell; the per-cell σ fraction is drawn from that range,
     /// keyed on `(seed, node name)` exactly like
     /// [`annotate`](Timing::annotate). No wire delays are produced.
-    pub fn annotate_with<F>(
-        netlist: &Netlist,
-        seed: u64,
-        shape: DelayShape,
-        rule: F,
-    ) -> Self
+    pub fn annotate_with<F>(netlist: &Netlist, seed: u64, shape: DelayShape, rule: F) -> Self
     where
         F: Fn(GateKind, usize, usize) -> (f64, f64, f64),
     {
@@ -240,14 +233,11 @@ fn make_dist(shape: DelayShape, mean: f64, sigma: f64) -> ContinuousDist {
         return ContinuousDist::point(mean).expect("finite mean");
     }
     match shape {
-        DelayShape::Normal => {
-            ContinuousDist::normal(mean, sigma).expect("positive sigma")
-        }
+        DelayShape::Normal => ContinuousDist::normal(mean, sigma).expect("positive sigma"),
         DelayShape::Triangular => {
             // A symmetric triangle with std σ spans mean ± √6·σ.
             let half = 6.0f64.sqrt() * sigma;
-            ContinuousDist::triangular(mean - half, mean, mean + half)
-                .expect("ordered bounds")
+            ContinuousDist::triangular(mean - half, mean, mean + half).expect("ordered bounds")
         }
         DelayShape::Uniform => {
             // A uniform with std σ spans mean ± √3·σ.
@@ -344,7 +334,11 @@ mod tests {
     #[test]
     fn shapes_match_requested_moments() {
         let nl = samples::c17();
-        for shape in [DelayShape::Normal, DelayShape::Triangular, DelayShape::Uniform] {
+        for shape in [
+            DelayShape::Normal,
+            DelayShape::Triangular,
+            DelayShape::Uniform,
+        ] {
             let t = Timing::annotate(&nl, &DelayModel::dac2001(5).with_shape(shape));
             let g = nl.node_id("16").expect("c17 gate");
             let arc = t.cell_arc(g, 0);

@@ -132,11 +132,7 @@ impl Args {
     /// # Errors
     ///
     /// Fails on a missing or unparseable value.
-    pub fn parsed<T: std::str::FromStr>(
-        &mut self,
-        name: &str,
-        default: T,
-    ) -> Result<T, CliError> {
+    pub fn parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, CliError> {
         match self.option(name)? {
             None => Ok(default),
             Some(v) => v
@@ -150,10 +146,7 @@ impl Args {
     /// # Errors
     ///
     /// Fails on a missing or unparseable value.
-    pub fn parsed_opt<T: std::str::FromStr>(
-        &mut self,
-        name: &str,
-    ) -> Result<Option<T>, CliError> {
+    pub fn parsed_opt<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, CliError> {
         match self.option(name)? {
             None => Ok(None),
             Some(v) => v

@@ -6,10 +6,11 @@ use crate::commands::analysis_config;
 use crate::input::load_annotated;
 use crate::report::{num, Table};
 use pep_netlist::GateKind;
+use pep_obs::Session;
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let config = analysis_config(args)?;
     let all = args.flag("--all");
     let csv = args.flag("--csv");
@@ -26,11 +27,18 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
         .collect::<Result<_, _>>()?;
     args.finish()?;
 
-    let started = std::time::Instant::now();
-    let analysis = pep_core::analyze(&netlist, &timing, &config);
-    let elapsed = started.elapsed();
+    let analysis = {
+        let _phase = obs.phase("analyze");
+        pep_core::analyze_observed(&netlist, &timing, &config, obs)
+    };
+    let elapsed = obs.total_of("analyze").unwrap_or_default();
 
-    let mut headers = vec!["node".to_owned(), "level".to_owned(), "mean".to_owned(), "sigma".to_owned()];
+    let mut headers = vec![
+        "node".to_owned(),
+        "level".to_owned(),
+        "mean".to_owned(),
+        "sigma".to_owned(),
+    ];
     for q in &quantiles {
         headers.push(format!("q{q}"));
     }
@@ -51,16 +59,12 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             num(analysis.std_time(n)),
         ];
         for &q in &quantiles {
-            cells.push(
-                analysis
-                    .quantile_time(n, q)
-                    .map(num)
-                    .unwrap_or_default(),
-            );
+            cells.push(analysis.quantile_time(n, q).map(num).unwrap_or_default());
         }
         table.row(cells);
     }
-    out.write_all(table.render().as_bytes()).map_err(CliError::io)?;
+    out.write_all(table.render().as_bytes())
+        .map_err(CliError::io)?;
     for name in &plots {
         let node = netlist
             .node_id(name)

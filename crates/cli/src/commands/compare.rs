@@ -4,11 +4,12 @@
 use crate::args::{Args, CliError};
 use crate::commands::analysis_config;
 use crate::input::load_annotated;
-use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use pep_obs::Session;
+use pep_sta::monte_carlo::{run_monte_carlo_observed, McConfig};
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let config = analysis_config(args)?;
     let runs: usize = args.parsed("--runs", 5_000)?;
     if runs == 0 {
@@ -16,12 +17,13 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
     }
     args.finish()?;
 
-    let t0 = std::time::Instant::now();
-    let pep = pep_core::analyze(&netlist, &timing, &config);
-    let pep_time = t0.elapsed();
+    let pep = {
+        let _phase = obs.phase("analyze");
+        pep_core::analyze_observed(&netlist, &timing, &config, obs)
+    };
+    let pep_time = obs.total_of("analyze").unwrap_or_default();
 
-    let t0 = std::time::Instant::now();
-    let mc = run_monte_carlo(
+    let mc = run_monte_carlo_observed(
         &netlist,
         &timing,
         &McConfig {
@@ -29,24 +31,32 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             threads: 1,
             ..McConfig::default()
         },
+        obs,
     );
-    let mc_time = t0.elapsed();
+    let mc_time = obs.total_of("mc-baseline").unwrap_or_default();
 
     let cmp = pep_core::compare::against_monte_carlo(&netlist, &pep, &mc);
     let (mean_err, std_err) = cmp.report();
-    writeln!(out, "circuit: {} ({} gates)", netlist.name(), netlist.gate_count())
-        .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "circuit: {} ({} gates)",
+        netlist.name(),
+        netlist.gate_count()
+    )
+    .map_err(CliError::io)?;
     writeln!(out, "PEP:         {pep_time:.0?}").map_err(CliError::io)?;
-    writeln!(out, "Monte Carlo: {mc_time:.0?} ({runs} runs, 1 thread)")
-        .map_err(CliError::io)?;
+    writeln!(out, "Monte Carlo: {mc_time:.0?} ({runs} runs, 1 thread)").map_err(CliError::io)?;
     writeln!(
         out,
         "speedup:     {:.1}x",
         mc_time.as_secs_f64() / pep_time.as_secs_f64()
     )
     .map_err(CliError::io)?;
-    writeln!(out, "mean error:  {mean_err:.3}%  (M_e + 3 sigma_e over all nodes)")
-        .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "mean error:  {mean_err:.3}%  (M_e + 3 sigma_e over all nodes)"
+    )
+    .map_err(CliError::io)?;
     writeln!(out, "sigma error: {std_err:.3}%").map_err(CliError::io)?;
     Ok(())
 }

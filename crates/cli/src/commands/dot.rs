@@ -4,11 +4,12 @@
 use crate::args::{Args, CliError};
 use crate::input::load_annotated;
 use pep_netlist::dot::{to_dot, DotOptions};
+use pep_obs::Session;
 use pep_sta::slack::k_longest_paths;
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let critical = args.flag("--critical");
     let rank = args.flag("--rank");
     args.finish()?;

@@ -4,6 +4,7 @@ use crate::args::{Args, CliError};
 use crate::commands::analysis_config;
 use crate::input::load_annotated;
 use crate::report::{num, Table};
+use pep_obs::Session;
 use std::io::Write;
 
 fn parse_vector(name: &str, bits: &str, want: usize) -> Result<Vec<bool>, CliError> {
@@ -26,8 +27,8 @@ fn parse_vector(name: &str, bits: &str, want: usize) -> Result<Vec<bool>, CliErr
     Ok(v)
 }
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let config = analysis_config(args)?;
     let n_in = netlist.primary_inputs().len();
     let v1 = parse_vector(
@@ -47,7 +48,10 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
     let csv = args.flag("--csv");
     args.finish()?;
 
-    let d = pep_core::dynamic::analyze_transition(&netlist, &timing, &v1, &v2, &config);
+    let d = {
+        let _phase = obs.phase("analyze");
+        pep_core::dynamic::analyze_transition_observed(&netlist, &timing, &v1, &v2, &config, obs)
+    };
     let switching = netlist.node_ids().filter(|&n| d.transitions(n)).count();
     if !csv {
         writeln!(
@@ -71,5 +75,6 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             num(d.std_time(po).expect("switches")),
         ]);
     }
-    out.write_all(table.render().as_bytes()).map_err(CliError::io)
+    out.write_all(table.render().as_bytes())
+        .map_err(CliError::io)
 }

@@ -3,11 +3,12 @@
 use crate::args::{Args, CliError};
 use crate::input::load_annotated;
 use crate::report::{num, Table};
-use pep_sta::monte_carlo::{run_monte_carlo, McConfig};
+use pep_obs::Session;
+use pep_sta::monte_carlo::{run_monte_carlo_observed, McConfig};
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let runs: usize = args.parsed("--runs", 5_000)?;
     if runs == 0 {
         return Err(CliError::usage("`--runs` must be positive"));
@@ -16,8 +17,7 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
     let csv = args.flag("--csv");
     args.finish()?;
 
-    let started = std::time::Instant::now();
-    let mc = run_monte_carlo(
+    let mc = run_monte_carlo_observed(
         &netlist,
         &timing,
         &McConfig {
@@ -25,8 +25,9 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             threads,
             ..McConfig::default()
         },
+        obs,
     );
-    let elapsed = started.elapsed();
+    let elapsed = obs.total_of("mc-baseline").unwrap_or_default();
 
     let mut table = Table::new(vec!["node", "mean", "sigma", "bound%"], csv);
     for &po in netlist.primary_outputs() {
@@ -41,7 +42,8 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             },
         ]);
     }
-    out.write_all(table.render().as_bytes()).map_err(CliError::io)?;
+    out.write_all(table.render().as_bytes())
+        .map_err(CliError::io)?;
     if !csv {
         writeln!(out, "\n{runs} runs in {elapsed:.0?}").map_err(CliError::io)?;
     }

@@ -2,11 +2,12 @@
 
 use crate::args::{Args, CliError};
 use crate::input::load_annotated;
+use pep_obs::Session;
 use pep_sta::slack::{k_longest_paths, SlackReport};
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
-    let (netlist, timing) = load_annotated(args)?;
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
     let k: usize = args.parsed("-k", 5)?;
     if k == 0 {
         return Err(CliError::usage("`-k` must be positive"));
@@ -26,8 +27,14 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
 
     for (i, p) in k_longest_paths(&netlist, &timing, k).iter().enumerate() {
         let names: Vec<&str> = p.nodes.iter().map(|&n| netlist.node_name(n)).collect();
-        writeln!(out, "#{:<2} delay {:8.3}  {}", i + 1, p.delay, names.join(" -> "))
-            .map_err(CliError::io)?;
+        writeln!(
+            out,
+            "#{:<2} delay {:8.3}  {}",
+            i + 1,
+            p.delay,
+            names.join(" -> ")
+        )
+        .map_err(CliError::io)?;
     }
     Ok(())
 }

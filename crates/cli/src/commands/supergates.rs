@@ -5,17 +5,24 @@ use crate::args::{Args, CliError};
 use crate::input::load_circuit;
 use pep_netlist::cone::SupportSets;
 use pep_netlist::supergate;
+use pep_obs::Session;
 use std::io::Write;
 
-pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
     let spec = args
         .next_positional()
         .ok_or_else(|| CliError::usage("missing circuit argument"))?;
-    let netlist = load_circuit(&spec)?;
+    let netlist = {
+        let _phase = obs.phase("parse");
+        load_circuit(&spec)?
+    };
     let depth: u32 = args.parsed("--depth", 8)?;
     args.finish()?;
 
-    let supports = SupportSets::compute(&netlist);
+    let supports = {
+        let _phase = obs.phase("levelize");
+        SupportSets::compute(&netlist)
+    };
     let stats = supergate::stats(
         &netlist,
         &supports,

@@ -5,6 +5,7 @@ use crate::args::{Args, CliError};
 use pep_celllib::{DelayModel, Library, Timing};
 use pep_netlist::generate::IscasProfile;
 use pep_netlist::{generate, parse_bench, samples, Netlist};
+use pep_obs::Session;
 
 /// Resolves a circuit argument: a `.bench` path, `sample:<name>` or
 /// `profile:<name>`.
@@ -46,20 +47,24 @@ pub fn profile_by_name(name: &str) -> Result<IscasProfile, CliError> {
 }
 
 /// The circuit positional plus the shared `--seed`/`--library`
-/// annotation options.
-pub fn load_annotated(args: &mut Args) -> Result<(Netlist, Timing), CliError> {
+/// annotation options. Loading (file read/generation + parsing) is
+/// recorded as the `parse` phase of `obs`.
+pub fn load_annotated(args: &mut Args, obs: &Session) -> Result<(Netlist, Timing), CliError> {
     let spec = args
         .next_positional()
         .ok_or_else(|| CliError::usage("missing circuit argument"))?;
-    let netlist = load_circuit(&spec)?;
+    let netlist = {
+        let _phase = obs.phase("parse");
+        load_circuit(&spec)?
+    };
     let seed: u64 = args.parsed("--seed", 1)?;
     let timing = match args.option("--library")? {
         None => Timing::annotate(&netlist, &DelayModel::dac2001(seed)),
         Some(path) => {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| CliError::usage(format!("cannot read `{path}`: {e}")))?;
-            let library = Library::parse(&text)
-                .map_err(|e| CliError::usage(format!("{path}: {e}")))?;
+            let library =
+                Library::parse(&text).map_err(|e| CliError::usage(format!("{path}: {e}")))?;
             library.annotate(&netlist, seed)
         }
     };
@@ -79,10 +84,7 @@ mod tests {
 
     #[test]
     fn profiles_resolve() {
-        assert_eq!(
-            load_circuit("profile:s5378").unwrap().gate_count(),
-            2_779
-        );
+        assert_eq!(load_circuit("profile:s5378").unwrap().gate_count(), 2_779);
         assert!(load_circuit("profile:s999").is_err());
     }
 

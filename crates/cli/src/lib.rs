@@ -27,9 +27,15 @@ mod report;
 
 pub use args::CliError;
 
+use pep_obs::Session;
 use std::io::Write;
 
 /// Entry point: executes `argv` and writes the report to `out`.
+///
+/// Global observability flags (accepted before or after the command):
+/// `--metrics-json <path>` writes the machine-readable [`pep_obs::RunReport`],
+/// `--timing` appends the phase-timing tree, `-v`/`-vv` append the full
+/// text report (with/without histogram summaries).
 ///
 /// # Errors
 ///
@@ -38,25 +44,56 @@ use std::io::Write;
 /// the same way.
 pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let mut args = args::Args::new(argv);
+    // Global flags come off first: `-v`/`-vv` would otherwise be taken
+    // for the command positional.
+    let metrics_json = args.option("--metrics-json")?;
+    let show_timing = args.flag("--timing");
+    let verbosity = if args.flag("-vv") {
+        2
+    } else if args.flag("-v") {
+        1
+    } else {
+        0
+    };
     let Some(command) = args.next_positional() else {
         out.write_all(USAGE.as_bytes()).map_err(CliError::io)?;
         return Ok(());
     };
+    let obs = Session::new();
     match command.as_str() {
-        "analyze" => commands::analyze::run(&mut args, out),
-        "mc" => commands::mc::run(&mut args, out),
-        "compare" => commands::compare::run(&mut args, out),
-        "paths" => commands::paths::run(&mut args, out),
-        "supergates" => commands::supergates::run(&mut args, out),
+        "analyze" => commands::analyze::run(&mut args, out, &obs),
+        "mc" => commands::mc::run(&mut args, out, &obs),
+        "compare" => commands::compare::run(&mut args, out, &obs),
+        "paths" => commands::paths::run(&mut args, out, &obs),
+        "supergates" => commands::supergates::run(&mut args, out, &obs),
         "generate" => commands::generate::run(&mut args, out),
-        "dynamic" => commands::dynamic::run(&mut args, out),
-        "dot" => commands::dot::run(&mut args, out),
+        "dynamic" => commands::dynamic::run(&mut args, out, &obs),
+        "dot" => commands::dot::run(&mut args, out, &obs),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes()).map_err(CliError::io)?;
-            Ok(())
+            return Ok(());
         }
-        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+        other => return Err(CliError::usage(format!("unknown command `{other}`"))),
+    }?;
+
+    if metrics_json.is_some() || show_timing || verbosity > 0 {
+        let report = obs.report(&argv.join(" "));
+        if let Some(path) = metrics_json {
+            std::fs::write(&path, report.to_json_pretty())
+                .map_err(|e| CliError::usage(format!("cannot write `{path}`: {e}")))?;
+        }
+        let text = if verbosity > 0 {
+            report.render_text(verbosity > 1)
+        } else if show_timing {
+            report.render_phases()
+        } else {
+            String::new()
+        };
+        if !text.is_empty() {
+            writeln!(out, "\n{}", text.trim_end()).map_err(CliError::io)?;
+        }
     }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -64,6 +101,13 @@ psta — statistical timing analysis by probabilistic event propagation
 
 USAGE:
   psta <command> [arguments]
+
+GLOBAL OPTIONS (any command):
+  --metrics-json FILE   write a machine-readable run report (phases,
+                        counters, gauges, histogram summaries) as JSON
+  --timing              print the phase-timing tree after the report
+  -v / -vv              print the full observability report
+                        (-vv adds histogram summaries)
 
 COMMANDS:
   analyze <circuit>     arrival-time distributions (PEP analysis)
@@ -145,7 +189,8 @@ mod tests {
 
     #[test]
     fn analyze_csv_mode() {
-        let text = run_to_string(&["analyze", "sample:c17", "--csv", "--quantile", "0.99"]).unwrap();
+        let text =
+            run_to_string(&["analyze", "sample:c17", "--csv", "--quantile", "0.99"]).unwrap();
         let mut lines = text.lines();
         let header = lines.next().expect("has header");
         assert!(header.starts_with("node,level,mean,sigma"));
@@ -190,8 +235,7 @@ mod tests {
     #[test]
     fn generate_emits_bench() {
         let text =
-            run_to_string(&["generate", "--gates", "50", "--inputs", "8", "--depth", "5"])
-                .unwrap();
+            run_to_string(&["generate", "--gates", "50", "--inputs", "8", "--depth", "5"]).unwrap();
         assert!(text.contains("INPUT(pi0)"));
         // And it parses back.
         pep_netlist::parse_bench("gen", &text).unwrap();
@@ -199,23 +243,15 @@ mod tests {
 
     #[test]
     fn dynamic_runs_vectors() {
-        let text = run_to_string(&[
-            "dynamic",
-            "sample:mux2",
-            "--v1",
-            "100",
-            "--v2",
-            "101",
-        ])
-        .unwrap();
+        let text =
+            run_to_string(&["dynamic", "sample:mux2", "--v1", "100", "--v2", "101"]).unwrap();
         assert!(text.contains("y"), "output reported: {text}");
         assert!(text.contains("rise") || text.contains("fall"));
     }
 
     #[test]
     fn analyze_plot_renders_waveform() {
-        let text =
-            run_to_string(&["analyze", "sample:c17", "--plot", "22"]).unwrap();
+        let text = run_to_string(&["analyze", "sample:c17", "--plot", "22"]).unwrap();
         assert!(text.contains("distribution of 22"));
         assert!(text.contains('#'));
         let err = run_to_string(&["analyze", "sample:c17", "--plot", "ghost"]).unwrap_err();
@@ -231,8 +267,8 @@ mod tests {
 
     #[test]
     fn dynamic_rejects_bad_vectors() {
-        let err = run_to_string(&["dynamic", "sample:mux2", "--v1", "10", "--v2", "101"])
-            .unwrap_err();
+        let err =
+            run_to_string(&["dynamic", "sample:mux2", "--v1", "10", "--v2", "101"]).unwrap_err();
         assert!(err.to_string().contains("3 inputs"), "{err}");
     }
 

@@ -69,7 +69,8 @@ pub fn ascii_histogram(group: &pep_dist::DiscreteDist, step: pep_dist::TimeStep)
     const ROWS: usize = 24;
     if group.is_empty() {
         return "(no events)
-".to_owned();
+"
+        .to_owned();
     }
     let lo = group.min_tick().expect("non-empty");
     let hi = group.max_tick().expect("non-empty");
@@ -93,7 +94,10 @@ pub fn ascii_histogram(group: &pep_dist::DiscreteDist, step: pep_dist::TimeStep)
             0
         };
         let label = format!("{:>10.3}", step.time_of(start));
-        out.push_str(&format!("{label} |{:<WIDTH$}| {mass:.4}\n", "#".repeat(bar)));
+        out.push_str(&format!(
+            "{label} |{:<WIDTH$}| {mass:.4}\n",
+            "#".repeat(bar)
+        ));
     }
     out
 }

@@ -1,0 +1,139 @@
+//! End-to-end checks of the global observability flags: the
+//! `--metrics-json` report must agree with what an independent in-process
+//! analysis of the same circuit reports through `AnalysisStats`.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::AnalysisConfig;
+use pep_obs::{RunReport, Session};
+
+/// The ISCAS-85 c17 benchmark in `.bench` form.
+const C17_BENCH: &str = "\
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+fn run_cli(argv: &[&str]) -> String {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    psta_cli::run(&argv, &mut out).expect("cli run succeeds");
+    String::from_utf8(out).expect("reports are UTF-8")
+}
+
+#[test]
+fn analyze_metrics_json_matches_analysis_stats() {
+    let dir = std::env::temp_dir().join("psta_metrics_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench_path = dir.join("c17.bench");
+    std::fs::write(&bench_path, C17_BENCH).unwrap();
+    let json_path = dir.join("report.json");
+
+    run_cli(&[
+        "analyze",
+        bench_path.to_str().unwrap(),
+        "--metrics-json",
+        json_path.to_str().unwrap(),
+    ]);
+    let report = RunReport::from_json(&std::fs::read_to_string(&json_path).unwrap())
+        .expect("well-formed report JSON");
+
+    // Reference run: same circuit, same defaults (seed 1 is the CLI
+    // default), observed into a fresh session.
+    let netlist = pep_netlist::parse_bench("c17", C17_BENCH).unwrap();
+    let timing = Timing::annotate(&netlist, &DelayModel::dac2001(1));
+    let obs = Session::new();
+    let analysis = pep_core::analyze_observed(&netlist, &timing, &AnalysisConfig::default(), &obs);
+    let stats = *analysis.stats();
+
+    // The CLI report's counters are the same single source of truth the
+    // reference's AnalysisStats were derived from.
+    assert_eq!(report.counters["pep.supergates"], stats.supergates as u64);
+    assert_eq!(
+        report.counters["pep.stems_conditioned"],
+        stats.stems_conditioned as u64
+    );
+    assert_eq!(
+        report.counters["pep.stems_filtered"],
+        stats.stems_filtered as u64
+    );
+    assert_eq!(
+        report.counters["pep.hybrid_evaluations"],
+        stats.hybrid_evaluations as u64
+    );
+    let dropped = report.gauges["pep.dropped_mass"];
+    assert!(
+        (dropped - stats.dropped_mass).abs() < 1e-12,
+        "dropped mass {dropped} vs stats {}",
+        stats.dropped_mass
+    );
+    // And both agree with the reference session's registry.
+    let reference = obs.report("reference");
+    assert_eq!(report.counters, reference.counters);
+
+    // Acceptance: a report carries a real phase taxonomy and metric set.
+    assert!(
+        report.phase_count() >= 5,
+        "expected >= 5 distinct phases, got {}: {:?}",
+        report.phase_count(),
+        report.phases
+    );
+    assert!(
+        report.metric_count() >= 8,
+        "expected >= 8 distinct metrics, got {}",
+        report.metric_count()
+    );
+    assert_eq!(report.tool, "psta");
+    assert_eq!(report.counters["pep.nodes_evaluated"], 6, "c17 has 6 gates");
+}
+
+#[test]
+fn timing_and_verbose_flags_render_reports() {
+    let text = run_cli(&["analyze", "sample:c17", "--timing"]);
+    assert!(text.contains("phases:"));
+    assert!(text.contains("propagate"));
+    assert!(!text.contains("counters:"), "--timing is phases only");
+
+    let text = run_cli(&["-v", "analyze", "sample:c17"]);
+    assert!(text.contains("run report: psta"));
+    assert!(text.contains("pep.nodes_evaluated"));
+    assert!(!text.contains("histograms:"), "-v omits histograms");
+
+    let text = run_cli(&["-vv", "analyze", "sample:c17"]);
+    assert!(text.contains("histograms:"));
+    assert!(text.contains("pep.group_size"));
+}
+
+#[test]
+fn mc_metrics_json_reports_progress() {
+    let dir = std::env::temp_dir().join("psta_metrics_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("mc.json");
+    run_cli(&[
+        "mc",
+        "sample:c17",
+        "--runs",
+        "250",
+        "--metrics-json",
+        json_path.to_str().unwrap(),
+    ]);
+    let report = RunReport::from_json(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(report.counters["mc.runs_completed"], 250);
+    assert_eq!(report.gauges["mc.runs_requested"], 250.0);
+    assert!(report.gauges["mc.threads"] >= 1.0);
+    assert!(report.histograms["mc.chunk_seconds"].count >= 1);
+    let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    assert!(
+        names.contains(&"parse") && names.contains(&"mc-baseline"),
+        "{names:?}"
+    );
+}

@@ -7,21 +7,37 @@ use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::supergate::SupergateExtractor;
 use pep_netlist::{GateKind, Netlist, NodeId};
+use pep_obs::Session;
 use serde::{Deserialize, Serialize};
 
 /// Counters describing how an analysis ran.
+///
+/// These are a per-run view over the `pep.*` metrics in the
+/// [`pep_obs::Session`] registry — the registry is the single source of
+/// truth, and each analysis reports the registry *delta* it produced,
+/// so a session shared across several analyses still yields exact
+/// per-run stats.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisStats {
-    /// Reconvergent gates handled through supergate evaluation.
+    /// Reconvergent gates handled through supergate evaluation
+    /// (`pep.supergates`).
     pub supergates: usize,
-    /// Total stems conditioned on by sampling-evaluation.
+    /// Total stems conditioned on by sampling-evaluation
+    /// (`pep.stems_conditioned`).
     pub stems_conditioned: usize,
-    /// Stems removed by the filtering/effective-stem heuristics.
+    /// Stems removed by the filtering/effective-stem heuristics
+    /// (`pep.stems_filtered`).
     pub stems_filtered: usize,
-    /// Supergates evaluated by the hybrid Monte Carlo path.
+    /// Supergates evaluated by the hybrid Monte Carlo path
+    /// (`pep.hybrid_evaluations`).
     pub hybrid_evaluations: usize,
-    /// Probability mass dropped by the `P_m` filter, summed over all
-    /// cell outputs (diagnostic for Fig. 7-style accuracy studies).
+    /// Probability mass dropped by the `P_m` filter
+    /// (`pep.dropped_mass`): the unitless sum, over every evaluated
+    /// node, of the mass its *final* event group lost to
+    /// `truncate_below(P_m)` before renormalization (diagnostic for
+    /// Fig. 7-style accuracy studies). Transient truncations *inside*
+    /// supergate conditioning are deliberately excluded — interior
+    /// groups are recomputed per stem value and would double-count.
     pub dropped_mass: f64,
 }
 
@@ -78,9 +94,7 @@ impl PepAnalysis {
     /// distributions. For a pessimism-free answer on a specific output,
     /// use [`group`](PepAnalysis::group) directly.
     pub fn circuit_delay(&self, netlist: &Netlist) -> DiscreteDist {
-        crate::cell_eval::combine_latest(
-            netlist.primary_outputs().iter().map(|&po| self.group(po)),
-        )
+        crate::cell_eval::combine_latest(netlist.primary_outputs().iter().map(|&po| self.group(po)))
     }
 }
 
@@ -103,8 +117,18 @@ impl PepAnalysis {
 /// assert!(a.stats().supergates > 0, "fig6 has reconvergent gates");
 /// ```
 pub fn analyze(netlist: &Netlist, timing: &Timing, config: &AnalysisConfig) -> PepAnalysis {
+    analyze_observed(netlist, timing, config, &Session::disabled())
+}
+
+/// [`analyze`], recording phases and metrics into `obs`.
+pub fn analyze_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    obs: &Session,
+) -> PepAnalysis {
     let zero = DiscreteDist::point(0);
-    analyze_with_inputs(netlist, timing, config, |_| zero.clone())
+    analyze_with_inputs_observed(netlist, timing, config, |_| zero.clone(), obs)
 }
 
 /// Analyzes a circuit with caller-supplied arrival groups at the primary
@@ -118,16 +142,46 @@ pub fn analyze_with_inputs<F>(
 where
     F: Fn(NodeId) -> DiscreteDist,
 {
+    analyze_with_inputs_observed(netlist, timing, config, pi_group, &Session::disabled())
+}
+
+/// [`analyze_with_inputs`], recording phases and metrics into `obs`.
+pub fn analyze_with_inputs_observed<F>(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    pi_group: F,
+    obs: &Session,
+) -> PepAnalysis
+where
+    F: Fn(NodeId) -> DiscreteDist,
+{
     let step = config
         .step_override
         .unwrap_or_else(|| timing.step_for_samples(config.samples));
-    let arcs = ArcPmfs::discretize_all(netlist, timing, step);
-    let supports = SupportSets::compute(netlist);
+    obs.gauge("pep.time_step").set(step.size());
+    let arcs = {
+        let _phase = obs.phase("arc-pmf-build");
+        ArcPmfs::discretize_all(netlist, timing, step)
+    };
+    let supports = {
+        let _phase = obs.phase("levelize");
+        SupportSets::compute(netlist)
+    };
     let eval = StaticEval {
         arcs: &arcs,
         mode: config.mode,
     };
-    let (groups, stats) = run(netlist, &arcs, &supports, &eval, config, pi_group, |_| true);
+    let (groups, stats) = run(
+        netlist,
+        &arcs,
+        &supports,
+        &eval,
+        config,
+        pi_group,
+        |_| true,
+        obs,
+    );
     PepAnalysis {
         step,
         groups,
@@ -135,8 +189,64 @@ where
     }
 }
 
+/// The per-run metric handles `run` drives, resolved once up front.
+struct RunMetrics {
+    nodes_evaluated: pep_obs::Counter,
+    events_propagated: pep_obs::Counter,
+    events_dropped: pep_obs::Counter,
+    dropped_mass: pep_obs::FloatCounter,
+    supergates: pep_obs::Counter,
+    stems_conditioned: pep_obs::Counter,
+    stems_filtered: pep_obs::Counter,
+    hybrid_evaluations: pep_obs::Counter,
+    group_size: pep_obs::Histogram,
+    supergate_inputs: pep_obs::Histogram,
+}
+
+impl RunMetrics {
+    fn resolve(obs: &Session) -> Self {
+        RunMetrics {
+            nodes_evaluated: obs.counter("pep.nodes_evaluated"),
+            events_propagated: obs.counter("pep.events_propagated"),
+            events_dropped: obs.counter("pep.events_dropped"),
+            dropped_mass: obs.float_counter("pep.dropped_mass"),
+            supergates: obs.counter("pep.supergates"),
+            stems_conditioned: obs.counter("pep.stems_conditioned"),
+            stems_filtered: obs.counter("pep.stems_filtered"),
+            hybrid_evaluations: obs.counter("pep.hybrid_evaluations"),
+            group_size: obs.histogram("pep.group_size"),
+            supergate_inputs: obs.histogram("pep.supergate_inputs"),
+        }
+    }
+
+    /// The counter values this run starts from; [`stats_since`]
+    /// subtracts them so a session shared across analyses still yields
+    /// exact per-run stats.
+    fn baseline(&self) -> AnalysisStats {
+        AnalysisStats {
+            supergates: self.supergates.get() as usize,
+            stems_conditioned: self.stems_conditioned.get() as usize,
+            stems_filtered: self.stems_filtered.get() as usize,
+            hybrid_evaluations: self.hybrid_evaluations.get() as usize,
+            dropped_mass: self.dropped_mass.get(),
+        }
+    }
+
+    /// The registry delta since `base`, as this run's [`AnalysisStats`].
+    fn stats_since(&self, base: &AnalysisStats) -> AnalysisStats {
+        AnalysisStats {
+            supergates: self.supergates.get() as usize - base.supergates,
+            stems_conditioned: self.stems_conditioned.get() as usize - base.stems_conditioned,
+            stems_filtered: self.stems_filtered.get() as usize - base.stems_filtered,
+            hybrid_evaluations: self.hybrid_evaluations.get() as usize - base.hybrid_evaluations,
+            dropped_mass: self.dropped_mass.get() - base.dropped_mass,
+        }
+    }
+}
+
 /// The shared levelized driver: plain cell evaluation on independent
 /// fanins, supergate sampling-evaluation on reconvergent gates.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run<E, F, A>(
     netlist: &Netlist,
     arcs: &ArcPmfs,
@@ -145,14 +255,17 @@ pub(crate) fn run<E, F, A>(
     config: &AnalysisConfig,
     pi_group: F,
     is_active: A,
+    obs: &Session,
 ) -> (Vec<DiscreteDist>, AnalysisStats)
 where
     E: NodeEval,
     F: Fn(NodeId) -> DiscreteDist,
     A: Fn(NodeId) -> bool,
 {
+    let _propagate = obs.phase("propagate");
+    let metrics = RunMetrics::resolve(obs);
+    let base = metrics.baseline();
     let mut groups: Vec<DiscreteDist> = vec![DiscreteDist::empty(); netlist.node_count()];
-    let mut stats = AnalysisStats::default();
     let mut extractor = SupergateExtractor::new(netlist, supports, config.supergate_depth);
     for &node in netlist.topo_order() {
         if netlist.kind(node) == GateKind::Input {
@@ -163,7 +276,12 @@ where
             continue;
         }
         let mut g = if supports.is_reconvergent(netlist, node) {
-            let sg = extractor.extract(node);
+            let sg = {
+                let _phase = obs.phase("supergate-extract");
+                extractor.extract(node)
+            };
+            metrics.supergate_inputs.record(sg.inputs.len() as f64);
+            let _phase = obs.phase("sampling-eval");
             // Interior nodes already carry (supergate-corrected) global
             // groups; only the output itself is re-derived locally.
             let mut region = RegionEval::new(
@@ -176,10 +294,12 @@ where
             );
             region.set_resolution(config.conditioning_resolution);
             let (g, outcome) = region.evaluate(config);
-            stats.supergates += 1;
-            stats.stems_conditioned += outcome.stems_conditioned;
-            stats.stems_filtered += outcome.stems_filtered;
-            stats.hybrid_evaluations += outcome.used_hybrid as usize;
+            metrics.supergates.inc();
+            metrics
+                .stems_conditioned
+                .add(outcome.stems_conditioned as u64);
+            metrics.stems_filtered.add(outcome.stems_filtered as u64);
+            metrics.hybrid_evaluations.add(outcome.used_hybrid as u64);
             g
         } else {
             let fanin_groups: Vec<&DiscreteDist> = netlist
@@ -193,12 +313,21 @@ where
             // Track the dropped mass for Fig. 7-style studies, then
             // renormalize so event groups keep their unit-mass invariant
             // (§2.1) instead of decaying multiplicatively with depth.
-            stats.dropped_mass += g.truncate_below(config.min_event_prob);
+            let events_before = g.support_len();
+            metrics
+                .dropped_mass
+                .add(g.truncate_below(config.min_event_prob));
+            metrics
+                .events_dropped
+                .add((events_before - g.support_len()) as u64);
             g.normalize();
         }
+        metrics.nodes_evaluated.inc();
+        metrics.events_propagated.add(g.support_len() as u64);
+        metrics.group_size.record(g.support_len() as f64);
         groups[node.index()] = g;
     }
-    (groups, stats)
+    (groups, metrics.stats_since(&base))
 }
 
 #[cfg(test)]

@@ -92,10 +92,7 @@ impl ArcPmfs {
     /// the arc into `gate`'s `pin` — wire plus cell.
     pub fn arc_bounds(&self, gate: NodeId, pin: usize) -> (i64, i64) {
         let c = &self.cell[gate.index()];
-        let (mut lo, mut hi) = (
-            c.min_tick().unwrap_or(0),
-            c.max_tick().unwrap_or(0),
-        );
+        let (mut lo, mut hi) = (c.min_tick().unwrap_or(0), c.max_tick().unwrap_or(0));
         if let Some(w) = self.wire(gate, pin) {
             lo += w.min_tick().unwrap_or(0);
             hi += w.max_tick().unwrap_or(0);

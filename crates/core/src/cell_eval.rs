@@ -163,10 +163,7 @@ mod tests {
         // P(min = 2) = P(upper = 2) * P(lower > 2) = 1/2 * 3/4.
         assert!(close(out.prob_at(2), 0.5 * 0.75));
         // P(min = 3): upper=3,lower>3 + lower=3,upper>3 + both=3.
-        assert!(close(
-            out.prob_at(3),
-            0.25 * 0.25 + 0.5 * 0.25 + 0.25 * 0.5
-        ));
+        assert!(close(out.prob_at(3), 0.25 * 0.25 + 0.5 * 0.25 + 0.25 * 0.5));
         // P(min = 4): both must be 4.
         assert!(close(out.prob_at(4), 0.25 * 0.25));
         assert!(close(out.total_mass(), 1.0));

@@ -47,11 +47,7 @@ impl Comparison {
 /// assert!(mean_err < 3.0, "means within a few percent, got {mean_err}");
 /// assert!(std_err < 30.0, "sigmas in the right ballpark, got {std_err}");
 /// ```
-pub fn against_monte_carlo(
-    netlist: &Netlist,
-    pep: &PepAnalysis,
-    mc: &McResult,
-) -> Comparison {
+pub fn against_monte_carlo(netlist: &Netlist, pep: &PepAnalysis, mc: &McResult) -> Comparison {
     let mut cmp = Comparison::default();
     for id in netlist.node_ids() {
         if netlist.kind(id) == GateKind::Input || pep.group(id).is_empty() {

@@ -135,11 +135,7 @@ where
 
 /// Mean longest residual path (in ticks) from every node to any primary
 /// output.
-fn mean_residual_ticks(
-    netlist: &Netlist,
-    timing: &Timing,
-    step: pep_dist::TimeStep,
-) -> Vec<i64> {
+fn mean_residual_ticks(netlist: &Netlist, timing: &Timing, step: pep_dist::TimeStep) -> Vec<i64> {
     let mut residual = vec![0i64; netlist.node_count()];
     for &id in netlist.topo_order().iter().rev() {
         for (pin, &f) in netlist.fanins(id).iter().enumerate() {

@@ -17,6 +17,7 @@ use pep_celllib::Timing;
 use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::{Netlist, NodeId};
+use pep_obs::Session;
 use pep_sta::transition::{simulate_transition, TransitionSim};
 
 /// Result of a dynamic probabilistic analysis.
@@ -118,14 +119,40 @@ pub fn analyze_transition(
     v2: &[bool],
     config: &AnalysisConfig,
 ) -> DynamicAnalysis {
+    analyze_transition_observed(netlist, timing, v1, v2, config, &Session::disabled())
+}
+
+/// [`analyze_transition`], recording phases and metrics into `obs`.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from the primary input count.
+pub fn analyze_transition_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &AnalysisConfig,
+    obs: &Session,
+) -> DynamicAnalysis {
     let step = config
         .step_override
         .unwrap_or_else(|| timing.step_for_samples(config.samples));
-    let arcs = ArcPmfs::discretize_all(netlist, timing, step);
-    let supports = SupportSets::compute(netlist);
+    obs.gauge("pep.time_step").set(step.size());
+    let arcs = {
+        let _phase = obs.phase("arc-pmf-build");
+        ArcPmfs::discretize_all(netlist, timing, step)
+    };
+    let supports = {
+        let _phase = obs.phase("levelize");
+        SupportSets::compute(netlist)
+    };
     // The transition pattern (who switches, which way) is delay-free;
     // nominal delays are only used to satisfy the simulator's interface.
-    let sim = simulate_transition(netlist, v1, v2, |g, p| timing.arc_mean(g, p));
+    let sim = {
+        let _phase = obs.phase("transition-sim");
+        simulate_transition(netlist, v1, v2, |g, p| timing.arc_mean(g, p))
+    };
     let eval = DynamicEval {
         netlist,
         arcs: &arcs,
@@ -145,6 +172,7 @@ pub fn analyze_transition(
             }
         },
         |node| sim.transitions(node),
+        obs,
     );
     DynamicAnalysis {
         step,

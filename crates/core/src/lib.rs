@@ -53,6 +53,9 @@ mod node_eval;
 mod region;
 pub mod validate;
 
-pub use analyzer::{analyze, analyze_with_inputs, AnalysisStats, PepAnalysis};
+pub use analyzer::{
+    analyze, analyze_observed, analyze_with_inputs, analyze_with_inputs_observed, AnalysisStats,
+    PepAnalysis,
+};
 pub use arcs::ArcPmfs;
 pub use config::{AnalysisConfig, CombineMode, HybridMcConfig, StemRanking};

@@ -48,11 +48,9 @@ impl NodeEval for StaticEval<'_> {
             let wired: Vec<DiscreteDist> = fanin_groups
                 .iter()
                 .enumerate()
-                .map(|(pin, g)| {
-                    match self.arcs.wire(node, pin) {
-                        Some(w) => g.convolve(w),
-                        None => (*g).clone(),
-                    }
+                .map(|(pin, g)| match self.arcs.wire(node, pin) {
+                    Some(w) => g.convolve(w),
+                    None => (*g).clone(),
                 })
                 .collect();
             cell_eval::combine(wired.iter(), self.mode)

@@ -126,9 +126,9 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
             } else {
                 match get(node) {
                     Some(g) => Cow::Borrowed(g),
-                    None => Cow::Owned(
-                        region.eval_local(node, |f| base[region.local[&f]].as_ref()),
-                    ),
+                    None => {
+                        Cow::Owned(region.eval_local(node, |f| base[region.local[&f]].as_ref()))
+                    }
                 }
             };
             base.push(g);
@@ -216,7 +216,10 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         if stems.is_empty() {
             return self.base_output().clone();
         }
-        assert!(stems.len() < usize::from(u8::MAX), "too many conditioning stems");
+        assert!(
+            stems.len() < usize::from(u8::MAX),
+            "too many conditioning stems"
+        );
         let n = self.nodes.len();
         // tag[li] = first conditioning level whose stem reaches the node
         // (u8::MAX = unaffected); drives which nodes each enumeration
@@ -334,7 +337,13 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
     /// The group currently in effect at a local node, at enumeration
     /// filter level `k`.
     #[inline]
-    fn cond_value<'s>(&'s self, tag: &[u8], state: &'s CondState, li: usize, k: u8) -> &'s DiscreteDist {
+    fn cond_value<'s>(
+        &'s self,
+        tag: &[u8],
+        state: &'s CondState,
+        li: usize,
+        k: u8,
+    ) -> &'s DiscreteDist {
         if let Some(ov) = &state.ov[li] {
             return ov;
         }
@@ -376,9 +385,7 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         let li = self.local[&stem];
         let g = self.base[li].as_ref();
         match (g.min_tick(), g.max_tick()) {
-            (Some(lo), Some(hi)) if dmin[li] != i64::MAX => {
-                Some((lo + dmin[li], hi + dmax[li]))
-            }
+            (Some(lo), Some(hi)) if dmin[li] != i64::MAX => Some((lo + dmin[li], hi + dmax[li])),
             _ => None,
         }
     }
@@ -456,7 +463,9 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         // edges, which trivially tie).
         let mut windows: Vec<(i64, i64)> = Vec::new();
         for &b in self.netlist.fanouts(stem) {
-            let Some(&bi) = self.local.get(&b) else { continue };
+            let Some(&bi) = self.local.get(&b) else {
+                continue;
+            };
             if bi < self.n_inputs || dmin[bi] == i64::MAX {
                 continue;
             }
@@ -510,26 +519,21 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 stems
                     .iter()
                     .map(|&s| {
-                        let r =
-                            self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
+                        let r = self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
                         (r.l1_distance(base_out), s)
                     })
                     .collect()
             }
             StemRanking::Window => {
                 let (dmin, dmax) = self.delays_to_output();
-                let out_lo = self
-                    .base_output()
-                    .min_tick()
-                    .unwrap_or(i64::MIN);
+                let out_lo = self.base_output().min_tick().unwrap_or(i64::MIN);
                 let out_hi = self.base_output().max_tick().unwrap_or(i64::MAX);
                 stems
                     .iter()
                     .map(|&s| {
                         let score = match self.stem_window(s, &dmin, &dmax) {
                             Some((lo, hi)) => {
-                                let overlap =
-                                    (hi.min(out_hi) - lo.max(out_lo) + 1).max(0) as f64;
+                                let overlap = (hi.min(out_hi) - lo.max(out_lo) + 1).max(0) as f64;
                                 let branches = self
                                     .netlist
                                     .fanouts(s)
@@ -621,9 +625,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn setup(
-        nl: &Netlist,
-    ) -> (ArcPmfs, SupportSets, Supergate) {
+    fn setup(nl: &Netlist) -> (ArcPmfs, SupportSets, Supergate) {
         let t = Timing::uniform(nl, 1.0);
         let arcs = ArcPmfs::discretize_all(nl, &t, TimeStep::new(1.0).unwrap());
         let supports = SupportSets::compute(nl);
@@ -655,7 +657,10 @@ mod tests {
         // Naive (base) propagation treats the two branches as
         // independent: P(max = t+2) = squared CDF increments — wrong.
         let naive = region.base_output();
-        assert!((naive.prob_at(2) - 0.25).abs() < 1e-12, "naive squares the CDF");
+        assert!(
+            (naive.prob_at(2) - 0.25).abs() < 1e-12,
+            "naive squares the CDF"
+        );
 
         // Conditioning on the stem restores the exact answer:
         // y = a + 2 with a's own distribution.
@@ -737,6 +742,9 @@ mod tests {
             |n| (n == a).then_some(&a_group),
             0.0,
         );
-        assert_eq!(region.filter_stems(&sg.stems, CombineMode::Latest), sg.stems);
+        assert_eq!(
+            region.filter_stems(&sg.stems, CombineMode::Latest),
+            sg.stems
+        );
     }
 }

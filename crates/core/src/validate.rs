@@ -44,11 +44,7 @@ const MAX_COMBINATIONS: f64 = 2e7;
 /// assert_eq!(truth[y.index()].support_len(), 1, "unit delays are deterministic");
 /// # Ok::<(), pep_dist::DistError>(())
 /// ```
-pub fn enumerate_exact(
-    netlist: &Netlist,
-    arcs: &ArcPmfs,
-    mode: CombineMode,
-) -> Vec<DiscreteDist> {
+pub fn enumerate_exact(netlist: &Netlist, arcs: &ArcPmfs, mode: CombineMode) -> Vec<DiscreteDist> {
     assert!(
         !arcs.has_wires(),
         "the enumeration oracle supports cell delays only"
@@ -94,16 +90,15 @@ pub fn enumerate_exact(
             arrival[g.index()] = combined + delay;
         }
         for id in netlist.node_ids() {
-            *tallies[id.index()].entry(arrival[id.index()]).or_insert(0.0) += weight;
+            *tallies[id.index()]
+                .entry(arrival[id.index()])
+                .or_insert(0.0) += weight;
         }
         // Odometer increment.
         let mut pos = 0;
         loop {
             if pos == gates.len() {
-                return tallies
-                    .into_iter()
-                    .map(DiscreteDist::from_pairs)
-                    .collect();
+                return tallies.into_iter().map(DiscreteDist::from_pairs).collect();
             }
             choice[pos] += 1;
             if choice[pos] < events[pos].len() {

@@ -3,8 +3,7 @@
 
 use pep_celllib::{DelayModel, Timing};
 use pep_core::{
-    analyze, analyze_with_inputs, criticality, dynamic, AnalysisConfig, CombineMode,
-    HybridMcConfig,
+    analyze, analyze_with_inputs, criticality, dynamic, AnalysisConfig, CombineMode, HybridMcConfig,
 };
 use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::{samples, GateKind, NetlistBuilder};

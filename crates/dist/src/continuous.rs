@@ -279,9 +279,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -350,7 +349,10 @@ mod tests {
             prev = c;
         }
         assert!((d.cdf(3.0) - 1.0).abs() < 1e-12);
-        assert!((d.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12, "F(mode) = (mode-lo)/(hi-lo)");
+        assert!(
+            (d.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12,
+            "F(mode) = (mode-lo)/(hi-lo)"
+        );
     }
 
     #[test]
@@ -420,7 +422,10 @@ mod tests {
                 let x = lo + (i as f64 + 0.5) * h;
                 integral += d.pdf(x) * h;
             }
-            assert!((integral - 1.0).abs() < 1e-3, "pdf of {d:?} integrates to {integral}");
+            assert!(
+                (integral - 1.0).abs() < 1e-3,
+                "pdf of {d:?} integrates to {integral}"
+            );
         }
     }
 }

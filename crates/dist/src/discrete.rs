@@ -382,8 +382,8 @@ impl DiscreteDist {
             return;
         }
         let lo = self.origin.min(other.origin);
-        let hi = (self.origin + self.probs.len() as i64)
-            .max(other.origin + other.probs.len() as i64);
+        let hi =
+            (self.origin + self.probs.len() as i64).max(other.origin + other.probs.len() as i64);
         let mut probs = vec![0.0; (hi - lo) as usize];
         for (i, &p) in self.probs.iter().enumerate() {
             probs[(self.origin - lo) as usize + i] += p;
@@ -639,7 +639,10 @@ impl DiscreteDist {
             return 2.0;
         }
         let lo = a.origin.min(b.origin);
-        let hi = a.max_tick().expect("non-empty").max(b.max_tick().expect("non-empty"));
+        let hi = a
+            .max_tick()
+            .expect("non-empty")
+            .max(b.max_tick().expect("non-empty"));
         let mut acc = 0.0;
         for t in lo..=hi {
             acc += (a.prob_at(t) - b.prob_at(t)).abs();
@@ -958,7 +961,10 @@ mod tests {
         let b = DiscreteDist::from_pairs([(5, 1.0)]);
         assert!(close(a.l1_distance(&a), 0.0));
         assert!(close(a.l1_distance(&b), 2.0));
-        assert!(close(DiscreteDist::empty().l1_distance(&DiscreteDist::empty()), 0.0));
+        assert!(close(
+            DiscreteDist::empty().l1_distance(&DiscreteDist::empty()),
+            0.0
+        ));
         assert!(close(a.l1_distance(&DiscreteDist::empty()), 2.0));
     }
 

@@ -55,7 +55,10 @@ pub fn discretize(dist: &ContinuousDist, step: TimeStep) -> DiscreteDist {
 /// # Panics
 ///
 /// Panics if `n_samples` is zero.
-pub fn discretize_with_samples(dist: &ContinuousDist, n_samples: usize) -> (DiscreteDist, TimeStep) {
+pub fn discretize_with_samples(
+    dist: &ContinuousDist,
+    n_samples: usize,
+) -> (DiscreteDist, TimeStep) {
     let step = step_for_samples(dist, n_samples);
     (discretize(dist, step), step)
 }

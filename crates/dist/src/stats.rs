@@ -268,7 +268,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0)
+            .collect();
         let r: Running = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;

@@ -122,9 +122,7 @@ fn student_t_monotone_in_confidence_and_dof() {
         assert!(c90 < c95 && c95 < c99, "dof {dof}");
     }
     // Critical values shrink toward the normal limit as dof grows.
-    assert!(
-        student_t_critical(Confidence::P99, 2) > student_t_critical(Confidence::P99, 20)
-    );
+    assert!(student_t_critical(Confidence::P99, 2) > student_t_critical(Confidence::P99, 20));
 }
 
 #[test]

@@ -8,11 +8,7 @@ use proptest::prelude::*;
 fn arb_dist(max_events: usize) -> impl Strategy<Value = DiscreteDist> {
     prop::collection::vec((-50i64..50, 1u32..1000), 1..=max_events).prop_map(|pairs| {
         let total: u64 = pairs.iter().map(|&(_, w)| w as u64).sum();
-        DiscreteDist::from_pairs(
-            pairs
-                .into_iter()
-                .map(|(t, w)| (t, w as f64 / total as f64)),
-        )
+        DiscreteDist::from_pairs(pairs.into_iter().map(|(t, w)| (t, w as f64 / total as f64)))
     })
 }
 

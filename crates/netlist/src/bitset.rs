@@ -62,10 +62,7 @@ impl BitSet {
     /// Whether the two sets share any element.
     #[inline]
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Whether the two sets share any element other than `skip`.

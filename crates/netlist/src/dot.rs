@@ -81,7 +81,13 @@ pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")
@@ -108,10 +114,7 @@ mod tests {
         for id in nl.node_ids() {
             assert!(text.contains(&format!("\"{}\"", nl.node_name(id))));
         }
-        let edges = nl
-            .node_ids()
-            .map(|n| nl.fanins(n).len())
-            .sum::<usize>();
+        let edges = nl.node_ids().map(|n| nl.fanins(n).len()).sum::<usize>();
         assert_eq!(text.matches(" -> ").count(), edges);
     }
 

@@ -524,8 +524,7 @@ mod tests {
     #[test]
     fn random_circuit_no_dangling_nodes() {
         let nl = random_circuit(&RandomCircuitSpec::default());
-        let po: std::collections::HashSet<_> =
-            nl.primary_outputs().iter().copied().collect();
+        let po: std::collections::HashSet<_> = nl.primary_outputs().iter().copied().collect();
         for id in nl.node_ids() {
             assert!(
                 nl.fanout_count(id) > 0 || po.contains(&id),

@@ -6,9 +6,7 @@ use std::collections::HashMap;
 ///
 /// Every node drives exactly one signal, so nodes and signals are
 /// interchangeable: the "signal `x`" is the output of node `x`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -552,10 +550,7 @@ mod tests {
         let mut b = NetlistBuilder::new("noout");
         b.input("a").unwrap();
         b.output("ghost").unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(NetlistError::UnknownSignal { .. })
-        ));
+        assert!(matches!(b.build(), Err(NetlistError::UnknownSignal { .. })));
     }
 
     #[test]

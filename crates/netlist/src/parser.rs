@@ -203,22 +203,14 @@ mod tests {
 
     #[test]
     fn parses_simple_circuit() {
-        let nl = parse_bench(
-            "t",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-        )
-        .unwrap();
+        let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
         assert_eq!(nl.gate_count(), 1);
         assert_eq!(nl.kind(nl.node_id("y").unwrap()), GateKind::And);
     }
 
     #[test]
     fn forward_references_allowed() {
-        let nl = parse_bench(
-            "fwd",
-            "INPUT(a)\nOUTPUT(y)\ny = NOT(w)\nw = BUF(a)\n",
-        )
-        .unwrap();
+        let nl = parse_bench("fwd", "INPUT(a)\nOUTPUT(y)\ny = NOT(w)\nw = BUF(a)\n").unwrap();
         assert_eq!(nl.gate_count(), 2);
     }
 

@@ -117,11 +117,7 @@ mod tests {
         assert_eq!(nl.max_level(), 3);
         let supports = SupportSets::compute(&nl);
         // Stems of c17: inputs 3, and gates 11, 16.
-        let stem_names: Vec<&str> = supports
-            .stems()
-            .iter()
-            .map(|&s| nl.node_name(s))
-            .collect();
+        let stem_names: Vec<&str> = supports.stems().iter().map(|&s| nl.node_name(s)).collect();
         assert_eq!(stem_names, vec!["3", "11", "16"]);
     }
 
@@ -157,11 +153,7 @@ mod tests {
     fn fig6_stems() {
         let nl = fig6();
         let supports = SupportSets::compute(&nl);
-        let stem_names: Vec<&str> = supports
-            .stems()
-            .iter()
-            .map(|&s| nl.node_name(s))
-            .collect();
+        let stem_names: Vec<&str> = supports.stems().iter().map(|&s| nl.node_name(s)).collect();
         assert_eq!(stem_names, vec!["s1", "s2", "s3", "s4"]);
     }
 }

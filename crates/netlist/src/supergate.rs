@@ -105,11 +105,7 @@ pub struct SupergateExtractor<'a> {
 impl<'a> SupergateExtractor<'a> {
     /// Creates an extractor for the circuit with the paper's depth limit
     /// `D` (`None` = exact extraction).
-    pub fn new(
-        netlist: &'a Netlist,
-        supports: &'a SupportSets,
-        depth_limit: Option<u32>,
-    ) -> Self {
+    pub fn new(netlist: &'a Netlist, supports: &'a SupportSets, depth_limit: Option<u32>) -> Self {
         let n = netlist.node_count();
         let n_stems = supports.stems().len();
         let max_level = netlist.max_level() as usize;
@@ -315,7 +311,11 @@ pub struct SupergateStats {
 
 /// Extracts every supergate of the circuit (one per reconvergent gate) and
 /// reports the Table 1 statistics.
-pub fn stats(netlist: &Netlist, supports: &SupportSets, depth_limit: Option<u32>) -> SupergateStats {
+pub fn stats(
+    netlist: &Netlist,
+    supports: &SupportSets,
+    depth_limit: Option<u32>,
+) -> SupergateStats {
     let mut count = 0usize;
     let mut total_gates = 0usize;
     let mut total_stems = 0usize;
@@ -432,9 +432,8 @@ mod tests {
 
         let sg1 = extract(&nl, &s, sg1_out, None);
         let sg2 = extract(&nl, &s, sg2_out, None);
-        let stem_names = |sg: &Supergate| -> Vec<&str> {
-            sg.stems.iter().map(|&n| nl.node_name(n)).collect()
-        };
+        let stem_names =
+            |sg: &Supergate| -> Vec<&str> { sg.stems.iter().map(|&n| nl.node_name(n)).collect() };
         assert_eq!(stem_names(&sg1), vec!["s1", "s2", "s3", "s4"]);
         assert_eq!(stem_names(&sg2), vec!["s1", "s3", "s4"]);
         // Overlap: both supergates contain the gates driving s3/s4's

@@ -9,28 +9,26 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = RandomCircuitSpec> {
     (
-        2usize..24,      // inputs
-        10usize..120,    // gates
-        2usize..10,      // depth
-        2usize..5,       // max_fanin
-        1usize..4,       // level_reach
-        0.0f64..=1.0,    // window
-        0.0f64..0.7,     // inverter fraction
-        any::<u64>(),    // seed
+        2usize..24,   // inputs
+        10usize..120, // gates
+        2usize..10,   // depth
+        2usize..5,    // max_fanin
+        1usize..4,    // level_reach
+        0.0f64..=1.0, // window
+        0.0f64..0.7,  // inverter fraction
+        any::<u64>(), // seed
     )
         .prop_map(
-            |(inputs, gates, depth, max_fanin, level_reach, window, inv, seed)| {
-                RandomCircuitSpec {
-                    name: "prop".into(),
-                    inputs,
-                    gates,
-                    depth: depth.min(gates),
-                    max_fanin,
-                    level_reach,
-                    window,
-                    inverter_fraction: inv,
-                    seed,
-                }
+            |(inputs, gates, depth, max_fanin, level_reach, window, inv, seed)| RandomCircuitSpec {
+                name: "prop".into(),
+                inputs,
+                gates,
+                depth: depth.min(gates),
+                max_fanin,
+                level_reach,
+                window,
+                inverter_fraction: inv,
+                seed,
             },
         )
 }

@@ -1,0 +1,52 @@
+//! Observability for the probabilistic-event-propagation pipeline:
+//! phase-level tracing, a metrics registry, and machine-readable run
+//! reports.
+//!
+//! The central type is [`Session`] — a cheaply clonable handle threaded
+//! through the analysis layers. Code under observation does three
+//! things:
+//!
+//! * open **phases** ([`Session::phase`]) around pipeline stages
+//!   (`parse`, `arc-pmf-build`, `levelize`, `propagate`,
+//!   `supergate-extract`, `sampling-eval`, `mc-baseline`, …); spans
+//!   nest, and same-named spans under the same parent merge, so a phase
+//!   timed inside a loop aggregates instead of exploding,
+//! * bump **metrics** (counters / float counters / gauges /
+//!   histograms) resolved once by dotted name (`pep.supergates`,
+//!   `mc.runs_completed`) and incremented lock-free on the hot path,
+//! * export a [`RunReport`] ([`Session::report`]) — a serde-serializable
+//!   snapshot with JSON (`--metrics-json`) and pretty-text renderings.
+//!
+//! The [`Session::disabled`] session makes all of this free: no
+//! timestamps, no locks, detached histograms. Counter handles from a
+//! disabled session still count (they are plain atomics), so statistics
+//! computed from counter deltas — `pep_core`'s `AnalysisStats` — are
+//! identical whether or not anyone is observing.
+//!
+//! ```
+//! use pep_obs::Session;
+//!
+//! let obs = Session::new();
+//! {
+//!     let _phase = obs.phase("propagate");
+//!     let nodes = obs.counter("pep.nodes_evaluated");
+//!     for _ in 0..6 {
+//!         nodes.inc();
+//!     }
+//! }
+//! let report = obs.report("analyze");
+//! assert_eq!(report.counters["pep.nodes_evaluated"], 6);
+//! assert!(report.to_json_pretty().contains("propagate"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod phase;
+pub mod report;
+mod session;
+
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
+pub use report::{HistogramSummary, PhaseReport, RunReport};
+pub use session::{PhaseGuard, Session};

@@ -1,0 +1,284 @@
+//! The metrics registry: named counters, gauges and histograms with
+//! cheap, thread-safe handles.
+//!
+//! Handles are resolved **once** by name (`registry.counter("pep.x")`)
+//! and then incremented lock-free on the hot path — an increment is a
+//! single relaxed atomic add. Histograms store raw samples behind a
+//! mutex and summarize (count / sum / min / max / mean / percentiles)
+//! on demand; record samples at per-node or per-chunk granularity, not
+//! per-event.
+
+use crate::report::HistogramSummary;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing floating-point accumulator (e.g. total
+/// probability mass dropped). Adds are ordered within one thread, so
+/// single-threaded accumulation is bit-for-bit deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    /// Adds `x` (compare-and-swap loop over the f64 bit pattern).
+    pub fn add(&self, x: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + x).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins floating-point metric (e.g. thread count, step
+/// size).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, x: f64) {
+        self.0.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A sample distribution metric. `Histogram::detached()` produces a
+/// no-op handle (used by disabled sessions) whose `record` is free.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    samples: Option<Arc<Mutex<Vec<f64>>>>,
+}
+
+impl Histogram {
+    fn live() -> Self {
+        Histogram {
+            samples: Some(Arc::default()),
+        }
+    }
+
+    /// A handle that drops every sample (the disabled fast path).
+    pub fn detached() -> Self {
+        Histogram { samples: None }
+    }
+
+    /// Records one sample (no-op on a detached handle).
+    pub fn record(&self, x: f64) {
+        if let Some(samples) = &self.samples {
+            samples.lock().expect("histogram lock").push(x);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        match &self.samples {
+            Some(samples) => samples.lock().expect("histogram lock").len() as u64,
+            None => 0,
+        }
+    }
+
+    /// Summarizes the recorded samples (all-zero summary when empty).
+    pub fn summary(&self) -> HistogramSummary {
+        let sorted = match &self.samples {
+            Some(samples) => {
+                let mut v = samples.lock().expect("histogram lock").clone();
+                v.sort_by(f64::total_cmp);
+                v
+            }
+            None => Vec::new(),
+        };
+        HistogramSummary::from_sorted(&sorted)
+    }
+}
+
+/// Name → metric store; the single source of truth for run statistics.
+///
+/// Metric names are dotted paths (`pep.supergates`, `mc.runs`); each
+/// name lives in exactly one of the four metric kinds — asking for
+/// `counter("x")` and `gauge("x")` creates two different metrics that
+/// would collide in the report, so don't.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    float_counters: Mutex<BTreeMap<String, FloatCounter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.counters, name, Counter::default)
+    }
+
+    /// The float counter registered under `name`.
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        get_or_insert(&self.float_counters, name, FloatCounter::default)
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.gauges, name, Gauge::default)
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        get_or_insert(&self.histograms, name, Histogram::live)
+    }
+
+    /// Snapshot of every counter.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        snapshot(&self.counters, Counter::get)
+    }
+
+    /// Snapshot of every gauge and float counter (both are `f64`-valued
+    /// and report in one namespace).
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, f64> {
+        let mut out = snapshot(&self.float_counters, FloatCounter::get);
+        out.extend(snapshot(&self.gauges, Gauge::get));
+        out
+    }
+
+    /// Snapshot of every histogram, summarized.
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, HistogramSummary> {
+        snapshot(&self.histograms, Histogram::summary)
+    }
+}
+
+fn get_or_insert<M: Clone>(
+    store: &Mutex<BTreeMap<String, M>>,
+    name: &str,
+    make: impl FnOnce() -> M,
+) -> M {
+    let mut map = store.lock().expect("registry lock");
+    match map.get(name) {
+        Some(metric) => metric.clone(),
+        None => {
+            let metric = make();
+            map.insert(name.to_owned(), metric.clone());
+            metric
+        }
+    }
+}
+
+fn snapshot<M, V>(
+    store: &Mutex<BTreeMap<String, M>>,
+    read: impl Fn(&M) -> V,
+) -> BTreeMap<String, V> {
+    store
+        .lock()
+        .expect("registry lock")
+        .iter()
+        .map(|(name, metric)| (name.clone(), read(metric)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("pep.nodes");
+        let b = reg.counter("pep.nodes");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("pep.nodes").get(), 4);
+        assert_eq!(reg.counters_snapshot()["pep.nodes"], 4);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let reg = MetricsRegistry::default();
+        let m = reg.float_counter("pep.dropped_mass");
+        for _ in 0..10 {
+            m.add(0.125);
+        }
+        assert_eq!(m.get(), 1.25);
+        assert_eq!(reg.gauges_snapshot()["pep.dropped_mass"], 1.25);
+    }
+
+    #[test]
+    fn float_counter_is_thread_safe() {
+        let reg = MetricsRegistry::default();
+        let m = reg.float_counter("x");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(), 4000.0);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let reg = MetricsRegistry::default();
+        reg.gauge("mc.threads").set(8.0);
+        reg.gauge("mc.threads").set(4.0);
+        assert_eq!(reg.gauges_snapshot()["mc.threads"], 4.0);
+    }
+
+    #[test]
+    fn histogram_summarizes_and_detached_is_noop() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("pep.group_size");
+        for x in 1..=100 {
+            h.record(x as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+
+        let d = Histogram::detached();
+        d.record(5.0);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.summary().count, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Hierarchical wall-clock phase timing.
+//!
+//! A [`PhaseTree`] records nested spans (`parse` → `propagate` →
+//! `sampling-eval` …). Spans with the same name under the same parent
+//! merge: their durations add and their invocation count increments, so
+//! timing a phase inside a loop (one `sampling-eval` guard per
+//! supergate) yields one aggregate span instead of thousands of nodes.
+//!
+//! The tree is driven through [`crate::Session::phase`], which returns a
+//! scope guard; the span closes when the guard drops. Spans track one
+//! logical stack, so open phases from the *orchestration* thread only —
+//! worker threads should record counters/histograms instead.
+
+use std::time::Duration;
+
+/// One aggregated span in the phase tree.
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: String,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    total: Duration,
+    count: u64,
+}
+
+/// An arena-allocated tree of aggregated phase spans.
+#[derive(Debug, Default)]
+pub struct PhaseTree {
+    spans: Vec<SpanNode>,
+    stack: Vec<usize>,
+}
+
+impl PhaseTree {
+    /// Opens a span named `name` under the currently open span, merging
+    /// with an existing same-named sibling. Returns the span's index,
+    /// which [`close`](PhaseTree::close) takes back.
+    pub fn open(&mut self, name: &str) -> usize {
+        let parent = self.stack.last().copied();
+        let existing = match parent {
+            Some(p) => self.spans[p]
+                .children
+                .iter()
+                .copied()
+                .find(|&i| self.spans[i].name == name),
+            None => (0..self.spans.len())
+                .find(|&i| self.spans[i].parent.is_none() && self.spans[i].name == name),
+        };
+        let index = existing.unwrap_or_else(|| {
+            let index = self.spans.len();
+            self.spans.push(SpanNode {
+                name: name.to_owned(),
+                parent,
+                children: Vec::new(),
+                total: Duration::ZERO,
+                count: 0,
+            });
+            if let Some(p) = parent {
+                self.spans[p].children.push(index);
+            }
+            index
+        });
+        self.stack.push(index);
+        index
+    }
+
+    /// Closes the span `index` with the measured `elapsed`. Any spans
+    /// left open above it (a guard leaked or dropped out of order) are
+    /// closed with zero additional time.
+    pub fn close(&mut self, index: usize, elapsed: Duration) {
+        while let Some(top) = self.stack.pop() {
+            if top == index {
+                break;
+            }
+        }
+        let span = &mut self.spans[index];
+        span.total += elapsed;
+        span.count += 1;
+    }
+
+    // Root spans are the ones without a parent; computed on demand so the
+    // arena stays append-only.
+    fn roots_scratch(&self) -> Vec<usize> {
+        (0..self.spans.len())
+            .filter(|&i| self.spans[i].parent.is_none())
+            .collect()
+    }
+
+    /// Total recorded time across every span named `name`, if any
+    /// closed.
+    pub fn total_of(&self, name: &str) -> Option<Duration> {
+        let mut found = false;
+        let mut total = Duration::ZERO;
+        for span in &self.spans {
+            if span.name == name && span.count > 0 {
+                found = true;
+                total += span.total;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// The tree as serializable [`crate::report::PhaseReport`] nodes
+    /// (roots in first-open order).
+    pub fn to_reports(&self) -> Vec<crate::report::PhaseReport> {
+        self.roots_scratch()
+            .into_iter()
+            .map(|i| self.report_of(i))
+            .collect()
+    }
+
+    fn report_of(&self, index: usize) -> crate::report::PhaseReport {
+        let span = &self.spans[index];
+        crate::report::PhaseReport {
+            name: span.name.clone(),
+            wall_seconds: span.total.as_secs_f64(),
+            count: span.count,
+            children: span.children.iter().map(|&c| self.report_of(c)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_ordering_preserved() {
+        let mut t = PhaseTree::default();
+        let parse = t.open("parse");
+        t.close(parse, Duration::from_millis(5));
+        let prop = t.open("propagate");
+        let inner = t.open("sampling-eval");
+        t.close(inner, Duration::from_millis(2));
+        t.close(prop, Duration::from_millis(10));
+
+        let reports = t.to_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "parse");
+        assert_eq!(reports[1].name, "propagate");
+        assert_eq!(reports[1].children.len(), 1);
+        assert_eq!(reports[1].children[0].name, "sampling-eval");
+        assert!(reports[1].wall_seconds >= reports[1].children[0].wall_seconds);
+    }
+
+    #[test]
+    fn same_named_siblings_merge() {
+        let mut t = PhaseTree::default();
+        let prop = t.open("propagate");
+        for _ in 0..100 {
+            let s = t.open("sampling-eval");
+            t.close(s, Duration::from_micros(10));
+        }
+        t.close(prop, Duration::from_millis(1));
+        let reports = t.to_reports();
+        assert_eq!(reports[0].children.len(), 1, "merged into one span");
+        assert_eq!(reports[0].children[0].count, 100);
+        assert_eq!(
+            reports[0].children[0].wall_seconds,
+            Duration::from_millis(1).as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn same_name_under_different_parents_stays_separate() {
+        let mut t = PhaseTree::default();
+        let a = t.open("pep");
+        let ia = t.open("eval");
+        t.close(ia, Duration::from_millis(1));
+        t.close(a, Duration::from_millis(1));
+        let b = t.open("mc");
+        let ib = t.open("eval");
+        t.close(ib, Duration::from_millis(2));
+        t.close(b, Duration::from_millis(2));
+        let reports = t.to_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].children[0].name, "eval");
+        assert_eq!(reports[1].children[0].name, "eval");
+        assert_eq!(
+            t.total_of("eval"),
+            Some(Duration::from_millis(3)),
+            "total_of sums across parents"
+        );
+    }
+
+    #[test]
+    fn out_of_order_close_recovers() {
+        let mut t = PhaseTree::default();
+        let outer = t.open("outer");
+        let _leaked = t.open("leaked");
+        t.close(outer, Duration::from_millis(1));
+        // The stack is clean again: the next span is a root.
+        let next = t.open("next");
+        t.close(next, Duration::from_millis(1));
+        let reports = t.to_reports();
+        assert_eq!(reports.last().unwrap().name, "next");
+        assert!(reports.last().unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn total_of_missing_phase_is_none() {
+        let t = PhaseTree::default();
+        assert_eq!(t.total_of("ghost"), None);
+    }
+}

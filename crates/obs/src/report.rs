@@ -1,0 +1,307 @@
+//! The machine-readable run report: everything a [`crate::Session`]
+//! observed, as one serde-serializable value with JSON and pretty-text
+//! renderings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One aggregated phase span (see [`crate::phase::PhaseTree`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (`parse`, `propagate`, `sampling-eval`, …).
+    pub name: String,
+    /// Total wall-clock seconds across every invocation of this phase.
+    pub wall_seconds: f64,
+    /// Number of invocations merged into this span.
+    pub count: u64,
+    /// Phases opened while this one was open.
+    pub children: Vec<PhaseReport>,
+}
+
+/// Summary statistics of one histogram metric.
+///
+/// Percentiles use the nearest-rank method on the recorded samples; an
+/// empty histogram reports all-zero fields (never NaN, so the JSON
+/// round-trips losslessly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Builds a summary from samples sorted ascending.
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        let sum: f64 = sorted.iter().sum();
+        let nearest_rank = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        HistogramSummary {
+            count: sorted.len() as u64,
+            sum,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sum / sorted.len() as f64,
+            p50: nearest_rank(0.50),
+            p90: nearest_rank(0.90),
+            p99: nearest_rank(0.99),
+        }
+    }
+}
+
+/// Everything one observed run produced: the phase tree plus snapshots
+/// of every registered metric. This is the `--metrics-json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Producing tool (`psta`, `repro_all`, …).
+    pub tool: String,
+    /// Tool version.
+    pub version: String,
+    /// The command or experiment that ran (`analyze`, `compare`, …).
+    pub command: String,
+    /// Root phase spans in first-open order.
+    pub phases: Vec<PhaseReport>,
+    /// Integer counters (monotonic event counts).
+    pub counters: BTreeMap<String, u64>,
+    /// Float-valued metrics: gauges and float counters.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl RunReport {
+    /// Compact JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Pretty-printed JSON (the `--metrics-json` file format).
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on bad JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str_as(text)
+    }
+
+    /// Number of distinct phase names in the tree.
+    pub fn phase_count(&self) -> usize {
+        fn collect<'a>(nodes: &'a [PhaseReport], names: &mut Vec<&'a str>) {
+            for n in nodes {
+                if !names.contains(&n.name.as_str()) {
+                    names.push(&n.name);
+                }
+                collect(&n.children, names);
+            }
+        }
+        let mut names = Vec::new();
+        collect(&self.phases, &mut names);
+        names.len()
+    }
+
+    /// Number of distinct metric names across counters, gauges and
+    /// histograms.
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Just the phase-timing tree (the `--timing` output): each span's
+    /// total wall time, its share of its root span, and its call count.
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        if self.phases.is_empty() {
+            return out;
+        }
+        out.push_str("phases:\n");
+        for root in &self.phases {
+            render_phase(&mut out, root, 1, root.wall_seconds);
+        }
+        out
+    }
+
+    /// Human-readable rendering: the phase tree (with percentages of the
+    /// root phase) followed by metric tables. `verbose` adds the
+    /// histogram summaries.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report: {} {} — {}",
+            self.tool, self.version, self.command
+        );
+        out.push_str(&self.render_phases());
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {value:.6}");
+            }
+        }
+        if verbose && !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3} mean={:.3}",
+                    h.count, h.min, h.p50, h.p90, h.p99, h.max, h.mean
+                );
+            }
+        }
+        out
+    }
+}
+
+fn render_phase(out: &mut String, phase: &PhaseReport, depth: usize, root_seconds: f64) {
+    let indent = "  ".repeat(depth);
+    let pct = if root_seconds > 0.0 {
+        phase.wall_seconds / root_seconds * 100.0
+    } else {
+        0.0
+    };
+    let calls = if phase.count > 1 {
+        format!("  ({} calls)", phase.count)
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        out,
+        "{indent}{:<28} {:>10}  {pct:5.1}%{calls}",
+        phase.name,
+        format_seconds(phase.wall_seconds),
+    );
+    for child in &phase.children {
+        render_phase(out, child, depth + 1, root_seconds);
+    }
+}
+
+/// Formats seconds at a scale-appropriate unit.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            tool: "psta".into(),
+            version: "0.1.0".into(),
+            command: "analyze".into(),
+            phases: vec![PhaseReport {
+                name: "analyze".into(),
+                wall_seconds: 0.5,
+                count: 1,
+                children: vec![
+                    PhaseReport {
+                        name: "parse".into(),
+                        wall_seconds: 0.1,
+                        count: 1,
+                        children: vec![],
+                    },
+                    PhaseReport {
+                        name: "propagate".into(),
+                        wall_seconds: 0.4,
+                        count: 1,
+                        children: vec![PhaseReport {
+                            name: "sampling-eval".into(),
+                            wall_seconds: 0.25,
+                            count: 42,
+                            children: vec![],
+                        }],
+                    },
+                ],
+            }],
+            counters: BTreeMap::from([("pep.supergates".into(), 42u64)]),
+            gauges: BTreeMap::from([("pep.dropped_mass".into(), 0.0125f64)]),
+            histograms: BTreeMap::from([(
+                "pep.group_size".into(),
+                HistogramSummary::from_sorted(&[1.0, 2.0, 3.0, 4.0]),
+            )]),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample_report();
+        for text in [report.to_json(), report.to_json_pretty()] {
+            let back = RunReport::from_json(&text).expect("parses");
+            assert_eq!(back, report, "round-trip through {text}");
+        }
+    }
+
+    #[test]
+    fn counts_distinct_phases_and_metrics() {
+        let report = sample_report();
+        assert_eq!(report.phase_count(), 4);
+        assert_eq!(report.metric_count(), 3);
+    }
+
+    #[test]
+    fn renders_text_tree() {
+        let text = sample_report().render_text(true);
+        assert!(text.contains("analyze"));
+        assert!(text.contains("sampling-eval"));
+        assert!(text.contains("(42 calls)"));
+        assert!(text.contains("pep.supergates"));
+        assert!(text.contains("pep.group_size"));
+        // Non-verbose rendering omits histograms.
+        let brief = sample_report().render_text(false);
+        assert!(!brief.contains("pep.group_size"));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = HistogramSummary::from_sorted(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+        // And survives JSON.
+        let text = serde::json::to_string(&s);
+        let back: HistogramSummary = serde::json::from_str_as(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

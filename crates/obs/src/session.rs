@@ -1,0 +1,217 @@
+//! The [`Session`] handle that ties phases, metrics and reports
+//! together.
+//!
+//! A session is cheap to clone (one `Arc`) and cheap to ignore: the
+//! [`disabled`](Session::disabled) session never takes a timestamp,
+//! never locks, and hands out detached histogram handles — so
+//! instrumented code paths cost nothing when nobody is observing.
+//! Counters and gauges from a disabled session are still *functional*
+//! (they are plain atomics), just unregistered: callers that compute
+//! statistics from counter deltas (see `pep_core::AnalysisStats`) work
+//! identically either way.
+
+use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
+use crate::phase::PhaseTree;
+use crate::report::RunReport;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct SessionInner {
+    registry: MetricsRegistry,
+    phases: Mutex<PhaseTree>,
+}
+
+/// A shared observation context for one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    inner: Option<Arc<SessionInner>>,
+}
+
+impl Session {
+    /// An enabled session that records phases and metrics.
+    pub fn new() -> Self {
+        Session {
+            inner: Some(Arc::default()),
+        }
+    }
+
+    /// The no-op session: every operation is a cheap early-out.
+    pub fn disabled() -> Self {
+        Session { inner: None }
+    }
+
+    /// Whether this session records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a phase span; it closes (and records its wall time) when
+    /// the returned guard drops. Same-named phases under the same parent
+    /// merge — timing a phase inside a loop is fine.
+    ///
+    /// Phases form one logical stack: open them from the orchestration
+    /// thread only.
+    pub fn phase(&self, name: &str) -> PhaseGuard {
+        match &self.inner {
+            None => PhaseGuard { open: None },
+            Some(inner) => {
+                let index = inner.phases.lock().expect("phase lock").open(name);
+                PhaseGuard {
+                    open: Some(OpenPhase {
+                        inner: Arc::clone(inner),
+                        index,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// A counter handle. On a disabled session the handle works but is
+    /// unregistered (reported nowhere).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// A float-counter handle (same disabled semantics as
+    /// [`counter`](Session::counter)).
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        match &self.inner {
+            Some(inner) => inner.registry.float_counter(name),
+            None => FloatCounter::default(),
+        }
+    }
+
+    /// A gauge handle (same disabled semantics as
+    /// [`counter`](Session::counter)).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// A histogram handle; detached (recording is a no-op) on a disabled
+    /// session.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name),
+            None => Histogram::detached(),
+        }
+    }
+
+    /// Total recorded wall time across every closed span named `name`.
+    pub fn total_of(&self, name: &str) -> Option<std::time::Duration> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.phases.lock().expect("phase lock").total_of(name))
+    }
+
+    /// Snapshots everything observed so far into a [`RunReport`].
+    /// Disabled sessions produce an empty report.
+    pub fn report(&self, command: &str) -> RunReport {
+        let (phases, counters, gauges, histograms) = match &self.inner {
+            None => Default::default(),
+            Some(inner) => (
+                inner.phases.lock().expect("phase lock").to_reports(),
+                inner.registry.counters_snapshot(),
+                inner.registry.gauges_snapshot(),
+                inner.registry.histograms_snapshot(),
+            ),
+        };
+        RunReport {
+            tool: "psta".to_owned(),
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            command: command.to_owned(),
+            phases,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenPhase {
+    inner: Arc<SessionInner>,
+    index: usize,
+    start: Instant,
+}
+
+/// Scope guard returned by [`Session::phase`]; closes the span on drop.
+#[derive(Debug)]
+#[must_use = "the phase closes when this guard drops — bind it with `let _guard = …`"]
+pub struct PhaseGuard {
+    open: Option<OpenPhase>,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let elapsed = open.start.elapsed();
+            open.inner
+                .phases
+                .lock()
+                .expect("phase lock")
+                .close(open.index, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_session_is_inert_but_functional() {
+        let s = Session::disabled();
+        assert!(!s.is_enabled());
+        {
+            let _p = s.phase("parse");
+        }
+        let c = s.counter("pep.nodes");
+        c.add(7);
+        assert_eq!(c.get(), 7, "handles still count");
+        let report = s.report("analyze");
+        assert!(report.phases.is_empty());
+        assert!(report.counters.is_empty(), "but nothing is registered");
+        assert_eq!(s.total_of("parse"), None);
+    }
+
+    #[test]
+    fn enabled_session_records_everything() {
+        let s = Session::new();
+        {
+            let _outer = s.phase("analyze");
+            {
+                let _inner = s.phase("propagate");
+                s.counter("pep.nodes").add(10);
+                s.float_counter("pep.dropped_mass").add(0.5);
+                s.gauge("pep.step").set(0.25);
+                s.histogram("pep.group_size").record(3.0);
+            }
+        }
+        let report = s.report("analyze");
+        assert_eq!(report.command, "analyze");
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "analyze");
+        assert_eq!(report.phases[0].children[0].name, "propagate");
+        assert_eq!(report.counters["pep.nodes"], 10);
+        assert_eq!(report.gauges["pep.dropped_mass"], 0.5);
+        assert_eq!(report.gauges["pep.step"], 0.25);
+        assert_eq!(report.histograms["pep.group_size"].count, 1);
+        assert!(s.total_of("analyze").unwrap() >= s.total_of("propagate").unwrap());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = Session::new();
+        let t = s.clone();
+        t.counter("x").inc();
+        assert_eq!(s.report("c").counters["x"], 1);
+    }
+}

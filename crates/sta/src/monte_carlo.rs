@@ -11,6 +11,7 @@ use pep_celllib::Timing;
 use pep_dist::stats::{mc_error_bound, Confidence, Running};
 use pep_dist::{ContinuousDist, DiscreteDist, TimeStep};
 use pep_netlist::{GateKind, Netlist, NodeId};
+use pep_obs::Session;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,7 +106,27 @@ impl McResult {
 ///
 /// Panics if `config.runs` is zero.
 pub fn run_monte_carlo(netlist: &Netlist, timing: &Timing, config: &McConfig) -> McResult {
+    run_monte_carlo_observed(netlist, timing, config, &Session::disabled())
+}
+
+/// [`run_monte_carlo`], recording progress into `obs`.
+///
+/// Opens an `mc-baseline` phase on the calling thread; workers bump the
+/// `mc.runs_completed` counter once per run (so a concurrent reader sees
+/// live progress) and, when the session is enabled, record each worker's
+/// wall time into the `mc.chunk_seconds` histogram.
+///
+/// # Panics
+///
+/// Panics if `config.runs` is zero.
+pub fn run_monte_carlo_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &McConfig,
+    obs: &Session,
+) -> McResult {
     assert!(config.runs > 0, "need at least one run");
+    let _phase = obs.phase("mc-baseline");
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -114,12 +135,14 @@ pub fn run_monte_carlo(netlist: &Netlist, timing: &Timing, config: &McConfig) ->
         config.threads
     }
     .min(config.runs);
+    obs.gauge("mc.threads").set(threads as f64);
+    obs.gauge("mc.runs_requested").set(config.runs as f64);
 
     // Fixed chunking: run indices are pre-assigned so merge order is
     // deterministic for a given thread count.
     let chunk = config.runs.div_ceil(threads);
     let mut partials: Vec<(Vec<Running>, Option<Vec<DiscreteDist>>)> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -127,17 +150,28 @@ pub fn run_monte_carlo(netlist: &Netlist, timing: &Timing, config: &McConfig) ->
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| simulate_runs(netlist, timing, config, lo..hi)));
+            let runs_done = obs.counter("mc.runs_completed");
+            let chunk_seconds = obs.histogram("mc.chunk_seconds");
+            let timed = obs.is_enabled();
+            handles.push(scope.spawn(move || {
+                let start = timed.then(std::time::Instant::now);
+                let out = simulate_runs(netlist, timing, config, lo..hi, &runs_done);
+                if let Some(start) = start {
+                    chunk_seconds.record(start.elapsed().as_secs_f64());
+                }
+                out
+            }));
         }
         for h in handles {
             partials.push(h.join().expect("monte carlo worker panicked"));
         }
-    })
-    .expect("monte carlo scope panicked");
+    });
 
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
-    let mut histograms = config.histogram_step.map(|_| vec![DiscreteDist::empty(); n]);
+    let mut histograms = config
+        .histogram_step
+        .map(|_| vec![DiscreteDist::empty(); n]);
     for (part_stats, part_hist) in partials {
         for (acc, p) in stats.iter_mut().zip(&part_stats) {
             acc.merge(p);
@@ -167,6 +201,7 @@ fn simulate_runs(
     timing: &Timing,
     config: &McConfig,
     runs: std::ops::Range<usize>,
+    runs_done: &pep_obs::Counter,
 ) -> (Vec<Running>, Option<Vec<DiscreteDist>>) {
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
@@ -206,6 +241,7 @@ fn simulate_runs(
                 *tallies[i].entry(step.ticks_of(at)).or_insert(0) += 1;
             }
         }
+        runs_done.inc();
     }
     let histograms = tallies.map(|ts| {
         ts.into_iter()
@@ -229,8 +265,8 @@ fn sample_nonzero(dist: &ContinuousDist, rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pep_celllib::DelayModel;
     use crate::arrivals::nominal_arrivals;
+    use pep_celllib::DelayModel;
     use pep_netlist::samples;
 
     #[test]
@@ -241,7 +277,14 @@ mod tests {
             runs: 200,
             ..McConfig::default()
         };
-        let r1 = run_monte_carlo(&nl, &t, &McConfig { threads: 1, ..base.clone() });
+        let r1 = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
         let r4 = run_monte_carlo(&nl, &t, &McConfig { threads: 4, ..base });
         for id in nl.node_ids() {
             assert!((r1.mean(id) - r4.mean(id)).abs() < 1e-9);
@@ -267,7 +310,12 @@ mod tests {
             let rel = (mc.mean(po) - nominal[po.index()]).abs() / nominal[po.index()];
             // max() biases the mean upward slightly; it must stay small
             // with 4% sigmas.
-            assert!(rel < 0.05, "mean {} vs nominal {}", mc.mean(po), nominal[po.index()]);
+            assert!(
+                rel < 0.05,
+                "mean {} vs nominal {}",
+                mc.mean(po),
+                nominal[po.index()]
+            );
         }
     }
 
@@ -275,8 +323,22 @@ mod tests {
     fn error_bound_shrinks_with_runs() {
         let nl = samples::c17();
         let t = Timing::annotate(&nl, &DelayModel::dac2001(2));
-        let small = run_monte_carlo(&nl, &t, &McConfig { runs: 50, ..McConfig::default() });
-        let large = run_monte_carlo(&nl, &t, &McConfig { runs: 5_000, ..McConfig::default() });
+        let small = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 50,
+                ..McConfig::default()
+            },
+        );
+        let large = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 5_000,
+                ..McConfig::default()
+            },
+        );
         let pos = nl.primary_outputs()[0];
         assert!(large.error_bound(pos) < small.error_bound(pos));
         // The paper quotes ~1% for 5 000 runs with s/m ≈ their circuits';
@@ -313,7 +375,14 @@ mod tests {
     fn zero_variance_delays_give_exact_answers() {
         let nl = samples::c17();
         let t = Timing::uniform(&nl, 2.0);
-        let mc = run_monte_carlo(&nl, &t, &McConfig { runs: 10, ..McConfig::default() });
+        let mc = run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 10,
+                ..McConfig::default()
+            },
+        );
         for id in nl.node_ids() {
             assert_eq!(mc.mean(id), 2.0 * nl.level(id) as f64);
             assert_eq!(mc.std(id), 0.0);

@@ -87,9 +87,7 @@ where
         };
         let t = match kind.controlling_value() {
             Some(c) => {
-                let output_controlled = fanins
-                    .iter()
-                    .any(|&f| final_values[f.index()] == c);
+                let output_controlled = fanins.iter().any(|&f| final_values[f.index()] == c);
                 if output_controlled {
                     // Earliest input to reach the controlling value wins.
                     fanins

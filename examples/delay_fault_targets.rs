@@ -63,6 +63,10 @@ fn main() {
     let mut crit = criticality::output_criticality(&nl, &pep);
     crit.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (po, p) in crit.iter().take(5) {
-        println!("  {:>8}  P(defines circuit delay) = {:>6.2}%", nl.node_name(*po), p * 100.0);
+        println!(
+            "  {:>8}  P(defines circuit delay) = {:>6.2}%",
+            nl.node_name(*po),
+            p * 100.0
+        );
     }
 }

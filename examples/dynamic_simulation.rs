@@ -75,7 +75,11 @@ fn main() {
         let step = d.step();
         println!(
             "\ncarry-out transition ({}), full event group:",
-            if d.is_rising(cout) { "rising" } else { "falling" }
+            if d.is_rising(cout) {
+                "rising"
+            } else {
+                "falling"
+            }
         );
         let mut shown = 0;
         for (t, p) in g.iter() {

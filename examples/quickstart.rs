@@ -20,7 +20,12 @@ fn main() -> Result<(), NetlistError> {
          10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
          19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
     )?;
-    println!("{}: {} gates, {} inputs", nl.name(), nl.gate_count(), nl.primary_inputs().len());
+    println!(
+        "{}: {} gates, {} inputs",
+        nl.name(),
+        nl.gate_count(),
+        nl.primary_inputs().len()
+    );
 
     // The paper's §4 delay model: cell-delay mean from pin counts, σ a
     // fixed per-cell fraction of the mean drawn from (4%, 10%).

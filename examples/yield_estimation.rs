@@ -73,11 +73,7 @@ fn main() {
     let worst_po = *nl
         .primary_outputs()
         .iter()
-        .max_by(|&&a, &&b| {
-            mc.mean(a)
-                .partial_cmp(&mc.mean(b))
-                .expect("finite means")
-        })
+        .max_by(|&&a, &&b| mc.mean(a).partial_cmp(&mc.mean(b)).expect("finite means"))
         .expect("outputs exist");
     let mc_hist = mc.histogram(worst_po).expect("histograms enabled");
     let mc_p99 = step.time_of(mc_hist.quantile(0.99).expect("non-empty"));

@@ -9,7 +9,9 @@
 //! * [`celllib`] — cell library and statistical delay annotation,
 //! * [`sta`] — deterministic STA and the Monte Carlo baseline,
 //! * [`core`] — the probabilistic event propagation analyzer (the paper's
-//!   contribution).
+//!   contribution),
+//! * [`obs`] — phase-level tracing, metrics and machine-readable run
+//!   reports across the pipeline.
 
 #![forbid(unsafe_code)]
 
@@ -17,4 +19,5 @@ pub use pep_celllib as celllib;
 pub use pep_core as core;
 pub use pep_dist as dist;
 pub use pep_netlist as netlist;
+pub use pep_obs as obs;
 pub use pep_sta as sta;

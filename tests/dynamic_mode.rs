@@ -78,5 +78,9 @@ fn glitch_free_vectors_produce_no_events() {
         assert!(!pep.transitions(id));
         assert!(pep.group(id).is_empty());
     }
-    assert_eq!(pep.stats().supergates, 0, "nothing active, nothing evaluated");
+    assert_eq!(
+        pep.stats().supergates,
+        0,
+        "nothing active, nothing evaluated"
+    );
 }

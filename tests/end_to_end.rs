@@ -118,15 +118,13 @@ fn hybrid_mc_path_tracks_monte_carlo() {
     // Force every multi-branch supergate through the hybrid
     // Monte-Carlo-inside-a-supergate path and check accuracy holds.
     use psta::core::HybridMcConfig;
-    let nl = psta::netlist::generate::random_circuit(
-        &psta::netlist::generate::RandomCircuitSpec {
-            gates: 250,
-            depth: 10,
-            inputs: 20,
-            seed: 41,
-            ..Default::default()
-        },
-    );
+    let nl = psta::netlist::generate::random_circuit(&psta::netlist::generate::RandomCircuitSpec {
+        gates: 250,
+        depth: 10,
+        inputs: 20,
+        seed: 41,
+        ..Default::default()
+    });
     let timing = Timing::annotate(&nl, &DelayModel::dac2001(4));
     let cfg = AnalysisConfig {
         hybrid_mc: Some(HybridMcConfig {
@@ -185,14 +183,12 @@ NAND 1.2 0.7 0.3 0.05 0.06
 
 #[test]
 fn analysis_is_deterministic_across_repeats() {
-    let nl = psta::netlist::generate::random_circuit(
-        &psta::netlist::generate::RandomCircuitSpec {
-            gates: 300,
-            depth: 10,
-            seed: 77,
-            ..Default::default()
-        },
-    );
+    let nl = psta::netlist::generate::random_circuit(&psta::netlist::generate::RandomCircuitSpec {
+        gates: 300,
+        depth: 10,
+        seed: 77,
+        ..Default::default()
+    });
     let timing = Timing::annotate(&nl, &DelayModel::dac2001(1));
     let a = analyze(&nl, &timing, &AnalysisConfig::default());
     let b = analyze(&nl, &timing, &AnalysisConfig::default());

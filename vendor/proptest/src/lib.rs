@@ -1,0 +1,474 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple /
+//! `any::<u64>()` strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::select`, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a fixed per-test seed
+//! (derived from the test's module path and name), so runs are fully
+//! deterministic. There is no shrinking: a failure reports the case
+//! number and the assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; another case is tried.
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected (assumed-away) case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A deterministic FNV-1a hash of the test path, used as the RNG seed so
+/// every test has its own reproducible sequence.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7)
+}
+
+/// Types with a whole-domain standard strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(u64, u32, bool, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SampleRange, Strategy};
+
+    /// Generates `Vec`s with lengths drawn from `lengths`.
+    pub fn vec<S: Strategy, R>(element: S, lengths: R) -> VecStrategy<S, R>
+    where
+        R: SampleRange<usize> + Clone,
+    {
+        VecStrategy { element, lengths }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        lengths: R,
+    }
+
+    impl<S: Strategy, R> Strategy for VecStrategy<S, R>
+    where
+        R: SampleRange<usize> + Clone,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            use rand::RngExt;
+            let len = rng.random_range(self.lengths.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::Strategy;
+    use rand::RngExt;
+
+    /// Generates `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            if rng.random_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::Strategy;
+    use rand::RngExt;
+
+    /// Picks uniformly from a fixed set of values.
+    pub fn select<T: Clone>(values: Vec<T>) -> SelectStrategy<T> {
+        assert!(!values.is_empty(), "cannot select from an empty set");
+        SelectStrategy { values }
+    }
+
+    /// The strategy returned by [`select`].
+    pub struct SelectStrategy<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for SelectStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut super::StdRng) -> T {
+            self.values[rng.random_range(0..self.values.len())].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// The `prop::` module hierarchy (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Runs the generated cases for one `proptest!` test (macro plumbing).
+pub fn run_cases<S, F>(test_path: &str, config: &ProptestConfig, strategy: &S, run: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(test_path));
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(8).max(1024);
+    let mut case = 0u32;
+    while case < config.cases {
+        let value = strategy.generate(&mut rng);
+        match run(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_path}: too many rejected cases ({rejected}) — \
+                         weaken the prop_assume! conditions"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_path}: case {case} of {} failed (seed {}): {message}",
+                    config.cases,
+                    seed_for(test_path),
+                );
+            }
+        }
+    }
+}
+
+/// Defines deterministic property tests; see the crate docs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident (
+        $($arg:pat in $strategy:expr),* $(,)?
+    ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strategy,)*);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                &__strategy,
+                |($($arg,)*)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                l == r,
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(l == r, $($fmt)*),
+        }
+    };
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                l != r,
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ),
+        }
+    };
+}
+
+/// Rejects the current case (another one is generated) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -5i64..5), x in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn collections_and_options(
+            v in prop::collection::vec(1u32..100, 2..8),
+            o in prop::option::of(0u32..3),
+            pick in prop::sample::select(vec![1, 2, 3]),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..100).contains(&x)));
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+            prop_assert!([1, 2, 3].contains(&pick));
+            let _ = seed;
+        }
+
+        #[test]
+        fn prop_map_and_assume(n in (1usize..50).prop_map(|n| n * 2)) {
+            prop_assume!(n != 4);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!((2..100).contains(&n), "mapped value out of range: {}", n);
+            if n == 2 {
+                return Ok(());
+            }
+            prop_assert_ne!(n, 2);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(crate::seed_for("t"));
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(crate::seed_for("t"));
+        use crate::Strategy;
+        use rand::SeedableRng;
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}
