@@ -1,0 +1,29 @@
+//! Measures the wave-parallel scheduler's wall-time scaling across
+//! worker counts on an s5378-scale circuit, verifying the determinism
+//! contract (bit-identical groups for every thread count) along the way.
+//!
+//! Usage: `scaling [profile]` where profile is an ISCAS89 name
+//! (default s5378).
+
+use pep_netlist::generate::IscasProfile;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s5378".to_owned());
+    let profile = IscasProfile::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .unwrap_or_else(|| panic!("unknown profile {name}"));
+    println!(
+        "Thread scaling on {} (default config, best of {} reps per point)\n",
+        profile.name(),
+        pep_bench::SCALING_REPS
+    );
+    let rows = pep_bench::scaling(profile, &[1, 2, 4, 8]);
+    print!("{}", pep_bench::print_scaling(&rows));
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "thread-count determinism violated"
+    );
+}

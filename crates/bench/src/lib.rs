@@ -430,6 +430,92 @@ pub fn print_fig10(rows: &[Fig10Row]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Thread scaling — wave-parallel scheduler wall time vs worker count.
+// ---------------------------------------------------------------------
+
+/// One point of the thread-scaling study.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Worker threads given to the wave scheduler.
+    pub threads: usize,
+    /// Analysis wall time (best of [`SCALING_REPS`] repetitions).
+    pub run_time: Duration,
+    /// `time(threads = 1) / time(threads = n)`.
+    pub speedup: f64,
+    /// Whether every node's event group matched the single-thread run
+    /// bit for bit (the scheduler's determinism contract).
+    pub identical: bool,
+}
+
+/// Repetitions per thread count; the fastest is reported so scheduler
+/// scaling is not confused with allocator or cache warm-up noise.
+pub const SCALING_REPS: usize = 3;
+
+/// Measures the wave-parallel scheduler's wall-time scaling on
+/// `profile` with the default (paper operating point) configuration,
+/// and verifies the thread-count determinism contract along the way.
+pub fn scaling(profile: IscasProfile, thread_counts: &[usize]) -> Vec<ScalingRow> {
+    let bench = bench_circuit(profile);
+    let run = |threads: usize| {
+        let config = AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        };
+        let mut best: Option<(PepAnalysis, Duration)> = None;
+        for _ in 0..SCALING_REPS {
+            let (pep, t) = timed_pep(&bench, &config);
+            if best.as_ref().is_none_or(|(_, b)| t < *b) {
+                best = Some((pep, t));
+            }
+        }
+        best.expect("at least one repetition")
+    };
+    let (reference, base_time) = run(1);
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            if threads == 1 {
+                return ScalingRow {
+                    threads: 1,
+                    run_time: base_time,
+                    speedup: 1.0,
+                    identical: true,
+                };
+            }
+            let (pep, run_time) = run(threads);
+            let identical = bench
+                .netlist
+                .node_ids()
+                .all(|id| pep.group(id) == reference.group(id))
+                && pep.stats() == reference.stats();
+            ScalingRow {
+                threads,
+                run_time,
+                speedup: base_time.as_secs_f64() / run_time.as_secs_f64(),
+                identical,
+            }
+        })
+        .collect()
+}
+
+/// Prints the thread-scaling table.
+pub fn print_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| threads | run time | speedup vs 1 | bit-identical |\n");
+    out.push_str("|---------|----------|--------------|---------------|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.1?} | {:.2}x | {} |\n",
+            r.threads,
+            r.run_time,
+            r.speedup,
+            if r.identical { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Heuristic ablation — accuracy and cost of each §3.3 approximation.
 // ---------------------------------------------------------------------
 

@@ -36,5 +36,6 @@ pub fn analysis_config(args: &mut Args) -> Result<AnalysisConfig, CliError> {
     if args.flag("--earliest") {
         config.mode = CombineMode::Earliest;
     }
+    config.threads = args.parsed("--threads", config.threads)?;
     Ok(config)
 }

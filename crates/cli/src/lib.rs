@@ -119,6 +119,9 @@ COMMANDS:
       --stems K         effective stems per supergate    [1]
       --exact           exact mode (small circuits only)
       --earliest        earliest-arrival analysis
+      --threads N       worker threads for the wave scheduler
+                        (0 = auto: PEP_THREADS, then all cores;
+                        output is identical for any count)  [0]
       --all             report every node, not just outputs
       --quantile Q      extra quantile column (repeatable)
       --plot NODE       ASCII waveform of a node's distribution
@@ -127,7 +130,7 @@ COMMANDS:
   mc <circuit>          Monte Carlo baseline
       --seed N, --library FILE as above
       --runs N          simulation runs                  [5000]
-      --threads N       worker threads (0 = all)         [0]
+      --threads N       worker threads (0 = auto)        [0]
 
   compare <circuit>     PEP vs Monte Carlo error report
       (analyze + mc options)
@@ -202,6 +205,13 @@ mod tests {
     fn analyze_all_nodes() {
         let text = run_to_string(&["analyze", "sample:c17", "--all", "--csv"]).unwrap();
         assert_eq!(text.lines().count(), 1 + 6, "header + six gates");
+    }
+
+    #[test]
+    fn analyze_threads_flag_does_not_change_output() {
+        let one = run_to_string(&["analyze", "sample:c17", "--csv", "--threads", "1"]).unwrap();
+        let four = run_to_string(&["analyze", "sample:c17", "--csv", "--threads", "4"]).unwrap();
+        assert_eq!(one, four, "scheduler output is thread-count invariant");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::arcs::ArcPmfs;
 use crate::node_eval::{NodeEval, StaticEval};
-use crate::region::RegionEval;
+use crate::region::{RegionEval, RegionOutcome};
 use crate::AnalysisConfig;
 use pep_celllib::Timing;
 use pep_dist::{DiscreteDist, TimeStep};
@@ -156,6 +156,7 @@ pub fn analyze_with_inputs_observed<F>(
 where
     F: Fn(NodeId) -> DiscreteDist,
 {
+    let config = &config.validated();
     let step = config
         .step_override
         .unwrap_or_else(|| timing.step_for_samples(config.samples));
@@ -244,8 +245,118 @@ impl RunMetrics {
     }
 }
 
-/// The shared levelized driver: plain cell evaluation on independent
+/// One node's evaluation outcome: produced on whichever thread ran it,
+/// committed (group write-back plus metric recording) on the
+/// orchestration thread in wave order, so the metrics registry — float
+/// accumulation order included — is identical for every thread count.
+struct NodeResult {
+    group: DiscreteDist,
+    /// Mass removed by the `P_m` filter at this node's final group.
+    dropped_mass: f64,
+    /// Events removed by the `P_m` filter at this node's final group.
+    events_dropped: u64,
+    /// `(input count, outcome)` when the node was evaluated as a
+    /// supergate output.
+    supergate: Option<(usize, RegionOutcome)>,
+}
+
+/// Evaluates one non-input node against already-resolved fanin groups.
+///
+/// `obs` carries the session only on the orchestration thread (the
+/// per-node `supergate-extract`/`sampling-eval` phases live on a single
+/// logical stack); worker threads pass `None` and record nothing.
+#[allow(clippy::too_many_arguments)]
+fn eval_one<E: NodeEval>(
+    netlist: &Netlist,
+    arcs: &ArcPmfs,
+    supports: &SupportSets,
+    eval: &E,
+    config: &AnalysisConfig,
+    extractor: &mut SupergateExtractor,
+    groups: &[DiscreteDist],
+    node: NodeId,
+    obs: Option<&Session>,
+) -> NodeResult {
+    let mut supergate = None;
+    let mut g = if supports.is_reconvergent(netlist, node) {
+        let sg = {
+            let _phase = obs.map(|o| o.phase("supergate-extract"));
+            extractor.extract(node)
+        };
+        let _phase = obs.map(|o| o.phase("sampling-eval"));
+        // Interior nodes already carry (supergate-corrected) global
+        // groups; only the output itself is re-derived locally.
+        let mut region = RegionEval::new(
+            netlist,
+            arcs,
+            eval,
+            &sg,
+            |n| (n != node).then(|| &groups[n.index()]),
+            config.min_event_prob,
+        );
+        region.set_resolution(config.conditioning_resolution);
+        let (g, outcome) = region.evaluate(config);
+        supergate = Some((sg.inputs.len(), outcome));
+        g
+    } else {
+        let fanin_groups: Vec<&DiscreteDist> = netlist
+            .fanins(node)
+            .iter()
+            .map(|&f| &groups[f.index()])
+            .collect();
+        eval.eval_node(node, &fanin_groups)
+    };
+    let mut dropped_mass = 0.0;
+    let mut events_dropped = 0;
+    if config.min_event_prob > 0.0 {
+        // Track the dropped mass for Fig. 7-style studies, then
+        // renormalize so event groups keep their unit-mass invariant
+        // (§2.1) instead of decaying multiplicatively with depth.
+        let events_before = g.support_len();
+        dropped_mass = g.truncate_below(config.min_event_prob);
+        events_dropped = (events_before - g.support_len()) as u64;
+        g.normalize();
+    }
+    NodeResult {
+        group: g,
+        dropped_mass,
+        events_dropped,
+        supergate,
+    }
+}
+
+/// Publishes one node's result: metrics first (in wave/node order — the
+/// only order-sensitive accumulation is the `dropped_mass` float sum),
+/// then the group itself.
+fn commit(metrics: &RunMetrics, groups: &mut [DiscreteDist], node: NodeId, r: NodeResult) {
+    if let Some((inputs, outcome)) = r.supergate {
+        metrics.supergate_inputs.record(inputs as f64);
+        metrics.supergates.inc();
+        metrics
+            .stems_conditioned
+            .add(outcome.stems_conditioned as u64);
+        metrics.stems_filtered.add(outcome.stems_filtered as u64);
+        metrics.hybrid_evaluations.add(outcome.used_hybrid as u64);
+    }
+    metrics.dropped_mass.add(r.dropped_mass);
+    metrics.events_dropped.add(r.events_dropped);
+    metrics.nodes_evaluated.inc();
+    metrics.events_propagated.add(r.group.support_len() as u64);
+    metrics.group_size.record(r.group.support_len() as f64);
+    groups[node.index()] = r.group;
+}
+
+/// The shared wave-parallel driver: plain cell evaluation on independent
 /// fanins, supergate sampling-evaluation on reconvergent gates.
+///
+/// Nodes are scheduled in dependency-counted waves: a node joins the
+/// wave right after its deepest fanin's, so when a wave runs every
+/// fanin — and every interior node of any supergate rooted in the wave,
+/// all of which are strict predecessors — is already resolved. Within a
+/// wave the evaluations are independent and fan out across
+/// `config.threads` scoped workers; results are committed back on the
+/// orchestration thread in wave order, which makes the output groups
+/// *and* the metrics registry bit-identical for every thread count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run<E, F, A>(
     netlist: &Netlist,
@@ -265,67 +376,124 @@ where
     let _propagate = obs.phase("propagate");
     let metrics = RunMetrics::resolve(obs);
     let base = metrics.baseline();
-    let mut groups: Vec<DiscreteDist> = vec![DiscreteDist::empty(); netlist.node_count()];
-    let mut extractor = SupergateExtractor::new(netlist, supports, config.supergate_depth);
-    for &node in netlist.topo_order() {
-        if netlist.kind(node) == GateKind::Input {
-            groups[node.index()] = pi_group(node);
-            continue;
-        }
-        if !is_active(node) {
-            continue;
-        }
-        let mut g = if supports.is_reconvergent(netlist, node) {
-            let sg = {
-                let _phase = obs.phase("supergate-extract");
-                extractor.extract(node)
-            };
-            metrics.supergate_inputs.record(sg.inputs.len() as f64);
-            let _phase = obs.phase("sampling-eval");
-            // Interior nodes already carry (supergate-corrected) global
-            // groups; only the output itself is re-derived locally.
-            let mut region = RegionEval::new(
-                netlist,
-                arcs,
-                eval,
-                &sg,
-                |n| (n != node).then(|| &groups[n.index()]),
-                config.min_event_prob,
-            );
-            region.set_resolution(config.conditioning_resolution);
-            let (g, outcome) = region.evaluate(config);
-            metrics.supergates.inc();
-            metrics
-                .stems_conditioned
-                .add(outcome.stems_conditioned as u64);
-            metrics.stems_filtered.add(outcome.stems_filtered as u64);
-            metrics.hybrid_evaluations.add(outcome.used_hybrid as u64);
-            g
-        } else {
-            let fanin_groups: Vec<&DiscreteDist> = netlist
+    let n = netlist.node_count();
+    let threads = config.effective_threads();
+    obs.gauge("pep.threads").set(threads as f64);
+    let waves_counter = obs.counter("pep.waves");
+    let wave_width = obs.histogram("pep.wave_width");
+
+    // Wave construction: the dependency-count fixpoint over fanin edges
+    // (wave index = 1 + deepest fanin's wave; primary inputs and other
+    // fanin-free nodes form wave 0). Within a wave, topological order is
+    // preserved so the sequential path visits nodes exactly as the
+    // original levelized loop did.
+    let mut waves: Vec<Vec<NodeId>> = Vec::new();
+    {
+        let mut depth = vec![0u32; n];
+        for &node in netlist.topo_order() {
+            let d = netlist
                 .fanins(node)
                 .iter()
-                .map(|&f| &groups[f.index()])
-                .collect();
-            eval.eval_node(node, &fanin_groups)
-        };
-        if config.min_event_prob > 0.0 {
-            // Track the dropped mass for Fig. 7-style studies, then
-            // renormalize so event groups keep their unit-mass invariant
-            // (§2.1) instead of decaying multiplicatively with depth.
-            let events_before = g.support_len();
-            metrics
-                .dropped_mass
-                .add(g.truncate_below(config.min_event_prob));
-            metrics
-                .events_dropped
-                .add((events_before - g.support_len()) as u64);
-            g.normalize();
+                .map(|f| depth[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[node.index()] = d;
+            let d = d as usize;
+            if waves.len() <= d {
+                waves.resize_with(d + 1, Vec::new);
+            }
+            waves[d].push(node);
         }
-        metrics.nodes_evaluated.inc();
-        metrics.events_propagated.add(g.support_len() as u64);
-        metrics.group_size.record(g.support_len() as f64);
-        groups[node.index()] = g;
+    }
+
+    let mut groups: Vec<DiscreteDist> = vec![DiscreteDist::empty(); n];
+    // One extractor per worker: extraction needs scratch buffers
+    // (`&mut self`) but leaves no state behind, so pooled extractors
+    // produce the same supergates as a single shared one.
+    let mut extractors: Vec<SupergateExtractor> = (0..threads)
+        .map(|_| SupergateExtractor::new(netlist, supports, config.supergate_depth))
+        .collect();
+    // Workers evaluate supergates with the intra-region fan-out
+    // (sensitivity ranking) pinned to one thread: the wave is already
+    // saturating the cores, and the region result does not depend on its
+    // internal thread count.
+    let worker_cfg = AnalysisConfig {
+        threads: 1,
+        ..config.clone()
+    };
+
+    let mut work: Vec<NodeId> = Vec::new();
+    for wave in &waves {
+        work.clear();
+        for &node in wave {
+            if netlist.kind(node) == GateKind::Input {
+                groups[node.index()] = pi_group(node);
+            } else if is_active(node) {
+                work.push(node);
+            }
+        }
+        waves_counter.inc();
+        wave_width.record(work.len() as f64);
+        if work.is_empty() {
+            continue;
+        }
+        if threads <= 1 || work.len() == 1 {
+            // Inline path: keeps per-node phases, and a lone wide
+            // supergate still gets the intra-region fan-out via the full
+            // config.
+            for &node in &work {
+                let r = eval_one(
+                    netlist,
+                    arcs,
+                    supports,
+                    eval,
+                    config,
+                    &mut extractors[0],
+                    &groups,
+                    node,
+                    Some(obs),
+                );
+                commit(&metrics, &mut groups, node, r);
+            }
+        } else {
+            let workers = threads.min(work.len());
+            let mut results: Vec<Option<NodeResult>> = Vec::with_capacity(work.len());
+            results.resize_with(work.len(), || None);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                // Strided assignment (worker t takes items t, t+workers,
+                // ...) balances clustered supergates across workers;
+                // results are keyed by wave index, so the assignment has
+                // no effect on the committed order.
+                for (t, extractor) in extractors.iter_mut().take(workers).enumerate() {
+                    let work = &work;
+                    let groups = &groups;
+                    let worker_cfg = &worker_cfg;
+                    handles.push(scope.spawn(move || {
+                        let mut out: Vec<(usize, NodeResult)> = Vec::new();
+                        let mut i = t;
+                        while i < work.len() {
+                            let r = eval_one(
+                                netlist, arcs, supports, eval, worker_cfg, extractor, groups,
+                                work[i], None,
+                            );
+                            out.push((i, r));
+                            i += workers;
+                        }
+                        out
+                    }));
+                }
+                for h in handles {
+                    for (i, r) in h.join().expect("wave worker panicked") {
+                        results[i] = Some(r);
+                    }
+                }
+            });
+            for (i, &node) in work.iter().enumerate() {
+                let r = results[i].take().expect("every wave item evaluated");
+                commit(&metrics, &mut groups, node, r);
+            }
+        }
     }
     (groups, metrics.stats_since(&base))
 }
@@ -371,6 +539,35 @@ mod tests {
         let a = analyze(&nl, &t, &AnalysisConfig::default());
         assert!(a.stats().supergates >= 2, "c17 reconverges at 22 and 23");
         assert!(a.stats().stems_conditioned > 0);
+    }
+
+    #[test]
+    fn zero_conditioning_resolution_is_clamped() {
+        // Regression: `Some(0)` used to reach `coarsened(0)` inside
+        // `RegionEval::propagate_affected` and panic; the config boundary
+        // now clamps it to the coarsest valid resolution.
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let zero = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                conditioning_resolution: Some(0),
+                ..AnalysisConfig::default()
+            },
+        );
+        let one = analyze(
+            &nl,
+            &t,
+            &AnalysisConfig {
+                conditioning_resolution: Some(1),
+                ..AnalysisConfig::default()
+            },
+        );
+        assert!(zero.stats().supergates > 0, "the panic path was exercised");
+        for id in nl.node_ids() {
+            assert_eq!(zero.group(id), one.group(id));
+        }
     }
 
     #[test]

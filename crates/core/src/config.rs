@@ -115,6 +115,12 @@ pub struct AnalysisConfig {
     pub hybrid_mc: Option<HybridMcConfig>,
     /// Latest- or earliest-arrival analysis.
     pub mode: CombineMode,
+    /// Worker threads for the wave-parallel scheduler; resolved by
+    /// [`pep_sta::threads::resolve_threads`] (0 = auto: `PEP_THREADS`,
+    /// then all available parallelism). The analysis result is
+    /// bit-identical for every thread count — this knob only trades
+    /// wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -132,6 +138,7 @@ impl Default for AnalysisConfig {
             conditioning_resolution: None,
             hybrid_mc: None,
             mode: CombineMode::Latest,
+            threads: 0,
         }
     }
 }
@@ -167,6 +174,37 @@ impl AnalysisConfig {
             ..AnalysisConfig::default()
         }
     }
+
+    /// Returns the configuration with out-of-domain knob values clamped
+    /// into their valid range. Every analysis entry point applies this,
+    /// so e.g. `conditioning_resolution: Some(0)` — a resolution of
+    /// *zero events*, which has no meaning — behaves like the coarsest
+    /// valid setting instead of panicking deep inside the conditioning
+    /// recursion.
+    ///
+    /// Clamps applied:
+    ///
+    /// * `samples` — at least 1 (a sampling step needs one sample).
+    /// * `ranking_events` — at least 1.
+    /// * `max_conditioning_events: Some(0)` → `Some(1)`.
+    /// * `conditioning_resolution: Some(0)` → `Some(1)`.
+    pub fn validated(&self) -> Self {
+        AnalysisConfig {
+            samples: self.samples.max(1),
+            ranking_events: self.ranking_events.max(1),
+            max_conditioning_events: self.max_conditioning_events.map(|k| k.max(1)),
+            conditioning_resolution: self.conditioning_resolution.map(|r| r.max(1)),
+            ..self.clone()
+        }
+    }
+
+    /// The concrete worker count the scheduler will use: [`threads`]
+    /// resolved through [`pep_sta::threads::resolve_threads`].
+    ///
+    /// [`threads`]: AnalysisConfig::threads
+    pub fn effective_threads(&self) -> usize {
+        pep_sta::threads::resolve_threads(self.threads)
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +226,39 @@ mod tests {
 
         let t = AnalysisConfig::two_stem();
         assert_eq!(t.max_effective_stems, Some(2));
+    }
+
+    #[test]
+    fn validated_clamps_zero_knobs() {
+        let raw = AnalysisConfig {
+            samples: 0,
+            ranking_events: 0,
+            max_conditioning_events: Some(0),
+            conditioning_resolution: Some(0),
+            ..AnalysisConfig::default()
+        };
+        let v = raw.validated();
+        assert_eq!(v.samples, 1);
+        assert_eq!(v.ranking_events, 1);
+        assert_eq!(v.max_conditioning_events, Some(1));
+        assert_eq!(v.conditioning_resolution, Some(1));
+        // In-range values pass through untouched.
+        let d = AnalysisConfig::default();
+        assert_eq!(d.validated(), d);
+        let exact = AnalysisConfig::exact();
+        assert_eq!(exact.validated(), exact);
+    }
+
+    #[test]
+    fn effective_threads_positive() {
+        assert_eq!(
+            AnalysisConfig {
+                threads: 3,
+                ..AnalysisConfig::default()
+            }
+            .effective_threads(),
+            3
+        );
+        assert!(AnalysisConfig::default().effective_threads() >= 1);
     }
 }

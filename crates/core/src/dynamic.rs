@@ -135,6 +135,7 @@ pub fn analyze_transition_observed(
     config: &AnalysisConfig,
     obs: &Session,
 ) -> DynamicAnalysis {
+    let config = &config.validated();
     let step = config
         .step_override
         .unwrap_or_else(|| timing.step_for_samples(config.samples));

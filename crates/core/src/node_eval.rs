@@ -14,7 +14,12 @@ use pep_netlist::{Netlist, NodeId};
 use pep_sta::transition::TransitionSim;
 
 /// Computes one gate's output group from its fanin groups.
-pub(crate) trait NodeEval {
+///
+/// `Sync` is a supertrait because evaluators are shared by reference
+/// across the wave-parallel scheduler's worker threads; both
+/// implementations only hold shared references to immutable analysis
+/// state, so this costs nothing.
+pub(crate) trait NodeEval: Sync {
     /// Evaluates `node`; `fanin_groups[pin]` is the group at the pin's
     /// driver.
     fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist;

@@ -138,9 +138,12 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
     }
 
     /// Sets the event-count cap for intermediate conditioned groups
-    /// (see [`AnalysisConfig::conditioning_resolution`]).
+    /// (see [`AnalysisConfig::conditioning_resolution`]). A cap of zero
+    /// events is meaningless and is clamped to 1 (a single bucket — the
+    /// coarsest valid resolution), mirroring the `coarsen` guard in the
+    /// conditioning recursion.
     pub fn set_resolution(&mut self, resolution: Option<usize>) {
-        self.resolution = resolution;
+        self.resolution = resolution.map(|r| r.max(1));
     }
 
     /// The unconditioned group at the supergate output (what plain
@@ -516,13 +519,31 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         let mut scored: Vec<(f64, NodeId)> = match config.stem_ranking {
             StemRanking::Sensitivity => {
                 let base_out = self.base_output();
-                stems
-                    .iter()
-                    .map(|&s| {
-                        let r = self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
-                        (r.l1_distance(base_out), s)
-                    })
-                    .collect()
+                let score = |&s: &NodeId| {
+                    let r = self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
+                    (r.l1_distance(base_out), s)
+                };
+                let threads = config.effective_threads().min(stems.len());
+                if threads <= 1 {
+                    stems.iter().map(score).collect()
+                } else {
+                    // Each single-stem sampling-evaluation is independent;
+                    // fan the candidates out and write scores back by
+                    // slot, so the scored order (and thus the stable sort
+                    // below) is identical to the sequential pass.
+                    let mut scored: Vec<(f64, NodeId)> = stems.iter().map(|&s| (0.0, s)).collect();
+                    let chunk = stems.len().div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for (slots, cands) in scored.chunks_mut(chunk).zip(stems.chunks(chunk)) {
+                            scope.spawn(move || {
+                                for (slot, s) in slots.iter_mut().zip(cands) {
+                                    *slot = score(s);
+                                }
+                            });
+                        }
+                    });
+                    scored
+                }
             }
             StemRanking::Window => {
                 let (dmin, dmax) = self.delays_to_output();
@@ -722,6 +743,35 @@ mod tests {
             "hybrid MC within sampling noise of exact: {}",
             exact.l1_distance(&mc)
         );
+    }
+
+    #[test]
+    fn zero_resolution_clamps_to_one_bucket() {
+        // Regression: `set_resolution(Some(0))` used to panic inside
+        // `propagate_affected` (`coarsened(0)`); it now behaves as the
+        // coarsest valid setting.
+        let nl = diamond();
+        let (arcs, _s, sg) = setup(&nl);
+        let eval = StaticEval {
+            arcs: &arcs,
+            mode: CombineMode::Latest,
+        };
+        let a_group = DiscreteDist::from_ratios([(0, 1), (2, 1)]);
+        let a = nl.node_id("a").unwrap();
+        let mut region = RegionEval::new(
+            &nl,
+            &arcs,
+            &eval,
+            &sg,
+            |n| (n == a).then_some(&a_group),
+            0.0,
+        );
+        region.set_resolution(Some(0));
+        let zero = region.conditioned_eval(&sg.stems, None);
+        region.set_resolution(Some(1));
+        let one = region.conditioned_eval(&sg.stems, None);
+        assert_eq!(zero, one);
+        assert!((zero.total_mass() - 1.0).abs() < 1e-12);
     }
 
     #[test]

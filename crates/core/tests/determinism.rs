@@ -1,0 +1,95 @@
+//! Thread-count invariance of the wave-parallel scheduler.
+//!
+//! The scheduler's contract is *bit-identical* output — not statistical
+//! closeness — for every thread count: per-node results are computed on
+//! workers but committed on the orchestration thread in wave order, so
+//! even the order-sensitive float accumulations (`dropped_mass`) agree
+//! exactly.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{analyze, AnalysisConfig, StemRanking};
+use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+use pep_netlist::{samples, Netlist};
+
+/// A reduced ISCAS-like circuit: same generator as the s-profiles, sized
+/// so three analyses stay test-suite fast while still exercising
+/// hundreds of supergates across many waves.
+fn iscas_like() -> Netlist {
+    random_circuit(&RandomCircuitSpec {
+        name: "iscas-like".to_owned(),
+        inputs: 40,
+        gates: 420,
+        depth: 12,
+        max_fanin: 3,
+        level_reach: 2,
+        window: 0.15,
+        inverter_fraction: 0.55,
+        seed: 0xD0C5,
+    })
+}
+
+fn assert_thread_invariant(nl: &Netlist, timing: &Timing, config: &AnalysisConfig) {
+    let runs: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            analyze(
+                nl,
+                timing,
+                &AnalysisConfig {
+                    threads,
+                    ..config.clone()
+                },
+            )
+        })
+        .collect();
+    let base = &runs[0];
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        for id in nl.node_ids() {
+            assert_eq!(
+                base.group(id),
+                run.group(id),
+                "group mismatch at node {id:?} between threads=1 and run {i}"
+            );
+        }
+        assert_eq!(
+            base.stats(),
+            run.stats(),
+            "stats mismatch between threads=1 and run {i}"
+        );
+    }
+}
+
+#[test]
+fn fig6_identical_across_thread_counts() {
+    let nl = samples::fig6();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(9));
+    assert_thread_invariant(&nl, &timing, &AnalysisConfig::default());
+}
+
+#[test]
+fn iscas_like_identical_across_thread_counts() {
+    let nl = iscas_like();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(3));
+    assert_thread_invariant(&nl, &timing, &AnalysisConfig::default());
+}
+
+#[test]
+fn iscas_like_identical_with_sensitivity_and_hybrid() {
+    // Exercises the second fan-out level (parallel sensitivity ranking)
+    // and the seeded hybrid MC path under every thread count.
+    let nl = iscas_like();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    assert_thread_invariant(
+        &nl,
+        &timing,
+        &AnalysisConfig {
+            stem_ranking: StemRanking::Sensitivity,
+            max_effective_stems: Some(2),
+            hybrid_mc: Some(pep_core::HybridMcConfig {
+                runs: 300,
+                ..Default::default()
+            }),
+            ..AnalysisConfig::default()
+        },
+    );
+}

@@ -8,6 +8,13 @@ const TRIM_EPS: f64 = 0.0;
 /// Tolerance for "mass may exceed one" checks (accumulated rounding).
 const MASS_EPS: f64 = 1e-6;
 
+/// Relative tolerance for the quantile search: the accumulated CDF is
+/// compared against the target with a slack of `QUANTILE_REL_EPS` times
+/// the total mass, so the tolerance scales with the group's mass and
+/// sub-probability groups (conditioned branches carry mass ≪ 1) resolve
+/// their quantiles exactly like unit-mass groups do.
+const QUANTILE_REL_EPS: f64 = 1e-12;
+
 /// A discrete (sub-)probability distribution over integer time ticks.
 ///
 /// This is the *event group* of the paper (§2.1): a set of probabilistic
@@ -69,13 +76,14 @@ impl DiscreteDist {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `prob` is negative, non-finite or exceeds
-    /// `1 + ε`.
+    /// Panics if `prob` is negative or non-finite (all builds), or in
+    /// debug builds if it exceeds `1 + ε`.
     pub fn event(tick: i64, prob: f64) -> Self {
         let mut d = DiscreteDist {
             origin: tick,
             probs: vec![prob],
         };
+        d.validate_probs();
         d.trim();
         d.debug_check();
         d
@@ -88,8 +96,8 @@ impl DiscreteDist {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if any probability is negative or non-finite,
-    /// or if the total mass exceeds `1 + ε`.
+    /// Panics if any probability is negative or non-finite (all builds),
+    /// or in debug builds if the total mass exceeds `1 + ε`.
     pub fn from_pairs<I>(pairs: I) -> Self
     where
         I: IntoIterator<Item = (i64, f64)>,
@@ -97,6 +105,12 @@ impl DiscreteDist {
         let pairs: Vec<(i64, f64)> = pairs.into_iter().filter(|&(_, p)| p != 0.0).collect();
         if pairs.is_empty() {
             return DiscreteDist::empty();
+        }
+        for &(t, p) in &pairs {
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probability {p} at tick {t} must be finite and non-negative"
+            );
         }
         let lo = pairs.iter().map(|&(t, _)| t).min().expect("non-empty");
         let hi = pairs.iter().map(|&(t, _)| t).max().expect("non-empty");
@@ -142,8 +156,13 @@ impl DiscreteDist {
 
     /// Builds a distribution from a dense probability vector starting at
     /// `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or non-finite.
     pub fn from_dense(origin: i64, probs: Vec<f64>) -> Self {
         let mut d = DiscreteDist { origin, probs };
+        d.validate_probs();
         d.trim();
         d.debug_check();
         d
@@ -266,11 +285,16 @@ impl DiscreteDist {
         if self.is_empty() || !(0.0..=1.0).contains(&q) || q == 0.0 {
             return None;
         }
-        let target = q * self.total_mass();
+        let total = self.total_mass();
+        let target = q * total;
+        // The slack must scale with the group's mass: an absolute epsilon
+        // dominates `q * total` for scaled-down sub-probability groups and
+        // collapses every quantile toward the first tick.
+        let slack = QUANTILE_REL_EPS * total;
         let mut acc = 0.0;
         for (i, &p) in self.probs.iter().enumerate() {
             acc += p;
-            if acc + 1e-15 >= target {
+            if acc + slack >= target {
                 return Some(self.origin + i as i64);
             }
         }
@@ -671,6 +695,20 @@ impl DiscreteDist {
         }
     }
 
+    /// Release-mode construction validation: every probability must be
+    /// finite and non-negative. A corrupt probability entering here would
+    /// otherwise be masked downstream (`max(0.0)` clamps in the min/max
+    /// combines) and silently poison every dependent group.
+    fn validate_probs(&self) {
+        for (i, &p) in self.probs.iter().enumerate() {
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probability {p} at tick {} must be finite and non-negative",
+                self.origin + i as i64
+            );
+        }
+    }
+
     /// Debug-mode invariant checks.
     fn debug_check(&self) {
         debug_assert!(
@@ -899,6 +937,52 @@ mod tests {
         assert_eq!(d.quantile(0.5), Some(3));
         assert_eq!(d.quantile(1.0), Some(4));
         assert_eq!(d.quantile(0.0), None);
+    }
+
+    #[test]
+    fn quantile_of_scaled_subprobability_group() {
+        // Conditioned branches carry mass ≪ 1. An absolute tolerance in
+        // the quantile search dominates `q * total_mass` at this scale and
+        // collapses the quantile to the first tick; the tolerance must be
+        // relative to the group's mass.
+        let full = DiscreteDist::from_pairs([(0, 0.499), (10, 0.501)]);
+        let tiny = full.scaled(1e-12);
+        for q in [0.4, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(
+                tiny.quantile(q),
+                full.quantile(q),
+                "q={q}: scaling must not move the quantile"
+            );
+        }
+        assert_eq!(tiny.quantile(0.5), Some(10));
+        // Even deeper sub-probability masses keep exact quantiles.
+        let dust = full.scaled(1e-30);
+        assert_eq!(dust.quantile(0.5), Some(10));
+        assert_eq!(dust.quantile(0.2), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_pairs_rejects_negative_probability_in_release() {
+        let _ = DiscreteDist::from_pairs([(0, 0.5), (1, -0.25)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_pairs_rejects_nan_probability_in_release() {
+        let _ = DiscreteDist::from_pairs([(0, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn event_rejects_infinite_probability_in_release() {
+        let _ = DiscreteDist::event(3, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_dense_rejects_negative_probability_in_release() {
+        let _ = DiscreteDist::from_dense(0, vec![0.5, -0.1, 0.5]);
     }
 
     #[test]

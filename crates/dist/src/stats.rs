@@ -154,11 +154,26 @@ const Z_90: f64 = 1.645;
 const Z_95: f64 = 1.960;
 const Z_99: f64 = 2.576;
 
+/// Anchor rows `(dof, c90, c95, c99)` covering the 31–120 dof window.
+/// Jumping from the dof=30 table entry straight to the normal limit
+/// under-covers by up to ~6% exactly where quick Monte Carlo runs live;
+/// interpolating through the standard 40/60/120 anchor rows keeps the
+/// bound within table accuracy everywhere.
+const T_ANCHORS: [(u64, f64, f64, f64); 4] = [
+    (30, 1.697, 2.042, 2.750),
+    (40, 1.684, 2.021, 2.704),
+    (60, 1.671, 2.000, 2.660),
+    (120, 1.658, 1.980, 2.617),
+];
+
 /// Two-sided Student-t critical value `c` with `P(|T| <= c) = conf`.
 ///
-/// Exact table values for `dof <= 30`, the normal limit beyond — adequate
-/// for the Monte Carlo convergence bound, which is only ever evaluated for
-/// hundreds-to-thousands of runs.
+/// Exact table values for `dof <= 30`; for larger dof, linear
+/// interpolation in `1/dof` through the standard 40/60/120 anchor rows
+/// and on toward the normal limit. The result is continuous and
+/// monotonically non-increasing in `dof`, and within ordinary t-table
+/// accuracy (±0.001) everywhere — adequate for the Monte Carlo
+/// convergence bound at any run count.
 ///
 /// # Panics
 ///
@@ -171,10 +186,31 @@ pub fn student_t_critical(conf: Confidence, dof: u64) -> f64 {
         Confidence::P99 => (&T_TABLE_99, Z_99),
     };
     if dof <= 30 {
-        table[(dof - 1) as usize]
-    } else {
-        z
+        return table[(dof - 1) as usize];
     }
+    let pick = |&(d, c90, c95, c99): &(u64, f64, f64, f64)| -> (f64, f64) {
+        let c = match conf {
+            Confidence::P90 => c90,
+            Confidence::P95 => c95,
+            Confidence::P99 => c99,
+        };
+        (1.0 / d as f64, c)
+    };
+    // Interpolate linearly in 1/dof between the bracketing anchors; the
+    // t quantile is nearly affine in 1/dof, so this tracks the exact
+    // values to the table's own precision.
+    let x = 1.0 / dof as f64;
+    for pair in T_ANCHORS.windows(2) {
+        let (x_hi, c_hi) = pick(&pair[0]); // smaller dof => larger 1/dof
+        let (x_lo, c_lo) = pick(&pair[1]);
+        if x >= x_lo {
+            return c_lo + (c_hi - c_lo) * (x - x_lo) / (x_hi - x_lo);
+        }
+    }
+    // Beyond the last anchor: interpolate toward the normal limit at
+    // 1/dof = 0.
+    let (x_last, c_last) = pick(T_ANCHORS.last().expect("non-empty"));
+    z + (c_last - z) * x / x_last
 }
 
 /// The paper's Monte Carlo sample-mean relative error bound `c·s / (√n·m)`
@@ -306,9 +342,52 @@ mod tests {
     fn t_critical_values() {
         assert!((student_t_critical(Confidence::P99, 1) - 63.657).abs() < 1e-9);
         assert!((student_t_critical(Confidence::P95, 10) - 2.228).abs() < 1e-9);
-        // Large dof approaches the normal quantile.
-        assert!((student_t_critical(Confidence::P99, 5000) - 2.576).abs() < 1e-9);
+        // Large dof approaches the normal quantile (but from above, never
+        // dropping below it).
+        assert!((student_t_critical(Confidence::P99, 5000) - 2.576).abs() < 2e-3);
+        assert!(student_t_critical(Confidence::P99, 5000) >= 2.576);
         assert!(student_t_critical(Confidence::P99, 5) > student_t_critical(Confidence::P95, 5));
+    }
+
+    #[test]
+    fn t_critical_anchor_rows_exact() {
+        // The standard table rows the interpolation is pinned to.
+        assert!((student_t_critical(Confidence::P99, 40) - 2.704).abs() < 1e-9);
+        assert!((student_t_critical(Confidence::P99, 60) - 2.660).abs() < 1e-9);
+        assert!((student_t_critical(Confidence::P99, 120) - 2.617).abs() < 1e-9);
+        assert!((student_t_critical(Confidence::P95, 40) - 2.021).abs() < 1e-9);
+        assert!((student_t_critical(Confidence::P90, 60) - 1.671).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_covers_31_to_120_window() {
+        // The regression this table extension fixes: dof 31+ used to drop
+        // straight to the normal limit, under-covering the 31–100 window
+        // (e.g. dof 31 at 99%: 2.744 exact vs 2.576 normal, ~6% short).
+        let c31 = student_t_critical(Confidence::P99, 31);
+        assert!(
+            (c31 - 2.744).abs() < 5e-3,
+            "dof 31 interpolates near the exact 2.744, got {c31}"
+        );
+        assert!(c31 > 2.70, "must not collapse to the 2.576 normal limit");
+        // Spot-check a textbook value inside the 60–120 bracket.
+        let c100 = student_t_critical(Confidence::P99, 100);
+        assert!((c100 - 2.626).abs() < 5e-3, "dof 100 ≈ 2.626, got {c100}");
+    }
+
+    #[test]
+    fn t_critical_monotone_in_dof() {
+        for conf in [Confidence::P90, Confidence::P95, Confidence::P99] {
+            let mut prev = student_t_critical(conf, 1);
+            for dof in 2..=2000 {
+                let c = student_t_critical(conf, dof);
+                assert!(
+                    c <= prev + 1e-12,
+                    "critical value must not increase with dof: {conf:?} dof {dof}: {c} > {prev}"
+                );
+                prev = c;
+            }
+        }
     }
 
     #[test]

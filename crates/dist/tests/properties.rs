@@ -132,6 +132,64 @@ proptest! {
     }
 
     #[test]
+    fn op_chains_preserve_invariants_across_threads(
+        start in arb_subdist(8),
+        ops in prop::collection::vec((0u8..7, -20i64..20, 0.1f64..=1.0, arb_subdist(6)), 1..8),
+    ) {
+        // Invariants every constructor guarantees (release builds
+        // included, since the probability validation moved out of
+        // debug_assert): finite non-negative probabilities, trimmed
+        // support ends, and sub-probability mass for sub-probability
+        // inputs. Any chain of the propagation operators must preserve
+        // them.
+        fn apply_chain(start: &DiscreteDist, ops: &[(u8, i64, f64, DiscreteDist)]) -> DiscreteDist {
+            let mut d = start.clone();
+            for (op, dt, k, aux) in ops {
+                d = match op {
+                    0 => d.shifted(*dt),
+                    1 => d.scaled(*k),
+                    2 => d.convolve(aux),
+                    3 => d.max(aux),
+                    4 => d.min(aux),
+                    5 => {
+                        let mut t = d.clone();
+                        t.truncate_below(*k * 1e-3);
+                        t
+                    }
+                    _ => d.coarsened((*dt).unsigned_abs() as usize + 1),
+                };
+            }
+            d
+        }
+        let sequential = apply_chain(&start, &ops);
+        for (tick, p) in sequential.iter() {
+            prop_assert!(p.is_finite() && p >= 0.0, "prob {p} at tick {tick}");
+        }
+        prop_assert!(sequential.total_mass() <= 1.0 + 1e-9);
+        if !sequential.is_empty() {
+            let lo = sequential.min_tick().expect("non-empty");
+            let hi = sequential.max_tick().expect("non-empty");
+            prop_assert!(sequential.prob_at(lo) > 0.0, "support is trimmed at the low end");
+            prop_assert!(sequential.prob_at(hi) > 0.0, "support is trimmed at the high end");
+        }
+        // The operators are pure: re-running the same chain concurrently
+        // on worker threads must reproduce the sequential result bit for
+        // bit (the analyzer's wave scheduler relies on exactly this).
+        let threaded: Vec<DiscreteDist> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| scope.spawn(|| apply_chain(&start, &ops)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for t in &threaded {
+            prop_assert_eq!(t, &sequential);
+        }
+    }
+
+    #[test]
     fn running_merge_matches_sequential(xs in prop::collection::vec(-100.0f64..100.0, 2..50),
                                         split in 0usize..49) {
         use pep_dist::stats::Running;

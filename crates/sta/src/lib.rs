@@ -35,4 +35,5 @@
 pub mod arrivals;
 pub mod monte_carlo;
 pub mod slack;
+pub mod threads;
 pub mod transition;

@@ -25,7 +25,9 @@ pub struct McConfig {
     pub seed: u64,
     /// Confidence level of the reported error bound.
     pub confidence: Confidence,
-    /// Worker threads (0 = use all available parallelism).
+    /// Worker threads; resolved by
+    /// [`resolve_threads`](crate::threads::resolve_threads) (0 = auto:
+    /// `PEP_THREADS`, then all available parallelism).
     pub threads: usize,
     /// When set, also collect per-node arrival histograms on this grid
     /// (costs one [`DiscreteDist`] per node).
@@ -127,14 +129,7 @@ pub fn run_monte_carlo_observed(
 ) -> McResult {
     assert!(config.runs > 0, "need at least one run");
     let _phase = obs.phase("mc-baseline");
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        config.threads
-    }
-    .min(config.runs);
+    let threads = crate::threads::resolve_threads(config.threads).min(config.runs);
     obs.gauge("mc.threads").set(threads as f64);
     obs.gauge("mc.runs_requested").set(config.runs as f64);
 

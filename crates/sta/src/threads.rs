@@ -1,0 +1,59 @@
+//! Thread-count resolution shared by the Monte Carlo baseline and the
+//! event-propagation analyzer.
+//!
+//! Every parallel component in the workspace takes a `threads: usize`
+//! knob with the same meaning: a positive value is used verbatim, and
+//! `0` means *auto* — the `PEP_THREADS` environment variable when it is
+//! set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. Centralizing the resolution
+//! keeps the CLI flag, the env override, and the library defaults in
+//! agreement, and gives CI a single switch (`PEP_THREADS=1`) that pins
+//! the whole test suite to the sequential path.
+
+/// Resolves a `threads` knob to a concrete worker count (always ≥ 1).
+///
+/// * `threads > 0` — used as-is.
+/// * `threads == 0` — `PEP_THREADS` if set to a positive integer,
+///   otherwise the machine's available parallelism (1 if unknown).
+///
+/// # Example
+///
+/// ```
+/// use pep_sta::threads::resolve_threads;
+///
+/// assert_eq!(resolve_threads(4), 4);
+/// assert!(resolve_threads(0) >= 1);
+/// ```
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        return threads;
+    }
+    if let Some(n) = std::env::var("PEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_pass_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(8), 8);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        // With or without PEP_THREADS set, auto resolves to a usable
+        // worker count.
+        assert!(resolve_threads(0) >= 1);
+    }
+}
