@@ -3,7 +3,9 @@
 //! combining, event dropping, coarsening and discretization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pep_dist::{discretize, ContinuousDist, DiscreteDist, TimeStep};
+use pep_core::cell_eval::{combine, combine_into};
+use pep_core::CombineMode;
+use pep_dist::{discretize, ContinuousDist, DiscreteDist, DistScratch, TimeStep};
 use std::hint::black_box;
 
 /// A smooth n-point test distribution.
@@ -78,11 +80,103 @@ fn bench_discretize(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_into_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("into");
+    let wide = smooth(300, 0);
+    let cell = smooth(20, 5);
+    let other = smooth(300, 75);
+    let point = DiscreteDist::point(7);
+    let mut out = DiscreteDist::empty();
+    let mut scratch = DistScratch::new();
+    group.bench_function("convolve_300x20", |bench| {
+        bench.iter(|| {
+            wide.convolve_into(&cell, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("convolve_point_300x1", |bench| {
+        bench.iter(|| {
+            wide.convolve_into(&point, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("max_300", |bench| {
+        bench.iter(|| {
+            wide.max_into(&other, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("min_300", |bench| {
+        bench.iter(|| {
+            wide.min_into(&other, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("accumulate_300", |bench| {
+        bench.iter(|| {
+            wide.accumulate_into(&other, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("coarsen_to_32", |bench| {
+        bench.iter(|| {
+            wide.coarsen_into(32, &mut out, &mut scratch);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+fn bench_kary_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_kary");
+    for &k in &[2usize, 4, 8] {
+        let groups: Vec<DiscreteDist> = (0..k).map(|i| smooth(120, 10 * i as i64)).collect();
+        let refs: Vec<&DiscreteDist> = groups.iter().collect();
+        let mut out = DiscreteDist::empty();
+        let mut scratch = DistScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_latest", k),
+            &refs,
+            |bench, refs| {
+                bench.iter(|| black_box(combine(refs.iter().copied(), CombineMode::Latest)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("kary_latest", k), &refs, |bench, refs| {
+            bench.iter(|| {
+                combine_into(refs, CombineMode::Latest, &mut out, &mut scratch);
+                black_box(&out);
+            })
+        });
+        let mut out = DiscreteDist::empty();
+        let mut scratch = DistScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_earliest", k),
+            &refs,
+            |bench, refs| {
+                bench.iter(|| black_box(combine(refs.iter().copied(), CombineMode::Earliest)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kary_earliest", k),
+            &refs,
+            |bench, refs| {
+                bench.iter(|| {
+                    combine_into(refs, CombineMode::Earliest, &mut out, &mut scratch);
+                    black_box(&out);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_convolve,
     bench_combine,
     bench_truncate_and_coarsen,
-    bench_discretize
+    bench_discretize,
+    bench_into_kernels,
+    bench_kary_combine
 );
 criterion_main!(benches);

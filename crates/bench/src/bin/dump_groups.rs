@@ -1,0 +1,116 @@
+//! Dumps every node's arrival event group as exact f64 bit patterns, for
+//! byte-for-byte comparison of analyzer outputs across branches, thread
+//! counts and refactors (the determinism contract's audit tool).
+//!
+//! Usage: `dump_groups <circuit> [threads]` where `<circuit>` is `fig6`,
+//! `c17`, or an ISCAS profile name (`s5378`, …). Prints one block per
+//! configuration variant (default / earliest / heavy / hybrid / dynamic);
+//! diff two runs to verify bit-identity.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{analyze, dynamic, AnalysisConfig, CombineMode, HybridMcConfig, StemRanking};
+use pep_dist::DiscreteDist;
+use pep_netlist::generate::{iscas_profile, IscasProfile};
+use pep_netlist::{samples, Netlist};
+
+fn dump_group(name: &str, g: &DiscreteDist) {
+    print!("{name} min={:?}", g.min_tick());
+    for (t, p) in g.iter() {
+        print!(" {t}:{:016x}", p.to_bits());
+    }
+    println!();
+}
+
+fn circuit(name: &str) -> Netlist {
+    match name {
+        "fig6" => samples::fig6(),
+        "c17" => samples::c17(),
+        other => {
+            let profile = IscasProfile::all()
+                .into_iter()
+                .find(|p| p.name() == other)
+                .unwrap_or_else(|| panic!("unknown circuit {other}"));
+            iscas_profile(profile)
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "fig6".to_owned());
+    let threads: usize = args
+        .next()
+        .map(|t| t.parse().expect("thread count"))
+        .unwrap_or(1);
+    let nl = circuit(&name);
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(pep_bench::DELAY_SEED));
+
+    let variants: Vec<(&str, AnalysisConfig)> = vec![
+        (
+            "default",
+            AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "earliest",
+            AnalysisConfig {
+                mode: CombineMode::Earliest,
+                threads,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "heavy",
+            AnalysisConfig {
+                max_effective_stems: Some(3),
+                stem_ranking: StemRanking::Sensitivity,
+                max_conditioning_events: Some(16),
+                conditioning_resolution: Some(8),
+                threads,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "hybrid",
+            AnalysisConfig {
+                hybrid_mc: Some(HybridMcConfig {
+                    stem_threshold: 1,
+                    runs: 500,
+                    seed: 7,
+                }),
+                threads,
+                ..AnalysisConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in &variants {
+        let a = analyze(&nl, &timing, config);
+        println!("== {name} {label} threads={threads}");
+        println!("stats {:?}", a.stats());
+        for id in nl.node_ids() {
+            dump_group(&format!("n{}", id.index()), a.group(id));
+        }
+    }
+
+    // Dynamic mode: flip every input low -> high.
+    let n_pi = nl.primary_inputs().len();
+    let v1 = vec![false; n_pi];
+    let v2 = vec![true; n_pi];
+    let d = dynamic::analyze_transition(
+        &nl,
+        &timing,
+        &v1,
+        &v2,
+        &AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        },
+    );
+    println!("== {name} dynamic threads={threads}");
+    println!("stats {:?}", d.stats());
+    for id in nl.node_ids() {
+        dump_group(&format!("n{}", id.index()), d.group(id));
+    }
+}

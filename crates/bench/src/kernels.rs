@@ -1,0 +1,297 @@
+//! Kernel-layer micro-benchmarks and circuit wall-time probes behind the
+//! checked-in `BENCH_kernels.json` / `BENCH_circuits.json` artifacts.
+//!
+//! Each kernel row times the allocating primitive against its
+//! `*_into`/arena counterpart (and the k-ary combine against the
+//! pairwise fold it replaces) over identical inputs, reporting
+//! best-of-reps ns/op. The circuit rows time a full default-config
+//! `analyze` per ISCAS profile.
+
+use crate::bench_circuit;
+use pep_core::cell_eval::{combine, combine_into};
+use pep_core::{analyze, AnalysisConfig, CombineMode};
+use pep_dist::{DiscreteDist, DistScratch};
+use pep_netlist::generate::IscasProfile;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One kernel micro-benchmark: ns/op of the allocating primitive vs the
+/// scratch-arena `_into` form on the same inputs.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBenchRow {
+    /// Kernel under test (operand sizes in the name).
+    pub kernel: String,
+    /// Best-of-reps ns/op of the allocating form.
+    pub ns_alloc: f64,
+    /// Best-of-reps ns/op of the `_into`/arena form.
+    pub ns_into: f64,
+    /// `ns_alloc / ns_into`.
+    pub speedup: f64,
+}
+
+/// One full-analysis wall-time row.
+#[derive(Debug, Clone, Serialize)]
+pub struct CircuitBenchRow {
+    /// ISCAS profile name.
+    pub circuit: String,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// Best-of-reps wall seconds of a default-config `analyze`.
+    pub seconds: f64,
+    /// Stems conditioned on during the run (workload witness).
+    pub stems_conditioned: usize,
+}
+
+/// Envelope serialized to `BENCH_kernels.json`.
+///
+/// (The vendored offline serde derive does not support generics, hence
+/// two concrete envelopes instead of one `BenchReport<R>`.)
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBenchReport {
+    /// What produced the file.
+    pub generator: String,
+    /// Hardware threads the host exposed.
+    pub host_threads: usize,
+    /// Timing repetitions (best is reported).
+    pub reps: usize,
+    /// The measurements.
+    pub rows: Vec<KernelBenchRow>,
+}
+
+impl KernelBenchReport {
+    /// Pretty JSON for the checked-in artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+}
+
+/// Envelope serialized to `BENCH_circuits.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CircuitBenchReport {
+    /// What produced the file.
+    pub generator: String,
+    /// Hardware threads the host exposed.
+    pub host_threads: usize,
+    /// Timing repetitions (best is reported).
+    pub reps: usize,
+    /// The measurements.
+    pub rows: Vec<CircuitBenchRow>,
+}
+
+impl CircuitBenchReport {
+    /// Pretty JSON for the checked-in artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A smooth n-point test distribution (same shape as the criterion
+/// micro-benchmarks use).
+fn smooth(n: usize, origin: i64) -> DiscreteDist {
+    let mid = n as f64 / 2.0;
+    let weights: Vec<(i64, f64)> = (0..n)
+        .map(|i| {
+            let z = (i as f64 - mid) / (n as f64 / 6.0);
+            (origin + i as i64, (-0.5 * z * z).exp())
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+    DiscreteDist::from_pairs(weights.into_iter().map(|(t, w)| (t, w / total)))
+}
+
+/// Best-of-`reps` ns/op of `f` over `iters` iterations per rep.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+const KERNEL_REPS: usize = 5;
+const KERNEL_ITERS: usize = 2_000;
+
+/// Times every hot kernel, allocating vs `_into`, plus the k-ary combine
+/// against the pairwise fold.
+pub fn kernel_bench() -> KernelBenchReport {
+    let mut rows = Vec::new();
+    let mut row = |kernel: &str, ns_alloc: f64, ns_into: f64| {
+        rows.push(KernelBenchRow {
+            kernel: kernel.to_owned(),
+            ns_alloc,
+            ns_into,
+            speedup: ns_alloc / ns_into,
+        });
+    };
+    let mut scratch = DistScratch::new();
+    let mut out = DiscreteDist::empty();
+
+    let wide = smooth(300, 0);
+    let cell = smooth(20, 5);
+    row(
+        "convolve_300x20",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            black_box(wide.convolve(&cell));
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.convolve_into(&cell, &mut out);
+            black_box(&out);
+        }),
+    );
+
+    let point = DiscreteDist::point(7);
+    row(
+        "convolve_point_fast_path_300x1",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            black_box(wide.convolve(&point));
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.convolve_into(&point, &mut out);
+            black_box(&out);
+        }),
+    );
+
+    let other = smooth(300, 75);
+    row(
+        "max_300x300",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            black_box(wide.max(&other));
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.max_into(&other, &mut out);
+            black_box(&out);
+        }),
+    );
+    row(
+        "min_300x300",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            black_box(wide.min(&other));
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.min_into(&other, &mut out);
+            black_box(&out);
+        }),
+    );
+
+    row(
+        "accumulate_union_300+300",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            let mut d = wide.clone();
+            d.accumulate(&other);
+            black_box(&d);
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.accumulate_into(&other, &mut out);
+            black_box(&out);
+        }),
+    );
+
+    row(
+        "coarsen_300_to_32",
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            black_box(wide.coarsened(32));
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS, || {
+            wide.coarsen_into(32, &mut out, &mut scratch);
+            black_box(&out);
+        }),
+    );
+
+    // k-ary combine: allocating pairwise fold vs the arena fold.
+    let groups: Vec<DiscreteDist> = (0..6).map(|i| smooth(120, 10 * i as i64)).collect();
+    let refs: Vec<&DiscreteDist> = groups.iter().collect();
+    for (name, mode) in [
+        ("combine_latest_k6_120", CombineMode::Latest),
+        ("combine_earliest_k6_120", CombineMode::Earliest),
+    ] {
+        row(
+            name,
+            time_ns(KERNEL_REPS, KERNEL_ITERS / 4, || {
+                black_box(combine(refs.iter().copied(), mode));
+            }),
+            time_ns(KERNEL_REPS, KERNEL_ITERS / 4, || {
+                combine_into(&refs, mode, &mut out, &mut scratch);
+                black_box(&out);
+            }),
+        );
+    }
+    // The one-pass streaming k-ary max vs the segment-loop fold actually
+    // used — the honest record of why combine routes through the fold.
+    row(
+        "max_k6_streaming_vs_fold_120",
+        time_ns(KERNEL_REPS, KERNEL_ITERS / 4, || {
+            DiscreteDist::max_k_streaming_into(&refs, &mut out, &mut scratch);
+            black_box(&out);
+        }),
+        time_ns(KERNEL_REPS, KERNEL_ITERS / 4, || {
+            DiscreteDist::max_k_into(&refs, &mut out, &mut scratch);
+            black_box(&out);
+        }),
+    );
+
+    KernelBenchReport {
+        generator: "repro_all (pep-bench kernel_bench)".to_owned(),
+        host_threads: host_threads(),
+        reps: KERNEL_REPS,
+        rows,
+    }
+}
+
+const CIRCUIT_REPS: usize = 2;
+
+/// Times a default-config `analyze` per ISCAS profile circuit.
+pub fn circuits_bench() -> CircuitBenchReport {
+    let config = AnalysisConfig::default();
+    let rows = IscasProfile::all()
+        .iter()
+        .map(|&profile| {
+            let bench = bench_circuit(profile);
+            let mut best = f64::MAX;
+            let mut stems = 0;
+            for _ in 0..CIRCUIT_REPS {
+                let start = Instant::now();
+                let a = analyze(&bench.netlist, &bench.timing, &config);
+                best = best.min(start.elapsed().as_secs_f64());
+                stems = a.stats().stems_conditioned;
+                black_box(&a);
+            }
+            CircuitBenchRow {
+                circuit: profile.name().to_owned(),
+                gates: bench.netlist.gate_count(),
+                seconds: best,
+                stems_conditioned: stems,
+            }
+        })
+        .collect();
+    CircuitBenchReport {
+        generator: "repro_all (pep-bench circuits_bench)".to_owned(),
+        host_threads: host_threads(),
+        reps: CIRCUIT_REPS,
+        rows,
+    }
+}
+
+/// Markdown table over the kernel rows (for `EXPERIMENTS.md`).
+pub fn print_kernels(report: &KernelBenchReport) -> String {
+    let mut s = String::from(
+        "| kernel | allocating ns/op | `_into` ns/op | speedup |\n|---|---|---|---|\n",
+    );
+    for r in &report.rows {
+        s.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.2}x |\n",
+            r.kernel, r.ns_alloc, r.ns_into, r.speedup
+        ));
+    }
+    s
+}

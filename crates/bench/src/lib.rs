@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
+
 use pep_celllib::{DelayModel, Timing};
 use pep_core::{analyze, analyze_observed, compare, AnalysisConfig, PepAnalysis};
 use pep_netlist::cone::SupportSets;

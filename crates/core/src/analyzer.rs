@@ -1,6 +1,6 @@
 use crate::arcs::ArcPmfs;
-use crate::node_eval::{NodeEval, StaticEval};
-use crate::region::{RegionEval, RegionOutcome};
+use crate::node_eval::{with_refs, NodeEval, StaticEval};
+use crate::region::{EvalScratch, RegionEval, RegionOutcome};
 use crate::AnalysisConfig;
 use pep_celllib::Timing;
 use pep_dist::{DiscreteDist, TimeStep};
@@ -273,6 +273,7 @@ fn eval_one<E: NodeEval>(
     eval: &E,
     config: &AnalysisConfig,
     extractor: &mut SupergateExtractor,
+    scratch: &mut EvalScratch,
     groups: &[DiscreteDist],
     node: NodeId,
     obs: Option<&Session>,
@@ -295,16 +296,18 @@ fn eval_one<E: NodeEval>(
             config.min_event_prob,
         );
         region.set_resolution(config.conditioning_resolution);
-        let (g, outcome) = region.evaluate(config);
+        let (g, outcome) = region.evaluate(config, scratch);
         supergate = Some((sg.inputs.len(), outcome));
         g
     } else {
-        let fanin_groups: Vec<&DiscreteDist> = netlist
-            .fanins(node)
-            .iter()
-            .map(|&f| &groups[f.index()])
-            .collect();
-        eval.eval_node(node, &fanin_groups)
+        let fanins = netlist.fanins(node);
+        let mut g = DiscreteDist::empty();
+        with_refs(
+            fanins.len(),
+            |pin| &groups[fanins[pin].index()],
+            |refs| eval.eval_node_into(node, refs, &mut g, &mut scratch.dist),
+        );
+        g
     };
     let mut dropped_mass = 0.0;
     let mut events_dropped = 0;
@@ -413,6 +416,9 @@ where
     let mut extractors: Vec<SupergateExtractor> = (0..threads)
         .map(|_| SupergateExtractor::new(netlist, supports, config.supergate_depth))
         .collect();
+    // One evaluation scratch (kernel arena + conditioning state) per
+    // worker, reused across every node that worker evaluates.
+    let mut scratches: Vec<EvalScratch> = (0..threads).map(|_| EvalScratch::new()).collect();
     // Workers evaluate supergates with the intra-region fan-out
     // (sensitivity ranking) pinned to one thread: the wave is already
     // saturating the cores, and the region result does not depend on its
@@ -449,6 +455,7 @@ where
                     eval,
                     config,
                     &mut extractors[0],
+                    &mut scratches[0],
                     &groups,
                     node,
                     Some(obs),
@@ -465,7 +472,12 @@ where
                 // ...) balances clustered supergates across workers;
                 // results are keyed by wave index, so the assignment has
                 // no effect on the committed order.
-                for (t, extractor) in extractors.iter_mut().take(workers).enumerate() {
+                for (t, (extractor, scratch)) in extractors
+                    .iter_mut()
+                    .zip(scratches.iter_mut())
+                    .take(workers)
+                    .enumerate()
+                {
                     let work = &work;
                     let groups = &groups;
                     let worker_cfg = &worker_cfg;
@@ -474,8 +486,8 @@ where
                         let mut i = t;
                         while i < work.len() {
                             let r = eval_one(
-                                netlist, arcs, supports, eval, worker_cfg, extractor, groups,
-                                work[i], None,
+                                netlist, arcs, supports, eval, worker_cfg, extractor, scratch,
+                                groups, work[i], None,
                             );
                             out.push((i, r));
                             i += workers;
@@ -495,6 +507,21 @@ where
             }
         }
     }
+    // Arena accounting: `pep.alloc.checkouts` is the total number of
+    // scratch-distribution checkouts (summed over workers — each node's
+    // kernel sequence is deterministic, so the sum does not depend on the
+    // thread count for the pinned worker configs the drivers use).
+    // `pep.alloc.slab_high_water` is the deepest any single worker's
+    // arena got; like `pep.threads` it reflects the thread layout.
+    let checkouts: u64 = scratches.iter().map(|s| s.dist.checkouts()).sum();
+    let high_water = scratches
+        .iter()
+        .map(|s| s.dist.slab_high_water())
+        .max()
+        .unwrap_or(0);
+    obs.counter("pep.alloc.checkouts").add(checkouts);
+    obs.gauge("pep.alloc.slab_high_water")
+        .set(high_water as f64);
     (groups, metrics.stats_since(&base))
 }
 

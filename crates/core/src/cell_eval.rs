@@ -14,7 +14,7 @@
 //!   groups, where "the dominating events define the final transition".
 
 use crate::CombineMode;
-use pep_dist::DiscreteDist;
+use pep_dist::{DiscreteDist, DistScratch};
 
 /// Propagates a single probabilistic event `⟨tick, prob⟩` through a cell
 /// with the given discretized delay (paper Fig. 3).
@@ -104,6 +104,22 @@ where
         });
     }
     acc.unwrap_or_default()
+}
+
+/// Allocation-free mode-parameterized combining into a caller-provided
+/// buffer: the k-ary statistical max walks every fanin CDF in one pass;
+/// the min folds pairwise through two arena slabs. Both skip empty
+/// groups and are bit-identical to [`combine`]'s pairwise fold.
+pub fn combine_into(
+    groups: &[&DiscreteDist],
+    mode: CombineMode,
+    out: &mut DiscreteDist,
+    scratch: &mut DistScratch,
+) {
+    match mode {
+        CombineMode::Latest => DiscreteDist::max_k_into(groups, out, scratch),
+        CombineMode::Earliest => DiscreteDist::min_k_into(groups, out, scratch),
+    }
 }
 
 #[cfg(test)]

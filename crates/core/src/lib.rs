@@ -50,6 +50,8 @@ mod config;
 pub mod criticality;
 pub mod dynamic;
 mod node_eval;
+#[doc(hidden)]
+pub mod probe;
 mod region;
 pub mod validate;
 

@@ -9,9 +9,63 @@
 use crate::arcs::ArcPmfs;
 use crate::cell_eval;
 use crate::CombineMode;
-use pep_dist::DiscreteDist;
+use pep_dist::{DiscreteDist, DistScratch};
 use pep_netlist::{Netlist, NodeId};
 use pep_sta::transition::TransitionSim;
+
+/// Fanin counts at or below this build the reference array on the stack;
+/// wider gates (rare) fall back to a heap `Vec`.
+pub(crate) const MAX_STACK_FANINS: usize = 12;
+
+/// Runs `f` on the sub-slice of `groups` whose indices pass `keep`,
+/// staging the references in a fixed stack array — no heap allocation
+/// for gates up to [`MAX_STACK_FANINS`] inputs.
+pub(crate) fn with_filtered_refs<'a, R>(
+    groups: &[&'a DiscreteDist],
+    mut keep: impl FnMut(usize) -> bool,
+    f: impl FnOnce(&[&'a DiscreteDist]) -> R,
+) -> R {
+    if groups.len() <= MAX_STACK_FANINS {
+        let mut arr: [&'a DiscreteDist; MAX_STACK_FANINS] =
+            [DiscreteDist::empty_ref(); MAX_STACK_FANINS];
+        let mut n = 0;
+        for (i, g) in groups.iter().enumerate() {
+            if keep(i) {
+                arr[n] = g;
+                n += 1;
+            }
+        }
+        f(&arr[..n])
+    } else {
+        let v: Vec<&'a DiscreteDist> = groups
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| keep(i))
+            .map(|(_, g)| *g)
+            .collect();
+        f(&v)
+    }
+}
+
+/// Runs `f` on `n` references produced by `get`, staged in a fixed stack
+/// array (heap fallback past [`MAX_STACK_FANINS`]).
+pub(crate) fn with_refs<'a, R>(
+    n: usize,
+    mut get: impl FnMut(usize) -> &'a DiscreteDist,
+    f: impl FnOnce(&[&'a DiscreteDist]) -> R,
+) -> R {
+    if n <= MAX_STACK_FANINS {
+        let mut arr: [&'a DiscreteDist; MAX_STACK_FANINS] =
+            [DiscreteDist::empty_ref(); MAX_STACK_FANINS];
+        for (i, slot) in arr.iter_mut().take(n).enumerate() {
+            *slot = get(i);
+        }
+        f(&arr[..n])
+    } else {
+        let v: Vec<&'a DiscreteDist> = (0..n).map(get).collect();
+        f(&v)
+    }
+}
 
 /// Computes one gate's output group from its fanin groups.
 ///
@@ -20,9 +74,25 @@ use pep_sta::transition::TransitionSim;
 /// implementations only hold shared references to immutable analysis
 /// state, so this costs nothing.
 pub(crate) trait NodeEval: Sync {
-    /// Evaluates `node`; `fanin_groups[pin]` is the group at the pin's
-    /// driver.
-    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist;
+    /// Evaluates `node` into a caller-provided buffer; `fanin_groups[pin]`
+    /// is the group at the pin's driver. Temporaries come from `scratch`,
+    /// so steady-state evaluation performs no heap allocations.
+    fn eval_node_into(
+        &self,
+        node: NodeId,
+        fanin_groups: &[&DiscreteDist],
+        out: &mut DiscreteDist,
+        scratch: &mut DistScratch,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`eval_node_into`](NodeEval::eval_node_into) (bit-identical).
+    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist {
+        let mut out = DiscreteDist::empty();
+        let mut scratch = DistScratch::new();
+        self.eval_node_into(node, fanin_groups, &mut out, &mut scratch);
+        out
+    }
 
     /// Sampled (single-trajectory) counterpart of
     /// [`eval_node`](NodeEval::eval_node) for the hybrid
@@ -48,8 +118,17 @@ pub(crate) struct StaticEval<'a> {
 }
 
 impl NodeEval for StaticEval<'_> {
-    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist {
-        let combined = if self.arcs.has_wires() {
+    fn eval_node_into(
+        &self,
+        node: NodeId,
+        fanin_groups: &[&DiscreteDist],
+        out: &mut DiscreteDist,
+        scratch: &mut DistScratch,
+    ) {
+        if self.arcs.has_wires() {
+            // Wire-annotated designs convolve per pin first; this path
+            // stages the wired groups in a heap Vec (wire delays are rare
+            // and absent from the ISCAS profiles the hot loop runs on).
             let wired: Vec<DiscreteDist> = fanin_groups
                 .iter()
                 .enumerate()
@@ -58,11 +137,17 @@ impl NodeEval for StaticEval<'_> {
                     None => (*g).clone(),
                 })
                 .collect();
-            cell_eval::combine(wired.iter(), self.mode)
+            with_refs(
+                wired.len(),
+                |i| &wired[i],
+                |refs| {
+                    cell_eval::combine_into(refs, self.mode, out, scratch);
+                },
+            );
         } else {
-            cell_eval::combine(fanin_groups.iter().copied(), self.mode)
-        };
-        cell_eval::propagate_group(&combined, self.arcs.cell(node))
+            cell_eval::combine_into(fanin_groups, self.mode, out, scratch);
+        }
+        out.convolve_in_place(self.arcs.cell(node), scratch);
     }
 
     fn sample_node(
@@ -103,45 +188,71 @@ pub(crate) struct DynamicEval<'a> {
 }
 
 impl NodeEval for DynamicEval<'_> {
-    fn eval_node(&self, node: NodeId, fanin_groups: &[&DiscreteDist]) -> DiscreteDist {
+    fn eval_node_into(
+        &self,
+        node: NodeId,
+        fanin_groups: &[&DiscreteDist],
+        out: &mut DiscreteDist,
+        scratch: &mut DistScratch,
+    ) {
         if !self.sim.transitions(node) {
-            return DiscreteDist::empty();
+            out.clear();
+            return;
         }
         let fanins = self.netlist.fanins(node);
         let kind = self.netlist.kind(node);
-        // Wire delays apply per pin before the selection.
-        let wired: Vec<DiscreteDist> = fanin_groups
-            .iter()
-            .enumerate()
-            .map(|(pin, g)| match self.arcs.wire(node, pin) {
-                Some(w) if !g.is_empty() => g.convolve(w),
-                _ => (*g).clone(),
-            })
-            .collect();
-        let combined = match kind.controlling_value() {
+        // Wire delays apply per pin before the selection; without wires
+        // the fanin groups are used directly (the old path cloned every
+        // fanin group even when no wire delay existed).
+        let wired: Vec<DiscreteDist> = if self.arcs.has_wires() {
+            fanin_groups
+                .iter()
+                .enumerate()
+                .map(|(pin, g)| match self.arcs.wire(node, pin) {
+                    Some(w) if !g.is_empty() => g.convolve(w),
+                    _ => (*g).clone(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let wired_refs: Vec<&DiscreteDist>;
+        let groups: &[&DiscreteDist] = if wired.is_empty() {
+            fanin_groups
+        } else {
+            wired_refs = wired.iter().collect();
+            &wired_refs
+        };
+        match kind.controlling_value() {
             Some(c) => {
                 let output_controlled = fanins
                     .iter()
                     .any(|&f| self.sim.final_values[f.index()] == c);
                 if output_controlled {
                     // Earliest input to reach the controlling value wins.
-                    let candidates = fanins
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &f)| self.sim.final_values[f.index()] == c)
-                        .map(|(pin, _)| &wired[pin]);
-                    cell_eval::combine(candidates, CombineMode::Earliest)
+                    with_filtered_refs(
+                        groups,
+                        |pin| self.sim.final_values[fanins[pin].index()] == c,
+                        |candidates| {
+                            cell_eval::combine_into(
+                                candidates,
+                                CombineMode::Earliest,
+                                out,
+                                scratch,
+                            );
+                        },
+                    );
                 } else {
                     // Output enables when the last input leaves the
                     // controlling value.
-                    cell_eval::combine(wired.iter(), CombineMode::Latest)
+                    cell_eval::combine_into(groups, CombineMode::Latest, out, scratch);
                 }
             }
             // Parity and single-input gates settle with the last
             // switching input.
-            None => cell_eval::combine(wired.iter(), CombineMode::Latest),
-        };
-        cell_eval::propagate_group(&combined, self.arcs.cell(node))
+            None => cell_eval::combine_into(groups, CombineMode::Latest, out, scratch),
+        }
+        out.convolve_in_place(self.arcs.cell(node), scratch);
     }
 
     fn sample_node(

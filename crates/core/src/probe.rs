@@ -1,0 +1,120 @@
+//! Allocation probes for the zero-allocation kernel contract.
+//!
+//! These are `#[doc(hidden)]` test hooks, not public API: they let an
+//! integration test with a counting global allocator drive the
+//! conditioning recursion through `pep-core`'s private types
+//! ([`RegionEval`]/[`EvalScratch`]) and observe per-iteration allocation
+//! deltas from outside the crate.
+
+use crate::arcs::ArcPmfs;
+use crate::node_eval::StaticEval;
+use crate::region::{EvalScratch, RegionEval};
+use crate::{AnalysisConfig, CombineMode};
+use pep_celllib::Timing;
+use pep_dist::{DiscreteDist, TimeStep};
+use pep_netlist::cone::SupportSets;
+use pep_netlist::supergate;
+use pep_netlist::{GateKind, Netlist, NetlistBuilder};
+
+/// A two-stem reconvergent probe circuit: stem `a` feeds an inner
+/// diamond producing stem `w`, and both `a` and `w` branch into the two
+/// cone halves `m`/`n` reconverging at `z`. One supergate contains both
+/// stems, so conditioning enumerates the events of `a` and of `w | a` —
+/// recursion depth 2 with a real recompute cone.
+fn probe_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new("alloc-probe");
+    b.input("a").unwrap();
+    b.gate("u", GateKind::Buf, &["a"]).unwrap();
+    b.gate("v", GateKind::Buf, &["a"]).unwrap();
+    b.gate("w", GateKind::And, &["u", "v"]).unwrap();
+    b.gate("x1", GateKind::Buf, &["a"]).unwrap();
+    b.gate("x2", GateKind::Buf, &["w"]).unwrap();
+    b.gate("x3", GateKind::Buf, &["w"]).unwrap();
+    b.gate("x4", GateKind::Buf, &["a"]).unwrap();
+    b.gate("m", GateKind::And, &["x1", "x2"]).unwrap();
+    b.gate("n", GateKind::And, &["x3", "x4"]).unwrap();
+    b.gate("z", GateKind::And, &["m", "n"]).unwrap();
+    b.output("z").unwrap();
+    b.build().unwrap()
+}
+
+fn with_probe_region<R>(
+    f: impl FnOnce(&RegionEval<'_, StaticEval<'_>>, &[pep_netlist::NodeId]) -> R,
+) -> R {
+    let nl = probe_netlist();
+    let timing = Timing::uniform(&nl, 1.0);
+    let arcs = ArcPmfs::discretize_all(&nl, &timing, TimeStep::new(0.5).unwrap());
+    let supports = SupportSets::compute(&nl);
+    let z = nl.node_id("z").unwrap();
+    let sg = supergate::extract(&nl, &supports, z, None);
+    let eval = StaticEval {
+        arcs: &arcs,
+        mode: CombineMode::Latest,
+    };
+    // A five-event input group keeps the enumeration non-trivial.
+    let a_group = DiscreteDist::from_ratios([(0, 2), (1, 3), (2, 1), (4, 3), (5, 1)]);
+    let a = nl.node_id("a").unwrap();
+    let region = RegionEval::new(
+        &nl,
+        &arcs,
+        &eval,
+        &sg,
+        |n| (n == a).then_some(&a_group),
+        0.0,
+    );
+    f(&region, &sg.stems)
+}
+
+/// Runs `reps` full conditioning enumerations over a persistent output
+/// buffer and scratch, returning the allocation-count delta of each rep
+/// as reported by `count` (a reader of the harness's counting
+/// allocator). The first rep warms the arena; subsequent reps must not
+/// allocate at all.
+#[doc(hidden)]
+pub fn cond_enumeration_alloc_deltas(reps: usize, count: &dyn Fn() -> u64) -> Vec<u64> {
+    with_probe_region(|region, stems| {
+        let mut out = DiscreteDist::empty();
+        let mut scratch = EvalScratch::new();
+        let mut deltas = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let before = count();
+            region.conditioned_eval_into(stems, None, &mut out, &mut scratch);
+            deltas.push(count() - before);
+        }
+        assert!(
+            (out.total_mass() - 1.0).abs() < 1e-9,
+            "probe evaluation must produce a full group"
+        );
+        deltas
+    })
+}
+
+/// Runs `reps` full `RegionEval::evaluate` calls (no stem filtering or
+/// effective-stem selection, so the stem list stays borrowed from the
+/// supergate) and returns per-rep allocation deltas. Unlike the
+/// enumeration probe this returns an owned group per rep, so the
+/// steady-state budget is the output buffer only — a handful of
+/// allocations, not zero.
+#[doc(hidden)]
+pub fn evaluate_alloc_deltas(reps: usize, count: &dyn Fn() -> u64) -> Vec<u64> {
+    with_probe_region(|region, _stems| {
+        let config = AnalysisConfig {
+            filter_stems: false,
+            max_effective_stems: None,
+            min_event_prob: 0.0,
+            max_conditioning_events: None,
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let mut scratch = EvalScratch::new();
+        let mut deltas = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let before = count();
+            let (g, outcome) = region.evaluate(&config, &mut scratch);
+            deltas.push(count() - before);
+            assert_eq!(outcome.stems_conditioned, 2);
+            assert!((g.total_mass() - 1.0).abs() < 1e-9);
+        }
+        deltas
+    })
+}

@@ -11,9 +11,9 @@
 //! all reduce how much of that enumeration runs.
 
 use crate::arcs::ArcPmfs;
-use crate::node_eval::NodeEval;
+use crate::node_eval::{with_refs, NodeEval};
 use crate::{AnalysisConfig, CombineMode, StemRanking};
-use pep_dist::DiscreteDist;
+use pep_dist::{DiscreteDist, DistScratch};
 use pep_netlist::supergate::Supergate;
 use pep_netlist::{Netlist, NodeId};
 use rand::rngs::StdRng;
@@ -32,15 +32,65 @@ pub(crate) struct RegionOutcome {
     pub used_hybrid: bool,
 }
 
-/// Mutable enumeration state shared across the conditioning recursion:
-/// per-node recomputed groups and the currently fixed stem events.
-struct CondState {
+/// Per-worker reusable evaluation state: the kernel arena plus the
+/// conditioning recursion's mutable enumeration state, all sized once per
+/// region and recycled across supergates.
+///
+/// One `EvalScratch` belongs to one worker thread. Threading it through
+/// [`RegionEval`] makes the steady-state conditioning loop allocation-free
+/// without changing any operation or f64 accumulation order, so the
+/// analyzer's bit-identical-across-thread-counts contract is preserved.
+pub(crate) struct EvalScratch {
+    /// Kernel temporaries (distribution slabs, float slabs, pair staging).
+    pub(crate) dist: DistScratch,
+    /// `tag[li]` = first conditioning level whose stem reaches the node.
+    tag: Vec<u8>,
+    /// Per-node recomputed conditioned groups.
     cur: Vec<DiscreteDist>,
-    ov: Vec<Option<DiscreteDist>>,
+    /// Per-node stem-event override distributions (point events)...
+    ov: Vec<DiscreteDist>,
+    /// ...active only where `ov_set` is true (split from `ov` so clearing
+    /// an override does not drop its slab).
+    ov_set: Vec<bool>,
     /// Whether the node's conditioned group currently differs from its
     /// base group (events a dominating side-input absorbs stop affecting
     /// anything, collapsing the recompute cone per enumeration event).
     live: Vec<bool>,
+    /// One stem-group buffer per recursion level (the level iterates its
+    /// buffer by index while deeper levels use their own slots).
+    level_groups: Vec<DiscreteDist>,
+}
+
+impl EvalScratch {
+    pub(crate) fn new() -> Self {
+        EvalScratch {
+            dist: DistScratch::new(),
+            tag: Vec::new(),
+            cur: Vec::new(),
+            ov: Vec::new(),
+            ov_set: Vec::new(),
+            live: Vec::new(),
+            level_groups: Vec::new(),
+        }
+    }
+
+    /// Sizes the state for a region of `n` nodes and `levels` conditioning
+    /// stems. Existing per-slot buffers keep their capacity.
+    fn begin_region(&mut self, n: usize, levels: usize) {
+        if self.cur.len() < n {
+            self.cur.resize_with(n, DiscreteDist::empty);
+            self.ov.resize_with(n, DiscreteDist::empty);
+        }
+        if self.level_groups.len() < levels {
+            self.level_groups.resize_with(levels, DiscreteDist::empty);
+        }
+        self.tag.clear();
+        self.tag.resize(n, u8::MAX);
+        self.ov_set.clear();
+        self.ov_set.resize(n, false);
+        self.live.clear();
+        self.live.resize(n, false);
+    }
 }
 
 /// One supergate's evaluation context: local indexing, base (unconditioned)
@@ -154,27 +204,37 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
 
     /// Full heuristic evaluation per the configuration: stem filtering,
     /// effective-stem selection, then conditioning (or hybrid MC).
-    pub fn evaluate(&self, config: &AnalysisConfig) -> (DiscreteDist, RegionOutcome) {
+    ///
+    /// The stem list is borrowed from the supergate unless a heuristic
+    /// actually narrows it, and all conditioning temporaries come from
+    /// `scratch`, so the steady-state path performs no heap allocation
+    /// beyond the returned output group.
+    pub fn evaluate(
+        &self,
+        config: &AnalysisConfig,
+        scratch: &mut EvalScratch,
+    ) -> (DiscreteDist, RegionOutcome) {
         let mut outcome = RegionOutcome::default();
-        let mut stems: Vec<NodeId> = self.sg.stems.clone();
+        let mut stems: Cow<'_, [NodeId]> = Cow::Borrowed(&self.sg.stems);
         if config.filter_stems {
             let kept = self.filter_stems(&stems, config.mode);
             outcome.stems_filtered += stems.len() - kept.len();
-            stems = kept;
+            if kept.len() != stems.len() {
+                stems = Cow::Owned(kept);
+            }
         }
         if let Some(k) = config.max_effective_stems {
             if stems.len() > k {
-                let ranked = self.rank_stems(&stems, config);
+                let ranked = self.rank_stems(&stems, config, scratch);
                 outcome.stems_filtered += stems.len() - k;
-                stems = ranked.into_iter().take(k).collect();
-                // Conditioning order must stay topological.
-                stems.sort_by_key(|&s| {
-                    self.sg
-                        .stems
-                        .iter()
-                        .position(|&x| x == s)
-                        .expect("ranked stems come from sg.stems")
-                });
+                let mut sel: Vec<NodeId> = ranked.into_iter().take(k).collect();
+                // Conditioning order must stay topological. `sg.stems` is
+                // sorted by global topological position at extraction, so
+                // sorting the selection the same way reproduces the old
+                // position-in-`sg.stems` order in O(k log k) instead of
+                // O(k · stems).
+                sel.sort_by_key(|&s| self.netlist.topo_position(s));
+                stems = Cow::Owned(sel);
             }
         }
         if let Some(h) = config.hybrid_mc {
@@ -188,10 +248,9 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         if stems.is_empty() {
             return (self.base_output().clone(), outcome);
         }
-        (
-            self.conditioned_eval(&stems, config.max_conditioning_events),
-            outcome,
-        )
+        let mut out = DiscreteDist::empty();
+        self.conditioned_eval_into(&stems, config.max_conditioning_events, &mut out, scratch);
+        (out, outcome)
     }
 
     /// Evaluates one region node given a fanin-group lookup.
@@ -215,19 +274,43 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
     /// The paper's sampling-evaluation, conditioning on `stems`
     /// (topologically ordered). `coarsen` limits each stem group to that
     /// many events (quantile bucketing) before enumeration.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`conditioned_eval_into`](Self::conditioned_eval_into).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn conditioned_eval(&self, stems: &[NodeId], coarsen: Option<usize>) -> DiscreteDist {
+        let mut out = DiscreteDist::empty();
+        let mut scratch = EvalScratch::new();
+        self.conditioned_eval_into(stems, coarsen, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`conditioned_eval`](Self::conditioned_eval) into a caller-provided
+    /// output buffer, drawing every temporary from `scratch`. `out` is
+    /// cleared first. Once the scratch is warm (one evaluation of a
+    /// same-shaped region), the enumeration performs no heap allocation.
+    pub fn conditioned_eval_into(
+        &self,
+        stems: &[NodeId],
+        coarsen: Option<usize>,
+        out: &mut DiscreteDist,
+        scratch: &mut EvalScratch,
+    ) {
+        out.clear();
         if stems.is_empty() {
-            return self.base_output().clone();
+            out.copy_from(self.base_output());
+            return;
         }
         assert!(
             stems.len() < usize::from(u8::MAX),
             "too many conditioning stems"
         );
         let n = self.nodes.len();
+        scratch.begin_region(n, stems.len());
         // tag[li] = first conditioning level whose stem reaches the node
         // (u8::MAX = unaffected); drives which nodes each enumeration
         // level must re-propagate.
-        let mut tag = vec![u8::MAX; n];
+        let tag = &mut scratch.tag;
         for (k, &stem) in stems.iter().enumerate() {
             let si = self.local[&stem];
             if tag[si] == u8::MAX {
@@ -245,22 +328,13 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 }
             }
         }
-        let mut state = CondState {
-            cur: vec![DiscreteDist::empty(); n],
-            ov: vec![None; n],
-            live: vec![false; n],
-        };
-        let mut out = DiscreteDist::empty();
-        self.cond_recurse(stems, &tag, &mut state, 0, 1.0, coarsen, &mut out);
-        out
+        self.cond_recurse(stems, scratch, 0, 1.0, coarsen, out);
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn cond_recurse(
         &self,
         stems: &[NodeId],
-        tag: &[u8],
-        state: &mut CondState,
+        scratch: &mut EvalScratch,
         level: usize,
         scale: f64,
         coarsen: Option<usize>,
@@ -268,29 +342,64 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
     ) {
         if level == stems.len() {
             let k = (stems.len() - 1) as u8;
-            self.propagate_affected(tag, state, k, self.output_local);
-            let result = self.cond_value(tag, state, self.output_local, k);
-            out.accumulate(&result.scaled(scale));
+            self.propagate_affected(scratch, k, self.output_local);
+            let EvalScratch {
+                dist,
+                tag,
+                cur,
+                ov,
+                ov_set,
+                live,
+                ..
+            } = scratch;
+            let result = self.cond_value_at(tag, cur, ov, ov_set, live, self.output_local, k);
+            out.accumulate_scaled(result, scale, dist);
             return;
         }
         let si = self.local[&stems[level]];
-        // The stem's own group under the already-fixed shallower stems.
-        let group = if level > 0 {
-            let k = (level - 1) as u8;
-            self.propagate_affected(tag, state, k, si);
-            self.cond_value(tag, state, si, k).clone()
-        } else {
-            self.base[si].as_ref().clone()
-        };
-        let group = match coarsen {
-            Some(k) => group.coarsened(k.max(1)),
-            None => group,
-        };
-        for (t, p) in group.iter() {
-            state.ov[si] = Some(DiscreteDist::point(t));
-            self.cond_recurse(stems, tag, state, level + 1, scale * p, coarsen, out);
+        if level > 0 {
+            self.propagate_affected(scratch, (level - 1) as u8, si);
         }
-        state.ov[si] = None;
+        {
+            // The stem's own group under the already-fixed shallower stems,
+            // staged (and optionally coarsened) into this level's slot.
+            let EvalScratch {
+                dist,
+                tag,
+                cur,
+                ov,
+                ov_set,
+                live,
+                level_groups,
+            } = scratch;
+            let src = if level > 0 {
+                let k = (level - 1) as u8;
+                self.cond_value_at(tag, cur, ov, ov_set, live, si, k)
+            } else {
+                self.base[si].as_ref()
+            };
+            match coarsen {
+                Some(k) => src.coarsen_into(k.max(1), &mut level_groups[level], dist),
+                None => level_groups[level].copy_from(src),
+            }
+        }
+        // Enumerate the level's events by tick so no borrow of the level
+        // slot is held across the recursion (deeper levels use their own
+        // slots and never touch this one).
+        if let (Some(lo), Some(hi)) = {
+            let g = &scratch.level_groups[level];
+            (g.min_tick(), g.max_tick())
+        } {
+            for t in lo..=hi {
+                let p = scratch.level_groups[level].prob_at(t);
+                if p > 0.0 {
+                    scratch.ov[si].set_point(t);
+                    scratch.ov_set[si] = true;
+                    self.cond_recurse(stems, scratch, level + 1, scale * p, coarsen, out);
+                }
+            }
+        }
+        scratch.ov_set[si] = false;
     }
 
     /// Recomputes every non-overridden interior node with `tag <= k`, in
@@ -298,60 +407,90 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
     /// whose fanins currently deviate from base is skipped (its value is
     /// its base group), so each enumeration event only pays for the part
     /// of the cone it actually perturbs.
-    fn propagate_affected(&self, tag: &[u8], state: &mut CondState, k: u8, target: usize) {
+    fn propagate_affected(&self, scratch: &mut EvalScratch, k: u8, target: usize) {
+        let EvalScratch {
+            dist,
+            tag,
+            cur,
+            ov,
+            ov_set,
+            live,
+            ..
+        } = scratch;
         for li in self.n_inputs..=target {
             if tag[li] > k {
                 continue;
             }
-            if state.ov[li].is_some() {
-                state.live[li] = true;
+            if ov_set[li] {
+                live[li] = true;
                 continue;
             }
             let fanin_live = self.fanin_locals[li].iter().any(|&fi| {
                 let fi = fi as usize;
-                state.ov[fi].is_some() || (tag[fi] <= k && state.live[fi])
+                ov_set[fi] || (tag[fi] <= k && live[fi])
             });
             if !fanin_live {
-                state.live[li] = false;
+                live[li] = false;
                 continue;
             }
-            let g = {
-                let refs: Vec<&DiscreteDist> = self.fanin_locals[li]
-                    .iter()
-                    .map(|&fi| self.cond_value(tag, state, fi as usize, k))
-                    .collect();
-                let mut g = self.eval.eval_node(self.nodes[li], &refs);
-                if self.p_min > 0.0 {
-                    g.truncate_below(self.p_min);
-                    g.normalize();
-                }
-                match self.resolution {
-                    Some(r) => g.coarsened(r),
-                    None => g,
-                }
-            };
-            state.live[li] = g != *self.base[li].as_ref();
-            if state.live[li] {
-                state.cur[li] = g;
+            // Fanins of a region node always precede it topologically, so
+            // splitting `cur` at `li` yields the node's output slot and a
+            // head that covers every fanin.
+            let (cur_head, cur_tail) = cur.split_at_mut(li);
+            let slot = &mut cur_tail[0];
+            let fanin_locals = &self.fanin_locals[li];
+            with_refs(
+                fanin_locals.len(),
+                |pin| {
+                    self.cond_value_at(
+                        tag,
+                        cur_head,
+                        ov,
+                        ov_set,
+                        live,
+                        fanin_locals[pin] as usize,
+                        k,
+                    )
+                },
+                |refs| self.eval.eval_node_into(self.nodes[li], refs, slot, dist),
+            );
+            if self.p_min > 0.0 {
+                slot.truncate_below(self.p_min);
+                slot.normalize();
             }
+            if let Some(r) = self.resolution {
+                let mut tmp = dist.take();
+                slot.coarsen_into(r, &mut tmp, dist);
+                std::mem::swap(slot, &mut tmp);
+                dist.put(tmp);
+            }
+            // The slot is always freshly written; the live flag gates
+            // whether readers see it or fall back to the base group.
+            live[li] = *slot != *self.base[li].as_ref();
         }
     }
 
     /// The group currently in effect at a local node, at enumeration
-    /// filter level `k`.
+    /// filter level `k` — expressed over [`EvalScratch`]'s split-out
+    /// fields so callers can hold the node's own `cur` slot mutably —
+    /// which is exactly why the argument list is this wide.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn cond_value<'s>(
+    fn cond_value_at<'s>(
         &'s self,
         tag: &[u8],
-        state: &'s CondState,
+        cur: &'s [DiscreteDist],
+        ov: &'s [DiscreteDist],
+        ov_set: &[bool],
+        live: &[bool],
         li: usize,
         k: u8,
     ) -> &'s DiscreteDist {
-        if let Some(ov) = &state.ov[li] {
-            return ov;
+        if ov_set[li] {
+            return &ov[li];
         }
-        if tag[li] <= k && state.live[li] {
-            &state.cur[li]
+        if tag[li] <= k && live[li] {
+            &cur[li]
         } else {
             self.base[li].as_ref()
         }
@@ -515,29 +654,49 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
 
     /// Ranks stems most-effective-first (§3.3, "choosing effective
     /// stems").
-    fn rank_stems(&self, stems: &[NodeId], config: &AnalysisConfig) -> Vec<NodeId> {
+    fn rank_stems(
+        &self,
+        stems: &[NodeId],
+        config: &AnalysisConfig,
+        scratch: &mut EvalScratch,
+    ) -> Vec<NodeId> {
         let mut scored: Vec<(f64, NodeId)> = match config.stem_ranking {
             StemRanking::Sensitivity => {
                 let base_out = self.base_output();
-                let score = |&s: &NodeId| {
-                    let r = self.conditioned_eval(&[s], Some(config.ranking_events.max(1)));
-                    (r.l1_distance(base_out), s)
-                };
+                let events = config.ranking_events.max(1);
                 let threads = config.effective_threads().min(stems.len());
                 if threads <= 1 {
-                    stems.iter().map(score).collect()
+                    let mut tmp = scratch.dist.take();
+                    let scored = stems
+                        .iter()
+                        .map(|&s| {
+                            self.conditioned_eval_into(&[s], Some(events), &mut tmp, scratch);
+                            (tmp.l1_distance(base_out), s)
+                        })
+                        .collect();
+                    scratch.dist.put(tmp);
+                    scored
                 } else {
                     // Each single-stem sampling-evaluation is independent;
                     // fan the candidates out and write scores back by
                     // slot, so the scored order (and thus the stable sort
-                    // below) is identical to the sequential pass.
+                    // below) is identical to the sequential pass. Workers
+                    // carry their own scratch (the caller's is not Sync).
                     let mut scored: Vec<(f64, NodeId)> = stems.iter().map(|&s| (0.0, s)).collect();
                     let chunk = stems.len().div_ceil(threads);
                     std::thread::scope(|scope| {
                         for (slots, cands) in scored.chunks_mut(chunk).zip(stems.chunks(chunk)) {
                             scope.spawn(move || {
-                                for (slot, s) in slots.iter_mut().zip(cands) {
-                                    *slot = score(s);
+                                let mut scratch = EvalScratch::new();
+                                let mut tmp = DiscreteDist::empty();
+                                for (slot, &s) in slots.iter_mut().zip(cands) {
+                                    self.conditioned_eval_into(
+                                        &[s],
+                                        Some(events),
+                                        &mut tmp,
+                                        &mut scratch,
+                                    );
+                                    *slot = (tmp.l1_distance(base_out), s);
                                 }
                             });
                         }
@@ -596,18 +755,20 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
             .map(|li| self.base[li].sampler())
             .collect();
         let mut effective_runs = 0usize;
+        let mut fanin_ticks: Vec<Option<i64>> = Vec::new();
         for _ in 0..runs {
             for (tick, sampler) in ticks.iter_mut().zip(&samplers) {
                 *tick = sampler.as_ref().map(|s| s.sample(&mut rng));
             }
             for li in self.n_inputs..n {
                 let node = self.nodes[li];
-                let fanin_ticks: Vec<Option<i64>> = self
-                    .netlist
-                    .fanins(node)
-                    .iter()
-                    .map(|f| ticks[self.local[f]])
-                    .collect();
+                fanin_ticks.clear();
+                fanin_ticks.extend(
+                    self.netlist
+                        .fanins(node)
+                        .iter()
+                        .map(|f| ticks[self.local[f]]),
+                );
                 ticks[li] = self.eval.sample_node(node, &fanin_ticks, &mut rng);
             }
             if let Some(t) = ticks[self.output_local] {
@@ -709,10 +870,13 @@ mod tests {
             |n| (n == a).then_some(&a_group),
             0.0,
         );
-        let (g, outcome) = region.evaluate(&AnalysisConfig {
-            min_event_prob: 0.0,
-            ..AnalysisConfig::default()
-        });
+        let (g, outcome) = region.evaluate(
+            &AnalysisConfig {
+                min_event_prob: 0.0,
+                ..AnalysisConfig::default()
+            },
+            &mut EvalScratch::new(),
+        );
         assert_eq!(outcome.stems_conditioned, 1);
         assert!(!outcome.used_hybrid);
         assert!((g.prob_at(2) - 0.5).abs() < 1e-12);

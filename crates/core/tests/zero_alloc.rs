@@ -1,0 +1,69 @@
+//! The tentpole guarantee of the kernel layer: once the per-worker
+//! scratch arena is warm, the conditioning enumeration performs **zero**
+//! heap allocations, and a full `evaluate()` allocates only the returned
+//! output group.
+//!
+//! A counting global allocator makes the claim checkable from outside
+//! `pep-core`: the `#[doc(hidden)]` probes in `pep_core::probe` run the
+//! recursion over persistent buffers and report per-rep allocation
+//! deltas against the counter we hand them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+// A single test function: the counter is process-global, so concurrent
+// test threads would pollute each other's deltas.
+#[test]
+fn steady_state_conditioning_does_not_allocate() {
+    // Rep 0 warms the arena (slabs are created on first checkout); every
+    // later enumeration must run entirely out of recycled buffers.
+    let deltas = pep_core::probe::cond_enumeration_alloc_deltas(6, &allocations);
+    assert!(deltas[0] > 0, "cold run populates the arena");
+    for (i, &d) in deltas.iter().enumerate().skip(1) {
+        assert_eq!(d, 0, "warm conditioning rep {i} performed {d} allocations");
+    }
+
+    // `evaluate()` returns an owned group, so its steady-state budget is
+    // the output buffer only. The bound is deliberately tight: the old
+    // code cloned `sg.stems` (and built scored vectors) per call even
+    // when no filtering applied, which busts it.
+    let deltas = pep_core::probe::evaluate_alloc_deltas(6, &allocations);
+    for (i, &d) in deltas.iter().enumerate().skip(1) {
+        assert!(
+            d <= 2,
+            "warm evaluate rep {i} performed {d} allocations (output buffer budget is 2)"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-use crate::TimeStep;
+use crate::{DistScratch, TimeStep};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
@@ -92,7 +92,9 @@ impl DiscreteDist {
     /// Builds a distribution from `(tick, probability)` pairs.
     ///
     /// Pairs may arrive in any order; masses at equal ticks are summed
-    /// (the paper's *group* operation).
+    /// (the paper's *group* operation). The dense vector is built in a
+    /// single pass over the input, growing the window as new extremes
+    /// arrive — no intermediate collection.
     ///
     /// # Panics
     ///
@@ -102,23 +104,33 @@ impl DiscreteDist {
     where
         I: IntoIterator<Item = (i64, f64)>,
     {
-        let pairs: Vec<(i64, f64)> = pairs.into_iter().filter(|&(_, p)| p != 0.0).collect();
-        if pairs.is_empty() {
-            return DiscreteDist::empty();
-        }
-        for &(t, p) in &pairs {
+        let mut d = DiscreteDist::empty();
+        for (t, p) in pairs {
+            if p == 0.0 {
+                continue;
+            }
             assert!(
                 p.is_finite() && p >= 0.0,
                 "probability {p} at tick {t} must be finite and non-negative"
             );
+            if d.probs.is_empty() {
+                d.origin = t;
+                d.probs.push(p);
+                continue;
+            }
+            let idx = t - d.origin;
+            if idx < 0 {
+                let gap = (-idx) as usize;
+                d.probs.splice(0..0, std::iter::repeat_n(0.0, gap));
+                d.origin = t;
+                d.probs[0] += p;
+            } else if (idx as usize) < d.probs.len() {
+                d.probs[idx as usize] += p;
+            } else {
+                d.probs.resize(idx as usize + 1, 0.0);
+                d.probs[idx as usize] += p;
+            }
         }
-        let lo = pairs.iter().map(|&(t, _)| t).min().expect("non-empty");
-        let hi = pairs.iter().map(|&(t, _)| t).max().expect("non-empty");
-        let mut probs = vec![0.0; (hi - lo) as usize + 1];
-        for (t, p) in pairs {
-            probs[(t - lo) as usize] += p;
-        }
-        let mut d = DiscreteDist { origin: lo, probs };
         d.trim();
         d.debug_check();
         d
@@ -381,6 +393,10 @@ impl DiscreteDist {
             self.probs.clear();
             return;
         }
+        if k == 1.0 {
+            // x * 1.0 == x bitwise; skip the pass entirely.
+            return;
+        }
         for p in &mut self.probs {
             *p *= k;
         }
@@ -408,6 +424,17 @@ impl DiscreteDist {
         let lo = self.origin.min(other.origin);
         let hi =
             (self.origin + self.probs.len() as i64).max(other.origin + other.probs.len() as i64);
+        if lo == self.origin && hi == self.origin + self.probs.len() as i64 {
+            // `other`'s span nests inside `self`'s: add in place, reusing
+            // the existing buffer. Bitwise identical to the union build
+            // below (each slot sees self's value first, then other's add).
+            let off = (other.origin - lo) as usize;
+            for (i, &p) in other.probs.iter().enumerate() {
+                self.probs[off + i] += p;
+            }
+            self.debug_check();
+            return;
+        }
         let mut probs = vec![0.0; (hi - lo) as usize];
         for (i, &p) in self.probs.iter().enumerate() {
             probs[(self.origin - lo) as usize + i] += p;
@@ -672,6 +699,580 @@ impl DiscreteDist {
             acc += (a.prob_at(t) - b.prob_at(t)).abs();
         }
         acc
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation-free kernel layer.
+    //
+    // The `*_into` variants below write into caller-provided buffers and
+    // draw any internal temporaries from a [`DistScratch`] arena. Each is
+    // bit-identical (`==` on exact f64 bits) to its allocating
+    // counterpart: same operation order, same f64 accumulation order.
+    // That property is what lets the conditioning recursion adopt them
+    // without perturbing the analyzer's deterministic output contract.
+    // ------------------------------------------------------------------
+
+    /// A reference to the canonical empty distribution (useful as a
+    /// placeholder where a `&DiscreteDist` is needed without allocating).
+    pub fn empty_ref() -> &'static DiscreteDist {
+        static EMPTY: DiscreteDist = DiscreteDist {
+            origin: 0,
+            probs: Vec::new(),
+        };
+        &EMPTY
+    }
+
+    /// Clears to the empty distribution, retaining allocated capacity.
+    pub fn clear(&mut self) {
+        self.origin = 0;
+        self.probs.clear();
+    }
+
+    /// Copies `other`'s contents into `self`, reusing `self`'s buffer.
+    ///
+    /// Unlike `Clone::clone_from`, never shrinks or reallocates below
+    /// the retained capacity unless `other` is larger.
+    pub fn copy_from(&mut self, other: &DiscreteDist) {
+        self.origin = other.origin;
+        self.probs.clear();
+        self.probs.extend_from_slice(&other.probs);
+    }
+
+    /// Turns `self` into a deterministic event at `tick` with probability
+    /// one, reusing the existing buffer (no allocation after first use).
+    pub fn set_point(&mut self, tick: i64) {
+        self.origin = tick;
+        self.probs.clear();
+        self.probs.push(1.0);
+    }
+
+    /// [`convolve`](DiscreteDist::convolve) into a caller-provided buffer.
+    ///
+    /// Bit-identical to the allocating version; additionally takes the
+    /// paper's *shift with scaling* fast path when either operand is a
+    /// single event (a point distribution): convolving with `⟨t, p⟩` is a
+    /// shift by `t` and a scale by `p`, no quadratic loop needed.
+    pub fn convolve_into(&self, other: &DiscreteDist, out: &mut DiscreteDist) {
+        if self.is_empty() || other.is_empty() {
+            out.clear();
+            return;
+        }
+        if other.probs.len() == 1 || self.probs.len() == 1 {
+            // Shift + scale: `probs[i+0] += p_point * p_other[i]` is the
+            // only term per slot, and f64 multiplication commutes
+            // bitwise, so this equals the generic loop exactly.
+            let (point, wide) = if other.probs.len() == 1 {
+                (other, self)
+            } else {
+                (self, other)
+            };
+            let p = point.probs[0];
+            out.origin = self.origin + other.origin;
+            out.probs.clear();
+            out.probs.extend_from_slice(&wide.probs);
+            if p != 1.0 {
+                for q in &mut out.probs {
+                    *q *= p;
+                }
+                // Tiny masses can underflow to zero; re-trim like the
+                // generic path does.
+                out.trim();
+            }
+            out.debug_check();
+            return;
+        }
+        out.probs.clear();
+        out.probs
+            .resize(self.probs.len() + other.probs.len() - 1, 0.0);
+        // Iterate the shorter operand in the outer loop for cache behavior.
+        let (a, b) = if self.probs.len() <= other.probs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (i, &pa) in a.probs.iter().enumerate() {
+            if pa == 0.0 {
+                continue;
+            }
+            // Subslice + zip keeps the inner loop free of per-element
+            // bounds checks so it vectorizes; elementwise mul-add in the
+            // same order is bit-identical to the indexed form.
+            let dst = &mut out.probs[i..i + b.probs.len()];
+            for (d, &pb) in dst.iter_mut().zip(b.probs.iter()) {
+                *d += pa * pb;
+            }
+        }
+        out.origin = self.origin + other.origin;
+        out.trim();
+        out.debug_check();
+    }
+
+    /// Convolves `other` into `self` in place.
+    ///
+    /// Point operands shift+scale without touching the arena; the
+    /// general case uses one scratch slab and swaps buffers.
+    pub fn convolve_in_place(&mut self, other: &DiscreteDist, scratch: &mut DistScratch) {
+        if self.is_empty() {
+            return;
+        }
+        if other.is_empty() {
+            self.clear();
+            return;
+        }
+        if other.probs.len() == 1 {
+            self.origin += other.origin;
+            let p = other.probs[0];
+            if p != 1.0 {
+                for q in &mut self.probs {
+                    *q *= p;
+                }
+                self.trim();
+            }
+            self.debug_check();
+            return;
+        }
+        if self.probs.len() == 1 {
+            let t = self.origin;
+            let p = self.probs[0];
+            self.origin = t + other.origin;
+            self.probs.clear();
+            self.probs.extend_from_slice(&other.probs);
+            if p != 1.0 {
+                for q in &mut self.probs {
+                    *q *= p;
+                }
+                self.trim();
+            }
+            self.debug_check();
+            return;
+        }
+        let mut tmp = scratch.take();
+        self.convolve_into(other, &mut tmp);
+        std::mem::swap(self, &mut tmp);
+        scratch.put(tmp);
+    }
+
+    /// [`max`](DiscreteDist::max) into a caller-provided buffer
+    /// (bit-identical, no allocation once `out` has capacity).
+    ///
+    /// The window loop is split at the earlier operand's end so each
+    /// segment advances plain slice iterators instead of calling the
+    /// bounds-checked `prob_at` per tick; an exhausted operand's CDF is
+    /// frozen, exactly as adding its `prob_at` zeros would leave it.
+    pub fn max_into(&self, other: &DiscreteDist, out: &mut DiscreteDist) {
+        if self.is_empty() || other.is_empty() {
+            out.clear();
+            return;
+        }
+        let lo = self.origin.max(other.origin);
+        let hi = self
+            .max_tick()
+            .expect("non-empty")
+            .max(other.max_tick().expect("non-empty"));
+        let n = (hi - lo + 1) as usize;
+        out.probs.clear();
+        out.probs.resize(n, 0.0);
+        let mut f1 = self.cdf_at(lo - 1);
+        let mut f2 = other.cdf_at(lo - 1);
+        let mut prev = f1 * f2;
+        // The span has two segments: both operands active, then the
+        // longer one. An operand whose window ended before `lo` (disjoint
+        // spans) clamps to the empty slice — its whole mass is already in
+        // the initial `cdf_at(lo - 1)` prefix.
+        let a = &self.probs[((lo - self.origin) as usize).min(self.probs.len())..];
+        let b = &other.probs[((lo - other.origin) as usize).min(other.probs.len())..];
+        let both = a.len().min(b.len());
+        let (head, tail) = out.probs.split_at_mut(both);
+        for ((slot, &pa), &pb) in head.iter_mut().zip(a).zip(b) {
+            f1 += pa;
+            f2 += pb;
+            let cur = f1 * f2;
+            *slot = (cur - prev).max(0.0);
+            prev = cur;
+        }
+        if a.len() > both {
+            for (slot, &pa) in tail.iter_mut().zip(&a[both..]) {
+                f1 += pa;
+                let cur = f1 * f2;
+                *slot = (cur - prev).max(0.0);
+                prev = cur;
+            }
+        } else {
+            for (slot, &pb) in tail.iter_mut().zip(&b[both..]) {
+                f2 += pb;
+                let cur = f1 * f2;
+                *slot = (cur - prev).max(0.0);
+                prev = cur;
+            }
+        }
+        out.origin = lo;
+        out.trim();
+        out.debug_check();
+    }
+
+    /// [`min`](DiscreteDist::min) into a caller-provided buffer
+    /// (bit-identical, no allocation once `out` has capacity).
+    ///
+    /// Mirrors [`max_into`](DiscreteDist::max_into)'s segment structure,
+    /// but here the windows switch *on* as ticks grow (the span starts at
+    /// the earlier origin and ends before either window does): first the
+    /// earlier-origin operand alone, then both.
+    pub fn min_into(&self, other: &DiscreteDist, out: &mut DiscreteDist) {
+        if self.is_empty() || other.is_empty() {
+            out.clear();
+            return;
+        }
+        let lo = self.origin.min(other.origin);
+        let hi = self
+            .max_tick()
+            .expect("non-empty")
+            .min(other.max_tick().expect("non-empty"));
+        let m1 = self.total_mass();
+        let m2 = other.total_mass();
+        let n = (hi - lo + 1) as usize;
+        out.probs.clear();
+        out.probs.resize(n, 0.0);
+        let mut f1 = self.cdf_at(lo - 1);
+        let mut f2 = other.cdf_at(lo - 1);
+        let mut prev = m1 * m2 - (m1 - f1) * (m2 - f2);
+        let a_off = (self.origin - lo) as usize;
+        let b_off = (other.origin - lo) as usize;
+        // One offset is zero; the other operand joins at `s`. The span may
+        // end before it does (s clamped to n), leaving segment two empty.
+        let s = a_off.max(b_off).min(n);
+        let (head, tail) = out.probs.split_at_mut(s);
+        if a_off == 0 {
+            for (slot, &pa) in head.iter_mut().zip(&self.probs[..s]) {
+                f1 += pa;
+                let cur = m1 * m2 - (m1 - f1) * (m2 - f2);
+                *slot = (cur - prev).max(0.0);
+                prev = cur;
+            }
+        } else {
+            for (slot, &pb) in head.iter_mut().zip(&other.probs[..s]) {
+                f2 += pb;
+                let cur = m1 * m2 - (m1 - f1) * (m2 - f2);
+                *slot = (cur - prev).max(0.0);
+                prev = cur;
+            }
+        }
+        if !tail.is_empty() {
+            // Tail non-empty implies s reached the later origin, so both
+            // `s - a_off` and `s - b_off` are in range.
+            for ((slot, &pa), &pb) in tail
+                .iter_mut()
+                .zip(&self.probs[s - a_off..])
+                .zip(&other.probs[s - b_off..])
+            {
+                f1 += pa;
+                f2 += pb;
+                let cur = m1 * m2 - (m1 - f1) * (m2 - f2);
+                *slot = (cur - prev).max(0.0);
+                prev = cur;
+            }
+        }
+        out.origin = lo;
+        out.trim();
+        out.debug_check();
+    }
+
+    /// The *group* of `self` and `other` written into a caller-provided
+    /// buffer (bit-identical to [`accumulate`](DiscreteDist::accumulate)
+    /// applied to a copy of `self`).
+    pub fn accumulate_into(&self, other: &DiscreteDist, out: &mut DiscreteDist) {
+        if other.is_empty() {
+            out.copy_from(self);
+            return;
+        }
+        if self.is_empty() {
+            out.copy_from(other);
+            return;
+        }
+        let lo = self.origin.min(other.origin);
+        let hi =
+            (self.origin + self.probs.len() as i64).max(other.origin + other.probs.len() as i64);
+        out.probs.clear();
+        out.probs.resize((hi - lo) as usize, 0.0);
+        for (i, &p) in self.probs.iter().enumerate() {
+            out.probs[(self.origin - lo) as usize + i] += p;
+        }
+        for (i, &p) in other.probs.iter().enumerate() {
+            out.probs[(other.origin - lo) as usize + i] += p;
+        }
+        out.origin = lo;
+        out.debug_check();
+    }
+
+    /// Fused `self.accumulate(&other.scaled(scale))` — the conditioning
+    /// recursion's leaf operation (add a branch's scaled contribution into
+    /// the running output group) — without materializing the scaled copy.
+    ///
+    /// Bit-identical to the two-step form: each slot sees `self`'s value
+    /// first, then `p * scale` added, exactly as `accumulate` would add
+    /// the pre-scaled entry.
+    pub fn accumulate_scaled(
+        &mut self,
+        other: &DiscreteDist,
+        scale: f64,
+        scratch: &mut DistScratch,
+    ) {
+        debug_assert!(
+            scale.is_finite() && scale >= 0.0,
+            "scale factor {scale} invalid"
+        );
+        if other.is_empty() || scale == 0.0 {
+            return;
+        }
+        if self.is_empty() {
+            // Matches `*self = other.scaled(scale)` (scaling does not
+            // re-trim, so neither do we).
+            self.copy_from(other);
+            if scale != 1.0 {
+                for p in &mut self.probs {
+                    *p *= scale;
+                }
+            }
+            self.debug_check();
+            return;
+        }
+        let lo = self.origin.min(other.origin);
+        let hi =
+            (self.origin + self.probs.len() as i64).max(other.origin + other.probs.len() as i64);
+        if lo == self.origin && hi == self.origin + self.probs.len() as i64 {
+            let off = (other.origin - lo) as usize;
+            for (i, &p) in other.probs.iter().enumerate() {
+                self.probs[off + i] += p * scale;
+            }
+            self.debug_check();
+            return;
+        }
+        let mut tmp = scratch.take();
+        tmp.probs.clear();
+        tmp.probs.resize((hi - lo) as usize, 0.0);
+        for (i, &p) in self.probs.iter().enumerate() {
+            tmp.probs[(self.origin - lo) as usize + i] += p;
+        }
+        for (i, &p) in other.probs.iter().enumerate() {
+            tmp.probs[(other.origin - lo) as usize + i] += p * scale;
+        }
+        tmp.origin = lo;
+        std::mem::swap(self, &mut tmp);
+        scratch.put(tmp);
+        self.debug_check();
+    }
+
+    /// [`coarsened`](DiscreteDist::coarsened) into a caller-provided
+    /// buffer; the bucket staging pairs live in the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn coarsen_into(&self, k: usize, out: &mut DiscreteDist, scratch: &mut DistScratch) {
+        assert!(k > 0, "need at least one bucket");
+        if self.support_len() <= k {
+            out.copy_from(self);
+            return;
+        }
+        let mass = self.total_mass();
+        let target = mass / k as f64;
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        let mut bucket_mass = 0.0;
+        let mut bucket_moment = 0.0;
+        for (t, p) in self.iter() {
+            bucket_mass += p;
+            bucket_moment += t as f64 * p;
+            if bucket_mass + 1e-15 >= target && pairs.len() < k - 1 {
+                pairs.push(((bucket_moment / bucket_mass).round() as i64, bucket_mass));
+                bucket_mass = 0.0;
+                bucket_moment = 0.0;
+            }
+        }
+        if bucket_mass > 0.0 {
+            pairs.push(((bucket_moment / bucket_mass).round() as i64, bucket_mass));
+        }
+        // Bucket means are nondecreasing, so the dense rebuild mirrors
+        // `from_pairs` exactly (same encounter order at duplicate ticks).
+        let lo = pairs.first().expect("mass positive").0;
+        let hi = pairs.last().expect("mass positive").0;
+        out.probs.clear();
+        out.probs.resize((hi - lo) as usize + 1, 0.0);
+        for &(t, p) in pairs.iter() {
+            out.probs[(t - lo) as usize] += p;
+        }
+        out.origin = lo;
+        out.trim();
+        out.debug_check();
+    }
+
+    /// k-ary statistical maximum of every **non-empty** group in
+    /// `groups` (latest-arrival combine), written into `out`.
+    ///
+    /// Semantics match the pairwise fold used by gate-input combining
+    /// (empty fanin groups are skipped, not poisoning) and the result is
+    /// bit-identical to `fold(g₀.max(g₁).max(g₂)…)`. Like
+    /// [`min_k_into`](DiscreteDist::min_k_into) this ping-pongs the fold
+    /// through two arena slabs: profiling the conditioning recursion
+    /// showed the tight two-operand [`max_into`](DiscreteDist::max_into)
+    /// window loop beats the one-pass streaming walk
+    /// ([`max_k_streaming_into`](DiscreteDist::max_k_streaming_into)),
+    /// whose fold-faithful span starts at the *earliest* origin and pays
+    /// a per-tick branch per input.
+    pub fn max_k_into(groups: &[&DiscreteDist], out: &mut DiscreteDist, scratch: &mut DistScratch) {
+        let m = groups.iter().filter(|g| !g.is_empty()).count();
+        let mut nonempty = groups.iter().copied().filter(|g| !g.is_empty());
+        match m {
+            0 => out.clear(),
+            1 => out.copy_from(nonempty.next().expect("m == 1")),
+            2 => {
+                let a = nonempty.next().expect("m == 2");
+                let b = nonempty.next().expect("m == 2");
+                a.max_into(b, out);
+            }
+            _ => {
+                let first = nonempty.next().expect("m >= 3");
+                let second = nonempty.next().expect("m >= 3");
+                let mut a = scratch.take();
+                let mut b = scratch.take();
+                first.max_into(second, &mut a);
+                let mut src_is_a = true;
+                for (idx, g) in nonempty.enumerate() {
+                    let last = idx == m - 3;
+                    if src_is_a {
+                        a.max_into(g, if last { &mut *out } else { &mut b });
+                    } else {
+                        b.max_into(g, if last { &mut *out } else { &mut a });
+                    }
+                    src_is_a = !src_is_a;
+                }
+                scratch.put(a);
+                scratch.put(b);
+            }
+        }
+    }
+
+    /// The one-pass streaming k-ary maximum: walks every fanin CDF
+    /// simultaneously over the union span, maintaining one running
+    /// prefix-sum per fold level.
+    ///
+    /// Bit-identical to [`max_k_into`](DiscreteDist::max_k_into) (ticks
+    /// streamed before a fold level's pair window emit exact zeros there,
+    /// and adding 0.0 never changes an f64) but measured *slower* on the
+    /// analyzer's workloads — each tick pays a bounds-checked `prob_at`
+    /// per input over a wider span. Kept as the reference implementation
+    /// and benchmarked against the fold in `BENCH_kernels.json`.
+    pub fn max_k_streaming_into(
+        groups: &[&DiscreteDist],
+        out: &mut DiscreteDist,
+        scratch: &mut DistScratch,
+    ) {
+        let m = groups.iter().filter(|g| !g.is_empty()).count();
+        if m == 0 {
+            out.clear();
+            return;
+        }
+        if m == 1 {
+            let g = groups
+                .iter()
+                .copied()
+                .find(|g| !g.is_empty())
+                .expect("m == 1");
+            out.copy_from(g);
+            return;
+        }
+        // Stream from the earliest origin: every fold level's pair window
+        // starts at or after it, and ticks streamed before a level's
+        // window emit exact zeros there (adding 0.0 never changes an f64),
+        // so starting early cannot perturb any level's prefix sums.
+        let lo = groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| g.origin)
+            .min()
+            .expect("m >= 2");
+        let hi = groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| g.max_tick().expect("non-empty"))
+            .max()
+            .expect("m >= 2");
+        let n = (hi - lo + 1) as usize;
+        let mut slab = scratch.take_floats();
+        slab.resize(3 * m, 0.0);
+        let (f, rest) = slab.split_at_mut(m);
+        let (facc, prev) = rest.split_at_mut(m);
+        out.probs.clear();
+        out.probs.resize(n, 0.0);
+        for i in 0..n {
+            let t = lo + i as i64;
+            // prev_f carries the running CDF of the fold-so-far
+            // (A_{j-1}); f[j] is input j's running CDF. Emitting
+            // p = clamp(F_{A_{j-1}}·F_j − prev) per level reproduces the
+            // pairwise `max` loop exactly: streamed entries outside each
+            // pair's window are exact zeros, and adding 0.0 never
+            // changes an f64.
+            let mut prev_f = 0.0;
+            for (j, g) in groups.iter().copied().filter(|g| !g.is_empty()).enumerate() {
+                f[j] += g.prob_at(t);
+                if j == 0 {
+                    prev_f = f[0];
+                } else {
+                    let cur = prev_f * f[j];
+                    let p = (cur - prev[j]).max(0.0);
+                    prev[j] = cur;
+                    facc[j] += p;
+                    prev_f = facc[j];
+                    if j == m - 1 {
+                        out.probs[i] = p;
+                    }
+                }
+            }
+        }
+        out.origin = lo;
+        out.trim();
+        out.debug_check();
+        scratch.put_floats(slab);
+    }
+
+    /// k-ary statistical minimum of every **non-empty** group in
+    /// `groups` (earliest-arrival combine), written into `out`.
+    ///
+    /// Unlike [`max_k_into`](DiscreteDist::max_k_into), the min fold is
+    /// inherently level-sequential — level j+1's survival product needs
+    /// level j's *final total mass* before its first tick — so this is a
+    /// ping-pong pairwise fold over two arena slabs: zero-allocation at
+    /// steady state and trivially bit-identical to the fold.
+    pub fn min_k_into(groups: &[&DiscreteDist], out: &mut DiscreteDist, scratch: &mut DistScratch) {
+        let m = groups.iter().filter(|g| !g.is_empty()).count();
+        let mut nonempty = groups.iter().copied().filter(|g| !g.is_empty());
+        match m {
+            0 => out.clear(),
+            1 => out.copy_from(nonempty.next().expect("m == 1")),
+            2 => {
+                let a = nonempty.next().expect("m == 2");
+                let b = nonempty.next().expect("m == 2");
+                a.min_into(b, out);
+            }
+            _ => {
+                let first = nonempty.next().expect("m >= 3");
+                let second = nonempty.next().expect("m >= 3");
+                let mut a = scratch.take();
+                let mut b = scratch.take();
+                first.min_into(second, &mut a);
+                let mut src_is_a = true;
+                for (idx, g) in nonempty.enumerate() {
+                    let last = idx == m - 3;
+                    if src_is_a {
+                        a.min_into(g, if last { &mut *out } else { &mut b });
+                    } else {
+                        b.min_into(g, if last { &mut *out } else { &mut a });
+                    }
+                    src_is_a = !src_is_a;
+                }
+                scratch.put(a);
+                scratch.put(b);
+            }
+        }
     }
 
     /// Removes leading/trailing zero (or sub-epsilon) entries.

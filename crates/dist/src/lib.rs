@@ -45,6 +45,7 @@ mod discrete;
 mod discretize;
 mod error;
 pub mod naive;
+mod scratch;
 mod step;
 
 pub mod stats;
@@ -53,4 +54,5 @@ pub use continuous::ContinuousDist;
 pub use discrete::{DiscreteDist, TickSampler};
 pub use discretize::{discretize, discretize_with_samples, step_for_samples};
 pub use error::DistError;
+pub use scratch::DistScratch;
 pub use step::TimeStep;

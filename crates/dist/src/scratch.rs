@@ -1,0 +1,152 @@
+//! Reusable scratch arena for the allocation-free kernel layer.
+//!
+//! The conditioning recursion (paper §3.2–3.3) executes the propagation
+//! primitives millions of times on small dense arrays. Allocating a fresh
+//! `Vec<f64>` per call dominates the runtime, so the `*_into` kernels on
+//! [`DiscreteDist`] draw their temporaries from a [`DistScratch`] instead:
+//! a small pool of distribution slabs, float slabs and a pair-staging
+//! buffer that are checked out, used, and returned — never freed mid-run.
+//!
+//! One arena belongs to one worker thread (it is `Send` but deliberately
+//! not shared); threading a per-worker arena through the evaluation stack
+//! keeps the zero-allocation property without any synchronization, and the
+//! kernels' operation order is unchanged, preserving the analyzer's
+//! bit-identical-across-thread-counts contract.
+
+use crate::DiscreteDist;
+
+/// A pool of reusable buffers for [`DiscreteDist`] kernel temporaries.
+///
+/// Buffers keep their capacity across [`take`]/[`put`] cycles, so a
+/// steady-state workload (the supergate conditioning loop) performs no
+/// heap allocations once every slab has grown to its working size.
+///
+/// # Example
+///
+/// ```
+/// use pep_dist::{DiscreteDist, DistScratch};
+///
+/// let mut scratch = DistScratch::new();
+/// let a = DiscreteDist::from_pairs([(0, 0.5), (3, 0.5)]);
+/// let mut tmp = scratch.take();
+/// a.convolve_into(&a, &mut tmp);
+/// assert_eq!(tmp, a.convolve(&a));
+/// scratch.put(tmp);
+/// assert_eq!(scratch.checkouts(), 1);
+/// ```
+///
+/// [`take`]: DistScratch::take
+/// [`put`]: DistScratch::put
+#[derive(Debug, Default)]
+pub struct DistScratch {
+    /// Idle distribution slabs (empty, capacity retained).
+    pool: Vec<DiscreteDist>,
+    /// Idle float slabs for k-ary combine CDF state.
+    floats: Vec<Vec<f64>>,
+    /// Staging buffer for [`DiscreteDist::coarsen_into`].
+    pub(crate) pairs: Vec<(i64, f64)>,
+    /// Total number of `take`/`take_floats` checkouts.
+    checkouts: u64,
+    /// Distribution slabs currently checked out.
+    live: usize,
+    /// High-water mark of simultaneously checked-out slabs.
+    peak_live: usize,
+}
+
+impl DistScratch {
+    /// An empty arena. Allocates nothing until a buffer is first used.
+    pub fn new() -> Self {
+        DistScratch::default()
+    }
+
+    /// Checks out an empty distribution slab (capacity retained from
+    /// earlier use when available).
+    pub fn take(&mut self) -> DiscreteDist {
+        self.checkouts += 1;
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a slab to the pool. The slab is cleared; its capacity is
+    /// kept for the next checkout.
+    pub fn put(&mut self, mut d: DiscreteDist) {
+        d.clear();
+        self.live = self.live.saturating_sub(1);
+        self.pool.push(d);
+    }
+
+    /// Checks out a float slab (cleared, capacity retained).
+    pub(crate) fn take_floats(&mut self) -> Vec<f64> {
+        self.checkouts += 1;
+        let mut v = self.floats.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a float slab to the pool.
+    pub(crate) fn put_floats(&mut self, v: Vec<f64>) {
+        self.floats.push(v);
+    }
+
+    /// Total number of buffer checkouts since construction (or the last
+    /// [`reset_stats`](DistScratch::reset_stats)).
+    ///
+    /// This count depends only on the sequence of kernel calls, so summed
+    /// across workers it is identical for every thread count.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// High-water mark of simultaneously checked-out distribution slabs.
+    pub fn slab_high_water(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Number of distribution slabs currently idle in the pool.
+    pub fn pooled_slabs(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Resets the checkout counters (the pooled buffers are kept).
+    pub fn reset_stats(&mut self) {
+        self.checkouts = 0;
+        self.peak_live = self.live;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let mut s = DistScratch::new();
+        let mut d = s.take();
+        let src = DiscreteDist::from_pairs([(0, 0.25), (7, 0.75)]);
+        d.copy_from(&src);
+        s.put(d);
+        let d2 = s.take();
+        assert!(d2.is_empty(), "returned slabs must come back cleared");
+        assert_eq!(s.checkouts(), 2);
+        assert_eq!(s.slab_high_water(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_concurrent_checkouts() {
+        let mut s = DistScratch::new();
+        let a = s.take();
+        let b = s.take();
+        let c = s.take();
+        s.put(a);
+        s.put(b);
+        s.put(c);
+        let d = s.take();
+        s.put(d);
+        assert_eq!(s.slab_high_water(), 3);
+        assert_eq!(s.pooled_slabs(), 3);
+        s.reset_stats();
+        assert_eq!(s.checkouts(), 0);
+        assert_eq!(s.slab_high_water(), 0);
+    }
+}

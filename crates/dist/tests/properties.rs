@@ -1,6 +1,6 @@
 //! Property-based tests of the probability substrate's algebraic laws.
 
-use pep_dist::{naive, ContinuousDist, DiscreteDist, TimeStep};
+use pep_dist::{naive, ContinuousDist, DiscreteDist, DistScratch, TimeStep};
 use proptest::prelude::*;
 
 /// Strategy producing a normalized discrete distribution with up to
@@ -187,6 +187,151 @@ proptest! {
         for t in &threaded {
             prop_assert_eq!(t, &sequential);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation-free kernel layer: every `*_into` kernel must be
+    // bit-identical (`==`, not ε-close) to its allocating counterpart —
+    // the analyzer's deterministic output contract depends on it.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn convolve_into_matches_allocating(a in arb_subdist(8), b in arb_subdist(8)) {
+        let mut scratch = DistScratch::new();
+        let mut out = scratch.take();
+        a.convolve_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.convolve(&b));
+        // In-place variant, both operand orders.
+        let mut c = a.clone();
+        c.convolve_in_place(&b, &mut scratch);
+        prop_assert_eq!(&c, &a.convolve(&b));
+    }
+
+    #[test]
+    fn point_convolve_fast_path_matches(a in arb_subdist(8), t in -50i64..50, p in 0.05f64..=1.0) {
+        // Single-event operands take the shift+scale fast path; it must
+        // reproduce the generic quadratic loop bit for bit.
+        let point = DiscreteDist::event(t, p);
+        let mut out = DiscreteDist::empty();
+        a.convolve_into(&point, &mut out);
+        prop_assert_eq!(&out, &a.convolve(&point));
+        point.convolve_into(&a, &mut out);
+        prop_assert_eq!(&out, &point.convolve(&a));
+        let mut scratch = DistScratch::new();
+        let mut c = a.clone();
+        c.convolve_in_place(&point, &mut scratch);
+        prop_assert_eq!(&c, &a.convolve(&point));
+        let mut c = point.clone();
+        c.convolve_in_place(&a, &mut scratch);
+        prop_assert_eq!(&c, &point.convolve(&a));
+    }
+
+    #[test]
+    fn max_min_into_match_allocating(a in arb_subdist(8), b in arb_subdist(8)) {
+        let mut out = DiscreteDist::empty();
+        a.max_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.max(&b));
+        a.min_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.min(&b));
+        // Buffer reuse must not leak previous contents.
+        a.max_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.max(&b));
+    }
+
+    #[test]
+    fn accumulate_into_and_scaled_match(a in arb_subdist(6), b in arb_subdist(6),
+                                        k in 0.05f64..=1.0) {
+        let mut expect = a.scaled(0.5);
+        let b = b.scaled(0.5);
+        let mut got = DiscreteDist::empty();
+        a.scaled(0.5).accumulate_into(&b, &mut got);
+        expect.accumulate(&b);
+        prop_assert_eq!(&got, &expect);
+
+        // Fused accumulate_scaled == accumulate(&other.scaled(k)).
+        let mut scratch = DistScratch::new();
+        let mut fused = a.scaled(0.5);
+        fused.accumulate_scaled(&b, k, &mut scratch);
+        let mut twostep = a.scaled(0.5);
+        twostep.accumulate(&b.scaled(k));
+        prop_assert_eq!(&fused, &twostep);
+
+        // Nested-span fast path: widen self so other nests inside.
+        let mut wide = a.scaled(0.25);
+        wide.accumulate(&b.shifted(-200).scaled(0.25));
+        wide.accumulate(&b.shifted(200).scaled(0.25));
+        let mut wide2 = wide.clone();
+        wide.accumulate_scaled(&b, k, &mut scratch);
+        wide2.accumulate(&b.scaled(k));
+        prop_assert_eq!(&wide, &wide2);
+    }
+
+    #[test]
+    fn coarsen_into_matches_allocating(a in arb_subdist(12), k in 1usize..8) {
+        let mut scratch = DistScratch::new();
+        let mut out = DiscreteDist::empty();
+        a.coarsen_into(k, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &a.coarsened(k));
+    }
+
+    #[test]
+    fn kary_combine_matches_pairwise_fold(
+        groups in prop::collection::vec(
+            (arb_subdist(6), any::<bool>()).prop_map(|(d, keep)| {
+                if keep { d } else { DiscreteDist::empty() }
+            }),
+            0..6),
+    ) {
+        let refs: Vec<&DiscreteDist> = groups.iter().collect();
+        let mut scratch = DistScratch::new();
+        let mut out = DiscreteDist::empty();
+
+        // Reference: the pairwise fold that gate-input combining uses
+        // (empty groups are skipped, not poisoning).
+        let fold = |op: fn(&DiscreteDist, &DiscreteDist) -> DiscreteDist| {
+            let mut acc: Option<DiscreteDist> = None;
+            for g in groups.iter().filter(|g| !g.is_empty()) {
+                acc = Some(match acc {
+                    None => g.clone(),
+                    Some(a) => op(&a, g),
+                });
+            }
+            acc.unwrap_or_default()
+        };
+
+        DiscreteDist::max_k_into(&refs, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &fold(DiscreteDist::max));
+        DiscreteDist::min_k_into(&refs, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &fold(DiscreteDist::min));
+        // The streaming reference implementation must stay bit-identical
+        // to the fold too (it is benchmarked against it).
+        DiscreteDist::max_k_streaming_into(&refs, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &fold(DiscreteDist::max));
+    }
+
+    #[test]
+    fn from_pairs_one_pass_matches_reference(
+        pairs in prop::collection::vec((-50i64..50, 0u32..1000), 0..12),
+    ) {
+        // Reference: the original collect-then-three-scan construction.
+        let total: u64 = pairs.iter().map(|&(_, w)| w as u64).sum::<u64>().max(1);
+        let fp: Vec<(i64, f64)> = pairs
+            .iter()
+            .map(|&(t, w)| (t, w as f64 / total as f64))
+            .collect();
+        let filtered: Vec<(i64, f64)> = fp.iter().copied().filter(|&(_, p)| p != 0.0).collect();
+        let expect = if filtered.is_empty() {
+            DiscreteDist::empty()
+        } else {
+            let lo = filtered.iter().map(|&(t, _)| t).min().expect("non-empty");
+            let hi = filtered.iter().map(|&(t, _)| t).max().expect("non-empty");
+            let mut probs = vec![0.0; (hi - lo) as usize + 1];
+            for &(t, p) in &filtered {
+                probs[(t - lo) as usize] += p;
+            }
+            DiscreteDist::from_dense(lo, probs)
+        };
+        prop_assert_eq!(&DiscreteDist::from_pairs(fp), &expect);
     }
 
     #[test]

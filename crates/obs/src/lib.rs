@@ -23,6 +23,15 @@
 //! computed from counter deltas — `pep_core`'s `AnalysisStats` — are
 //! identical whether or not anyone is observing.
 //!
+//! Memory-discipline metrics live under `pep.alloc.*`:
+//! `pep.alloc.checkouts` (counter) is the number of scratch-distribution
+//! checkouts from the per-worker kernel arenas — a proxy for how many
+//! heap allocations the allocating kernels *would* have performed — and
+//! `pep.alloc.slab_high_water` (gauge) is the deepest any single
+//! worker's arena got during the run. The checkout total is summed over
+//! workers and does not depend on the thread count; the high-water mark,
+//! like `pep.threads`, reflects the thread layout.
+//!
 //! ```
 //! use pep_obs::Session;
 //!

@@ -9,7 +9,7 @@
 
 use pep_celllib::Timing;
 use pep_dist::stats::{mc_error_bound, Confidence, Running};
-use pep_dist::{ContinuousDist, DiscreteDist, TimeStep};
+use pep_dist::{ContinuousDist, DiscreteDist, DistScratch, TimeStep};
 use pep_netlist::{GateKind, Netlist, NodeId};
 use pep_obs::Session;
 use rand::rngs::StdRng;
@@ -167,13 +167,18 @@ pub fn run_monte_carlo_observed(
     let mut histograms = config
         .histogram_step
         .map(|_| vec![DiscreteDist::empty(); n]);
+    // Partial histograms merge through one scratch arena: the union
+    // buffer is recycled across all n × threads accumulations instead of
+    // reallocated per merge (`accumulate_scaled` with scale 1 is
+    // bit-identical to `accumulate`).
+    let mut scratch = DistScratch::new();
     for (part_stats, part_hist) in partials {
         for (acc, p) in stats.iter_mut().zip(&part_stats) {
             acc.merge(p);
         }
         if let (Some(hists), Some(parts)) = (histograms.as_mut(), part_hist) {
             for (acc, p) in hists.iter_mut().zip(&parts) {
-                acc.accumulate(p);
+                acc.accumulate_scaled(p, 1.0, &mut scratch);
             }
         }
     }
