@@ -1,0 +1,57 @@
+//! Budget-machinery overhead and degraded-run throughput.
+//!
+//! Three scenarios on one circuit:
+//!
+//! * `unbudgeted` — the baseline analysis (inert tracker),
+//! * `roomy_budget` — every limit set but none trips: measures the
+//!   pure bookkeeping overhead (deadline polls, combination
+//!   estimates), which must stay in the noise,
+//! * `tight_combinations` — a cap that trips on most supergates:
+//!   measures how fast the *degraded* analysis runs (it should be
+//!   faster than the baseline — that is the point of degrading).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pep_bench::bench_circuit;
+use pep_core::{analyze, AnalysisConfig, Budget};
+use pep_netlist::generate::IscasProfile;
+use std::hint::black_box;
+
+fn bench_budget(c: &mut Criterion) {
+    let bench = bench_circuit(IscasProfile::S5378);
+    let heavy = AnalysisConfig {
+        max_effective_stems: Some(3),
+        ..AnalysisConfig::default()
+    };
+    let mut group = c.benchmark_group("budget_s5378");
+    group.sample_size(10);
+    group.bench_function("unbudgeted", |b| {
+        b.iter(|| black_box(analyze(&bench.netlist, &bench.timing, &heavy)))
+    });
+    let roomy = AnalysisConfig {
+        budget: Some(Budget {
+            deadline_ms: Some(600_000),
+            max_combinations: Some(u64::MAX / 2),
+            max_event_bytes: Some(usize::MAX / 2),
+            max_stems_per_supergate: Some(200),
+            fail_fast: false,
+        }),
+        ..heavy.clone()
+    };
+    group.bench_function("roomy_budget", |b| {
+        b.iter(|| black_box(analyze(&bench.netlist, &bench.timing, &roomy)))
+    });
+    let tight = AnalysisConfig {
+        budget: Some(Budget {
+            max_combinations: Some(16),
+            ..Budget::default()
+        }),
+        ..heavy.clone()
+    };
+    group.bench_function("tight_combinations", |b| {
+        b.iter(|| black_box(analyze(&bench.netlist, &bench.timing, &tight)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget);
+criterion_main!(benches);

@@ -3,9 +3,44 @@
 
 use std::fmt;
 
-/// CLI failure: bad usage, unreadable input, or a malformed circuit.
+/// Which layer a [`CliError`] came from; determines the process exit
+/// code so scripts can distinguish failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Bad command-line usage (unknown flag, unparseable value). Exit 2.
+    Usage,
+    /// I/O failure reading inputs or writing reports. Exit 3.
+    Io,
+    /// Malformed or inconsistent circuit source. Exit 4.
+    Netlist,
+    /// Invalid distribution data or tick-arithmetic overflow. Exit 5.
+    Dist,
+    /// Engine failure (worker panic, degenerate supergate). Exit 6.
+    Analysis,
+    /// A fail-fast resource budget was exceeded. Exit 7.
+    Budget,
+}
+
+impl ErrorKind {
+    /// The process exit code for this failure class.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Netlist => 4,
+            ErrorKind::Dist => 5,
+            ErrorKind::Analysis => 6,
+            ErrorKind::Budget => 7,
+        }
+    }
+}
+
+/// CLI failure: bad usage, unreadable input, a malformed circuit, or an
+/// engine error surfaced through [`pep_core::PepError`].
 #[derive(Debug)]
 pub struct CliError {
+    kind: ErrorKind,
     message: String,
 }
 
@@ -13,6 +48,7 @@ impl CliError {
     /// A usage error with the given message.
     pub fn usage(message: impl Into<String>) -> Self {
         CliError {
+            kind: ErrorKind::Usage,
             message: message.into(),
         }
     }
@@ -20,8 +56,19 @@ impl CliError {
     /// Wraps an I/O error.
     pub fn io(e: std::io::Error) -> Self {
         CliError {
+            kind: ErrorKind::Io,
             message: format!("i/o error: {e}"),
         }
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The process exit code for this error (see [`ErrorKind`]).
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
     }
 }
 
@@ -36,6 +83,24 @@ impl std::error::Error for CliError {}
 impl From<pep_netlist::NetlistError> for CliError {
     fn from(e: pep_netlist::NetlistError) -> Self {
         CliError {
+            kind: ErrorKind::Netlist,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<pep_core::PepError> for CliError {
+    fn from(e: pep_core::PepError) -> Self {
+        use pep_core::PepError;
+        let kind = match &e {
+            PepError::Netlist(_) => ErrorKind::Netlist,
+            PepError::Dist(_) => ErrorKind::Dist,
+            PepError::Analysis(_) => ErrorKind::Analysis,
+            PepError::Budget(_) => ErrorKind::Budget,
+            _ => ErrorKind::Analysis,
+        };
+        CliError {
+            kind,
             message: e.to_string(),
         }
     }

@@ -29,7 +29,7 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
 
     let analysis = {
         let _phase = obs.phase("analyze");
-        pep_core::analyze_observed(&netlist, &timing, &config, obs)
+        pep_core::try_analyze_observed(&netlist, &timing, &config, obs)?
     };
     let elapsed = obs.total_of("analyze").unwrap_or_default();
 
@@ -87,6 +87,9 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
             stats.stems_filtered,
         )
         .map_err(CliError::io)?;
+        for w in analysis.warnings() {
+            writeln!(out, "warning: {w}").map_err(CliError::io)?;
+        }
     }
     Ok(())
 }

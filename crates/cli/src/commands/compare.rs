@@ -19,7 +19,7 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
 
     let pep = {
         let _phase = obs.phase("analyze");
-        pep_core::analyze_observed(&netlist, &timing, &config, obs)
+        pep_core::try_analyze_observed(&netlist, &timing, &config, obs)?
     };
     let pep_time = obs.total_of("analyze").unwrap_or_default();
 

@@ -50,7 +50,9 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
 
     let d = {
         let _phase = obs.phase("analyze");
-        pep_core::dynamic::analyze_transition_observed(&netlist, &timing, &v1, &v2, &config, obs)
+        pep_core::dynamic::try_analyze_transition_observed(
+            &netlist, &timing, &v1, &v2, &config, obs,
+        )?
     };
     let switching = netlist.node_ids().filter(|&n| d.transitions(n)).count();
     if !csv {
@@ -76,5 +78,11 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
         ]);
     }
     out.write_all(table.render().as_bytes())
-        .map_err(CliError::io)
+        .map_err(CliError::io)?;
+    if !csv {
+        for w in d.warnings() {
+            writeln!(out, "warning: {w}").map_err(CliError::io)?;
+        }
+    }
+    Ok(())
 }

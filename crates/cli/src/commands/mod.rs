@@ -10,7 +10,7 @@ pub mod paths;
 pub mod supergates;
 
 use crate::args::{Args, CliError};
-use pep_core::{AnalysisConfig, CombineMode};
+use pep_core::{AnalysisConfig, Budget, CombineMode};
 
 /// Parses the analysis knobs shared by `analyze`, `compare` and
 /// `dynamic`.
@@ -31,11 +31,47 @@ pub fn analysis_config(args: &mut Args) -> Result<AnalysisConfig, CliError> {
         config.supergate_depth = if depth == 0 { None } else { Some(depth) };
     }
     if let Some(stems) = args.parsed_opt::<usize>("--stems")? {
-        config.max_effective_stems = Some(stems);
+        // `--stems 0` lifts the effective-stem limit entirely: condition
+        // on every stem (the exact algorithm's behaviour for this knob).
+        config.max_effective_stems = if stems == 0 { None } else { Some(stems) };
     }
     if args.flag("--earliest") {
         config.mode = CombineMode::Earliest;
     }
     config.threads = args.parsed("--threads", config.threads)?;
+    config.budget = budget(args)?;
     Ok(config)
+}
+
+/// Parses the resource-budget flags. Returns `None` (fully inert
+/// machinery) when no budget flag is present.
+fn budget(args: &mut Args) -> Result<Option<Budget>, CliError> {
+    let deadline_ms = args.parsed_opt::<u64>("--deadline-ms")?;
+    let max_combinations = args.parsed_opt::<u64>("--max-combinations")?;
+    let max_event_bytes = args.parsed_opt::<usize>("--memory-budget")?;
+    let max_stems = args.parsed_opt::<usize>("--budget-stems")?;
+    let fail_fast = args.flag("--fail-fast");
+    if deadline_ms.is_none()
+        && max_combinations.is_none()
+        && max_event_bytes.is_none()
+        && max_stems.is_none()
+    {
+        if fail_fast {
+            return Err(CliError::usage(
+                "`--fail-fast` needs a budget flag (--deadline-ms, \
+                 --max-combinations, --memory-budget or --budget-stems)",
+            ));
+        }
+        return Ok(None);
+    }
+    if max_stems == Some(0) {
+        return Err(CliError::usage("`--budget-stems` must be positive"));
+    }
+    Ok(Some(Budget {
+        deadline_ms,
+        max_combinations,
+        max_event_bytes,
+        max_stems_per_supergate: max_stems,
+        fail_fast,
+    }))
 }

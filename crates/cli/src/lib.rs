@@ -25,7 +25,7 @@ mod commands;
 mod input;
 mod report;
 
-pub use args::CliError;
+pub use args::{CliError, ErrorKind};
 
 use pep_obs::Session;
 use std::io::Write;
@@ -122,6 +122,14 @@ COMMANDS:
       --threads N       worker threads for the wave scheduler
                         (0 = auto: PEP_THREADS, then all cores;
                         output is identical for any count)  [0]
+      --deadline-ms T   wall-clock budget; late supergates degrade to
+                        topological propagation (with a warning)
+      --max-combinations N  cap on conditioning combinations per
+                        supergate; coarsens events, then drops stems
+      --memory-budget B cap on resident event-mass bytes; tightens P_m
+      --budget-stems K  hard stem cap per supergate under the budget
+      --fail-fast       error (exit 7) on the first budget trip
+                        instead of degrading
       --all             report every node, not just outputs
       --quantile Q      extra quantile column (repeatable)
       --plot NODE       ASCII waveform of a node's distribution
@@ -157,6 +165,10 @@ COMMANDS:
 CIRCUITS:
   a .bench file path, sample:c17 | sample:mux2 | sample:fig6,
   or profile:<s5378|s9234|s13207|s15850|s35932|s38584>
+
+EXIT CODES:
+  0 success   2 usage   3 i/o   4 netlist   5 distribution
+  6 analysis engine   7 budget exceeded (--fail-fast)
 ";
 
 #[cfg(test)]
@@ -292,5 +304,83 @@ mod tests {
     fn bad_circuit_rejected() {
         let err = run_to_string(&["analyze", "sample:nope"]).unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        let err = run_to_string(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn budget_flags_accepted_and_inert_on_small_circuit() {
+        // A roomy budget on c17 must not change the output at all.
+        let plain = run_to_string(&["analyze", "sample:c17", "--csv"]).unwrap();
+        let budgeted = run_to_string(&[
+            "analyze",
+            "sample:c17",
+            "--csv",
+            "--deadline-ms",
+            "60000",
+            "--max-combinations",
+            "1000000",
+            "--memory-budget",
+            "100000000",
+            "--budget-stems",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(plain, budgeted, "roomy budget is bit-identical");
+    }
+
+    #[test]
+    fn fail_fast_requires_a_budget() {
+        let err = run_to_string(&["analyze", "sample:c17", "--fail-fast"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(err.to_string().contains("--fail-fast"));
+    }
+
+    #[test]
+    fn fail_fast_budget_trip_exits_budget_code() {
+        // fig6 has a reconvergent supergate; a 1-combination cap with
+        // --fail-fast must surface as a budget error (exit 7), not a
+        // degradation.
+        let err = run_to_string(&[
+            "analyze",
+            "sample:fig6",
+            "--stems",
+            "0",
+            "--max-combinations",
+            "1",
+            "--fail-fast",
+        ])
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Budget, "{err}");
+        assert_eq!(err.exit_code(), 7);
+    }
+
+    #[test]
+    fn tight_budget_degrades_with_warning() {
+        let text = run_to_string(&[
+            "analyze",
+            "sample:fig6",
+            "--stems",
+            "0",
+            "--max-combinations",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("warning:"), "degradation surfaced: {text}");
+        assert!(text.contains("budget."), "coded warning: {text}");
+        assert!(text.contains("sg:"), "names the supergate: {text}");
+    }
+
+    #[test]
+    fn stems_zero_lifts_the_limit() {
+        // `--stems 0` = condition on every stem; on c17 this matches the
+        // exact algorithm's stem handling and still completes.
+        let text = run_to_string(&["analyze", "sample:c17", "--stems", "0", "--csv"]).unwrap();
+        assert!(text.lines().count() >= 2);
     }
 }

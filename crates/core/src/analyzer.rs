@@ -1,4 +1,6 @@
 use crate::arcs::ArcPmfs;
+use crate::budget::BudgetTracker;
+use crate::faults;
 use crate::node_eval::{with_refs, NodeEval, StaticEval};
 use crate::region::{EvalScratch, RegionEval, RegionOutcome};
 use crate::AnalysisConfig;
@@ -7,8 +9,11 @@ use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::supergate::SupergateExtractor;
 use pep_netlist::{GateKind, Netlist, NodeId};
-use pep_obs::Session;
+use pep_obs::{Session, Warning};
+use pep_sta::error::panic_detail;
+use pep_sta::{AnalysisError, BudgetExceeded, PepError};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Counters describing how an analysis ran.
 ///
@@ -50,6 +55,7 @@ pub struct PepAnalysis {
     step: TimeStep,
     groups: Vec<DiscreteDist>,
     stats: AnalysisStats,
+    warnings: Vec<Warning>,
 }
 
 impl PepAnalysis {
@@ -85,6 +91,13 @@ impl PepAnalysis {
         &self.stats
     }
 
+    /// Structured warnings recorded during the run (budget
+    /// degradations, degenerate-group recoveries), in the
+    /// deterministic wave order they were committed.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
     /// The circuit-delay distribution: the max-combine of all primary
     /// output groups.
     ///
@@ -117,7 +130,20 @@ impl PepAnalysis {
 /// assert!(a.stats().supergates > 0, "fig6 has reconvergent gates");
 /// ```
 pub fn analyze(netlist: &Netlist, timing: &Timing, config: &AnalysisConfig) -> PepAnalysis {
-    analyze_observed(netlist, timing, config, &Session::disabled())
+    // invariant: without a fail-fast budget or injected fault, the
+    // engine degrades instead of erroring; any Err here is a real bug.
+    try_analyze(netlist, timing, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`analyze`], returning a typed [`PepError`] instead of panicking
+/// (worker panics are caught; `fail_fast` budgets surface as
+/// [`PepError::Budget`]).
+pub fn try_analyze(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+) -> Result<PepAnalysis, PepError> {
+    try_analyze_observed(netlist, timing, config, &Session::disabled())
 }
 
 /// [`analyze`], recording phases and metrics into `obs`.
@@ -127,8 +153,20 @@ pub fn analyze_observed(
     config: &AnalysisConfig,
     obs: &Session,
 ) -> PepAnalysis {
+    // invariant: see `analyze` — errors only arise from fail-fast
+    // budgets, injected faults, or genuine engine bugs.
+    try_analyze_observed(netlist, timing, config, obs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_analyze`], recording phases and metrics into `obs`.
+pub fn try_analyze_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    obs: &Session,
+) -> Result<PepAnalysis, PepError> {
     let zero = DiscreteDist::point(0);
-    analyze_with_inputs_observed(netlist, timing, config, |_| zero.clone(), obs)
+    try_analyze_with_inputs_observed(netlist, timing, config, |_| zero.clone(), obs)
 }
 
 /// Analyzes a circuit with caller-supplied arrival groups at the primary
@@ -142,7 +180,22 @@ pub fn analyze_with_inputs<F>(
 where
     F: Fn(NodeId) -> DiscreteDist,
 {
-    analyze_with_inputs_observed(netlist, timing, config, pi_group, &Session::disabled())
+    // invariant: see `analyze`.
+    try_analyze_with_inputs(netlist, timing, config, pi_group).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`analyze_with_inputs`], returning a typed [`PepError`] instead of
+/// panicking.
+pub fn try_analyze_with_inputs<F>(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    pi_group: F,
+) -> Result<PepAnalysis, PepError>
+where
+    F: Fn(NodeId) -> DiscreteDist,
+{
+    try_analyze_with_inputs_observed(netlist, timing, config, pi_group, &Session::disabled())
 }
 
 /// [`analyze_with_inputs`], recording phases and metrics into `obs`.
@@ -153,6 +206,23 @@ pub fn analyze_with_inputs_observed<F>(
     pi_group: F,
     obs: &Session,
 ) -> PepAnalysis
+where
+    F: Fn(NodeId) -> DiscreteDist,
+{
+    // invariant: see `analyze`.
+    try_analyze_with_inputs_observed(netlist, timing, config, pi_group, obs)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_analyze`] with caller-supplied primary-input groups, recording
+/// phases and metrics into `obs`.
+pub fn try_analyze_with_inputs_observed<F>(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    pi_group: F,
+    obs: &Session,
+) -> Result<PepAnalysis, PepError>
 where
     F: Fn(NodeId) -> DiscreteDist,
 {
@@ -173,7 +243,7 @@ where
         arcs: &arcs,
         mode: config.mode,
     };
-    let (groups, stats) = run(
+    let (groups, stats, warnings) = run(
         netlist,
         &arcs,
         &supports,
@@ -182,12 +252,13 @@ where
         pi_group,
         |_| true,
         obs,
-    );
-    PepAnalysis {
+    )?;
+    Ok(PepAnalysis {
         step,
         groups,
         stats,
-    }
+        warnings,
+    })
 }
 
 /// The per-run metric handles `run` drives, resolved once up front.
@@ -258,6 +329,9 @@ struct NodeResult {
     /// `(input count, outcome)` when the node was evaluated as a
     /// supergate output.
     supergate: Option<(usize, RegionOutcome)>,
+    /// Whether a degenerate sampling-evaluation result was recovered by
+    /// plain re-evaluation (surfaced as a warning at commit time).
+    recovered: bool,
 }
 
 /// Evaluates one non-input node against already-resolved fanin groups.
@@ -272,14 +346,21 @@ fn eval_one<E: NodeEval>(
     supports: &SupportSets,
     eval: &E,
     config: &AnalysisConfig,
+    tracker: &BudgetTracker,
     extractor: &mut SupergateExtractor,
     scratch: &mut EvalScratch,
     groups: &[DiscreteDist],
     node: NodeId,
     obs: Option<&Session>,
-) -> NodeResult {
+) -> Result<NodeResult, AnalysisError> {
+    if faults::fires(faults::WAVE_WORKER_PANIC) {
+        panic!("injected fault: wave worker panic");
+    }
     let mut supergate = None;
     let mut g = if supports.is_reconvergent(netlist, node) {
+        if faults::fires(faults::SUPERGATE_ALLOC) {
+            panic!("injected fault: supergate allocation failure");
+        }
         let sg = {
             let _phase = obs.map(|o| o.phase("supergate-extract"));
             extractor.extract(node)
@@ -296,7 +377,7 @@ fn eval_one<E: NodeEval>(
             config.min_event_prob,
         );
         region.set_resolution(config.conditioning_resolution);
-        let (g, outcome) = region.evaluate(config, scratch);
+        let (g, outcome) = region.evaluate_budgeted(config, tracker, scratch);
         supergate = Some((sg.inputs.len(), outcome));
         g
     } else {
@@ -309,6 +390,29 @@ fn eval_one<E: NodeEval>(
         );
         g
     };
+    if supergate.is_some() && faults::fires(faults::DEGENERATE_PDF) {
+        g = DiscreteDist::empty();
+    }
+    // Degenerate-group sanitizer: a sampling-evaluation that collapsed
+    // to an empty or non-finite group is recovered by plain independent
+    // combining of the fanins (the topological answer) — and reported.
+    let mut recovered = false;
+    if supergate.is_some() && (g.is_empty() || !g.total_mass().is_finite()) {
+        let fanins = netlist.fanins(node);
+        let mut plain = DiscreteDist::empty();
+        with_refs(
+            fanins.len(),
+            |pin| &groups[fanins[pin].index()],
+            |refs| eval.eval_node_into(node, refs, &mut plain, &mut scratch.dist),
+        );
+        if plain.is_empty() || !plain.total_mass().is_finite() {
+            return Err(AnalysisError::DegenerateGroup {
+                node: netlist.node_name(node).to_owned(),
+            });
+        }
+        g = plain;
+        recovered = true;
+    }
     let mut dropped_mass = 0.0;
     let mut events_dropped = 0;
     if config.min_event_prob > 0.0 {
@@ -320,26 +424,59 @@ fn eval_one<E: NodeEval>(
         events_dropped = (events_before - g.support_len()) as u64;
         g.normalize();
     }
-    NodeResult {
+    Ok(NodeResult {
         group: g,
         dropped_mass,
         events_dropped,
         supergate,
-    }
+        recovered,
+    })
 }
 
 /// Publishes one node's result: metrics first (in wave/node order — the
 /// only order-sensitive accumulation is the `dropped_mass` float sum),
-/// then the group itself.
-fn commit(metrics: &RunMetrics, groups: &mut [DiscreteDist], node: NodeId, r: NodeResult) {
-    if let Some((inputs, outcome)) = r.supergate {
-        metrics.supergate_inputs.record(inputs as f64);
+/// then warnings (same deterministic order), then the group itself.
+/// With a fail-fast budget, the first degradation aborts the run
+/// instead.
+#[allow(clippy::too_many_arguments)]
+fn commit(
+    metrics: &RunMetrics,
+    netlist: &Netlist,
+    tracker: &BudgetTracker,
+    obs: &Session,
+    warnings: &mut Vec<Warning>,
+    groups: &mut [DiscreteDist],
+    node: NodeId,
+    r: NodeResult,
+) -> Result<(), PepError> {
+    if let Some((inputs, outcome)) = &r.supergate {
+        metrics.supergate_inputs.record(*inputs as f64);
         metrics.supergates.inc();
         metrics
             .stems_conditioned
             .add(outcome.stems_conditioned as u64);
         metrics.stems_filtered.add(outcome.stems_filtered as u64);
         metrics.hybrid_evaluations.add(outcome.used_hybrid as u64);
+        for d in &outcome.degradations {
+            if tracker.fail_fast() {
+                return Err(d.budget_error(tracker).into());
+            }
+            let w = d.warning(netlist.node_name(node));
+            obs.warn(w.clone());
+            warnings.push(w);
+        }
+    }
+    if r.recovered {
+        let w = Warning::new(
+            "degenerate.group",
+            format!("sg:{}", netlist.node_name(node)),
+            "plain_reeval",
+            "sampling-evaluation produced a degenerate (empty or non-finite) \
+             group; re-evaluated with independent combining",
+            "branch correlation at this node is ignored",
+        );
+        obs.warn(w.clone());
+        warnings.push(w);
     }
     metrics.dropped_mass.add(r.dropped_mass);
     metrics.events_dropped.add(r.events_dropped);
@@ -347,6 +484,7 @@ fn commit(metrics: &RunMetrics, groups: &mut [DiscreteDist], node: NodeId, r: No
     metrics.events_propagated.add(r.group.support_len() as u64);
     metrics.group_size.record(r.group.support_len() as f64);
     groups[node.index()] = r.group;
+    Ok(())
 }
 
 /// The shared wave-parallel driver: plain cell evaluation on independent
@@ -370,7 +508,7 @@ pub(crate) fn run<E, F, A>(
     pi_group: F,
     is_active: A,
     obs: &Session,
-) -> (Vec<DiscreteDist>, AnalysisStats)
+) -> Result<(Vec<DiscreteDist>, AnalysisStats, Vec<Warning>), PepError>
 where
     E: NodeEval,
     F: Fn(NodeId) -> DiscreteDist,
@@ -381,6 +519,15 @@ where
     let base = metrics.baseline();
     let n = netlist.node_count();
     let threads = config.effective_threads();
+    let tracker = BudgetTracker::new(config.budget.as_ref());
+    let mut warnings: Vec<Warning> = Vec::new();
+    // The memory ladder escalates `P_m` mid-run, so the working config
+    // is mutable; with no budget it never changes.
+    let mut cfg = config.clone();
+    let mut mem_escalations = 0u32;
+    /// Give up tightening `P_m` after this many ×10 escalations — the
+    /// remaining mass is structural, not tail events.
+    const MAX_MEM_ESCALATIONS: u32 = 3;
     obs.gauge("pep.threads").set(threads as f64);
     let waves_counter = obs.counter("pep.waves");
     let wave_width = obs.histogram("pep.wave_width");
@@ -423,13 +570,16 @@ where
     // (sensitivity ranking) pinned to one thread: the wave is already
     // saturating the cores, and the region result does not depend on its
     // internal thread count.
-    let worker_cfg = AnalysisConfig {
+    let mut worker_cfg = AnalysisConfig {
         threads: 1,
-        ..config.clone()
+        ..cfg.clone()
     };
 
     let mut work: Vec<NodeId> = Vec::new();
-    for wave in &waves {
+    for (wi, wave) in waves.iter().enumerate() {
+        if faults::fires(faults::DEADLINE) {
+            tracker.force_expire();
+        }
         work.clear();
         for &node in wave {
             if netlist.kind(node) == GateKind::Input {
@@ -448,24 +598,49 @@ where
             // supergate still gets the intra-region fan-out via the full
             // config.
             for &node in &work {
-                let r = eval_one(
+                let extractor = &mut extractors[0];
+                let scratch = &mut scratches[0];
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    eval_one(
+                        netlist,
+                        arcs,
+                        supports,
+                        eval,
+                        &cfg,
+                        &tracker,
+                        extractor,
+                        scratch,
+                        &groups,
+                        node,
+                        Some(obs),
+                    )
+                }))
+                .unwrap_or_else(|p| {
+                    Err(AnalysisError::WorkerPanic {
+                        node: netlist.node_name(node).to_owned(),
+                        detail: panic_detail(p.as_ref()),
+                    })
+                })
+                .map_err(PepError::Analysis)?;
+                commit(
+                    &metrics,
                     netlist,
-                    arcs,
-                    supports,
-                    eval,
-                    config,
-                    &mut extractors[0],
-                    &mut scratches[0],
-                    &groups,
+                    &tracker,
+                    obs,
+                    &mut warnings,
+                    &mut groups,
                     node,
-                    Some(obs),
-                );
-                commit(&metrics, &mut groups, node, r);
+                    r,
+                )?;
             }
         } else {
             let workers = threads.min(work.len());
             let mut results: Vec<Option<NodeResult>> = Vec::with_capacity(work.len());
             results.resize_with(work.len(), || None);
+            // The first failure by wave index wins — deterministic for
+            // any thread count (each node's evaluation, and thus its
+            // panic, is deterministic; each worker reports its first).
+            let mut first_err: Option<(usize, AnalysisError)> = None;
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 // Strided assignment (worker t takes items t, t+workers,
@@ -481,15 +656,40 @@ where
                     let work = &work;
                     let groups = &groups;
                     let worker_cfg = &worker_cfg;
+                    let tracker = &tracker;
                     handles.push(scope.spawn(move || {
-                        let mut out: Vec<(usize, NodeResult)> = Vec::new();
+                        let mut out: Vec<(usize, Result<NodeResult, AnalysisError>)> = Vec::new();
                         let mut i = t;
                         while i < work.len() {
-                            let r = eval_one(
-                                netlist, arcs, supports, eval, worker_cfg, extractor, scratch,
-                                groups, work[i], None,
-                            );
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                eval_one(
+                                    netlist,
+                                    arcs,
+                                    supports,
+                                    eval,
+                                    worker_cfg,
+                                    tracker,
+                                    &mut *extractor,
+                                    &mut *scratch,
+                                    groups,
+                                    work[i],
+                                    None,
+                                )
+                            }))
+                            .unwrap_or_else(|p| {
+                                Err(AnalysisError::WorkerPanic {
+                                    node: netlist.node_name(work[i]).to_owned(),
+                                    detail: panic_detail(p.as_ref()),
+                                })
+                            });
+                            let failed = r.is_err();
                             out.push((i, r));
+                            if failed {
+                                // The scratch may be mid-mutation after a
+                                // caught panic; stop this worker — the run
+                                // is aborting anyway.
+                                break;
+                            }
                             i += workers;
                         }
                         out
@@ -497,13 +697,77 @@ where
                 }
                 for h in handles {
                     for (i, r) in h.join().expect("wave worker panicked") {
-                        results[i] = Some(r);
+                        match r {
+                            Ok(r) => results[i] = Some(r),
+                            Err(e) => {
+                                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    first_err = Some((i, e));
+                                }
+                            }
+                        }
                     }
                 }
             });
+            if let Some((_, e)) = first_err {
+                return Err(PepError::Analysis(e));
+            }
             for (i, &node) in work.iter().enumerate() {
                 let r = results[i].take().expect("every wave item evaluated");
-                commit(&metrics, &mut groups, node, r);
+                commit(
+                    &metrics,
+                    netlist,
+                    &tracker,
+                    obs,
+                    &mut warnings,
+                    &mut groups,
+                    node,
+                    r,
+                )?;
+            }
+        }
+        // Memory ladder: when resident event mass exceeds the budget,
+        // tighten the paper's `P_m` drop threshold (×10) and
+        // re-truncate every committed group. Group sizes are
+        // bit-identical across thread counts, so this trips — and
+        // degrades — identically for any thread layout.
+        if let Some(byte_cap) = tracker.max_event_bytes() {
+            if mem_escalations < MAX_MEM_ESCALATIONS {
+                let bytes: usize = groups.iter().map(|g| g.support_span() * 8).sum();
+                if bytes > byte_cap {
+                    if tracker.fail_fast() {
+                        return Err(BudgetExceeded {
+                            resource: "max_event_bytes",
+                            limit: byte_cap as u64,
+                            observed: bytes as u64,
+                        }
+                        .into());
+                    }
+                    let old = cfg.min_event_prob;
+                    let new = if old > 0.0 { old * 10.0 } else { 1e-6 };
+                    cfg.min_event_prob = new;
+                    worker_cfg.min_event_prob = new;
+                    for g in groups.iter_mut() {
+                        if !g.is_empty() {
+                            g.truncate_below(new);
+                            g.normalize();
+                        }
+                    }
+                    let after: usize = groups.iter().map(|g| g.support_span() * 8).sum();
+                    mem_escalations += 1;
+                    let w = Warning::new(
+                        "budget.memory",
+                        format!("wave:{wi}"),
+                        "min_event_prob",
+                        format!(
+                            "event mass {bytes} B exceeded cap {byte_cap} B; \
+                             P_m {old:e} -> {new:e} (now {after} B)"
+                        ),
+                        "events below the tightened threshold are dropped; \
+                         groups renormalized",
+                    );
+                    obs.warn(w.clone());
+                    warnings.push(w);
+                }
             }
         }
     }
@@ -522,7 +786,7 @@ where
     obs.counter("pep.alloc.checkouts").add(checkouts);
     obs.gauge("pep.alloc.slab_high_water")
         .set(high_water as f64);
-    (groups, metrics.stats_since(&base))
+    Ok((groups, metrics.stats_since(&base), warnings))
 }
 
 #[cfg(test)]

@@ -1,0 +1,492 @@
+//! Resource budgets and the graceful-degradation ladder.
+//!
+//! A [`Budget`] bounds what an analysis may consume: wall-clock time,
+//! event-mass memory, conditioning combinations, and stems per
+//! supergate. The engine checks budgets *cooperatively* — inside the
+//! wave scheduler, the supergate evaluation, and the conditioning
+//! recursion — and when a budget trips it **degrades** along the
+//! paper's own approximation knobs instead of aborting:
+//!
+//! 1. cap the conditioning stems of the offending supergate
+//!    (`max_stems_per_supergate` — the §3.3 effective-stem knob),
+//! 2. coarsen the enumerated stem events (`max_conditioning_events`),
+//! 3. drop the least-effective stems from conditioning,
+//! 4. tighten the `P_m` drop threshold when memory runs out,
+//! 5. as a last resort, fall back from exact conditioning to plain
+//!    topological propagation for the offending region.
+//!
+//! Every degradation is recorded as a structured [`pep_obs::Warning`]
+//! in the run report, naming the affected supergate, the knob that
+//! changed, and the estimated accuracy impact. With `fail_fast` set the
+//! run instead returns [`BudgetExceeded`] at the first trip.
+//!
+//! When no budget is configured the tracker is fully inert: the hot
+//! paths see `None` caps and skip every check, so un-budgeted runs are
+//! bit-identical to pre-budget builds.
+
+use pep_obs::Warning;
+use pep_sta::BudgetExceeded;
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resource limits for one analysis run.
+///
+/// All limits default to `None` (unlimited). Deadline-limited runs are
+/// *not* bit-identical across thread counts or machines — the clock is
+/// real; every other limit degrades deterministically (same groups and
+/// same warnings for any thread count).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole analysis, in milliseconds.
+    /// Once expired, remaining supergates fall back to topological
+    /// propagation (plain nodes keep evaluating — they are cheap).
+    pub deadline_ms: Option<u64>,
+    /// Cap on the *estimated* conditioning combinations per supergate
+    /// (the product over conditioned stems of their enumerated event
+    /// counts). Exceeding it coarsens stem events, then drops stems.
+    pub max_combinations: Option<u64>,
+    /// Cap on resident event-mass memory (bytes across all node
+    /// groups, 8 bytes per dense tick). Exceeding it tightens the
+    /// `P_m` drop threshold and re-truncates committed groups.
+    pub max_event_bytes: Option<usize>,
+    /// Cap on conditioning stems per supergate; excess stems are
+    /// ranked and the least effective are treated as independent.
+    pub max_stems_per_supergate: Option<usize>,
+    /// Return [`BudgetExceeded`] at the first trip instead of
+    /// degrading.
+    pub fail_fast: bool,
+}
+
+impl Budget {
+    /// No limits at all (the default).
+    pub fn none() -> Self {
+        Budget::default()
+    }
+
+    /// Whether every limit is unset.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none()
+            && self.max_combinations.is_none()
+            && self.max_event_bytes.is_none()
+            && self.max_stems_per_supergate.is_none()
+    }
+}
+
+/// Runtime state of a [`Budget`]: the started clock plus an expiry
+/// latch. Shared across worker threads (`Sync`); fully inert when the
+/// budget is unset.
+pub(crate) struct BudgetTracker {
+    started: Instant,
+    deadline: Option<Instant>,
+    deadline_ms: Option<u64>,
+    max_combinations: Option<u64>,
+    max_event_bytes: Option<usize>,
+    max_stems: Option<usize>,
+    fail_fast: bool,
+    /// Set once the deadline is first observed expired (or forced by
+    /// fault injection) so later checks are a cheap load.
+    expired: AtomicBool,
+}
+
+impl BudgetTracker {
+    /// Starts the clock for `budget` (`None` = fully inert).
+    pub(crate) fn new(budget: Option<&Budget>) -> Self {
+        let started = Instant::now();
+        let b = budget.cloned().unwrap_or_default();
+        BudgetTracker {
+            started,
+            deadline: b.deadline_ms.map(|ms| started + Duration::from_millis(ms)),
+            deadline_ms: b.deadline_ms,
+            max_combinations: b.max_combinations,
+            max_event_bytes: b.max_event_bytes,
+            max_stems: b.max_stems_per_supergate,
+            fail_fast: b.fail_fast,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// A tracker with no limits (for unbudgeted entry points).
+    pub(crate) fn inert() -> Self {
+        BudgetTracker::new(None)
+    }
+
+    /// Whether the deadline has passed (latched after the first trip).
+    pub(crate) fn deadline_expired(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.expired.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Latches the deadline as expired (fault injection / external
+    /// cancellation).
+    pub(crate) fn force_expire(&self) {
+        self.expired.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any deadline (real or forced) exists to poll for.
+    pub(crate) fn has_deadline(&self) -> bool {
+        self.deadline.is_some() || self.expired.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn max_combinations(&self) -> Option<u64> {
+        self.max_combinations
+    }
+
+    pub(crate) fn max_event_bytes(&self) -> Option<usize> {
+        self.max_event_bytes
+    }
+
+    pub(crate) fn max_stems(&self) -> Option<usize> {
+        self.max_stems
+    }
+
+    pub(crate) fn fail_fast(&self) -> bool {
+        self.fail_fast
+    }
+
+    /// Milliseconds elapsed since the tracker started.
+    pub(crate) fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The configured deadline in milliseconds (0 when forced without
+    /// one).
+    pub(crate) fn deadline_ms(&self) -> u64 {
+        self.deadline_ms.unwrap_or(0)
+    }
+}
+
+/// Why a supergate fell back to plain topological propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FallbackReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The combination cap left no room for any conditioning.
+    Combinations,
+}
+
+impl FallbackReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::Deadline => "deadline expired",
+            FallbackReason::Combinations => "combination cap left no room",
+        }
+    }
+}
+
+/// One budget-driven approximation applied to a supergate evaluation.
+/// The analyzer turns these into [`Warning`]s (it knows the node
+/// names) and commits them in wave order, so the warning list is as
+/// deterministic as the groups themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Degradation {
+    /// Conditioning stems were capped; the rest combine independently.
+    StemCap {
+        /// Stems before the cap.
+        from: usize,
+        /// Stems actually conditioned.
+        cap: usize,
+    },
+    /// Stem events were coarsened to fit the combination cap.
+    Coarsened {
+        /// The configured `max_conditioning_events` (None = unbounded).
+        from: Option<usize>,
+        /// The tightened per-stem event cap.
+        to: usize,
+        /// The estimated combinations that tripped the cap.
+        estimate: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// The least-effective stems were dropped to fit the combination
+    /// cap.
+    StemsDropped {
+        /// Stems before dropping.
+        from: usize,
+        /// Stems kept.
+        to: usize,
+        /// The estimated combinations that tripped the cap.
+        estimate: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// Conditioning was abandoned; the unconditioned (topological)
+    /// group was used instead.
+    TopologicalFallback {
+        /// What forced the fallback.
+        reason: FallbackReason,
+    },
+}
+
+impl Degradation {
+    /// Renders the degradation as a structured run-report warning for
+    /// the supergate rooted at `node`.
+    pub(crate) fn warning(&self, node: &str) -> Warning {
+        let subject = format!("sg:{node}");
+        match self {
+            Degradation::StemCap { from, cap } => Warning::new(
+                "budget.stems",
+                subject,
+                "max_stems_per_supergate",
+                format!("conditioning stems reduced {from} -> {cap}"),
+                "branch correlation of the dropped stems is ignored",
+            ),
+            Degradation::Coarsened {
+                from,
+                to,
+                estimate,
+                cap,
+            } => Warning::new(
+                "budget.combinations",
+                subject,
+                "max_conditioning_events",
+                format!(
+                    "stem events coarsened {} -> {to} (estimated {estimate} \
+                     combinations > cap {cap})",
+                    from.map_or_else(|| "unbounded".to_owned(), |f| f.to_string()),
+                ),
+                "quantile buckets keep their mass and mean; tail resolution shrinks",
+            ),
+            Degradation::StemsDropped {
+                from,
+                to,
+                estimate,
+                cap,
+            } => Warning::new(
+                "budget.combinations",
+                subject,
+                "effective_stems",
+                format!(
+                    "conditioned stems reduced {from} -> {to} (estimated \
+                     {estimate} combinations > cap {cap})"
+                ),
+                "dropped stems are combined independently",
+            ),
+            Degradation::TopologicalFallback { reason } => Warning::new(
+                match reason {
+                    FallbackReason::Deadline => "budget.deadline",
+                    FallbackReason::Combinations => "budget.combinations",
+                },
+                subject,
+                "conditioning",
+                format!(
+                    "sampling-evaluation skipped ({}); plain topological \
+                     propagation used",
+                    reason.as_str()
+                ),
+                "reconvergent correlation at this supergate is ignored",
+            ),
+        }
+    }
+
+    /// The degradation as a hard error, for `fail_fast` runs.
+    pub(crate) fn budget_error(&self, tracker: &BudgetTracker) -> BudgetExceeded {
+        match *self {
+            Degradation::StemCap { from, cap } => BudgetExceeded {
+                resource: "max_stems_per_supergate",
+                limit: cap as u64,
+                observed: from as u64,
+            },
+            Degradation::Coarsened { estimate, cap, .. }
+            | Degradation::StemsDropped { estimate, cap, .. } => BudgetExceeded {
+                resource: "max_combinations",
+                limit: cap,
+                observed: estimate,
+            },
+            Degradation::TopologicalFallback { reason } => match reason {
+                FallbackReason::Deadline => BudgetExceeded {
+                    resource: "deadline_ms",
+                    limit: tracker.deadline_ms(),
+                    observed: tracker.elapsed_ms(),
+                },
+                FallbackReason::Combinations => BudgetExceeded {
+                    resource: "max_combinations",
+                    limit: tracker.max_combinations().unwrap_or(0),
+                    observed: tracker.max_combinations().unwrap_or(0).saturating_add(1),
+                },
+            },
+        }
+    }
+}
+
+/// Cooperative abort state threaded through the conditioning
+/// recursion: a leaf allowance (a deterministic backstop in case the
+/// up-front combination estimate undershot) plus periodic deadline
+/// polls. `Cell`-based — one evaluation runs on one thread.
+pub(crate) struct CondLimits<'t> {
+    leaves: Cell<u64>,
+    poll: Cell<u32>,
+    tracker: &'t BudgetTracker,
+    aborted: Cell<bool>,
+}
+
+/// Poll the deadline every this many enumeration leaves.
+const DEADLINE_POLL_LEAVES: u32 = 512;
+
+impl<'t> CondLimits<'t> {
+    /// Limits for one supergate evaluation, or `None` when the tracker
+    /// has nothing to enforce (the enumeration then runs untouched).
+    pub(crate) fn for_tracker(tracker: &'t BudgetTracker) -> Option<Self> {
+        if !tracker.has_deadline() && tracker.max_combinations().is_none() {
+            return None;
+        }
+        // Generous slack over the up-front estimate: the backstop only
+        // fires when the estimate was grossly wrong, and stays
+        // deterministic (a pure leaf count) when it does.
+        let leaves = tracker
+            .max_combinations()
+            .map_or(u64::MAX, |cap| cap.saturating_mul(4).max(1024));
+        Some(CondLimits {
+            leaves: Cell::new(leaves),
+            poll: Cell::new(0),
+            tracker,
+            aborted: Cell::new(false),
+        })
+    }
+
+    /// Whether the evaluation has been aborted (result is partial and
+    /// must be discarded).
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted.get()
+    }
+
+    /// Accounts one enumeration leaf. Returns `false` when the
+    /// evaluation must abort.
+    pub(crate) fn spend_leaf(&self) -> bool {
+        if self.aborted.get() {
+            return false;
+        }
+        let left = self.leaves.get();
+        if left == 0 {
+            self.aborted.set(true);
+            return false;
+        }
+        self.leaves.set(left - 1);
+        let p = self.poll.get() + 1;
+        if p >= DEADLINE_POLL_LEAVES {
+            self.poll.set(0);
+            if self.tracker.deadline_expired() {
+                self.aborted.set(true);
+                return false;
+            }
+        } else {
+            self.poll.set(p);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = Budget::none();
+        assert!(b.is_unlimited());
+        assert!(!b.fail_fast);
+        let limited = Budget {
+            max_combinations: Some(64),
+            ..Budget::default()
+        };
+        assert!(!limited.is_unlimited());
+    }
+
+    #[test]
+    fn budget_round_trips_through_json() {
+        let b = Budget {
+            deadline_ms: Some(2_000),
+            max_combinations: Some(1 << 20),
+            max_event_bytes: Some(64 << 20),
+            max_stems_per_supergate: Some(8),
+            fail_fast: true,
+        };
+        let text = serde::json::to_string(&b);
+        let back: Budget = serde::json::from_str_as(&text).expect("round trip");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn inert_tracker_never_trips() {
+        let t = BudgetTracker::inert();
+        assert!(!t.deadline_expired());
+        assert!(!t.has_deadline());
+        assert_eq!(t.max_combinations(), None);
+        assert_eq!(t.max_stems(), None);
+        assert_eq!(t.max_event_bytes(), None);
+        assert!(!t.fail_fast());
+        assert!(CondLimits::for_tracker(&t).is_none());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let b = Budget {
+            deadline_ms: Some(0),
+            ..Budget::default()
+        };
+        let t = BudgetTracker::new(Some(&b));
+        assert!(t.deadline_expired());
+        // The latch persists.
+        assert!(t.deadline_expired());
+    }
+
+    #[test]
+    fn forced_expiry_latches_without_deadline() {
+        let t = BudgetTracker::inert();
+        t.force_expire();
+        assert!(t.deadline_expired());
+        assert!(t.has_deadline());
+    }
+
+    #[test]
+    fn leaf_backstop_aborts_deterministically() {
+        let b = Budget {
+            max_combinations: Some(1),
+            ..Budget::default()
+        };
+        let t = BudgetTracker::new(Some(&b));
+        let l = CondLimits::for_tracker(&t).expect("cap set");
+        // 1 * 4 slack, floored at 1024 leaves.
+        for _ in 0..1024 {
+            assert!(l.spend_leaf());
+        }
+        assert!(!l.spend_leaf());
+        assert!(l.aborted());
+        assert!(!l.spend_leaf(), "abort is sticky");
+    }
+
+    #[test]
+    fn degradations_render_to_warnings() {
+        let t = BudgetTracker::inert();
+        let d = Degradation::StemsDropped {
+            from: 9,
+            to: 3,
+            estimate: 4_096,
+            cap: 256,
+        };
+        let w = d.warning("n123");
+        assert_eq!(w.code, "budget.combinations");
+        assert_eq!(w.subject, "sg:n123");
+        assert_eq!(w.knob, "effective_stems");
+        assert!(w.detail.contains("9 -> 3"));
+        let e = d.budget_error(&t);
+        assert_eq!(e.resource, "max_combinations");
+        assert_eq!(e.limit, 256);
+        assert_eq!(e.observed, 4_096);
+
+        let f = Degradation::TopologicalFallback {
+            reason: FallbackReason::Deadline,
+        };
+        assert_eq!(f.warning("x").code, "budget.deadline");
+        assert_eq!(f.budget_error(&t).resource, "deadline_ms");
+    }
+}

@@ -1,3 +1,4 @@
+use crate::budget::Budget;
 use pep_dist::TimeStep;
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,9 @@ pub struct AnalysisConfig {
     /// bit-identical for every thread count — this knob only trades
     /// wall-clock time.
     pub threads: usize,
+    /// Resource budget with graceful degradation (`None` = unlimited;
+    /// the budget machinery is then fully inert). See [`Budget`].
+    pub budget: Option<Budget>,
 }
 
 impl Default for AnalysisConfig {
@@ -139,6 +143,7 @@ impl Default for AnalysisConfig {
             hybrid_mc: None,
             mode: CombineMode::Latest,
             threads: 0,
+            budget: None,
         }
     }
 }

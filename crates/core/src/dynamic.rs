@@ -17,8 +17,9 @@ use pep_celllib::Timing;
 use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::{Netlist, NodeId};
-use pep_obs::Session;
+use pep_obs::{Session, Warning};
 use pep_sta::transition::{simulate_transition, TransitionSim};
+use pep_sta::PepError;
 
 /// Result of a dynamic probabilistic analysis.
 #[derive(Debug, Clone)]
@@ -27,6 +28,7 @@ pub struct DynamicAnalysis {
     groups: Vec<DiscreteDist>,
     sim: TransitionSim,
     stats: AnalysisStats,
+    warnings: Vec<Warning>,
 }
 
 impl DynamicAnalysis {
@@ -81,6 +83,13 @@ impl DynamicAnalysis {
     pub fn stats(&self) -> &AnalysisStats {
         &self.stats
     }
+
+    /// Structured warnings recorded during the run (budget
+    /// degradations, degenerate-group recoveries), in deterministic
+    /// wave order.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
 }
 
 /// Analyzes the transition caused by applying `v1`, letting the circuit
@@ -122,6 +131,24 @@ pub fn analyze_transition(
     analyze_transition_observed(netlist, timing, v1, v2, config, &Session::disabled())
 }
 
+/// [`analyze_transition`], returning a typed [`PepError`] instead of
+/// panicking on engine failures (worker panics are caught; `fail_fast`
+/// budgets surface as [`PepError::Budget`]).
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from the primary input count
+/// (a caller contract, not a runtime failure).
+pub fn try_analyze_transition(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &AnalysisConfig,
+) -> Result<DynamicAnalysis, PepError> {
+    try_analyze_transition_observed(netlist, timing, v1, v2, config, &Session::disabled())
+}
+
 /// [`analyze_transition`], recording phases and metrics into `obs`.
 ///
 /// # Panics
@@ -135,6 +162,25 @@ pub fn analyze_transition_observed(
     config: &AnalysisConfig,
     obs: &Session,
 ) -> DynamicAnalysis {
+    // invariant: without a fail-fast budget or injected fault the
+    // engine degrades instead of erroring; any Err here is a real bug.
+    try_analyze_transition_observed(netlist, timing, v1, v2, config, obs)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_analyze_transition`], recording phases and metrics into `obs`.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from the primary input count.
+pub fn try_analyze_transition_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &AnalysisConfig,
+    obs: &Session,
+) -> Result<DynamicAnalysis, PepError> {
     let config = &config.validated();
     let step = config
         .step_override
@@ -159,7 +205,7 @@ pub fn analyze_transition_observed(
         arcs: &arcs,
         sim: &sim,
     };
-    let (groups, stats) = run(
+    let (groups, stats, warnings) = run(
         netlist,
         &arcs,
         &supports,
@@ -174,13 +220,14 @@ pub fn analyze_transition_observed(
         },
         |node| sim.transitions(node),
         obs,
-    );
-    DynamicAnalysis {
+    )?;
+    Ok(DynamicAnalysis {
         step,
         groups,
         sim,
         stats,
-    }
+        warnings,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Fault injection for resilience testing (cfg-gated).
+//!
+//! With the `fault-injection` feature enabled, tests can *arm* named
+//! fault sites inside the analysis pipeline; the next time execution
+//! passes the site, the fault fires exactly once (forcing a worker
+//! panic, a degenerate pdf, a simulated allocation failure, or instant
+//! deadline expiry). The resilience suite asserts the engine survives
+//! each with a typed [`pep_sta::PepError`] or a `Warning`-bearing
+//! report — never a process abort — and that with no fault armed the
+//! results are bit-identical to a build without the feature.
+//!
+//! Without the feature every probe is a `const false` the optimizer
+//! removes, so production builds carry no registry, no locking, and no
+//! branch cost.
+
+/// Site: panic inside a wave worker's node evaluation.
+pub const WAVE_WORKER_PANIC: &str = "wave-worker-panic";
+/// Site: allocation failure while building a supergate region.
+pub const SUPERGATE_ALLOC: &str = "supergate-alloc";
+/// Site: a supergate evaluation yields a degenerate (empty) pdf.
+pub const DEGENERATE_PDF: &str = "degenerate-pdf";
+/// Site: the wall-clock deadline expires before the next wave.
+pub const DEADLINE: &str = "deadline";
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Armed sites: site -> remaining probe hits to skip before firing.
+    fn registry() -> &'static Mutex<HashMap<&'static str, u64>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<&'static str, u64>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn arm(site: &'static str, skip: u64) {
+        registry()
+            .lock()
+            .expect("fault registry poisoned")
+            .insert(site, skip);
+    }
+
+    pub fn disarm_all() {
+        registry().lock().expect("fault registry poisoned").clear();
+    }
+
+    pub fn fires(site: &str) -> bool {
+        let mut reg = registry().lock().expect("fault registry poisoned");
+        match reg.get_mut(site) {
+            Some(0) => {
+                reg.remove(site);
+                true
+            }
+            Some(skip) => {
+                *skip -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+/// Arms `site` to fire once, after skipping the next `skip` probe
+/// hits (`skip = 0` fires at the very next hit). Re-arming replaces
+/// any previous arming of the same site.
+#[cfg(feature = "fault-injection")]
+pub fn arm(site: &'static str, skip: u64) {
+    imp::arm(site, skip);
+}
+
+/// Disarms every armed fault site.
+#[cfg(feature = "fault-injection")]
+pub fn disarm_all() {
+    imp::disarm_all();
+}
+
+/// Probes `site`: `true` exactly once per arming, when its skip count
+/// is exhausted.
+#[cfg(feature = "fault-injection")]
+#[inline]
+pub fn fires(site: &str) -> bool {
+    imp::fires(site)
+}
+
+/// Arming is a no-op without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+pub fn arm(_site: &'static str, _skip: u64) {}
+
+/// Disarming is a no-op without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+pub fn disarm_all() {}
+
+/// Always `false` without the `fault-injection` feature (the probe
+/// compiles away).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fires(_site: &str) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_semantics() {
+        disarm_all();
+        arm(DEGENERATE_PDF, 2);
+        assert!(!fires(DEGENERATE_PDF));
+        assert!(!fires(DEGENERATE_PDF));
+        assert!(fires(DEGENERATE_PDF), "fires after the skip count");
+        assert!(!fires(DEGENERATE_PDF), "one-shot");
+        assert!(!fires(WAVE_WORKER_PANIC), "unarmed sites never fire");
+        disarm_all();
+    }
+}

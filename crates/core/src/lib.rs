@@ -44,11 +44,13 @@
 
 mod analyzer;
 mod arcs;
+mod budget;
 pub mod cell_eval;
 pub mod compare;
 mod config;
 pub mod criticality;
 pub mod dynamic;
+pub mod faults;
 mod node_eval;
 #[doc(hidden)]
 pub mod probe;
@@ -56,8 +58,11 @@ mod region;
 pub mod validate;
 
 pub use analyzer::{
-    analyze, analyze_observed, analyze_with_inputs, analyze_with_inputs_observed, AnalysisStats,
+    analyze, analyze_observed, analyze_with_inputs, analyze_with_inputs_observed, try_analyze,
+    try_analyze_observed, try_analyze_with_inputs, try_analyze_with_inputs_observed, AnalysisStats,
     PepAnalysis,
 };
 pub use arcs::ArcPmfs;
+pub use budget::Budget;
 pub use config::{AnalysisConfig, CombineMode, HybridMcConfig, StemRanking};
+pub use pep_sta::{AnalysisError, BudgetExceeded, PepError};

@@ -11,6 +11,7 @@
 //! all reduce how much of that enumeration runs.
 
 use crate::arcs::ArcPmfs;
+use crate::budget::{BudgetTracker, CondLimits, Degradation, FallbackReason};
 use crate::node_eval::{with_refs, NodeEval};
 use crate::{AnalysisConfig, CombineMode, StemRanking};
 use pep_dist::{DiscreteDist, DistScratch};
@@ -22,7 +23,7 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Outcome counters for one supergate evaluation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct RegionOutcome {
     /// Stems the heuristics removed before conditioning.
     pub stems_filtered: usize,
@@ -30,6 +31,10 @@ pub(crate) struct RegionOutcome {
     pub stems_conditioned: usize,
     /// Whether the hybrid Monte Carlo path evaluated this supergate.
     pub used_hybrid: bool,
+    /// Budget-driven approximations applied to this evaluation, in the
+    /// order they were applied (empty — no allocation — on the
+    /// unbudgeted path).
+    pub degradations: Vec<Degradation>,
 }
 
 /// Per-worker reusable evaluation state: the kernel arena plus the
@@ -214,6 +219,22 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         config: &AnalysisConfig,
         scratch: &mut EvalScratch,
     ) -> (DiscreteDist, RegionOutcome) {
+        self.evaluate_budgeted(config, &BudgetTracker::inert(), scratch)
+    }
+
+    /// [`evaluate`](Self::evaluate) under a resource budget: when a
+    /// limit in `tracker` trips, the evaluation degrades along the
+    /// paper's own knobs (cap/drop stems, coarsen stem events, fall
+    /// back to topological propagation) and records each step in
+    /// [`RegionOutcome::degradations`]. With an inert tracker the
+    /// behavior — and the f64 accumulation order — is identical to the
+    /// unbudgeted path.
+    pub fn evaluate_budgeted(
+        &self,
+        config: &AnalysisConfig,
+        tracker: &BudgetTracker,
+        scratch: &mut EvalScratch,
+    ) -> (DiscreteDist, RegionOutcome) {
         let mut outcome = RegionOutcome::default();
         let mut stems: Cow<'_, [NodeId]> = Cow::Borrowed(&self.sg.stems);
         if config.filter_stems {
@@ -244,12 +265,133 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 return (self.hybrid_eval(h.runs, h.seed), outcome);
             }
         }
+        // Stem cap: the budget's per-supergate limit, and in any case
+        // the `u8` level-tag representation's ceiling (which used to be
+        // an assert — a hostile/unbounded configuration now degrades
+        // instead of panicking).
+        let hard_cap = usize::from(u8::MAX) - 1;
+        let cap = tracker
+            .max_stems()
+            .map_or(hard_cap, |c| c.clamp(1, hard_cap));
+        if stems.len() > cap {
+            let from = stems.len();
+            let ranked = self.rank_stems(&stems, config, scratch);
+            let mut sel: Vec<NodeId> = ranked.into_iter().take(cap).collect();
+            sel.sort_by_key(|&s| self.netlist.topo_position(s));
+            outcome.stems_filtered += from - cap;
+            outcome
+                .degradations
+                .push(Degradation::StemCap { from, cap });
+            stems = Cow::Owned(sel);
+        }
+        if tracker.deadline_expired() {
+            outcome.degradations.push(Degradation::TopologicalFallback {
+                reason: FallbackReason::Deadline,
+            });
+            return (self.base_output().clone(), outcome);
+        }
+        let mut coarsen = config.max_conditioning_events;
+        if let Some(comb_cap) = tracker.max_combinations() {
+            let factor = |s: NodeId, c: Option<usize>| -> u64 {
+                let e = self.base[self.local[&s]].support_len().max(1) as u64;
+                match c {
+                    Some(c) => e.min(c as u64),
+                    None => e,
+                }
+            };
+            let estimate_for = |stems: &[NodeId], c: Option<usize>| -> u64 {
+                stems
+                    .iter()
+                    .fold(1u64, |acc, &s| acc.saturating_mul(factor(s, c)))
+            };
+            let estimate0 = estimate_for(&stems, coarsen);
+            if estimate0 > comb_cap {
+                let from_coarsen = coarsen;
+                // (a) Coarsen the enumerated stem events, halving down
+                // to a floor of 4 buckets per stem.
+                let mut c = coarsen
+                    .unwrap_or_else(|| {
+                        stems
+                            .iter()
+                            .map(|&s| self.base[self.local[&s]].support_len())
+                            .max()
+                            .unwrap_or(1)
+                    })
+                    .max(1);
+                let mut estimate = estimate_for(&stems, Some(c));
+                while estimate > comb_cap && c > 4 {
+                    c = (c / 2).max(4);
+                    estimate = estimate_for(&stems, Some(c));
+                }
+                // (b) Drop the least-effective stems (they revert to
+                // independent combining).
+                let mut dropped: Option<(usize, usize)> = None;
+                if estimate > comb_cap && stems.len() > 1 {
+                    let from = stems.len();
+                    let ranked = self.rank_stems(&stems, config, scratch);
+                    let mut keep = ranked.len();
+                    while keep > 1 && estimate_for(&ranked[..keep], Some(c)) > comb_cap {
+                        keep -= 1;
+                    }
+                    let mut sel: Vec<NodeId> = ranked.into_iter().take(keep).collect();
+                    sel.sort_by_key(|&s| self.netlist.topo_position(s));
+                    estimate = estimate_for(&sel, Some(c));
+                    outcome.stems_filtered += from - keep;
+                    dropped = Some((from, keep));
+                    stems = Cow::Owned(sel);
+                }
+                // (c) Last resort before fallback: coarsen to a single
+                // bucket per stem.
+                while estimate > comb_cap && c > 1 {
+                    c = (c / 2).max(1);
+                    estimate = estimate_for(&stems, Some(c));
+                }
+                if Some(c) != from_coarsen {
+                    coarsen = Some(c);
+                    outcome.degradations.push(Degradation::Coarsened {
+                        from: from_coarsen,
+                        to: c,
+                        estimate: estimate0,
+                        cap: comb_cap,
+                    });
+                }
+                if let Some((from, to)) = dropped {
+                    outcome.degradations.push(Degradation::StemsDropped {
+                        from,
+                        to,
+                        estimate: estimate0,
+                        cap: comb_cap,
+                    });
+                }
+                if estimate > comb_cap {
+                    // A cap of zero combinations: no conditioning fits.
+                    outcome.degradations.push(Degradation::TopologicalFallback {
+                        reason: FallbackReason::Combinations,
+                    });
+                    return (self.base_output().clone(), outcome);
+                }
+            }
+        }
         outcome.stems_conditioned = stems.len();
         if stems.is_empty() {
             return (self.base_output().clone(), outcome);
         }
         let mut out = DiscreteDist::empty();
-        self.conditioned_eval_into(&stems, config.max_conditioning_events, &mut out, scratch);
+        let limits = CondLimits::for_tracker(tracker);
+        self.conditioned_eval_limited(&stems, coarsen, limits.as_ref(), &mut out, scratch);
+        if limits.as_ref().is_some_and(|l| l.aborted()) {
+            // The partial accumulation is discarded; the unconditioned
+            // group is the degradation result.
+            out.copy_from(self.base_output());
+            outcome.stems_conditioned = 0;
+            outcome.degradations.push(Degradation::TopologicalFallback {
+                reason: if tracker.deadline_expired() {
+                    FallbackReason::Deadline
+                } else {
+                    FallbackReason::Combinations
+                },
+            });
+        }
         (out, outcome)
     }
 
@@ -296,6 +438,22 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         out: &mut DiscreteDist,
         scratch: &mut EvalScratch,
     ) {
+        self.conditioned_eval_limited(stems, coarsen, None, out, scratch);
+    }
+
+    /// [`conditioned_eval_into`](Self::conditioned_eval_into) under
+    /// optional budget limits: the enumeration spends one allowance
+    /// unit per leaf and polls the deadline periodically; when `limits`
+    /// aborts, the accumulated `out` is partial and the caller must
+    /// discard it (see [`CondLimits::aborted`]).
+    pub fn conditioned_eval_limited(
+        &self,
+        stems: &[NodeId],
+        coarsen: Option<usize>,
+        limits: Option<&CondLimits<'_>>,
+        out: &mut DiscreteDist,
+        scratch: &mut EvalScratch,
+    ) {
         out.clear();
         if stems.is_empty() {
             out.copy_from(self.base_output());
@@ -328,9 +486,10 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 }
             }
         }
-        self.cond_recurse(stems, scratch, 0, 1.0, coarsen, out);
+        self.cond_recurse(stems, scratch, 0, 1.0, coarsen, limits, out);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn cond_recurse(
         &self,
         stems: &[NodeId],
@@ -338,9 +497,18 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         level: usize,
         scale: f64,
         coarsen: Option<usize>,
+        limits: Option<&CondLimits<'_>>,
         out: &mut DiscreteDist,
     ) {
+        if limits.is_some_and(|l| l.aborted()) {
+            return;
+        }
         if level == stems.len() {
+            if let Some(l) = limits {
+                if !l.spend_leaf() {
+                    return;
+                }
+            }
             let k = (stems.len() - 1) as u8;
             self.propagate_affected(scratch, k, self.output_local);
             let EvalScratch {
@@ -395,7 +563,7 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 if p > 0.0 {
                     scratch.ov[si].set_point(t);
                     scratch.ov_set[si] = true;
-                    self.cond_recurse(stems, scratch, level + 1, scale * p, coarsen, out);
+                    self.cond_recurse(stems, scratch, level + 1, scale * p, coarsen, limits, out);
                 }
             }
         }

@@ -1,0 +1,149 @@
+//! Fault-injection suite: every injected failure must surface as a
+//! typed [`PepError`] or a structured warning — never an abort.
+//!
+//! Run with `cargo test -p pep-core --features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{faults, try_analyze, AnalysisConfig, AnalysisError, PepError};
+use pep_netlist::{samples, Netlist};
+use std::sync::{Mutex, MutexGuard};
+
+/// The fault registry is process-global one-shot state; serialize the
+/// tests so one test's armed fault cannot fire inside another.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    faults::disarm_all();
+    guard
+}
+
+fn fixture() -> (Netlist, Timing) {
+    let nl = samples::fig6();
+    let timing = Timing::annotate(&nl, &DelayModel::dac2001(9));
+    (nl, timing)
+}
+
+fn config(threads: usize) -> AnalysisConfig {
+    AnalysisConfig {
+        threads,
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn worker_panic_becomes_typed_error_inline() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    faults::arm(faults::WAVE_WORKER_PANIC, 0);
+    let err = try_analyze(&nl, &timing, &config(1)).unwrap_err();
+    faults::disarm_all();
+    match err {
+        PepError::Analysis(AnalysisError::WorkerPanic { node, detail }) => {
+            assert!(!node.is_empty());
+            assert!(detail.contains("injected"), "payload preserved: {detail}");
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+}
+
+#[test]
+fn worker_panic_becomes_typed_error_multithreaded() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    // Skip a few evaluations so the panic lands mid-wave on a worker.
+    faults::arm(faults::WAVE_WORKER_PANIC, 3);
+    let err = try_analyze(&nl, &timing, &config(4)).unwrap_err();
+    faults::disarm_all();
+    assert!(
+        matches!(err, PepError::Analysis(AnalysisError::WorkerPanic { .. })),
+        "got {err}"
+    );
+}
+
+#[test]
+fn supergate_alloc_failure_is_caught() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    faults::arm(faults::SUPERGATE_ALLOC, 0);
+    let err = try_analyze(&nl, &timing, &config(2)).unwrap_err();
+    faults::disarm_all();
+    match err {
+        PepError::Analysis(AnalysisError::WorkerPanic { detail, .. }) => {
+            assert!(detail.contains("alloc"), "site named: {detail}");
+        }
+        other => panic!("expected caught allocation panic, got {other}"),
+    }
+}
+
+#[test]
+fn degenerate_pdf_recovers_with_warning() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    faults::arm(faults::DEGENERATE_PDF, 0);
+    let a = try_analyze(&nl, &timing, &config(1)).expect("recovers by plain re-evaluation");
+    faults::disarm_all();
+    let w = a
+        .warnings()
+        .iter()
+        .find(|w| w.code == "degenerate.group")
+        .expect("recovery recorded");
+    assert!(w.subject.starts_with("sg:"), "names the supergate: {w}");
+    for po in nl.primary_outputs() {
+        assert!(!a.group(*po).is_empty(), "usable result after recovery");
+    }
+}
+
+#[test]
+fn injected_deadline_expiry_degrades_not_dies() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    faults::arm(faults::DEADLINE, 0);
+    let a = try_analyze(&nl, &timing, &config(1)).expect("deadline degrades");
+    faults::disarm_all();
+    assert!(
+        a.warnings()
+            .iter()
+            .any(|w| w.code == "budget.deadline" && w.knob == "conditioning"),
+        "supergates fell back topologically: {:?}",
+        a.warnings()
+    );
+    for po in nl.primary_outputs() {
+        assert!(!a.group(*po).is_empty());
+    }
+}
+
+#[test]
+fn no_armed_fault_is_bit_identical_and_warning_free() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    let a = try_analyze(&nl, &timing, &config(1)).expect("clean run");
+    let b = try_analyze(&nl, &timing, &config(4)).expect("clean run");
+    assert!(a.warnings().is_empty() && b.warnings().is_empty());
+    for id in nl.node_ids() {
+        assert_eq!(a.group(id), b.group(id));
+    }
+}
+
+#[test]
+fn every_site_survives_without_aborting() {
+    let _g = lock();
+    let (nl, timing) = fixture();
+    for site in [
+        faults::WAVE_WORKER_PANIC,
+        faults::SUPERGATE_ALLOC,
+        faults::DEGENERATE_PDF,
+        faults::DEADLINE,
+    ] {
+        for threads in [1usize, 2] {
+            faults::disarm_all();
+            faults::arm(site, 0);
+            // Ok (degraded, with warnings) or a typed error — both are
+            // survival; reaching the next iteration proves no abort.
+            let _ = try_analyze(&nl, &timing, &config(threads));
+        }
+    }
+    faults::disarm_all();
+}

@@ -1,4 +1,4 @@
-use crate::{DistScratch, TimeStep};
+use crate::{DistError, DistScratch, TimeStep};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
@@ -79,14 +79,29 @@ impl DiscreteDist {
     /// Panics if `prob` is negative or non-finite (all builds), or in
     /// debug builds if it exceeds `1 + ε`.
     pub fn event(tick: i64, prob: f64) -> Self {
+        // invariant: the only try_event failure is a bad probability,
+        // which this panicking constructor promises to reject loudly.
+        Self::try_event(tick, prob).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`event`](DiscreteDist::event): returns
+    /// [`DistError::BadProbability`] instead of panicking on a negative
+    /// or non-finite probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `prob` is negative, NaN or infinite.
+    pub fn try_event(tick: i64, prob: f64) -> Result<Self, DistError> {
+        if !(prob.is_finite() && prob >= 0.0) {
+            return Err(DistError::BadProbability { value: prob });
+        }
         let mut d = DiscreteDist {
             origin: tick,
             probs: vec![prob],
         };
-        d.validate_probs();
         d.trim();
         d.debug_check();
-        d
+        Ok(d)
     }
 
     /// Builds a distribution from `(tick, probability)` pairs.
@@ -104,21 +119,41 @@ impl DiscreteDist {
     where
         I: IntoIterator<Item = (i64, f64)>,
     {
+        // invariant: try_from_pairs only fails on a bad probability or a
+        // tick-window overflow; both are caller bugs this panicking
+        // constructor promises to reject loudly.
+        Self::try_from_pairs(pairs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`from_pairs`](DiscreteDist::from_pairs):
+    /// returns a [`DistError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadProbability`] if any probability is
+    /// negative, NaN or infinite, and [`DistError::TickOverflow`] if the
+    /// tick window spans more than `i64` allows.
+    pub fn try_from_pairs<I>(pairs: I) -> Result<Self, DistError>
+    where
+        I: IntoIterator<Item = (i64, f64)>,
+    {
         let mut d = DiscreteDist::empty();
         for (t, p) in pairs {
             if p == 0.0 {
                 continue;
             }
-            assert!(
-                p.is_finite() && p >= 0.0,
-                "probability {p} at tick {t} must be finite and non-negative"
-            );
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(DistError::BadProbability { value: p });
+            }
             if d.probs.is_empty() {
                 d.origin = t;
                 d.probs.push(p);
                 continue;
             }
-            let idx = t - d.origin;
+            let idx = t.checked_sub(d.origin).ok_or(DistError::TickOverflow {
+                origin: d.origin,
+                delta: t,
+            })?;
             if idx < 0 {
                 let gap = (-idx) as usize;
                 d.probs.splice(0..0, std::iter::repeat_n(0.0, gap));
@@ -133,7 +168,7 @@ impl DiscreteDist {
         }
         d.trim();
         d.debug_check();
-        d
+        Ok(d)
     }
 
     /// Builds a distribution from integer *probability ratios*, the paper's
@@ -173,11 +208,25 @@ impl DiscreteDist {
     ///
     /// Panics if any probability is negative or non-finite.
     pub fn from_dense(origin: i64, probs: Vec<f64>) -> Self {
+        // invariant: the only try_from_dense failure is a bad
+        // probability, rejected loudly here.
+        Self::try_from_dense(origin, probs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`from_dense`](DiscreteDist::from_dense).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadProbability`] if any probability is
+    /// negative, NaN or infinite.
+    pub fn try_from_dense(origin: i64, probs: Vec<f64>) -> Result<Self, DistError> {
+        if let Some(&bad) = probs.iter().find(|p| !(p.is_finite() && **p >= 0.0)) {
+            return Err(DistError::BadProbability { value: bad });
+        }
         let mut d = DiscreteDist { origin, probs };
-        d.validate_probs();
         d.trim();
         d.debug_check();
-        d
+        Ok(d)
     }
 
     /// Whether the distribution carries no mass.
@@ -370,8 +419,39 @@ impl DiscreteDist {
     }
 
     /// Shifts every event by `dt` ticks (the paper's *shift* operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift would overflow the `i64` tick index.
     pub fn shift(&mut self, dt: i64) {
-        self.origin += dt;
+        // invariant: overflow here means ticks near i64::MAX — a caller
+        // bug (delays are discretized from bounded physical times).
+        self.try_shift(dt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`shift`](DiscreteDist::shift): checks the tick
+    /// arithmetic instead of overflowing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::TickOverflow`] when `origin + dt` (or the
+    /// shifted window's last tick) leaves the `i64` range; the
+    /// distribution is unchanged on error.
+    pub fn try_shift(&mut self, dt: i64) -> Result<(), DistError> {
+        let overflow = DistError::TickOverflow {
+            origin: self.origin,
+            delta: dt,
+        };
+        let origin = self.origin.checked_add(dt).ok_or(overflow.clone())?;
+        // The last tick of the shifted window must stay representable
+        // too, or downstream max_tick()/iter() arithmetic overflows.
+        if !self.probs.is_empty() {
+            origin
+                .checked_add(self.probs.len() as i64 - 1)
+                .ok_or(overflow)?;
+        }
+        self.origin = origin;
+        Ok(())
     }
 
     /// Returns a copy shifted by `dt` ticks.
@@ -408,6 +488,22 @@ impl DiscreteDist {
         let mut d = self.clone();
         d.scale(k);
         d
+    }
+
+    /// Fallible form of [`scale`](DiscreteDist::scale): validates the
+    /// factor in all builds (not just debug) and returns a typed error
+    /// instead of silently producing NaN mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadProbability`] when `k` is negative, NaN
+    /// or infinite; the distribution is unchanged on error.
+    pub fn try_scale(&mut self, k: f64) -> Result<(), DistError> {
+        if !(k.is_finite() && k >= 0.0) {
+            return Err(DistError::BadProbability { value: k });
+        }
+        self.scale(k);
+        Ok(())
     }
 
     /// Adds `other`'s mass into `self` (the paper's *group* operation, `+`).
@@ -1296,20 +1392,6 @@ impl DiscreteDist {
         }
     }
 
-    /// Release-mode construction validation: every probability must be
-    /// finite and non-negative. A corrupt probability entering here would
-    /// otherwise be masked downstream (`max(0.0)` clamps in the min/max
-    /// combines) and silently poison every dependent group.
-    fn validate_probs(&self) {
-        for (i, &p) in self.probs.iter().enumerate() {
-            assert!(
-                p.is_finite() && p >= 0.0,
-                "probability {p} at tick {} must be finite and non-negative",
-                self.origin + i as i64
-            );
-        }
-    }
-
     /// Debug-mode invariant checks.
     fn debug_check(&self) {
         debug_assert!(
@@ -1584,6 +1666,63 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn from_dense_rejects_negative_probability_in_release() {
         let _ = DiscreteDist::from_dense(0, vec![0.5, -0.1, 0.5]);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert!(matches!(
+            DiscreteDist::try_event(0, f64::NAN),
+            Err(DistError::BadProbability { .. })
+        ));
+        assert!(matches!(
+            DiscreteDist::try_event(0, -0.5),
+            Err(DistError::BadProbability { .. })
+        ));
+        assert!(matches!(
+            DiscreteDist::try_from_pairs([(0, 0.5), (1, f64::INFINITY)]),
+            Err(DistError::BadProbability { .. })
+        ));
+        assert!(matches!(
+            DiscreteDist::try_from_dense(0, vec![0.1, -0.1]),
+            Err(DistError::BadProbability { .. })
+        ));
+        // The happy paths match the panicking constructors bit for bit.
+        assert_eq!(
+            DiscreteDist::try_from_pairs([(3, 0.25), (9, 0.75)]).unwrap(),
+            DiscreteDist::from_pairs([(3, 0.25), (9, 0.75)])
+        );
+        assert_eq!(
+            DiscreteDist::try_event(5, 0.5).unwrap(),
+            DiscreteDist::event(5, 0.5)
+        );
+    }
+
+    #[test]
+    fn try_shift_guards_tick_overflow() {
+        let mut d = DiscreteDist::from_pairs([(0, 0.5), (4, 0.5)]);
+        assert!(d.try_shift(3).is_ok());
+        assert_eq!(d.min_tick(), Some(3));
+        // Overflow of the origin itself.
+        let err = d.try_shift(i64::MAX).unwrap_err();
+        assert!(matches!(err, DistError::TickOverflow { .. }));
+        assert_eq!(d.min_tick(), Some(3), "unchanged on error");
+        // Overflow of the window's last tick only: origin fits, end does
+        // not.
+        let mut edge = DiscreteDist::from_pairs([(0, 0.5), (4, 0.5)]);
+        assert!(edge.try_shift(i64::MAX - 2).is_err());
+        assert_eq!(edge.min_tick(), Some(0), "unchanged on error");
+    }
+
+    #[test]
+    fn try_scale_validates_in_release() {
+        let mut d = DiscreteDist::from_pairs([(0, 1.0)]);
+        assert!(matches!(
+            d.try_scale(f64::NAN),
+            Err(DistError::BadProbability { .. })
+        ));
+        assert!(close(d.total_mass(), 1.0), "unchanged on error");
+        d.try_scale(0.5).unwrap();
+        assert!(close(d.total_mass(), 0.5));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{ContinuousDist, DiscreteDist, TimeStep};
+use crate::{ContinuousDist, DiscreteDist, DistError, TimeStep};
 
 /// Discretizes a continuous delay pdf onto the tick grid (paper Fig. 2).
 ///
@@ -25,7 +25,28 @@ use crate::{ContinuousDist, DiscreteDist, TimeStep};
 ///
 /// [discretization range]: ContinuousDist::discretization_range
 pub fn discretize(dist: &ContinuousDist, step: TimeStep) -> DiscreteDist {
+    // invariant: ContinuousDist constructors validate their parameters,
+    // so a checked discretization of a well-formed dist cannot fail.
+    try_discretize(dist, step).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`discretize`]: validates the discretization range
+/// and every CDF evaluation instead of folding NaN into the bins.
+///
+/// A NaN from a buggy CDF would otherwise be clamped to zero mass by the
+/// `max(0.0)` bin arithmetic and silently vanish from the result.
+///
+/// # Errors
+///
+/// Returns [`DistError::NotFinite`] if the distribution's range bounds
+/// or any CDF value are NaN or infinite.
+pub fn try_discretize(dist: &ContinuousDist, step: TimeStep) -> Result<DiscreteDist, DistError> {
     let (lo, hi) = dist.discretization_range();
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(DistError::NotFinite {
+            what: "discretization range",
+        });
+    }
     let t_lo = step.ticks_of(lo);
     let t_hi = step.ticks_of(hi).max(t_lo);
     let n = (t_hi - t_lo) as usize + 1;
@@ -39,10 +60,13 @@ pub fn discretize(dist: &ContinuousDist, step: TimeStep) -> DiscreteDist {
         } else {
             dist.cdf((t as f64 + 0.5) * h)
         };
+        if !cur_cdf.is_finite() {
+            return Err(DistError::NotFinite { what: "cdf value" });
+        }
         *slot = (cur_cdf - prev_cdf).max(0.0);
         prev_cdf = cur_cdf;
     }
-    DiscreteDist::from_dense(t_lo, probs)
+    DiscreteDist::try_from_dense(t_lo, probs)
 }
 
 /// Chooses a step so that `dist` discretizes to approximately `n_samples`

@@ -36,6 +36,13 @@ pub enum DistError {
         /// Name of the offending parameter.
         what: &'static str,
     },
+    /// Shifting a distribution would overflow the `i64` tick index.
+    TickOverflow {
+        /// Tick origin before the shift.
+        origin: i64,
+        /// The shift amount that would overflow.
+        delta: i64,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -51,9 +58,12 @@ impl fmt::Display for DistError {
                 write!(f, "triangular mode {mode} outside [{lo}, {hi}]")
             }
             DistError::BadProbability { value } => {
-                write!(f, "invalid probability {value}")
+                write!(f, "probability {value} must be finite and non-negative")
             }
             DistError::NotFinite { what } => write!(f, "{what} must be finite"),
+            DistError::TickOverflow { origin, delta } => {
+                write!(f, "tick shift overflows: origin {origin} + delta {delta}")
+            }
         }
     }
 }

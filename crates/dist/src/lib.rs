@@ -52,7 +52,7 @@ pub mod stats;
 
 pub use continuous::ContinuousDist;
 pub use discrete::{DiscreteDist, TickSampler};
-pub use discretize::{discretize, discretize_with_samples, step_for_samples};
+pub use discretize::{discretize, discretize_with_samples, step_for_samples, try_discretize};
 pub use error::DistError;
 pub use scratch::DistScratch;
 pub use step::TimeStep;

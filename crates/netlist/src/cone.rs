@@ -189,6 +189,8 @@ impl SupportSets {
 
 /// Splits two distinct mutable borrows out of a slice.
 fn borrow_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &T) {
+    // invariant: callers pass a node index and one of its fanins; a
+    // validated netlist has no self-loop, so i != j always holds.
     debug_assert_ne!(i, j);
     if i < j {
         let (lo, hi) = v.split_at_mut(j);

@@ -29,10 +29,15 @@ pub enum NetlistError {
     },
     /// The netlist has no primary outputs.
     NoOutputs,
+    /// The netlist exceeds the `u32` node-index space.
+    TooManyNodes,
     /// A `.bench` line could not be parsed.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column where the problem starts (0 when the
+        /// position within the line is unknown).
+        col: usize,
         /// Human-readable reason.
         message: String,
     },
@@ -61,8 +66,18 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational cycle through `{through}`")
             }
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
-            NetlistError::Parse { line, message } => {
+            NetlistError::TooManyNodes => {
+                write!(f, "netlist exceeds the u32::MAX node limit")
+            }
+            NetlistError::Parse {
+                line,
+                col: 0,
+                message,
+            } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Parse { line, col, message } => {
+                write!(f, "parse error at line {line}, column {col}: {message}")
             }
             NetlistError::UnsupportedGate { line, function } => {
                 write!(f, "unsupported gate function `{function}` at line {line}")

@@ -105,6 +105,9 @@ pub fn random_circuit(spec: &RandomCircuitSpec) -> Netlist {
         "depth must be in 1..=gates"
     );
     assert!(spec.max_fanin >= 2, "max_fanin must be at least 2");
+    // invariant: generated names (`pi{i}`, `g{i}`) are unique by
+    // construction and fanins come from already-built levels, so no
+    // builder call below can fail.
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(spec.name.clone());
     // levels[l] holds the node ids whose logic level is exactly l.
@@ -212,6 +215,8 @@ fn pick_near(
             let hi = ((center + half).ceil() as usize).min(row.len() - 1);
             return row[rng.random_range(lo..=hi)];
         }
+        // invariant: level 0 is populated with the primary inputs before
+        // any gate is placed, so the walk terminates before underflow.
         l = l.checked_sub(1).expect("level 0 holds the primary inputs");
     }
 }
@@ -225,6 +230,8 @@ fn pick_from_level(rng: &mut StdRng, levels: &[Vec<NodeId>], level: usize) -> No
         if !levels[l].is_empty() {
             return levels[l][rng.random_range(0..levels[l].len())];
         }
+        // invariant: level 0 is populated with the primary inputs before
+        // any gate is placed, so the walk terminates before underflow.
         l = l.checked_sub(1).expect("level 0 holds the primary inputs");
     }
 }
@@ -240,6 +247,8 @@ fn pick_from_level(rng: &mut StdRng, levels: &[Vec<NodeId>], level: usize) -> No
 ///
 /// Panics if `bits` is zero.
 pub fn ripple_carry_adder(bits: usize) -> Netlist {
+    // invariant: statically unique generated names with fanins declared
+    // before use — the builder expects below cannot fail.
     assert!(bits > 0, "need at least one bit");
     let mut b = NetlistBuilder::new(format!("rca{bits}"));
     for i in 0..bits {
@@ -276,6 +285,8 @@ pub fn ripple_carry_adder(bits: usize) -> Netlist {
 ///
 /// Panics if `bits` is zero.
 pub fn array_multiplier(bits: usize) -> Netlist {
+    // invariant: statically unique generated names with fanins declared
+    // before use — the builder expects below cannot fail.
     assert!(bits > 0, "need at least one bit");
     let mut b = NetlistBuilder::new(format!("mul{bits}"));
     for i in 0..bits {
@@ -364,6 +375,8 @@ pub fn array_multiplier(bits: usize) -> Netlist {
 ///
 /// Panics if `inputs < 2` or the kind cannot take two fanins.
 pub fn comb_tree(kind: GateKind, inputs: usize) -> Netlist {
+    // invariant: statically unique generated names with fanins declared
+    // before use — the builder expects below cannot fail.
     assert!(inputs >= 2, "a tree needs at least two leaves");
     assert!(kind.accepts_arity(2), "tree gates are two-input");
     let mut b = NetlistBuilder::new(format!("tree_{}{}", kind.bench_name(), inputs));

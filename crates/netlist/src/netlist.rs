@@ -17,6 +17,9 @@ impl NodeId {
     }
 
     pub(crate) fn new(index: usize) -> Self {
+        // invariant: NetlistBuilder::add_node rejects the u32::MAX-th
+        // node with NetlistError::TooManyNodes, so every index that
+        // reaches here fits in u32.
         NodeId(u32::try_from(index).expect("netlist larger than u32::MAX nodes"))
     }
 }
@@ -240,6 +243,9 @@ impl NetlistBuilder {
                 name: name.to_owned(),
             });
         }
+        if self.nodes.len() >= u32::MAX as usize {
+            return Err(NetlistError::TooManyNodes);
+        }
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(node);
         self.names.push(name.to_owned());
@@ -394,6 +400,9 @@ impl NetlistBuilder {
             }
         }
         if topo.len() != n {
+            // invariant: Kahn's algorithm placed fewer than n nodes, so
+            // at least one node still has unresolved fanins — a node
+            // with nonzero residual in-degree must exist.
             let on_cycle = (0..n)
                 .find(|&i| indegree[i] > 0)
                 .expect("some node keeps nonzero in-degree on a cycle");

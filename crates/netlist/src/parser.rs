@@ -1,6 +1,11 @@
 use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 use std::collections::HashMap;
 
+/// Longest accepted signal identifier, in bytes. Real `.bench` names are
+/// tens of bytes; anything past this is a corrupt or hostile file, and
+/// rejecting it bounds parser memory against identifier-bomb inputs.
+const MAX_IDENT_LEN: usize = 1024;
+
 /// Parses an ISCAS-85/89 `.bench` netlist.
 ///
 /// Supported syntax:
@@ -46,35 +51,63 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist, NetlistError> {
 
     for (lineno, raw) in source.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = match raw.find('#') {
+        let stripped = match raw.find('#') {
             Some(pos) => &raw[..pos],
             None => raw,
-        }
-        .trim();
+        };
+        let line = stripped.trim();
         if line.is_empty() {
             continue;
         }
+        // 1-based byte column of the first significant character, for
+        // error context.
+        let base_col = stripped.len() - stripped.trim_start().len() + 1;
+        // Column of a substring of `line` (by its byte offset).
+        let col_of = |off: usize| base_col + off;
+        let check_ident = |ident: &str, off: usize| {
+            if ident.len() > MAX_IDENT_LEN {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    col: col_of(off),
+                    message: format!(
+                        "identifier of {} bytes exceeds the {MAX_IDENT_LEN}-byte limit",
+                        ident.len()
+                    ),
+                });
+            }
+            Ok(())
+        };
         if let Some(inner) = parse_call(line, "INPUT") {
-            inputs.push(inner.trim().to_owned());
+            let ident = inner.trim();
+            check_ident(ident, 0)?;
+            inputs.push(ident.to_owned());
             continue;
         }
         if let Some(inner) = parse_call(line, "OUTPUT") {
-            outputs.push(inner.trim().to_owned());
+            let ident = inner.trim();
+            check_ident(ident, 0)?;
+            outputs.push(ident.to_owned());
             continue;
         }
-        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+        let (lhs_raw, rhs_raw) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
             line: lineno,
+            col: base_col,
             message: format!("expected `signal = FUNC(...)`, got `{line}`"),
         })?;
-        let lhs = lhs.trim().to_owned();
-        let rhs = rhs.trim();
+        // Byte offset of the right-hand side within `line`.
+        let rhs_off = lhs_raw.len() + 1 + (rhs_raw.len() - rhs_raw.trim_start().len());
+        let lhs = lhs_raw.trim().to_owned();
+        check_ident(&lhs, 0)?;
+        let rhs = rhs_raw.trim();
         let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
             line: lineno,
+            col: col_of(rhs_off),
             message: "missing `(` in gate definition".to_owned(),
         })?;
         if !rhs.ends_with(')') {
             return Err(NetlistError::Parse {
                 line: lineno,
+                col: col_of(rhs_off + rhs.len().saturating_sub(1)),
                 message: "missing `)` in gate definition".to_owned(),
             });
         }
@@ -84,11 +117,15 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist, NetlistError> {
             .map(|a| a.trim().to_owned())
             .filter(|a| !a.is_empty())
             .collect();
+        for a in &args {
+            check_ident(a, rhs_off + open + 1)?;
+        }
         if func.eq_ignore_ascii_case("DFF") {
             // Cut the flop: q is a pseudo-PI, d a pseudo-PO.
             if args.len() != 1 {
                 return Err(NetlistError::Parse {
                     line: lineno,
+                    col: col_of(rhs_off),
                     message: "DFF takes exactly one input".to_owned(),
                 });
             }
@@ -179,6 +216,7 @@ fn locate(e: NetlistError, line: usize) -> NetlistError {
         NetlistError::Parse { .. } | NetlistError::UnsupportedGate { .. } => e,
         other => NetlistError::Parse {
             line,
+            col: 0,
             message: other.to_string(),
         },
     }
@@ -275,5 +313,48 @@ mod tests {
     fn case_insensitive_keywords() {
         let nl = parse_bench("k", "input(a)\noutput(y)\ny = nand(a, a)\n").unwrap();
         assert_eq!(nl.kind(nl.node_id("y").unwrap()), GateKind::Nand);
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_columns() {
+        // The malformed line is indented: the column points past the
+        // leading spaces, at the first significant byte.
+        let err = parse_bench("m", "INPUT(a)\nOUTPUT(a)\n   nonsense line\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, col, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(col, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Missing `(`: the column points at the right-hand side.
+        let err = parse_bench("m", "INPUT(a)\nOUTPUT(y)\ny = AND a, a\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line: 3, col, .. } => assert_eq!(col, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_identifiers_rejected() {
+        let big = "x".repeat(MAX_IDENT_LEN + 1);
+        for src in [
+            format!("INPUT({big})\nOUTPUT(y)\ny = NOT(a)\n"),
+            format!("INPUT(a)\nOUTPUT({big})\ny = NOT(a)\n"),
+            format!("INPUT(a)\nOUTPUT(y)\n{big} = NOT(a)\n"),
+            format!("INPUT(a)\nOUTPUT(y)\ny = NOT({big})\n"),
+        ] {
+            let err = parse_bench("big", &src).unwrap_err();
+            match err {
+                NetlistError::Parse { message, .. } => {
+                    assert!(message.contains("exceeds"), "got {message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        // A name exactly at the limit still parses.
+        let ok = "x".repeat(MAX_IDENT_LEN);
+        let nl = parse_bench("ok", &format!("INPUT({ok})\nOUTPUT(y)\ny = NOT({ok})\n"));
+        assert!(nl.is_ok());
     }
 }

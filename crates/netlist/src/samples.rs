@@ -36,6 +36,8 @@ OUTPUT(23)
 /// assert_eq!(nl.primary_outputs().len(), 2);
 /// ```
 pub fn c17() -> Netlist {
+    // invariant: C17_BENCH is a compile-time constant that parses; the
+    // crate's tests exercise this exact call.
     parse_bench("c17", C17_BENCH).expect("embedded c17 netlist is valid")
 }
 
@@ -62,6 +64,8 @@ pub fn c17() -> Netlist {
 /// assert_eq!(sg1.stem_count(), 4);
 /// ```
 pub fn fig6() -> Netlist {
+    // invariant: every name below is declared exactly once and every
+    // fanin is declared before use, so no builder call can fail.
     let mut b = NetlistBuilder::new("fig6");
     b.input("s1").expect("fresh name");
     b.input("s2").expect("fresh name");
@@ -93,6 +97,8 @@ pub fn fig6() -> Netlist {
 /// A 2:1 multiplexer — the smallest reconvergent circuit
 /// (`y = (a AND s) OR (b AND NOT s)`, stem `s`).
 pub fn mux2() -> Netlist {
+    // invariant: static unique names, fanins declared before use — the
+    // builder calls cannot fail.
     let mut b = NetlistBuilder::new("mux2");
     b.input("a").expect("fresh name");
     b.input("b").expect("fresh name");

@@ -160,7 +160,14 @@ fn builder_error_display_messages() {
     assert!(e.to_string().contains("cycle"));
     let e = NetlistError::Parse {
         line: 3,
+        col: 0,
         message: "boom".into(),
     };
     assert!(e.to_string().contains("line 3"));
+    let e = NetlistError::Parse {
+        line: 3,
+        col: 7,
+        message: "boom".into(),
+    };
+    assert!(e.to_string().contains("line 3, column 7"));
 }

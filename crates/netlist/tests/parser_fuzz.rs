@@ -1,0 +1,157 @@
+//! Property-based fuzz of the `.bench` parser on corrupted sources.
+//!
+//! Every corruption of a valid source — truncation, byte noise,
+//! duplicated definitions, injected cycles, undefined fanins, huge
+//! identifiers — must come back as a typed [`NetlistError`] (or still
+//! parse, for benign corruptions). A panic anywhere in the parser
+//! fails the property.
+
+use pep_netlist::generate::{random_circuit, RandomCircuitSpec};
+use pep_netlist::{parse_bench, to_bench, NetlistError};
+use proptest::prelude::*;
+
+/// A valid `.bench` source from the circuit generator (ASCII only, so
+/// byte-level corruption keeps the string valid UTF-8).
+fn arb_source() -> impl Strategy<Value = String> {
+    (2usize..10, 8usize..60, 2usize..6, any::<u64>()).prop_map(|(inputs, gates, depth, seed)| {
+        let nl = random_circuit(&RandomCircuitSpec {
+            name: "fuzz".to_owned(),
+            inputs,
+            gates,
+            depth: depth.min(gates),
+            max_fanin: 3,
+            level_reach: 2,
+            window: 0.3,
+            inverter_fraction: 0.4,
+            seed,
+        });
+        to_bench(&nl)
+    })
+}
+
+/// Parses and, on failure, checks the error is well-formed: line/column
+/// context inside the source, non-empty messages.
+fn parse_and_audit(source: &str) -> Result<(), NetlistError> {
+    match parse_bench("fuzz", source) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            let lines = source.lines().count().max(1);
+            match &e {
+                NetlistError::Parse { line, message, .. } => {
+                    assert!((1..=lines).contains(line), "line {line} of {lines}: {e}");
+                    assert!(!message.is_empty());
+                }
+                NetlistError::UnsupportedGate { line, function } => {
+                    assert!((1..=lines).contains(line), "line {line} of {lines}: {e}");
+                    assert!(!function.is_empty());
+                }
+                NetlistError::DuplicateName { name }
+                | NetlistError::UnknownSignal { name }
+                | NetlistError::Cycle { through: name }
+                | NetlistError::BadArity { name, .. } => assert!(!name.is_empty()),
+                NetlistError::NoOutputs | NetlistError::TooManyNodes => {}
+            }
+            Err(e)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_sources_never_panic(src in arb_source(), cut in 0usize..4096) {
+        // Generator output is ASCII, so any byte offset is a char
+        // boundary.
+        let cut = cut.min(src.len());
+        let _ = parse_and_audit(&src[..cut]);
+    }
+
+    #[test]
+    fn byte_noise_never_panics(
+        src in arb_source(),
+        edits in prop::collection::vec((0usize..4096, 0u8..0x80), 1..12),
+    ) {
+        let mut bytes = src.into_bytes();
+        for (pos, b) in edits {
+            let len = bytes.len();
+            if len == 0 { break; }
+            bytes[pos % len] = b;
+        }
+        let noisy = String::from_utf8(bytes).expect("ASCII edits keep UTF-8");
+        let _ = parse_and_audit(&noisy);
+    }
+
+    #[test]
+    fn truncated_lines_never_panic(src in arb_source(), line in 0usize..80, keep in 0usize..12) {
+        // Cut one line short (e.g. `w = NAND(a,` …) — the classic
+        // half-written-file corruption.
+        let mut lines: Vec<&str> = src.lines().collect();
+        let n = lines.len();
+        let i = line % n;
+        let trunc = &lines[i][..keep.min(lines[i].len())];
+        lines[i] = trunc;
+        let _ = parse_and_audit(&lines.join("\n"));
+    }
+
+    #[test]
+    fn duplicated_definitions_are_typed_errors(src in arb_source(), pick in 0usize..1024) {
+        // Re-append an existing gate-definition line verbatim.
+        let defs: Vec<&str> = src.lines().filter(|l| l.contains('=')).collect();
+        prop_assume!(!defs.is_empty());
+        let dup = defs[pick % defs.len()];
+        let corrupted = format!("{src}\n{dup}\n");
+        let err = parse_and_audit(&corrupted).expect_err("duplicate definition must error");
+        // The parser reports builder failures with line context.
+        let typed = matches!(err, NetlistError::DuplicateName { .. })
+            || matches!(&err, NetlistError::Parse { message, .. }
+                if message.contains("declared more than once"));
+        prop_assert!(typed, "got {err}");
+    }
+
+    #[test]
+    fn undefined_fanins_are_typed_errors(src in arb_source(), suffix in 0u32..1_000_000) {
+        let corrupted = format!("{src}\nzz_out = AND(ghost_{suffix}, ghost_{suffix}b)\n");
+        let err = parse_and_audit(&corrupted).expect_err("undefined fanin must error");
+        let typed = matches!(&err, NetlistError::UnknownSignal { name }
+                if name.starts_with("ghost_"))
+            || matches!(&err, NetlistError::Parse { message, .. }
+                if message.contains("ghost_") && message.contains("never declared"));
+        prop_assert!(typed, "got {err}");
+    }
+
+    #[test]
+    fn injected_cycles_are_typed_errors(src in arb_source()) {
+        let corrupted = format!(
+            "{src}\ncyc_a = AND(cyc_b, cyc_b)\ncyc_b = NOT(cyc_a)\nOUTPUT(cyc_a)\n"
+        );
+        let err = parse_and_audit(&corrupted).expect_err("cycle must error");
+        prop_assert!(matches!(err, NetlistError::Cycle { .. }), "got {err}");
+    }
+
+    #[test]
+    fn huge_identifiers_are_typed_errors(src in arb_source(), extra in 1usize..4096) {
+        let bomb = "a".repeat(1024 + extra);
+        let corrupted = format!("{src}\nINPUT({bomb})\n");
+        let err = parse_and_audit(&corrupted).expect_err("identifier bomb must error");
+        match err {
+            NetlistError::Parse { line, message, .. } => {
+                prop_assert_eq!(line, corrupted.lines().count());
+                prop_assert!(message.contains("exceeds"), "{message}");
+            }
+            other => prop_assert!(false, "expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn shuffled_and_repeated_lines_never_panic(
+        src in arb_source(),
+        order in prop::collection::vec(0usize..128, 4..96),
+    ) {
+        // Arbitrary re-ordering with repetition: exercises duplicate
+        // detection, forward references and cycle checking together.
+        let lines: Vec<&str> = src.lines().collect();
+        let shuffled: Vec<&str> = order.iter().map(|&i| lines[i % lines.len()]).collect();
+        let _ = parse_and_audit(&shuffled.join("\n"));
+    }
+}

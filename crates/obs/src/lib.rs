@@ -55,7 +55,9 @@ pub mod metrics;
 pub mod phase;
 pub mod report;
 mod session;
+pub mod warning;
 
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
 pub use report::{HistogramSummary, PhaseReport, RunReport};
 pub use session::{PhaseGuard, Session};
+pub use warning::Warning;

@@ -2,6 +2,7 @@
 //! observed, as one serde-serializable value with JSON and pretty-text
 //! renderings.
 
+use crate::warning::Warning;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -95,6 +96,8 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Structured degradation warnings, in emission order.
+    pub warnings: Vec<Warning>,
 }
 
 impl RunReport {
@@ -173,6 +176,12 @@ impl RunReport {
             out.push_str("gauges:\n");
             for (name, value) in &self.gauges {
                 let _ = writeln!(out, "  {name:<32} {value:.6}");
+            }
+        }
+        if !self.warnings.is_empty() {
+            out.push_str("warnings:\n");
+            for w in &self.warnings {
+                let _ = writeln!(out, "  {w}");
             }
         }
         if verbose && !self.histograms.is_empty() {
@@ -262,6 +271,13 @@ mod tests {
                 "pep.group_size".into(),
                 HistogramSummary::from_sorted(&[1.0, 2.0, 3.0, 4.0]),
             )]),
+            warnings: vec![Warning::new(
+                "budget.combinations",
+                "sg:n7",
+                "conditioning_resolution",
+                "coarsen 1 -> 2",
+                "coarser event grid",
+            )],
         }
     }
 
@@ -289,6 +305,8 @@ mod tests {
         assert!(text.contains("(42 calls)"));
         assert!(text.contains("pep.supergates"));
         assert!(text.contains("pep.group_size"));
+        assert!(text.contains("warnings:"));
+        assert!(text.contains("budget.combinations"));
         // Non-verbose rendering omits histograms.
         let brief = sample_report().render_text(false);
         assert!(!brief.contains("pep.group_size"));

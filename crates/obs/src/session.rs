@@ -13,6 +13,7 @@
 use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
 use crate::phase::PhaseTree;
 use crate::report::RunReport;
+use crate::warning::Warning;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -20,6 +21,7 @@ use std::time::Instant;
 struct SessionInner {
     registry: MetricsRegistry,
     phases: Mutex<PhaseTree>,
+    warnings: Mutex<Vec<Warning>>,
 }
 
 /// A shared observation context for one analysis run.
@@ -111,16 +113,33 @@ impl Session {
             .and_then(|inner| inner.phases.lock().expect("phase lock").total_of(name))
     }
 
+    /// Records a structured degradation [`Warning`]. No-op on a disabled
+    /// session.
+    pub fn warn(&self, warning: Warning) {
+        if let Some(inner) = &self.inner {
+            inner.warnings.lock().expect("warning lock").push(warning);
+        }
+    }
+
+    /// Snapshot of the warnings recorded so far, in emission order.
+    pub fn warnings(&self) -> Vec<Warning> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.warnings.lock().expect("warning lock").clone(),
+        }
+    }
+
     /// Snapshots everything observed so far into a [`RunReport`].
     /// Disabled sessions produce an empty report.
     pub fn report(&self, command: &str) -> RunReport {
-        let (phases, counters, gauges, histograms) = match &self.inner {
+        let (phases, counters, gauges, histograms, warnings) = match &self.inner {
             None => Default::default(),
             Some(inner) => (
                 inner.phases.lock().expect("phase lock").to_reports(),
                 inner.registry.counters_snapshot(),
                 inner.registry.gauges_snapshot(),
                 inner.registry.histograms_snapshot(),
+                inner.warnings.lock().expect("warning lock").clone(),
             ),
         };
         RunReport {
@@ -131,6 +150,7 @@ impl Session {
             counters,
             gauges,
             histograms,
+            warnings,
         }
     }
 }
@@ -213,5 +233,22 @@ mod tests {
         let t = s.clone();
         t.counter("x").inc();
         assert_eq!(s.report("c").counters["x"], 1);
+    }
+
+    #[test]
+    fn warnings_are_collected_in_order() {
+        let s = Session::new();
+        s.warn(Warning::new("a", "s1", "k1", "d1", "i1"));
+        s.clone().warn(Warning::new("b", "s2", "k2", "d2", "i2"));
+        let ws = s.warnings();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].code, "a");
+        assert_eq!(ws[1].code, "b");
+        assert_eq!(s.report("analyze").warnings, ws);
+        // Disabled sessions drop warnings silently.
+        let d = Session::disabled();
+        d.warn(Warning::new("a", "s", "k", "d", "i"));
+        assert!(d.warnings().is_empty());
+        assert!(d.report("analyze").warnings.is_empty());
     }
 }

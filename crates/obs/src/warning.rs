@@ -1,0 +1,100 @@
+//! Structured degradation warnings.
+//!
+//! When the analysis engine trips a resource budget it does not abort —
+//! it degrades along the paper's own approximation knobs (drop
+//! threshold, effective stems, conditioning resolution, topological
+//! fallback) and records what it did as a [`Warning`]. Warnings are
+//! collected by the [`crate::Session`] in emission order and exported in
+//! the [`crate::RunReport`], so a budgeted run's accuracy impact is
+//! machine-readable, not folded silently into the numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured degradation or recovery notice.
+///
+/// Every field is a plain string so the type serializes through the
+/// vendored serde derive and stays stable as new degradation kinds are
+/// added; `code` is the machine-matchable discriminant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// Machine-readable code, dotted (`budget.combinations`,
+    /// `budget.deadline`, `budget.memory`, `budget.stems`,
+    /// `recover.degenerate`, `recover.worker_panic`, `mc.deadline`, …).
+    pub code: String,
+    /// What was affected: a supergate output name, a node name, or a
+    /// pipeline phase.
+    pub subject: String,
+    /// The configuration knob the engine changed in response
+    /// (`conditioning_resolution`, `max_effective_stems`,
+    /// `topological_fallback`, `min_event_prob`, `runs`, …).
+    pub knob: String,
+    /// Human-readable detail: old/new values, the limit that tripped.
+    pub detail: String,
+    /// Estimated accuracy impact of the degradation, as prose
+    /// (`"coarser event grid; correlations preserved"`,
+    /// `"stem correlation ignored for this region"`, …).
+    pub impact: String,
+}
+
+impl Warning {
+    /// Convenience constructor from anything stringy.
+    pub fn new(
+        code: impl Into<String>,
+        subject: impl Into<String>,
+        knob: impl Into<String>,
+        detail: impl Into<String>,
+        impact: impl Into<String>,
+    ) -> Self {
+        Warning {
+            code: code.into(),
+            subject: subject.into(),
+            knob: knob.into(),
+            detail: detail.into(),
+            impact: impact.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} ({}; impact: {})",
+            self.code, self.subject, self.knob, self.detail, self.impact
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_fields() {
+        let w = Warning::new(
+            "budget.combinations",
+            "sg:n1042",
+            "conditioning_resolution",
+            "coarsen 1 -> 4 (est. 4096 > cap 256)",
+            "coarser event grid; correlations preserved",
+        );
+        let text = w.to_string();
+        for part in [
+            "budget.combinations",
+            "sg:n1042",
+            "conditioning_resolution",
+            "4096 > cap 256",
+            "correlations preserved",
+        ] {
+            assert!(text.contains(part), "missing {part} in {text}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = Warning::new("a", "b", "c", "d", "e");
+        let text = serde::json::to_string(&w);
+        let back: Warning = serde::json::from_str_as(&text).unwrap();
+        assert_eq!(back, w);
+    }
+}

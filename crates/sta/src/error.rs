@@ -1,0 +1,188 @@
+//! The workspace-wide error taxonomy for fallible analysis paths.
+//!
+//! Library crates in this workspace must not abort a run: anything that
+//! can fail on hostile input, exhausted resources, or a worker panic is
+//! surfaced as a [`PepError`]. The enum is `#[non_exhaustive]` and
+//! source-chained, so callers can match the broad category, walk
+//! [`std::error::Error::source`] for detail, and keep compiling as new
+//! failure kinds are added. The CLI maps each variant to a distinct
+//! process exit code.
+
+use pep_dist::DistError;
+use pep_netlist::NetlistError;
+use std::fmt;
+
+/// A resource budget was exhausted and the engine could not (or was
+/// asked not to) degrade around it.
+///
+/// Carries plain numbers rather than the budget type itself so the
+/// error can live below the crate that defines budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Which budget tripped (`deadline_ms`, `max_combinations`,
+    /// `max_slab_bytes`, `max_stems_per_supergate`, …).
+    pub resource: &'static str,
+    /// The configured limit.
+    pub limit: u64,
+    /// What the run observed (or estimated) when it tripped.
+    pub observed: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exceeded: {} limit {} (observed {})",
+            self.resource, self.limit, self.observed
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Failures inside the analysis engine itself (as opposed to its
+/// inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A worker thread panicked; the panic was caught and converted
+    /// instead of poisoning the run.
+    WorkerPanic {
+        /// The node (or worker) being evaluated when the panic fired.
+        node: String,
+        /// The panic payload, stringified.
+        detail: String,
+    },
+    /// A Monte Carlo analysis was requested with zero runs.
+    NoRuns,
+    /// A node's event group degenerated (NaN, infinite or zero mass)
+    /// and recovery was not possible.
+    DegenerateGroup {
+        /// The affected node's name.
+        node: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::WorkerPanic { node, detail } => {
+                write!(f, "worker panicked while evaluating `{node}`: {detail}")
+            }
+            AnalysisError::NoRuns => write!(f, "need at least one run"),
+            AnalysisError::DegenerateGroup { node } => {
+                write!(
+                    f,
+                    "event group at `{node}` degenerated (non-finite or empty)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The workspace-wide error type returned by `pep-sta` and `pep-core`
+/// public `try_*` APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PepError {
+    /// Netlist construction or `.bench` parsing failed.
+    Netlist(NetlistError),
+    /// Distribution construction or arithmetic failed.
+    Dist(DistError),
+    /// The analysis engine failed.
+    Analysis(AnalysisError),
+    /// A resource budget was exhausted without a degradation path.
+    Budget(BudgetExceeded),
+}
+
+impl fmt::Display for PepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PepError::Netlist(e) => write!(f, "netlist error: {e}"),
+            PepError::Dist(e) => write!(f, "distribution error: {e}"),
+            PepError::Analysis(e) => write!(f, "analysis error: {e}"),
+            PepError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PepError::Netlist(e) => Some(e),
+            PepError::Dist(e) => Some(e),
+            PepError::Analysis(e) => Some(e),
+            PepError::Budget(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for PepError {
+    fn from(e: NetlistError) -> Self {
+        PepError::Netlist(e)
+    }
+}
+
+impl From<DistError> for PepError {
+    fn from(e: DistError) -> Self {
+        PepError::Dist(e)
+    }
+}
+
+impl From<AnalysisError> for PepError {
+    fn from(e: AnalysisError) -> Self {
+        PepError::Analysis(e)
+    }
+}
+
+impl From<BudgetExceeded> for PepError {
+    fn from(e: BudgetExceeded) -> Self {
+        PepError::Budget(e)
+    }
+}
+
+/// Renders a caught panic payload (from `std::panic::catch_unwind`) as
+/// text for [`AnalysisError::WorkerPanic`].
+pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn sources_chain() {
+        let e = PepError::from(NetlistError::NoOutputs);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no primary outputs"));
+
+        let e = PepError::from(DistError::NotFinite { what: "cdf value" });
+        assert!(e.source().unwrap().to_string().contains("finite"));
+
+        let e = PepError::from(BudgetExceeded {
+            resource: "deadline_ms",
+            limit: 2_000,
+            observed: 2_417,
+        });
+        assert!(e.to_string().contains("deadline_ms"));
+        assert!(e.to_string().contains("2417"));
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 7)).expect_err("must panic");
+        assert_eq!(panic_detail(caught.as_ref()), "boom 7");
+        let caught = std::panic::catch_unwind(|| panic!("literal")).expect_err("must panic");
+        assert_eq!(panic_detail(caught.as_ref()), "literal");
+    }
+}

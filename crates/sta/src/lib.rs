@@ -33,7 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod error;
 pub mod monte_carlo;
 pub mod slack;
 pub mod threads;
 pub mod transition;
+
+pub use error::{AnalysisError, BudgetExceeded, PepError};

@@ -7,13 +7,17 @@
 //! Student-t expression `c·s/(√n·m)` at 99% confidence (§4) —
 //! [`McResult::error_bound`] reports exactly that.
 
+use crate::error::{panic_detail, AnalysisError, BudgetExceeded, PepError};
 use pep_celllib::Timing;
 use pep_dist::stats::{mc_error_bound, Confidence, Running};
 use pep_dist::{ContinuousDist, DiscreteDist, DistScratch, TimeStep};
 use pep_netlist::{GateKind, Netlist, NodeId};
-use pep_obs::Session;
+use pep_obs::{Session, Warning};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Configuration of a Monte Carlo analysis.
 #[derive(Debug, Clone)]
@@ -32,6 +36,13 @@ pub struct McConfig {
     /// When set, also collect per-node arrival histograms on this grid
     /// (costs one [`DiscreteDist`] per node).
     pub histogram_step: Option<TimeStep>,
+    /// Wall-clock budget in milliseconds. When it expires mid-analysis
+    /// the loop stops early with however many runs completed (a
+    /// [`Warning`] records the shortfall); completing zero runs is a
+    /// [`BudgetExceeded`] error. Which runs complete under a deadline
+    /// depends on wall time and thread layout, so deadline-limited
+    /// results are *not* bit-identical across thread counts.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for McConfig {
@@ -42,6 +53,7 @@ impl Default for McConfig {
             confidence: Confidence::P99,
             threads: 0,
             histogram_step: None,
+            deadline_ms: None,
         }
     }
 }
@@ -106,9 +118,24 @@ impl McResult {
 ///
 /// # Panics
 ///
-/// Panics if `config.runs` is zero.
+/// Panics if `config.runs` is zero or the wall-clock deadline expires
+/// before any run completes. Prefer [`try_run_monte_carlo`] for typed
+/// errors.
 pub fn run_monte_carlo(netlist: &Netlist, timing: &Timing, config: &McConfig) -> McResult {
     run_monte_carlo_observed(netlist, timing, config, &Session::disabled())
+}
+
+/// Fallible form of [`run_monte_carlo`].
+///
+/// # Errors
+///
+/// See [`try_run_monte_carlo_observed`].
+pub fn try_run_monte_carlo(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &McConfig,
+) -> Result<McResult, PepError> {
+    try_run_monte_carlo_observed(netlist, timing, config, &Session::disabled())
 }
 
 /// [`run_monte_carlo`], recording progress into `obs`.
@@ -120,23 +147,62 @@ pub fn run_monte_carlo(netlist: &Netlist, timing: &Timing, config: &McConfig) ->
 ///
 /// # Panics
 ///
-/// Panics if `config.runs` is zero.
+/// Panics if `config.runs` is zero or the deadline expires with zero
+/// completed runs. Prefer [`try_run_monte_carlo_observed`] for typed
+/// errors.
 pub fn run_monte_carlo_observed(
     netlist: &Netlist,
     timing: &Timing,
     config: &McConfig,
     obs: &Session,
 ) -> McResult {
-    assert!(config.runs > 0, "need at least one run");
+    // invariant: the panicking wrapper exists for legacy callers that
+    // configure neither zero runs nor a deadline; those cannot fail.
+    try_run_monte_carlo_observed(netlist, timing, config, obs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_monte_carlo_observed`]: returns typed errors
+/// instead of panicking, catches worker panics, and honors
+/// [`McConfig::deadline_ms`].
+///
+/// When the deadline expires mid-loop the analysis stops early and
+/// returns statistics over the runs that finished —
+/// [`McResult::runs`] reports the actual count and a `mc.deadline`
+/// [`Warning`] is recorded on `obs`.
+///
+/// # Errors
+///
+/// * [`AnalysisError::NoRuns`] if `config.runs` is zero,
+/// * [`AnalysisError::WorkerPanic`] if a worker thread panicked,
+/// * [`BudgetExceeded`] if the deadline expired before any run
+///   completed.
+pub fn try_run_monte_carlo_observed(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &McConfig,
+    obs: &Session,
+) -> Result<McResult, PepError> {
+    if config.runs == 0 {
+        return Err(AnalysisError::NoRuns.into());
+    }
     let _phase = obs.phase("mc-baseline");
     let threads = crate::threads::resolve_threads(config.threads).min(config.runs);
     obs.gauge("mc.threads").set(threads as f64);
     obs.gauge("mc.runs_requested").set(config.runs as f64);
+    let started = Instant::now();
+    let deadline = config
+        .deadline_ms
+        .map(|ms| started + Duration::from_millis(ms));
+    // Latch: once any worker sees the deadline pass, everyone stops at
+    // their next run boundary.
+    let expired = AtomicBool::new(false);
 
     // Fixed chunking: run indices are pre-assigned so merge order is
     // deterministic for a given thread count.
     let chunk = config.runs.div_ceil(threads);
-    let mut partials: Vec<(Vec<Running>, Option<Vec<DiscreteDist>>)> = Vec::new();
+    type Partial = (Vec<Running>, Option<Vec<DiscreteDist>>, usize);
+    let mut partials: Vec<Partial> = Vec::new();
+    let mut worker_panic: Option<AnalysisError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -148,19 +214,73 @@ pub fn run_monte_carlo_observed(
             let runs_done = obs.counter("mc.runs_completed");
             let chunk_seconds = obs.histogram("mc.chunk_seconds");
             let timed = obs.is_enabled();
+            let expired = &expired;
             handles.push(scope.spawn(move || {
-                let start = timed.then(std::time::Instant::now);
-                let out = simulate_runs(netlist, timing, config, lo..hi, &runs_done);
+                let start = timed.then(Instant::now);
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    simulate_runs(
+                        netlist,
+                        timing,
+                        config,
+                        lo..hi,
+                        &runs_done,
+                        deadline,
+                        expired,
+                    )
+                }));
                 if let Some(start) = start {
                     chunk_seconds.record(start.elapsed().as_secs_f64());
                 }
-                out
+                out.map_err(|payload| panic_detail(payload.as_ref()))
             }));
         }
-        for h in handles {
-            partials.push(h.join().expect("monte carlo worker panicked"));
+        for (t, h) in handles.into_iter().enumerate() {
+            // invariant: the worker closure catches its own unwinds, so
+            // join() only fails on an abort-class event.
+            match h.join().expect("monte carlo worker terminated abnormally") {
+                Ok(part) => partials.push(part),
+                Err(detail) => {
+                    // First panicking worker (by thread index) wins —
+                    // deterministic regardless of completion order.
+                    if worker_panic.is_none() {
+                        worker_panic = Some(AnalysisError::WorkerPanic {
+                            node: format!("mc-worker-{t}"),
+                            detail,
+                        });
+                    }
+                }
+            }
         }
     });
+    if let Some(e) = worker_panic {
+        return Err(e.into());
+    }
+    let completed: usize = partials.iter().map(|(_, _, c)| c).sum();
+    if completed == 0 {
+        return Err(BudgetExceeded {
+            resource: "deadline_ms",
+            limit: config.deadline_ms.unwrap_or(0),
+            observed: started.elapsed().as_millis() as u64,
+        }
+        .into());
+    }
+    if completed < config.runs {
+        obs.warn(Warning::new(
+            "mc.deadline",
+            "mc-baseline",
+            "runs",
+            format!(
+                "deadline {} ms expired after {} of {} runs",
+                config.deadline_ms.unwrap_or(0),
+                completed,
+                config.runs
+            ),
+            format!(
+                "statistics use {completed} samples; error bound widens by ~sqrt({}/{})",
+                config.runs, completed
+            ),
+        ));
+    }
 
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
@@ -172,7 +292,7 @@ pub fn run_monte_carlo_observed(
     // reallocated per merge (`accumulate_scaled` with scale 1 is
     // bit-identical to `accumulate`).
     let mut scratch = DistScratch::new();
-    for (part_stats, part_hist) in partials {
+    for (part_stats, part_hist, _) in partials {
         for (acc, p) in stats.iter_mut().zip(&part_stats) {
             acc.merge(p);
         }
@@ -187,22 +307,26 @@ pub fn run_monte_carlo_observed(
             h.normalize();
         }
     }
-    McResult {
+    Ok(McResult {
         stats,
         histograms,
         confidence: config.confidence,
-        runs: config.runs,
-    }
+        runs: completed,
+    })
 }
 
-/// Executes a contiguous range of runs and returns partial accumulators.
+/// Executes a contiguous range of runs and returns partial accumulators
+/// plus how many runs actually completed before the deadline.
+#[allow(clippy::too_many_arguments)]
 fn simulate_runs(
     netlist: &Netlist,
     timing: &Timing,
     config: &McConfig,
     runs: std::ops::Range<usize>,
     runs_done: &pep_obs::Counter,
-) -> (Vec<Running>, Option<Vec<DiscreteDist>>) {
+    deadline: Option<Instant>,
+    expired: &AtomicBool,
+) -> (Vec<Running>, Option<Vec<DiscreteDist>>, usize) {
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
     // Histogram bins are counted as raw tallies and normalized at the end.
@@ -211,7 +335,14 @@ fn simulate_runs(
         .map(|_| vec![std::collections::HashMap::new(); n]);
     let mut arrival = vec![0.0f64; n];
     let total_runs = config.runs as f64;
+    let mut completed = 0usize;
     for run in runs {
+        if let Some(d) = deadline {
+            if expired.load(Ordering::Relaxed) || Instant::now() >= d {
+                expired.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
         let mut rng = StdRng::seed_from_u64(config.seed ^ run as u64);
         for &id in netlist.topo_order() {
             if netlist.kind(id) == GateKind::Input {
@@ -242,6 +373,7 @@ fn simulate_runs(
             }
         }
         runs_done.inc();
+        completed += 1;
     }
     let histograms = tallies.map(|ts| {
         ts.into_iter()
@@ -252,7 +384,7 @@ fn simulate_runs(
             })
             .collect()
     });
-    (stats, histograms)
+    (stats, histograms, completed)
 }
 
 fn sample_nonzero(dist: &ContinuousDist, rng: &mut StdRng) -> f64 {
@@ -369,6 +501,98 @@ mod tests {
         assert!((h.total_mass() - 1.0).abs() < 1e-9);
         // Histogram mean tracks the running mean.
         assert!((h.mean_time(step) - mc.mean(po)).abs() < step.size());
+    }
+
+    #[test]
+    fn zero_runs_is_a_typed_error() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let err = try_run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 0,
+                ..McConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PepError::Analysis(AnalysisError::NoRuns)));
+    }
+
+    #[test]
+    fn expired_deadline_before_first_run_is_budget_error() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let err = try_run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 100,
+                deadline_ms: Some(0),
+                ..McConfig::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            PepError::Budget(b) => assert_eq!(b.resource, "deadline_ms"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_stops_early_with_warning() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let obs = Session::new();
+        // Far more runs than 50 ms allows: the loop must stop early,
+        // keep the completed statistics, and record a warning.
+        let result = try_run_monte_carlo_observed(
+            &nl,
+            &t,
+            &McConfig {
+                runs: 500_000_000,
+                deadline_ms: Some(50),
+                threads: 2,
+                ..McConfig::default()
+            },
+            &obs,
+        )
+        .expect("some runs complete within 50 ms");
+        assert!(result.runs() > 0);
+        assert!(result.runs() < 500_000_000);
+        let warnings = obs.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code, "mc.deadline");
+        assert_eq!(warnings[0].knob, "runs");
+        // Statistics over the completed runs are still usable.
+        let po = nl.primary_outputs()[0];
+        assert!(result.mean(po) > 0.0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let nl = samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let base = McConfig {
+            runs: 200,
+            threads: 1,
+            ..McConfig::default()
+        };
+        let plain = run_monte_carlo(&nl, &t, &base);
+        let budgeted = try_run_monte_carlo(
+            &nl,
+            &t,
+            &McConfig {
+                deadline_ms: Some(600_000),
+                ..base
+            },
+        )
+        .expect("completes well under ten minutes");
+        assert_eq!(budgeted.runs(), plain.runs());
+        for id in nl.node_ids() {
+            assert_eq!(plain.mean(id), budgeted.mean(id), "bit-identical stats");
+            assert_eq!(plain.std(id), budgeted.std(id));
+        }
     }
 
     #[test]

@@ -163,7 +163,26 @@ pub fn monte_carlo_transition(
     v2: &[bool],
     config: &McConfig,
 ) -> TransitionMcResult {
-    assert!(config.runs > 0, "need at least one run");
+    // invariant: the only try_ failure is zero runs, which this
+    // panicking wrapper promises to reject loudly.
+    try_monte_carlo_transition(netlist, timing, v1, v2, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`monte_carlo_transition`].
+///
+/// # Errors
+///
+/// Returns [`crate::AnalysisError::NoRuns`] if `config.runs` is zero.
+pub fn try_monte_carlo_transition(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &McConfig,
+) -> Result<TransitionMcResult, crate::PepError> {
+    if config.runs == 0 {
+        return Err(crate::AnalysisError::NoRuns.into());
+    }
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
     let mut pattern = None;
@@ -200,10 +219,12 @@ pub fn monte_carlo_transition(
             pattern = Some(sim);
         }
     }
-    TransitionMcResult {
+    // invariant: runs >= 1 was checked above, so the first iteration
+    // always stored a pattern.
+    Ok(TransitionMcResult {
         stats,
         pattern: pattern.expect("at least one run"),
-    }
+    })
 }
 
 #[cfg(test)]
