@@ -61,6 +61,22 @@ impl CliError {
         }
     }
 
+    /// An interrupted/budget-class error (exit 7).
+    pub fn budget(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Budget,
+            message: message.into(),
+        }
+    }
+
+    /// An analysis-class error (exit 6).
+    pub fn analysis(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Analysis,
+            message: message.into(),
+        }
+    }
+
     /// The failure class.
     pub fn kind(&self) -> ErrorKind {
         self.kind
@@ -97,6 +113,10 @@ impl From<pep_core::PepError> for CliError {
             PepError::Dist(_) => ErrorKind::Dist,
             PepError::Analysis(_) => ErrorKind::Analysis,
             PepError::Budget(_) => ErrorKind::Budget,
+            // An interrupted run is a deliberately-stopped run, not an
+            // engine failure: reuse the budget exit code (7) so scripts
+            // see "resource limit honored" for Ctrl-C too.
+            PepError::Cancelled(_) => ErrorKind::Budget,
             _ => ErrorKind::Analysis,
         };
         CliError {

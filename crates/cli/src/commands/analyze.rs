@@ -7,6 +7,7 @@ use crate::input::load_annotated;
 use crate::report::{num, Table};
 use pep_netlist::GateKind;
 use pep_obs::Session;
+use pep_sta::{CancelState, CancelToken};
 use std::io::Write;
 
 pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
@@ -27,9 +28,14 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
         .collect::<Result<_, _>>()?;
     args.finish()?;
 
+    // Signal-aware: the first Ctrl-C/SIGTERM (latched by the handler
+    // `main` installs) degrades the run at the next engine poll point —
+    // remaining supergates fall back to topological propagation and the
+    // partial report is still printed, with exit code 7.
+    let cancel = CancelToken::signal_aware();
     let analysis = {
         let _phase = obs.phase("analyze");
-        pep_core::try_analyze_observed(&netlist, &timing, &config, obs)?
+        pep_core::try_analyze_cancellable(&netlist, &timing, &config, obs, &cancel)?
     };
     let elapsed = obs.total_of("analyze").unwrap_or_default();
 
@@ -90,6 +96,11 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
         for w in analysis.warnings() {
             writeln!(out, "warning: {w}").map_err(CliError::io)?;
         }
+    }
+    if cancel.state() != CancelState::Live {
+        return Err(CliError::budget(
+            "interrupted — the report above reflects a degraded (partial) analysis",
+        ));
     }
     Ok(())
 }

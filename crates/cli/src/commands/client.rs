@@ -1,0 +1,94 @@
+//! `psta client` — a tiny scripting client for a running `psta serve`.
+//!
+//! ```text
+//! psta client health|ready|metrics          [--addr HOST:PORT]
+//! psta client analyze <circuit> [options]   submit an analysis
+//! psta client job <id>                      poll a detached job
+//! psta client cancel <id>                   cancel a queued/running job
+//! ```
+
+use crate::args::{Args, CliError};
+use pep_serve::client;
+use std::io::Write;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:8521";
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let action = args
+        .next_positional()
+        .ok_or_else(|| CliError::usage("`client` needs an action: health | ready | metrics | analyze <circuit> | job <id> | cancel <id>"))?;
+    let addr = args
+        .option("--addr")?
+        .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+
+    let (method, path, body): (&str, String, Option<String>) = match action.as_str() {
+        "health" => ("GET", "/healthz".into(), None),
+        "ready" => ("GET", "/readyz".into(), None),
+        "metrics" => ("GET", "/metrics".into(), None),
+        "analyze" => {
+            let circuit = args
+                .next_positional()
+                .ok_or_else(|| CliError::usage("`client analyze` needs a circuit"))?;
+            let seed = args.parsed("--seed", 1u64)?;
+            let detach = args.flag("--detach");
+            let mut fields = vec![circuit_field(&circuit)?, format!("\"seed\": {seed}")];
+            if detach {
+                fields.push("\"detach\": true".into());
+            }
+            let mut knobs = Vec::new();
+            if let Some(samples) = args.parsed_opt::<usize>("--samples")? {
+                knobs.push(format!("\"samples\": {samples}"));
+            }
+            if let Some(threads) = args.parsed_opt::<usize>("--threads")? {
+                knobs.push(format!("\"threads\": {threads}"));
+            }
+            if !knobs.is_empty() {
+                fields.push(format!("\"config\": {{{}}}", knobs.join(", ")));
+            }
+            (
+                "POST",
+                "/analyze".into(),
+                Some(format!("{{{}}}", fields.join(", "))),
+            )
+        }
+        "job" => ("GET", format!("/jobs/{}", job_id(args)?), None),
+        "cancel" => ("DELETE", format!("/jobs/{}", job_id(args)?), None),
+        other => return Err(CliError::usage(format!("unknown client action `{other}`"))),
+    };
+    args.finish()?;
+
+    let response = client::request(&addr, method, &path, body.as_deref())
+        .map_err(|e| CliError::io(std::io::Error::other(format!("pep-serve at {addr}: {e}"))))?;
+    writeln!(out, "{}", response.body.trim_end()).map_err(CliError::io)?;
+    if response.is_success() {
+        Ok(())
+    } else {
+        Err(CliError::analysis(format!("HTTP {}", response.status)))
+    }
+}
+
+/// Renders the request's circuit field: `sample:`/`profile:` specs pass
+/// through; anything else is read as a local `.bench` file and shipped
+/// inline (the daemon never touches the filesystem).
+fn circuit_field(circuit: &str) -> Result<String, CliError> {
+    if circuit.starts_with("sample:") || circuit.starts_with("profile:") {
+        return Ok(format!("\"circuit\": {}", serde::json::to_string(circuit)));
+    }
+    let text = std::fs::read_to_string(circuit)
+        .map_err(|e| CliError::usage(format!("cannot read `{circuit}`: {e}")))?;
+    let name = std::path::Path::new(circuit)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    Ok(format!(
+        "\"bench\": {}, \"name\": {}",
+        serde::json::to_string(&text),
+        serde::json::to_string(name)
+    ))
+}
+
+fn job_id(args: &mut Args) -> Result<u64, CliError> {
+    args.next_positional()
+        .and_then(|id| id.parse().ok())
+        .ok_or_else(|| CliError::usage("expected a numeric job id"))
+}

@@ -1,12 +1,14 @@
 //! Subcommand implementations.
 
 pub mod analyze;
+pub mod client;
 pub mod compare;
 pub mod dot;
 pub mod dynamic;
 pub mod generate;
 pub mod mc;
 pub mod paths;
+pub mod serve;
 pub mod supergates;
 
 use crate::args::{Args, CliError};

@@ -1,0 +1,41 @@
+//! `psta serve` — run the analysis daemon until SIGINT/SIGTERM.
+
+use crate::args::{Args, CliError};
+use pep_serve::{serve, ServeConfig};
+use std::io::Write;
+use std::time::Duration;
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
+    let mut config = ServeConfig {
+        follow_signals: true,
+        ..ServeConfig::default()
+    };
+    if let Some(addr) = args.option("--addr")? {
+        config.addr = addr;
+    }
+    config.workers = args.parsed("--workers", config.workers)?;
+    if config.workers == 0 {
+        return Err(CliError::usage("`--workers` must be positive"));
+    }
+    config.queue_capacity = args.parsed("--queue", config.queue_capacity)?;
+    config.grace = Duration::from_millis(args.parsed("--grace-ms", 5000u64)?);
+    config.cache_entries = args.parsed("--cache", config.cache_entries)?;
+    args.finish()?;
+
+    // `main` already installed the latching handler; the accept loop
+    // polls the latch (follow_signals) and starts the drain script on
+    // the first signal. A second signal hard-exits with status 130.
+    let handle = serve(config).map_err(CliError::io)?;
+    writeln!(out, "pep-serve listening on http://{}", handle.local_addr()).map_err(CliError::io)?;
+    out.flush().map_err(CliError::io)?;
+
+    let summary = handle.join();
+    writeln!(out, "\n{}", summary.report.render_text(false).trim_end()).map_err(CliError::io)?;
+    if summary.clean {
+        Ok(())
+    } else {
+        Err(CliError::analysis(
+            "drain left unterminated work (see report above)",
+        ))
+    }
+}

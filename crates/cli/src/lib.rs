@@ -11,6 +11,8 @@
 //! psta supergates <circuit> [opts]    reconvergence / supergate statistics
 //! psta generate [options]             emit a synthetic .bench circuit
 //! psta dynamic  <circuit> --v1 .. --v2 ..   two-vector transition analysis
+//! psta serve    [options]             run the HTTP analysis daemon
+//! psta client   <action> [options]    script against a running daemon
 //! ```
 //!
 //! `<circuit>` is a `.bench` file path, or one of the built-in pseudo
@@ -26,6 +28,11 @@ mod input;
 mod report;
 
 pub use args::{CliError, ErrorKind};
+/// Installs the latching Ctrl-C/SIGTERM handler (re-exported from
+/// [`pep_serve::signals`]). The binary calls this once at startup; the
+/// library never installs handlers itself, so embedding `run` (tests,
+/// other tools) leaves process signal disposition alone.
+pub use pep_serve::signals::install as install_signal_handlers;
 
 use pep_obs::Session;
 use std::io::Write;
@@ -48,6 +55,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     // for the command positional.
     let metrics_json = args.option("--metrics-json")?;
     let show_timing = args.flag("--timing");
+    let verbose_warnings = args.flag("--verbose-warnings");
     let verbosity = if args.flag("-vv") {
         2
     } else if args.flag("-v") {
@@ -69,6 +77,8 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "generate" => commands::generate::run(&mut args, out),
         "dynamic" => commands::dynamic::run(&mut args, out, &obs),
         "dot" => commands::dot::run(&mut args, out, &obs),
+        "serve" => commands::serve::run(&mut args, out),
+        "client" => commands::client::run(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes()).map_err(CliError::io)?;
             return Ok(());
@@ -76,14 +86,16 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         other => return Err(CliError::usage(format!("unknown command `{other}`"))),
     }?;
 
-    if metrics_json.is_some() || show_timing || verbosity > 0 {
+    if metrics_json.is_some() || show_timing || verbosity > 0 || verbose_warnings {
         let report = obs.report(&argv.join(" "));
         if let Some(path) = metrics_json {
             std::fs::write(&path, report.to_json_pretty())
                 .map_err(|e| CliError::usage(format!("cannot write `{path}`: {e}")))?;
         }
-        let text = if verbosity > 0 {
-            report.render_text(verbosity > 1)
+        let text = if verbosity > 0 || verbose_warnings {
+            // `--verbose-warnings` expands aggregated warning groups to
+            // every individual occurrence (alone, it implies `-v`).
+            report.render_text_opts(verbosity > 1, verbose_warnings || verbosity > 1)
         } else if show_timing {
             report.render_phases()
         } else {
@@ -108,6 +120,8 @@ GLOBAL OPTIONS (any command):
   --timing              print the phase-timing tree after the report
   -v / -vv              print the full observability report
                         (-vv adds histogram summaries)
+  --verbose-warnings    expand aggregated warning groups to every
+                        individual occurrence (implies -v)
 
 COMMANDS:
   analyze <circuit>     arrival-time distributions (PEP analysis)
@@ -162,13 +176,28 @@ COMMANDS:
       --critical        highlight the longest mean-delay path
       --rank            align nodes by logic level
 
+  serve                 HTTP analysis daemon (see DESIGN.md §10)
+      --addr A          bind address                 [127.0.0.1:0]
+      --workers N       job worker threads           [2]
+      --queue N         bounded queue capacity       [16]
+      --grace-ms T      drain grace window           [5000]
+      --cache N         parsed-circuit cache entries [16]
+      SIGINT/SIGTERM drains gracefully (second signal: exit 130)
+
+  client <action>       talk to a running daemon [--addr 127.0.0.1:8521]
+      health | ready | metrics
+      analyze <circuit> [--seed N] [--detach] [--samples N] [--threads N]
+                        (a .bench file path is shipped inline)
+      job <id> | cancel <id>
+
 CIRCUITS:
   a .bench file path, sample:c17 | sample:mux2 | sample:fig6,
   or profile:<s5378|s9234|s13207|s15850|s35932|s38584>
 
 EXIT CODES:
   0 success   2 usage   3 i/o   4 netlist   5 distribution
-  6 analysis engine   7 budget exceeded (--fail-fast)
+  6 analysis engine   7 budget exceeded (--fail-fast) or interrupted
+                        (Ctrl-C degrades `analyze` to a partial report)
 ";
 
 #[cfg(test)]

@@ -3,6 +3,10 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // First Ctrl-C/SIGTERM latches a graceful degrade (partial report,
+    // exit 7) or, under `psta serve`, the drain script; a second signal
+    // exits immediately with 130.
+    psta_cli::install_signal_handlers();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();
     match psta_cli::run(&args, &mut stdout) {

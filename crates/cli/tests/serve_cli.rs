@@ -1,0 +1,125 @@
+//! CLI ↔ daemon integration: `psta client` against an in-process
+//! server, and the Ctrl-C degrade path of `psta analyze`.
+//!
+//! Serialized on one mutex — the signal latch is process-global.
+
+use psta_cli::{run, ErrorKind};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn run_to_string(argv: &[&str]) -> Result<String, psta_cli::CliError> {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let result = run(&argv, &mut out);
+    let text = String::from_utf8(out).expect("UTF-8 output");
+    result.map(|()| text)
+}
+
+#[test]
+fn client_drives_a_daemon_end_to_end() {
+    let _serial = serial();
+    let handle = pep_serve::serve(pep_serve::ServeConfig::default()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let health = run_to_string(&["client", "health", "--addr", &addr]).unwrap();
+    assert_eq!(health.trim(), "ok");
+    let ready = run_to_string(&["client", "ready", "--addr", &addr]).unwrap();
+    assert_eq!(ready.trim(), "ready");
+
+    let done = run_to_string(&["client", "analyze", "sample:c17", "--addr", &addr]).unwrap();
+    assert!(done.contains("\"state\":\"done\""), "{done}");
+    assert!(done.contains("groups_digest"), "{done}");
+
+    // A detached job can be polled and (once terminal) re-fetched.
+    let queued = run_to_string(&[
+        "client",
+        "analyze",
+        "sample:mux2",
+        "--detach",
+        "--addr",
+        &addr,
+    ])
+    .unwrap();
+    let id_at = queued.find("\"id\":").expect("job id") + "\"id\":".len();
+    let id: String = queued[id_at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let polled = run_to_string(&["client", "job", &id, "--addr", &addr]).unwrap();
+        if polled.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never finished: {polled}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Cancelling a finished job is a conflict, surfaced as exit 6.
+    let err = run_to_string(&["client", "cancel", &id, "--addr", &addr]).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Analysis);
+    assert!(err.to_string().contains("409"), "{err}");
+
+    // A local .bench file is shipped inline; the daemon never sees the
+    // path.
+    let bench = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+    let path = std::env::temp_dir().join("psta-client-inline.bench");
+    std::fs::write(&path, bench).unwrap();
+    let inline =
+        run_to_string(&["client", "analyze", path.to_str().unwrap(), "--addr", &addr]).unwrap();
+    assert!(inline.contains("psta-client-inline"), "{inline}");
+    assert!(inline.contains("\"state\":\"done\""), "{inline}");
+    std::fs::remove_file(&path).ok();
+
+    // Transport failures are I/O-class (exit 3), not usage errors.
+    drop(handle.shutdown_and_join());
+    let err = run_to_string(&["client", "health", "--addr", &addr]).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Io);
+}
+
+#[test]
+fn interrupted_analyze_prints_partial_report_and_exits_7() {
+    let _serial = serial();
+    use pep_sta::cancel::{note_signal, reset_signal_state};
+    use pep_sta::CancelState;
+
+    reset_signal_state();
+    // What the handler does on Ctrl-C. Latching *before* the run makes
+    // the degrade land at the first poll point — deterministic, where a
+    // mid-run signal would race the (fast) analysis.
+    note_signal(CancelState::Degrade);
+    let argv: Vec<String> = ["analyze", "profile:s5378", "--deadline-ms", "60000"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let err = run(&argv, &mut out).unwrap_err();
+    reset_signal_state();
+
+    assert_eq!(err.kind(), ErrorKind::Budget);
+    assert_eq!(err.exit_code(), 7);
+    assert!(err.to_string().contains("partial"), "{err}");
+    let text = String::from_utf8(out).unwrap();
+    // The partial report still came out, and says why it is partial.
+    assert!(text.contains("mean"), "table printed: {text}");
+    assert!(text.contains("warning:"), "{text}");
+    assert!(text.contains("cancel."), "coded cancel warning: {text}");
+}
+
+#[test]
+fn usage_mentions_serve_and_client() {
+    let text = run_to_string(&[]).unwrap();
+    for needle in ["serve", "client", "--grace-ms", "--verbose-warnings"] {
+        assert!(text.contains(needle), "usage lists {needle}");
+    }
+}

@@ -11,7 +11,7 @@ use pep_netlist::supergate::SupergateExtractor;
 use pep_netlist::{GateKind, Netlist, NodeId};
 use pep_obs::{Session, Warning};
 use pep_sta::error::panic_detail;
-use pep_sta::{AnalysisError, BudgetExceeded, PepError};
+use pep_sta::{AnalysisError, BudgetExceeded, CancelState, CancelToken, Cancelled, PepError};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -165,8 +165,28 @@ pub fn try_analyze_observed(
     config: &AnalysisConfig,
     obs: &Session,
 ) -> Result<PepAnalysis, PepError> {
+    try_analyze_cancellable(netlist, timing, config, obs, &CancelToken::new())
+}
+
+/// [`try_analyze_observed`] honoring a cooperative [`CancelToken`],
+/// polled at wave boundaries and inside the conditioning recursion.
+///
+/// A [degrade](CancelToken::cancel_degrade) cancellation finishes the
+/// run fast: remaining supergates fall back to plain topological
+/// propagation (each recorded as a `cancel.requested` warning) and the
+/// partial-but-usable analysis is returned. An
+/// [abort](CancelToken::cancel_abort) returns
+/// [`PepError::Cancelled`] at the next wave boundary and discards
+/// partial state.
+pub fn try_analyze_cancellable(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    obs: &Session,
+    cancel: &CancelToken,
+) -> Result<PepAnalysis, PepError> {
     let zero = DiscreteDist::point(0);
-    try_analyze_with_inputs_observed(netlist, timing, config, |_| zero.clone(), obs)
+    try_analyze_with_inputs_cancellable(netlist, timing, config, |_| zero.clone(), obs, cancel)
 }
 
 /// Analyzes a circuit with caller-supplied arrival groups at the primary
@@ -226,6 +246,23 @@ pub fn try_analyze_with_inputs_observed<F>(
 where
     F: Fn(NodeId) -> DiscreteDist,
 {
+    try_analyze_with_inputs_cancellable(netlist, timing, config, pi_group, obs, &CancelToken::new())
+}
+
+/// [`try_analyze_with_inputs_observed`] honoring a cooperative
+/// [`CancelToken`] (see [`try_analyze_cancellable`] for the degrade /
+/// abort semantics).
+pub fn try_analyze_with_inputs_cancellable<F>(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &AnalysisConfig,
+    pi_group: F,
+    obs: &Session,
+    cancel: &CancelToken,
+) -> Result<PepAnalysis, PepError>
+where
+    F: Fn(NodeId) -> DiscreteDist,
+{
     let config = &config.validated();
     let step = config
         .step_override
@@ -252,6 +289,7 @@ where
         pi_group,
         |_| true,
         obs,
+        cancel,
     )?;
     Ok(PepAnalysis {
         step,
@@ -458,7 +496,10 @@ fn commit(
         metrics.stems_filtered.add(outcome.stems_filtered as u64);
         metrics.hybrid_evaluations.add(outcome.used_hybrid as u64);
         for d in &outcome.degradations {
-            if tracker.fail_fast() {
+            // Cancellation fallbacks are exempt from fail-fast: the
+            // caller asked the run to wrap up, so the partial result is
+            // exactly what they want.
+            if tracker.fail_fast() && !d.is_cancellation() {
                 return Err(d.budget_error(tracker).into());
             }
             let w = d.warning(netlist.node_name(node));
@@ -508,6 +549,7 @@ pub(crate) fn run<E, F, A>(
     pi_group: F,
     is_active: A,
     obs: &Session,
+    cancel: &CancelToken,
 ) -> Result<(Vec<DiscreteDist>, AnalysisStats, Vec<Warning>), PepError>
 where
     E: NodeEval,
@@ -519,7 +561,7 @@ where
     let base = metrics.baseline();
     let n = netlist.node_count();
     let threads = config.effective_threads();
-    let tracker = BudgetTracker::new(config.budget.as_ref());
+    let tracker = BudgetTracker::with_cancel(config.budget.as_ref(), cancel.clone());
     let mut warnings: Vec<Warning> = Vec::new();
     // The memory ladder escalates `P_m` mid-run, so the working config
     // is mutable; with no budget it never changes.
@@ -579,6 +621,17 @@ where
     for (wi, wave) in waves.iter().enumerate() {
         if faults::fires(faults::DEADLINE) {
             tracker.force_expire();
+        }
+        // Abort-strength cancellation stops the run at the wave
+        // boundary with partial state discarded; degrade-strength keeps
+        // evaluating (cheap topological fallbacks, see `stop_reason`)
+        // so the caller still gets a complete, if coarse, analysis.
+        if tracker.cancel_state() == CancelState::Abort {
+            return Err(Cancelled {
+                phase: "propagate",
+                elapsed_ms: tracker.elapsed_ms(),
+            }
+            .into());
         }
         work.clear();
         for &node in wave {

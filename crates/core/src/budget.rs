@@ -25,7 +25,7 @@
 //! bit-identical to pre-budget builds.
 
 use pep_obs::Warning;
-use pep_sta::BudgetExceeded;
+use pep_sta::{BudgetExceeded, CancelState, CancelToken};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +88,10 @@ pub(crate) struct BudgetTracker {
     /// Set once the deadline is first observed expired (or forced by
     /// fault injection) so later checks are a cheap load.
     expired: AtomicBool,
+    /// Cooperative cancellation, polled at the same places the deadline
+    /// is. `None` for non-cancellable entry points — the common case
+    /// stays allocation-free and skips the token loads entirely.
+    cancel: Option<CancelToken>,
 }
 
 impl BudgetTracker {
@@ -104,12 +108,52 @@ impl BudgetTracker {
             max_stems: b.max_stems_per_supergate,
             fail_fast: b.fail_fast,
             expired: AtomicBool::new(false),
+            cancel: None,
+        }
+    }
+
+    /// Starts the clock for `budget` with an externally held
+    /// [`CancelToken`]: the tracker reports cancellation requests
+    /// through [`stop_reason`](BudgetTracker::stop_reason) and
+    /// [`cancel_state`](BudgetTracker::cancel_state) at the same poll
+    /// points as the deadline.
+    pub(crate) fn with_cancel(budget: Option<&Budget>, cancel: CancelToken) -> Self {
+        BudgetTracker {
+            cancel: Some(cancel),
+            ..BudgetTracker::new(budget)
         }
     }
 
     /// A tracker with no limits (for unbudgeted entry points).
     pub(crate) fn inert() -> Self {
         BudgetTracker::new(None)
+    }
+
+    /// Whether an external party holds a cancellation token — gates the
+    /// creation of [`CondLimits`] so non-cancellable unbudgeted runs
+    /// stay free of per-leaf polling.
+    pub(crate) fn cancellable(&self) -> bool {
+        self.cancel.is_some()
+    }
+
+    /// The current cancellation strength of the attached token.
+    pub(crate) fn cancel_state(&self) -> CancelState {
+        self.cancel
+            .as_ref()
+            .map_or(CancelState::Live, CancelToken::state)
+    }
+
+    /// Why remaining supergates must stop conditioning, if anything has
+    /// tripped: an explicit cancellation request wins over an expired
+    /// deadline (the caller asked; the clock merely ran out).
+    pub(crate) fn stop_reason(&self) -> Option<FallbackReason> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(FallbackReason::Cancelled);
+        }
+        if self.deadline_expired() {
+            return Some(FallbackReason::Deadline);
+        }
+        None
     }
 
     /// Whether the deadline has passed (latched after the first trip).
@@ -172,6 +216,9 @@ pub(crate) enum FallbackReason {
     Deadline,
     /// The combination cap left no room for any conditioning.
     Combinations,
+    /// A cooperative cancellation (degrade strength) asked the run to
+    /// finish fast.
+    Cancelled,
 }
 
 impl FallbackReason {
@@ -179,6 +226,7 @@ impl FallbackReason {
         match self {
             FallbackReason::Deadline => "deadline expired",
             FallbackReason::Combinations => "combination cap left no room",
+            FallbackReason::Cancelled => "cancellation requested",
         }
     }
 }
@@ -275,6 +323,7 @@ impl Degradation {
                 match reason {
                     FallbackReason::Deadline => "budget.deadline",
                     FallbackReason::Combinations => "budget.combinations",
+                    FallbackReason::Cancelled => "cancel.requested",
                 },
                 subject,
                 "conditioning",
@@ -313,8 +362,27 @@ impl Degradation {
                     limit: tracker.max_combinations().unwrap_or(0),
                     observed: tracker.max_combinations().unwrap_or(0).saturating_add(1),
                 },
+                // Cancellations are exempt from fail-fast (the commit
+                // path never routes them here): the caller asked the
+                // run to wrap up, which is not a budget trip.
+                FallbackReason::Cancelled => BudgetExceeded {
+                    resource: "cancelled",
+                    limit: 0,
+                    observed: tracker.elapsed_ms(),
+                },
             },
         }
+    }
+
+    /// Whether this degradation was driven by a cancellation request
+    /// (exempt from fail-fast conversion to a hard error).
+    pub(crate) fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            Degradation::TopologicalFallback {
+                reason: FallbackReason::Cancelled
+            }
+        )
     }
 }
 
@@ -335,8 +403,11 @@ const DEADLINE_POLL_LEAVES: u32 = 512;
 impl<'t> CondLimits<'t> {
     /// Limits for one supergate evaluation, or `None` when the tracker
     /// has nothing to enforce (the enumeration then runs untouched).
+    /// Cancellable trackers always get limits — the leaf allowance
+    /// stays unbounded, but the periodic poll observes the token.
     pub(crate) fn for_tracker(tracker: &'t BudgetTracker) -> Option<Self> {
-        if !tracker.has_deadline() && tracker.max_combinations().is_none() {
+        if !tracker.has_deadline() && tracker.max_combinations().is_none() && !tracker.cancellable()
+        {
             return None;
         }
         // Generous slack over the up-front estimate: the backstop only
@@ -374,7 +445,7 @@ impl<'t> CondLimits<'t> {
         let p = self.poll.get() + 1;
         if p >= DEADLINE_POLL_LEAVES {
             self.poll.set(0);
-            if self.tracker.deadline_expired() {
+            if self.tracker.stop_reason().is_some() {
                 self.aborted.set(true);
                 return false;
             }

@@ -19,7 +19,7 @@ use pep_netlist::cone::SupportSets;
 use pep_netlist::{Netlist, NodeId};
 use pep_obs::{Session, Warning};
 use pep_sta::transition::{simulate_transition, TransitionSim};
-use pep_sta::PepError;
+use pep_sta::{CancelToken, PepError};
 
 /// Result of a dynamic probabilistic analysis.
 #[derive(Debug, Clone)]
@@ -181,6 +181,27 @@ pub fn try_analyze_transition_observed(
     config: &AnalysisConfig,
     obs: &Session,
 ) -> Result<DynamicAnalysis, PepError> {
+    try_analyze_transition_cancellable(netlist, timing, v1, v2, config, obs, &CancelToken::new())
+}
+
+/// [`try_analyze_transition_observed`] honoring a cooperative
+/// [`CancelToken`] (see
+/// [`try_analyze_cancellable`](crate::try_analyze_cancellable) for the
+/// degrade / abort semantics).
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ from the primary input count.
+#[allow(clippy::too_many_arguments)]
+pub fn try_analyze_transition_cancellable(
+    netlist: &Netlist,
+    timing: &Timing,
+    v1: &[bool],
+    v2: &[bool],
+    config: &AnalysisConfig,
+    obs: &Session,
+    cancel: &CancelToken,
+) -> Result<DynamicAnalysis, PepError> {
     let config = &config.validated();
     let step = config
         .step_override
@@ -220,6 +241,7 @@ pub fn try_analyze_transition_observed(
         },
         |node| sim.transitions(node),
         obs,
+        cancel,
     )?;
     Ok(DynamicAnalysis {
         step,

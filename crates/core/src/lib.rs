@@ -59,10 +59,11 @@ pub mod validate;
 
 pub use analyzer::{
     analyze, analyze_observed, analyze_with_inputs, analyze_with_inputs_observed, try_analyze,
-    try_analyze_observed, try_analyze_with_inputs, try_analyze_with_inputs_observed, AnalysisStats,
+    try_analyze_cancellable, try_analyze_observed, try_analyze_with_inputs,
+    try_analyze_with_inputs_cancellable, try_analyze_with_inputs_observed, AnalysisStats,
     PepAnalysis,
 };
 pub use arcs::ArcPmfs;
 pub use budget::Budget;
 pub use config::{AnalysisConfig, CombineMode, HybridMcConfig, StemRanking};
-pub use pep_sta::{AnalysisError, BudgetExceeded, PepError};
+pub use pep_sta::{AnalysisError, BudgetExceeded, CancelState, CancelToken, Cancelled, PepError};

@@ -284,10 +284,10 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 .push(Degradation::StemCap { from, cap });
             stems = Cow::Owned(sel);
         }
-        if tracker.deadline_expired() {
-            outcome.degradations.push(Degradation::TopologicalFallback {
-                reason: FallbackReason::Deadline,
-            });
+        if let Some(reason) = tracker.stop_reason() {
+            outcome
+                .degradations
+                .push(Degradation::TopologicalFallback { reason });
             return (self.base_output().clone(), outcome);
         }
         let mut coarsen = config.max_conditioning_events;
@@ -385,11 +385,9 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
             out.copy_from(self.base_output());
             outcome.stems_conditioned = 0;
             outcome.degradations.push(Degradation::TopologicalFallback {
-                reason: if tracker.deadline_expired() {
-                    FallbackReason::Deadline
-                } else {
-                    FallbackReason::Combinations
-                },
+                reason: tracker
+                    .stop_reason()
+                    .unwrap_or(FallbackReason::Combinations),
             });
         }
         (out, outcome)

@@ -1,0 +1,190 @@
+//! Cooperative cancellation semantics of the analysis entry points.
+//!
+//! Degrade-strength cancellation must finish the run fast with
+//! topological fallbacks and `cancel.requested` warnings; abort-strength
+//! must return a typed [`PepError::Cancelled`]; and a live token must
+//! leave results bit-identical to the non-cancellable entry points.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{
+    try_analyze_cancellable, try_analyze_observed, AnalysisConfig, CancelToken, PepError,
+};
+use pep_netlist::samples;
+use pep_obs::Session;
+
+#[test]
+fn live_token_is_bit_identical_to_plain_run() {
+    let nl = samples::fig6();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(3));
+    let cfg = AnalysisConfig::default();
+    let plain = try_analyze_observed(&nl, &t, &cfg, &Session::disabled()).expect("plain run");
+    let token = CancelToken::new();
+    let cancellable =
+        try_analyze_cancellable(&nl, &t, &cfg, &Session::disabled(), &token).expect("live token");
+    for id in nl.node_ids() {
+        assert_eq!(plain.group(id), cancellable.group(id));
+    }
+    assert_eq!(plain.warnings(), cancellable.warnings());
+}
+
+#[test]
+fn degrade_cancellation_finishes_with_fallback_warnings() {
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let cfg = AnalysisConfig::default();
+    let token = CancelToken::new();
+    // Cancel before the run starts: every supergate must fall back to
+    // plain topological propagation, and the run still completes.
+    token.cancel_degrade();
+    let obs = Session::new();
+    let a = try_analyze_cancellable(&nl, &t, &cfg, &obs, &token).expect("degrade completes");
+    assert!(
+        a.warnings().iter().any(|w| w.code == "cancel.requested"),
+        "supergate fallbacks must be attributed to the cancellation: {:?}",
+        a.warnings()
+    );
+    assert!(
+        !a.warnings().iter().any(|w| w.code == "budget.deadline"),
+        "cancellation must not masquerade as a deadline trip"
+    );
+    // Every node still has a (coarse) group.
+    for &po in nl.primary_outputs() {
+        assert!(a.mean_time(po) > 0.0);
+    }
+    // No conditioning happened.
+    assert_eq!(a.stats().stems_conditioned, 0);
+}
+
+#[test]
+fn degrade_cancellation_is_deterministic_across_threads() {
+    let nl = samples::fig6();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(7));
+    let run = |threads: usize| {
+        let token = CancelToken::new();
+        token.cancel_degrade();
+        let cfg = AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        };
+        try_analyze_cancellable(&nl, &t, &cfg, &Session::disabled(), &token)
+            .expect("degrade completes")
+    };
+    let one = run(1);
+    let four = run(4);
+    for id in nl.node_ids() {
+        assert_eq!(one.group(id), four.group(id));
+    }
+    assert_eq!(one.warnings(), four.warnings());
+}
+
+#[test]
+fn abort_cancellation_is_a_typed_error() {
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let token = CancelToken::new();
+    token.cancel_abort();
+    let err = try_analyze_cancellable(
+        &nl,
+        &t,
+        &AnalysisConfig::default(),
+        &Session::disabled(),
+        &token,
+    )
+    .expect_err("abort stops the run");
+    match err {
+        PepError::Cancelled(c) => assert_eq!(c.phase, "propagate"),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn degrade_with_fail_fast_budget_still_completes() {
+    // Cancellation is exempt from fail-fast: the caller asked the run
+    // to wrap up, which is not a budget trip.
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let cfg = AnalysisConfig {
+        budget: Some(pep_core::Budget {
+            fail_fast: true,
+            max_combinations: Some(u64::MAX),
+            ..pep_core::Budget::default()
+        }),
+        ..AnalysisConfig::default()
+    };
+    let token = CancelToken::new();
+    token.cancel_degrade();
+    let a = try_analyze_cancellable(&nl, &t, &cfg, &Session::disabled(), &token)
+        .expect("cancel fallbacks are not budget errors");
+    assert!(a.warnings().iter().any(|w| w.code == "cancel.requested"));
+}
+
+#[test]
+fn transition_analysis_honors_abort() {
+    let nl = samples::mux2();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let token = CancelToken::new();
+    token.cancel_abort();
+    let err = pep_core::dynamic::try_analyze_transition_cancellable(
+        &nl,
+        &t,
+        &[true, false, false],
+        &[true, false, true],
+        &AnalysisConfig::default(),
+        &Session::disabled(),
+        &token,
+    )
+    .expect_err("abort stops the dynamic run");
+    assert!(matches!(err, PepError::Cancelled(_)));
+}
+
+#[test]
+fn monte_carlo_degrade_keeps_completed_runs() {
+    use pep_sta::monte_carlo::{try_run_monte_carlo_cancellable, McConfig};
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let token = CancelToken::new();
+    let obs = Session::new();
+    // Cancel from another thread shortly after the loop starts; the
+    // huge run count guarantees the loop is still going.
+    let cfg = McConfig {
+        runs: 500_000_000,
+        threads: 2,
+        ..McConfig::default()
+    };
+    let result = std::thread::scope(|scope| {
+        let canceller = token.clone();
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            canceller.cancel_degrade();
+        });
+        try_run_monte_carlo_cancellable(&nl, &t, &cfg, &obs, &token)
+    })
+    .expect("degrade keeps completed runs");
+    assert!(result.runs() > 0);
+    assert!(result.runs() < 500_000_000);
+    assert!(obs.warnings().iter().any(|w| w.code == "mc.cancelled"));
+}
+
+#[test]
+fn monte_carlo_abort_is_a_typed_error() {
+    use pep_sta::monte_carlo::{try_run_monte_carlo_cancellable, McConfig};
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let token = CancelToken::new();
+    token.cancel_abort();
+    let err = try_run_monte_carlo_cancellable(
+        &nl,
+        &t,
+        &McConfig {
+            runs: 1_000,
+            ..McConfig::default()
+        },
+        &Session::disabled(),
+        &token,
+    )
+    .expect_err("abort discards partial state");
+    match err {
+        PepError::Cancelled(c) => assert_eq!(c.phase, "mc-baseline"),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}

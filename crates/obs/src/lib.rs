@@ -60,4 +60,4 @@ pub mod warning;
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
 pub use report::{HistogramSummary, PhaseReport, RunReport};
 pub use session::{PhaseGuard, Session};
-pub use warning::Warning;
+pub use warning::{aggregate as aggregate_warnings, Warning, WarningGroup};

@@ -157,8 +157,17 @@ impl RunReport {
 
     /// Human-readable rendering: the phase tree (with percentages of the
     /// root phase) followed by metric tables. `verbose` adds the
-    /// histogram summaries.
+    /// histogram summaries and the full (unaggregated) warning list.
     pub fn render_text(&self, verbose: bool) -> String {
+        self.render_text_opts(verbose, verbose)
+    }
+
+    /// [`render_text`](RunReport::render_text) with the warning
+    /// rendering controlled separately: `verbose_warnings` lists every
+    /// warning in emission order; otherwise same-code/same-knob runs
+    /// collapse into [`WarningGroup`](crate::WarningGroup) entries (a
+    /// deadline-starved run can emit thousands of identical fallbacks).
+    pub fn render_text_opts(&self, verbose: bool, verbose_warnings: bool) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -180,8 +189,23 @@ impl RunReport {
         }
         if !self.warnings.is_empty() {
             out.push_str("warnings:\n");
-            for w in &self.warnings {
-                let _ = writeln!(out, "  {w}");
+            if verbose_warnings {
+                for w in &self.warnings {
+                    let _ = writeln!(out, "  {w}");
+                }
+            } else {
+                let groups = crate::warning::aggregate(&self.warnings);
+                for g in &groups {
+                    let _ = writeln!(out, "  {g}");
+                }
+                if groups.len() < self.warnings.len() {
+                    let _ = writeln!(
+                        out,
+                        "  ({} warnings in {} groups; --verbose-warnings lists all)",
+                        self.warnings.len(),
+                        groups.len()
+                    );
+                }
             }
         }
         if verbose && !self.histograms.is_empty() {
@@ -310,6 +334,32 @@ mod tests {
         // Non-verbose rendering omits histograms.
         let brief = sample_report().render_text(false);
         assert!(!brief.contains("pep.group_size"));
+    }
+
+    #[test]
+    fn repeated_warnings_collapse_unless_verbose() {
+        let mut report = sample_report();
+        report.warnings = (0..100)
+            .map(|i| {
+                Warning::new(
+                    "budget.deadline",
+                    format!("sg:n{i}"),
+                    "conditioning",
+                    "sampling-evaluation skipped",
+                    "correlation ignored",
+                )
+            })
+            .collect();
+        let brief = report.render_text(false);
+        assert!(brief.contains("×100"), "collapsed count shown: {brief}");
+        assert!(brief.contains("sg:n0") && brief.contains("sg:n99"));
+        assert!(brief.contains("100 warnings in 1 groups"));
+        assert!(!brief.contains("sg:n50"), "interior subjects collapsed");
+        let full = report.render_text_opts(false, true);
+        assert!(full.contains("sg:n50"), "verbose-warnings lists all");
+        // JSON always carries the full list.
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.warnings.len(), 100);
     }
 
     #[test]

@@ -65,6 +65,82 @@ impl std::fmt::Display for Warning {
     }
 }
 
+/// A run of same-`code`/same-`knob` warnings collapsed into one entry.
+///
+/// A hostile or deadline-starved run can emit thousands of identical
+/// degradation warnings (one per affected supergate); the aggregated
+/// form keeps reports readable while preserving the count and the
+/// first/last affected subject. The full list stays available in the
+/// [`crate::RunReport`] JSON and behind verbose rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarningGroup {
+    /// The shared machine-readable code.
+    pub code: String,
+    /// The shared knob.
+    pub knob: String,
+    /// How many warnings collapsed into this entry.
+    pub count: u64,
+    /// Subject of the first collapsed warning (emission order).
+    pub first_subject: String,
+    /// Subject of the last collapsed warning.
+    pub last_subject: String,
+    /// Detail of the first collapsed warning (representative).
+    pub detail: String,
+    /// Impact of the first collapsed warning (representative).
+    pub impact: String,
+}
+
+impl std::fmt::Display for WarningGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 1 {
+            write!(
+                f,
+                "[{}] {}: {} ({}; impact: {})",
+                self.code, self.first_subject, self.knob, self.detail, self.impact
+            )
+        } else {
+            write!(
+                f,
+                "[{}] ×{} {}: first {}, last {} ({}; impact: {})",
+                self.code,
+                self.count,
+                self.knob,
+                self.first_subject,
+                self.last_subject,
+                self.detail,
+                self.impact
+            )
+        }
+    }
+}
+
+/// Collapses warnings into [`WarningGroup`]s keyed by `(code, knob)`,
+/// in first-emission order. Deterministic: the same warning list always
+/// aggregates identically.
+pub fn aggregate(warnings: &[Warning]) -> Vec<WarningGroup> {
+    let mut groups: Vec<WarningGroup> = Vec::new();
+    for w in warnings {
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|g| g.code == w.code && g.knob == w.knob)
+        {
+            g.count += 1;
+            g.last_subject.clone_from(&w.subject);
+        } else {
+            groups.push(WarningGroup {
+                code: w.code.clone(),
+                knob: w.knob.clone(),
+                count: 1,
+                first_subject: w.subject.clone(),
+                last_subject: w.subject.clone(),
+                detail: w.detail.clone(),
+                impact: w.impact.clone(),
+            });
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +172,41 @@ mod tests {
         let text = serde::json::to_string(&w);
         let back: Warning = serde::json::from_str_as(&text).unwrap();
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn aggregation_collapses_by_code_and_knob() {
+        let warnings = vec![
+            Warning::new("budget.deadline", "sg:n1", "conditioning", "d1", "i"),
+            Warning::new("budget.deadline", "sg:n2", "conditioning", "d2", "i"),
+            Warning::new("budget.memory", "wave:3", "min_event_prob", "m", "i"),
+            Warning::new("budget.deadline", "sg:n9", "conditioning", "d9", "i"),
+        ];
+        let groups = aggregate(&warnings);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].code, "budget.deadline");
+        assert_eq!(groups[0].count, 3);
+        assert_eq!(groups[0].first_subject, "sg:n1");
+        assert_eq!(groups[0].last_subject, "sg:n9");
+        assert_eq!(groups[0].detail, "d1", "first detail is representative");
+        assert_eq!(groups[1].count, 1);
+        let text = groups[0].to_string();
+        assert!(text.contains("×3"), "count shown: {text}");
+        assert!(text.contains("sg:n1") && text.contains("sg:n9"));
+        // Singleton groups render like the plain warning.
+        assert!(groups[1].to_string().contains("wave:3"));
+        assert!(!groups[1].to_string().contains('×'));
+    }
+
+    #[test]
+    fn warning_group_round_trips_through_json() {
+        let g = aggregate(&[
+            Warning::new("a", "s1", "k", "d", "i"),
+            Warning::new("a", "s2", "k", "d", "i"),
+        ])
+        .remove(0);
+        let text = serde::json::to_string(&g);
+        let back: WarningGroup = serde::json::from_str_as(&text).unwrap();
+        assert_eq!(back, g);
     }
 }

@@ -1,0 +1,562 @@
+//! The service's request/response vocabulary.
+//!
+//! Request bodies are parsed *manually* through the vendored
+//! [`serde::Value`] tree rather than the derive, for two reasons: the
+//! derived `Deserialize` requires every struct field present (clients
+//! should be able to send just `{"circuit": "sample:c17"}`), and a
+//! service must reject unknown fields with a helpful 400 instead of
+//! silently ignoring a typo'd knob. Responses use the derive — the
+//! server always populates every field.
+
+use pep_core::{AnalysisConfig, Budget, CombineMode, PepAnalysis};
+use pep_netlist::Netlist;
+use pep_obs::{Warning, WarningGroup};
+use serde::{Deserialize, Serialize, Value};
+
+/// A client-facing request-shape error (always a 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError(pub String);
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Which circuit to analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// An embedded sample (`c17`, `mux2`, `fig6`).
+    Sample(String),
+    /// An ISCAS89 profile generator (`s5378`, …).
+    Profile(String),
+    /// Inline ISCAS `.bench` text.
+    Bench {
+        /// Circuit name used in reports.
+        name: String,
+        /// The `.bench` source.
+        text: String,
+    },
+}
+
+impl CircuitSpec {
+    /// A stable cache-key string covering everything that determines
+    /// the parsed netlist.
+    pub fn cache_text(&self) -> String {
+        match self {
+            CircuitSpec::Sample(name) => format!("sample:{name}"),
+            CircuitSpec::Profile(name) => format!("profile:{name}"),
+            CircuitSpec::Bench { name, text } => format!("bench:{name}\n{text}"),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn display_name(&self) -> &str {
+        match self {
+            CircuitSpec::Sample(name) | CircuitSpec::Profile(name) => name,
+            CircuitSpec::Bench { name, .. } => name,
+        }
+    }
+}
+
+/// One parsed `POST /analyze` body.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRequest {
+    /// What to analyze.
+    pub circuit: CircuitSpec,
+    /// Delay-annotation seed (default 1).
+    pub seed: u64,
+    /// Engine configuration, overlaid on the defaults.
+    pub config: AnalysisConfig,
+    /// `true` → enqueue and return 202 with the job id immediately;
+    /// `false` (default) → wait for the result in the response.
+    pub detach: bool,
+}
+
+/// Parses and validates a `POST /analyze` JSON body.
+///
+/// # Errors
+///
+/// [`ApiError`] (→ 400) on bad JSON, unknown fields, bad types, or a
+/// missing circuit.
+pub fn parse_analyze_request(body: &str) -> Result<AnalyzeRequest, ApiError> {
+    let value = serde::json::from_str(body).map_err(|e| ApiError(format!("bad JSON: {e}")))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| ApiError("request body must be a JSON object".into()))?;
+
+    const KNOWN: &[&str] = &["circuit", "bench", "name", "seed", "config", "detach"];
+    for (key, _) in map {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(ApiError(format!(
+                "unknown field {key:?} (known: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+
+    let circuit = match (value.get("circuit"), value.get("bench")) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError(
+                "give either \"circuit\" or \"bench\", not both".into(),
+            ))
+        }
+        (Some(spec), None) => {
+            let spec = spec
+                .as_str()
+                .ok_or_else(|| ApiError("\"circuit\" must be a string".into()))?;
+            parse_circuit_spec(spec)?
+        }
+        (None, Some(bench)) => {
+            let text = bench
+                .as_str()
+                .ok_or_else(|| ApiError("\"bench\" must be a string".into()))?;
+            let name = match value.get("name") {
+                None => "inline".to_owned(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| ApiError("\"name\" must be a string".into()))?
+                    .to_owned(),
+            };
+            CircuitSpec::Bench {
+                name,
+                text: text.to_owned(),
+            }
+        }
+        (None, None) => {
+            return Err(ApiError(
+                "missing circuit: give \"circuit\": \"sample:c17\" or inline \"bench\" text".into(),
+            ))
+        }
+    };
+
+    let seed = match value.get("seed") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ApiError("\"seed\" must be a non-negative integer".into()))?,
+    };
+    let detach = match value.get("detach") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ApiError("\"detach\" must be a boolean".into()))?,
+    };
+    let config = match value.get("config") {
+        None => AnalysisConfig::default(),
+        Some(v) => parse_config(v)?,
+    };
+
+    Ok(AnalyzeRequest {
+        circuit,
+        seed,
+        config,
+        detach,
+    })
+}
+
+/// Parses a `prefix:name` circuit spec string.
+///
+/// # Errors
+///
+/// [`ApiError`] on an unknown prefix or unknown sample/profile name.
+pub fn parse_circuit_spec(spec: &str) -> Result<CircuitSpec, ApiError> {
+    if let Some(name) = spec.strip_prefix("sample:") {
+        if !matches!(name, "c17" | "mux2" | "fig6") {
+            return Err(ApiError(format!(
+                "unknown sample {name:?} (have: c17, mux2, fig6)"
+            )));
+        }
+        return Ok(CircuitSpec::Sample(name.to_owned()));
+    }
+    if let Some(name) = spec.strip_prefix("profile:") {
+        if profile_by_name(name).is_none() {
+            let names: Vec<&str> = pep_netlist::generate::IscasProfile::all()
+                .iter()
+                .map(|p| p.name())
+                .collect();
+            return Err(ApiError(format!(
+                "unknown profile {name:?} (have: {})",
+                names.join(", ")
+            )));
+        }
+        return Ok(CircuitSpec::Profile(name.to_owned()));
+    }
+    Err(ApiError(format!(
+        "bad circuit spec {spec:?}: expected \"sample:<name>\" or \"profile:<name>\" \
+         (file paths are not served; send inline \"bench\" text instead)"
+    )))
+}
+
+/// Looks up an ISCAS profile by its canonical name.
+pub fn profile_by_name(name: &str) -> Option<pep_netlist::generate::IscasProfile> {
+    pep_netlist::generate::IscasProfile::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+}
+
+/// Materializes the netlist a spec describes.
+///
+/// # Errors
+///
+/// [`ApiError`] when inline `.bench` text fails to parse. Sample and
+/// profile names were validated at request-parse time.
+pub fn build_netlist(spec: &CircuitSpec) -> Result<Netlist, ApiError> {
+    match spec {
+        CircuitSpec::Sample(name) => Ok(match name.as_str() {
+            "c17" => pep_netlist::samples::c17(),
+            "mux2" => pep_netlist::samples::mux2(),
+            _ => pep_netlist::samples::fig6(),
+        }),
+        CircuitSpec::Profile(name) => {
+            let profile = profile_by_name(name)
+                .ok_or_else(|| ApiError(format!("unknown profile {name:?}")))?;
+            Ok(pep_netlist::generate::iscas_profile(profile))
+        }
+        CircuitSpec::Bench { name, text } => pep_netlist::parse_bench(name, text)
+            .map_err(|e| ApiError(format!("bad .bench text: {e}"))),
+    }
+}
+
+/// Overlays a (partial) JSON config object onto
+/// [`AnalysisConfig::default`], rejecting unknown fields.
+fn parse_config(value: &Value) -> Result<AnalysisConfig, ApiError> {
+    let map = value
+        .as_map()
+        .ok_or_else(|| ApiError("\"config\" must be a JSON object".into()))?;
+    const KNOWN: &[&str] = &[
+        "samples",
+        "min_event_prob",
+        "supergate_depth",
+        "max_effective_stems",
+        "max_conditioning_events",
+        "conditioning_resolution",
+        "filter_stems",
+        "threads",
+        "mode",
+        "budget",
+    ];
+    for (key, _) in map {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(ApiError(format!(
+                "unknown config field {key:?} (known: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let mut config = AnalysisConfig::default();
+    if let Some(v) = value.get("samples") {
+        config.samples = usize_field(v, "config.samples")?;
+    }
+    if let Some(v) = value.get("min_event_prob") {
+        let p = v
+            .as_f64()
+            .ok_or_else(|| ApiError("config.min_event_prob must be a number".into()))?;
+        if !(0.0..1.0).contains(&p) {
+            return Err(ApiError(format!(
+                "config.min_event_prob must be in [0, 1), got {p}"
+            )));
+        }
+        config.min_event_prob = p;
+    }
+    if let Some(v) = value.get("supergate_depth") {
+        config.supergate_depth = opt_field(v, "config.supergate_depth")?
+            .map(|d: u64| u32::try_from(d).unwrap_or(u32::MAX));
+    }
+    if let Some(v) = value.get("max_effective_stems") {
+        config.max_effective_stems = opt_usize_field(v, "config.max_effective_stems")?;
+    }
+    if let Some(v) = value.get("max_conditioning_events") {
+        config.max_conditioning_events = opt_usize_field(v, "config.max_conditioning_events")?;
+    }
+    if let Some(v) = value.get("conditioning_resolution") {
+        config.conditioning_resolution = opt_usize_field(v, "config.conditioning_resolution")?;
+    }
+    if let Some(v) = value.get("filter_stems") {
+        config.filter_stems = v
+            .as_bool()
+            .ok_or_else(|| ApiError("config.filter_stems must be a boolean".into()))?;
+    }
+    if let Some(v) = value.get("threads") {
+        config.threads = usize_field(v, "config.threads")?;
+    }
+    if let Some(v) = value.get("mode") {
+        let mode = v
+            .as_str()
+            .ok_or_else(|| ApiError("config.mode must be a string".into()))?;
+        config.mode = match mode {
+            "latest" | "Latest" => CombineMode::Latest,
+            "earliest" | "Earliest" => CombineMode::Earliest,
+            other => {
+                return Err(ApiError(format!(
+                    "config.mode must be \"latest\" or \"earliest\", got {other:?}"
+                )))
+            }
+        };
+    }
+    if let Some(v) = value.get("budget") {
+        config.budget = parse_budget(v)?;
+    }
+    Ok(config)
+}
+
+fn parse_budget(value: &Value) -> Result<Option<Budget>, ApiError> {
+    if matches!(value, Value::Null) {
+        return Ok(None);
+    }
+    let map = value
+        .as_map()
+        .ok_or_else(|| ApiError("config.budget must be a JSON object or null".into()))?;
+    const KNOWN: &[&str] = &[
+        "deadline_ms",
+        "max_combinations",
+        "max_event_bytes",
+        "max_stems_per_supergate",
+        "fail_fast",
+    ];
+    for (key, _) in map {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(ApiError(format!(
+                "unknown budget field {key:?} (known: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let mut budget = Budget::default();
+    if let Some(v) = value.get("deadline_ms") {
+        budget.deadline_ms = opt_field(v, "budget.deadline_ms")?;
+    }
+    if let Some(v) = value.get("max_combinations") {
+        budget.max_combinations = opt_field(v, "budget.max_combinations")?;
+    }
+    if let Some(v) = value.get("max_event_bytes") {
+        budget.max_event_bytes = opt_usize_field(v, "budget.max_event_bytes")?;
+    }
+    if let Some(v) = value.get("max_stems_per_supergate") {
+        budget.max_stems_per_supergate = opt_usize_field(v, "budget.max_stems_per_supergate")?;
+    }
+    if let Some(v) = value.get("fail_fast") {
+        budget.fail_fast = v
+            .as_bool()
+            .ok_or_else(|| ApiError("budget.fail_fast must be a boolean".into()))?;
+    }
+    Ok(Some(budget))
+}
+
+fn usize_field(v: &Value, what: &str) -> Result<usize, ApiError> {
+    let n = v
+        .as_u64()
+        .ok_or_else(|| ApiError(format!("{what} must be a non-negative integer")))?;
+    usize::try_from(n).map_err(|_| ApiError(format!("{what} is out of range")))
+}
+
+fn opt_usize_field(v: &Value, what: &str) -> Result<Option<usize>, ApiError> {
+    match v {
+        Value::Null => Ok(None),
+        _ => usize_field(v, what).map(Some),
+    }
+}
+
+fn opt_field(v: &Value, what: &str) -> Result<Option<u64>, ApiError> {
+    match v {
+        Value::Null => Ok(None),
+        _ => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ApiError(format!("{what} must be a non-negative integer or null"))),
+    }
+}
+
+/// Arrival-time summary of one primary output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputStat {
+    /// Output node name.
+    pub name: String,
+    /// Mean arrival time.
+    pub mean: f64,
+    /// Standard deviation of the arrival time.
+    pub std: f64,
+    /// 99th-percentile arrival time (0 when the distribution is empty).
+    pub q99: f64,
+}
+
+/// The completed-job payload returned by `POST /analyze` and
+/// `GET /jobs/:id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Circuit display name.
+    pub circuit: String,
+    /// Node count of the analyzed netlist.
+    pub nodes: u64,
+    /// Supergates the analysis extracted.
+    pub supergates: u64,
+    /// Stems actually conditioned on.
+    pub stems_conditioned: u64,
+    /// Per-primary-output arrival statistics.
+    pub outputs: Vec<OutputStat>,
+    /// FNV-1a digest over every node's full arrival distribution —
+    /// bit-identical runs produce identical digests, so determinism is
+    /// checkable without shipping every group over the wire.
+    pub groups_digest: String,
+    /// Structured degradation warnings, in emission order.
+    pub warnings: Vec<Warning>,
+    /// The warnings aggregated by (code, knob).
+    pub warning_groups: Vec<WarningGroup>,
+    /// Wall-clock job time in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Builds the response payload from a finished analysis.
+pub fn job_result(
+    spec: &CircuitSpec,
+    netlist: &Netlist,
+    analysis: &PepAnalysis,
+    elapsed_ms: u64,
+) -> JobResult {
+    let outputs = netlist
+        .primary_outputs()
+        .iter()
+        .map(|&po| OutputStat {
+            name: netlist.node_name(po).to_owned(),
+            mean: analysis.mean_time(po),
+            std: analysis.std_time(po),
+            q99: analysis.quantile_time(po, 0.99).unwrap_or(0.0),
+        })
+        .collect();
+    let warnings = analysis.warnings().to_vec();
+    let warning_groups = pep_obs::aggregate_warnings(&warnings);
+    JobResult {
+        circuit: spec.display_name().to_owned(),
+        nodes: netlist.node_count() as u64,
+        supergates: analysis.stats().supergates as u64,
+        stems_conditioned: analysis.stats().stems_conditioned as u64,
+        outputs,
+        groups_digest: format!("{:016x}", groups_digest(netlist, analysis)),
+        warnings,
+        warning_groups,
+        elapsed_ms,
+    }
+}
+
+/// FNV-1a over every node's full distribution (tick and exact
+/// probability bits, in node order). Two analyses digest equal iff
+/// their groups are bit-identical.
+pub fn groups_digest(netlist: &Netlist, analysis: &PepAnalysis) -> u64 {
+    let mut hash = crate::cache::FNV_OFFSET;
+    for id in netlist.node_ids() {
+        hash = crate::cache::fnv1a_extend(hash, &(id.index() as u64).to_le_bytes());
+        for (tick, prob) in analysis.group(id).iter() {
+            hash = crate::cache::fnv1a_extend(hash, &tick.to_le_bytes());
+            hash = crate::cache::fnv1a_extend(hash, &prob.to_bits().to_le_bytes());
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let req = parse_analyze_request(r#"{"circuit": "sample:c17"}"#).unwrap();
+        assert_eq!(req.circuit, CircuitSpec::Sample("c17".into()));
+        assert_eq!(req.seed, 1);
+        assert!(!req.detach);
+        assert_eq!(req.config.samples, AnalysisConfig::default().samples);
+    }
+
+    #[test]
+    fn partial_config_overlays_defaults() {
+        let req = parse_analyze_request(
+            r#"{"circuit": "sample:fig6", "seed": 9,
+                "config": {"threads": 4, "mode": "earliest",
+                           "budget": {"deadline_ms": 250, "fail_fast": true}}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.config.threads, 4);
+        assert_eq!(req.config.mode, CombineMode::Earliest);
+        let b = req.config.budget.expect("budget set");
+        assert_eq!(b.deadline_ms, Some(250));
+        assert!(b.fail_fast);
+        // Untouched knobs keep their defaults.
+        assert_eq!(
+            req.config.supergate_depth,
+            AnalysisConfig::default().supergate_depth
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        for body in [
+            r#"{"circuit": "sample:c17", "tweaks": 1}"#,
+            r#"{"circuit": "sample:c17", "config": {"smples": 10}}"#,
+            r#"{"circuit": "sample:c17", "config": {"budget": {"deadlin": 5}}}"#,
+        ] {
+            let err = parse_analyze_request(body).unwrap_err();
+            assert!(err.0.contains("unknown"), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for body in [
+            r#"{}"#,
+            r#"{"circuit": "sample:c99"}"#,
+            r#"{"circuit": "profile:s1"}"#,
+            r#"{"circuit": "/etc/passwd"}"#,
+            r#"{"circuit": "sample:c17", "bench": "x"}"#,
+            r#"{"circuit": 7}"#,
+            r#"not json"#,
+            r#"[1,2,3]"#,
+            r#"{"circuit": "sample:c17", "config": {"min_event_prob": 2.0}}"#,
+        ] {
+            assert!(parse_analyze_request(body).is_err(), "accepted: {body}");
+        }
+    }
+
+    #[test]
+    fn inline_bench_is_parsed() {
+        let req = parse_analyze_request(
+            r#"{"bench": "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "name": "tiny"}"#,
+        )
+        .unwrap();
+        let nl = build_netlist(&req.circuit).unwrap();
+        assert_eq!(nl.name(), "tiny");
+        assert_eq!(nl.gate_count(), 1);
+        // Malformed text is a typed error, not a panic.
+        assert!(build_netlist(&CircuitSpec::Bench {
+            name: "bad".into(),
+            text: "y = AND(a,".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn job_result_round_trips_and_digests_deterministically() {
+        use pep_celllib::{DelayModel, Timing};
+        let nl = pep_netlist::samples::c17();
+        let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+        let spec = CircuitSpec::Sample("c17".into());
+        let a = pep_core::analyze(&nl, &t, &AnalysisConfig::default());
+        let b = pep_core::analyze(&nl, &t, &AnalysisConfig::default());
+        let ra = job_result(&spec, &nl, &a, 12);
+        let rb = job_result(&spec, &nl, &b, 12);
+        assert_eq!(ra.groups_digest, rb.groups_digest);
+        assert_eq!(ra.groups_digest.len(), 16);
+        assert!(!ra.outputs.is_empty());
+        let text = serde::json::to_string(&ra);
+        let back: JobResult = serde::json::from_str_as(&text).unwrap();
+        assert_eq!(back, ra);
+        // A different seed digests differently.
+        let t2 = Timing::annotate(&nl, &DelayModel::dac2001(2));
+        let c = pep_core::analyze(&nl, &t2, &AnalysisConfig::default());
+        assert_ne!(
+            job_result(&spec, &nl, &c, 0).groups_digest,
+            ra.groups_digest
+        );
+    }
+}

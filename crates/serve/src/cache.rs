@@ -1,0 +1,202 @@
+//! Content-addressed circuit cache.
+//!
+//! Re-analyzing the same netlist with different knobs is the common
+//! service workload, and parsing/annotating a 19k-gate profile dwarfs
+//! many analyses. The cache keys on an FNV-1a hash of everything that
+//! determines the parsed-and-annotated circuit — the spec text and the
+//! delay seed — and holds `Arc`s so concurrent jobs share one parsed
+//! copy. Eviction is FIFO with a fixed entry cap: deterministic, and
+//! good enough for a cache whose entries are all cheap to rebuild.
+
+use crate::api::{build_netlist, ApiError, CircuitSpec};
+use pep_celllib::{DelayModel, Timing};
+use pep_netlist::Netlist;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends an FNV-1a hash with more bytes.
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit of a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// A parsed-and-annotated circuit, shared between concurrent jobs.
+#[derive(Debug)]
+pub struct CachedCircuit {
+    /// The validated netlist.
+    pub netlist: Netlist,
+    /// Its annotated timing.
+    pub timing: Timing,
+    /// The content-hash key this entry lives under.
+    pub key: u64,
+}
+
+/// The bounded, content-addressed circuit cache.
+#[derive(Debug)]
+pub struct CircuitCache {
+    entries: Mutex<Entries>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Entries {
+    map: HashMap<u64, Arc<CachedCircuit>>,
+    order: VecDeque<u64>,
+}
+
+impl CircuitCache {
+    /// A cache holding at most `capacity` circuits (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CircuitCache {
+            entries: Mutex::new(Entries::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. parses) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cache key for a (spec, seed) pair.
+    pub fn key_for(spec: &CircuitSpec, seed: u64) -> u64 {
+        let mut hash = fnv1a64(spec.cache_text().as_bytes());
+        hash = fnv1a_extend(hash, &seed.to_le_bytes());
+        hash
+    }
+
+    /// Returns the cached circuit for `(spec, seed)`, parsing and
+    /// annotating on a miss.
+    ///
+    /// The parse runs *outside* the cache lock, so a slow parse never
+    /// blocks concurrent lookups; two simultaneous misses on the same
+    /// key both parse and one insert wins (harmless — the results are
+    /// deterministic and equal).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] when inline `.bench` text fails to parse.
+    pub fn get_or_parse(
+        &self,
+        spec: &CircuitSpec,
+        seed: u64,
+    ) -> Result<Arc<CachedCircuit>, ApiError> {
+        let key = Self::key_for(spec, seed);
+        if let Some(found) = self.entries.lock().expect("cache lock").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let netlist = build_netlist(spec)?;
+        let timing = Timing::annotate(&netlist, &DelayModel::dac2001(seed));
+        let entry = Arc::new(CachedCircuit {
+            netlist,
+            timing,
+            key,
+        });
+        let mut entries = self.entries.lock().expect("cache lock");
+        if !entries.map.contains_key(&key) {
+            while entries.map.len() >= self.capacity {
+                match entries.order.pop_front() {
+                    Some(oldest) => {
+                        entries.map.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            entries.map.insert(key, Arc::clone(&entry));
+            entries.order.push_back(key);
+        }
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hit_shares_the_same_parse() {
+        let cache = CircuitCache::new(4);
+        let spec = CircuitSpec::Sample("c17".into());
+        let a = cache.get_or_parse(&spec, 1).unwrap();
+        let b = cache.get_or_parse(&spec, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // A different seed is a different circuit.
+        let c = cache.get_or_parse(&spec, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = CircuitCache::new(2);
+        let spec = CircuitSpec::Sample("c17".into());
+        for seed in 0..5 {
+            cache.get_or_parse(&spec, seed).unwrap();
+            assert!(cache.len() <= 2);
+        }
+        // Seed 0 was evicted long ago → re-parsing is a miss.
+        let before = cache.misses();
+        cache.get_or_parse(&spec, 0).unwrap();
+        assert_eq!(cache.misses(), before + 1);
+        // Most recent seed is still cached.
+        let before = cache.hits();
+        cache.get_or_parse(&spec, 4).unwrap();
+        assert_eq!(cache.hits(), before + 1);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = CircuitCache::new(2);
+        let bad = CircuitSpec::Bench {
+            name: "bad".into(),
+            text: "y = AND(".into(),
+        };
+        assert!(cache.get_or_parse(&bad, 1).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! A tiny blocking HTTP client for the CLI and the smoke tests.
+//!
+//! Speaks exactly the dialect the server emits (`Connection: close`,
+//! `Content-Length` bodies), over one `TcpStream` per request.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side transport or protocol failure.
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError(format!("transport error: {e}"))
+    }
+}
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body as UTF-8 text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// `addr` is `host:port`. `body = Some(json)` adds a JSON
+/// `Content-Length` body.
+///
+/// # Errors
+///
+/// [`ClientError`] on connect/transport failures or a malformed
+/// response head.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<ClientResponse, ClientError> {
+    request_with_timeout(addr, method, path, body, Duration::from_secs(60))
+}
+
+/// [`request`] with an explicit per-request timeout.
+///
+/// # Errors
+///
+/// [`ClientError`], including on timeout.
+pub fn request_with_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<ClientResponse, ClientError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| ClientError(format!("connect to {addr} failed: {e}")))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    send_over(stream, method, path, body)
+}
+
+/// Sends a request over an already-connected stream (used by the
+/// disconnect-handling tests).
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failures or a malformed response.
+pub fn send_over(
+    mut stream: TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<ClientResponse, ClientError> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: pep-serve\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError("response without header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ClientError("non-UTF-8 response head".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError(format!("bad status line {status_line:?}")))?;
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok(ClientResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_head_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\n\r\n{\"a\":1}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.body, "{\"a\":1}");
+        assert!(!r.is_success());
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

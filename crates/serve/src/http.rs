@@ -1,0 +1,623 @@
+//! A minimal, defensive HTTP/1.1 subset over any [`Read`]/[`Write`]
+//! pair.
+//!
+//! The parser is deliberately small — request line, headers,
+//! `Content-Length` body — and deliberately paranoid: every dimension of
+//! the input (head bytes, header count, body bytes, wall-clock time) is
+//! capped by [`HttpLimits`], and every malformed or hostile input maps
+//! to a typed [`HttpError`] with a definite 4xx/5xx status. A slow-loris
+//! peer that dribbles bytes forever hits the read deadline and gets a
+//! 408; a peer that closes mid-request gets classified as
+//! [`HttpError::Truncated`]; nothing panics and nothing blocks past the
+//! deadline.
+//!
+//! The parser reads from a generic [`Read`] so the proptest fuzz
+//! harness can drive it from byte buffers and adversarial mock readers
+//! without a socket in sight.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Resource caps applied while reading one request.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (the "head").
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared/read body bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock deadline for reading one complete request.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Typed request-read failure; [`HttpError::status`] maps each variant
+/// to the response status the peer receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// Method is syntactically fine but not GET/POST/DELETE.
+    UnsupportedMethod(String),
+    /// Not an HTTP/1.x version token.
+    UnsupportedVersion(String),
+    /// Head (request line + headers) exceeded `max_head_bytes`.
+    HeadTooLarge {
+        /// The configured cap that tripped.
+        limit: usize,
+    },
+    /// More header lines than `max_headers`.
+    TooManyHeaders {
+        /// The configured cap that tripped.
+        limit: usize,
+    },
+    /// A header line without a colon or with an empty name.
+    BadHeader(String),
+    /// `Content-Length` was present but not a decimal integer.
+    BadContentLength(String),
+    /// Declared or actual body exceeded `max_body_bytes`.
+    BodyTooLarge {
+        /// The configured cap that tripped.
+        limit: usize,
+        /// The declared Content-Length.
+        declared: usize,
+    },
+    /// `Transfer-Encoding` (chunked bodies are not supported).
+    UnsupportedTransferEncoding,
+    /// A body that must be UTF-8 (JSON) was not.
+    InvalidUtf8,
+    /// The read deadline expired before a full request arrived
+    /// (slow-loris defense).
+    Timeout,
+    /// The peer closed the connection mid-request.
+    Truncated,
+    /// Transport error (connection reset, …) — usually unanswerable.
+    Io(ErrorKind),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_)
+            | HttpError::InvalidUtf8
+            | HttpError::Truncated
+            | HttpError::Io(_) => 400,
+            HttpError::UnsupportedMethod(_) => 405,
+            HttpError::UnsupportedVersion(_) => 505,
+            HttpError::HeadTooLarge { .. } | HttpError::TooManyHeaders { .. } => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::Timeout => 408,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line {line:?}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::TooManyHeaders { limit } => write!(f, "more than {limit} headers"),
+            HttpError::BadHeader(h) => write!(f, "malformed header {h:?}"),
+            HttpError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            HttpError::BodyTooLarge { limit, declared } => {
+                write!(f, "body of {declared} bytes exceeds {limit} bytes")
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported; use content-length")
+            }
+            HttpError::InvalidUtf8 => write!(f, "body is not valid UTF-8"),
+            HttpError::Timeout => write!(f, "read deadline expired"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The request methods the service routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `DELETE`
+    Delete,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The (supported) request method.
+    pub method: Method,
+    /// Request target as sent (path, possibly with a query we ignore).
+    pub target: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path component of the target (query stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The body as UTF-8, or the typed 400.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::InvalidUtf8)
+    }
+}
+
+/// Reads one request from `r`, respecting every limit.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte arrived (the peer
+/// simply closed an idle connection). `WouldBlock`/`TimedOut` reads are
+/// retried until `limits.read_timeout` elapses, so the function works
+/// with both blocking sockets (with an OS read timeout set) and
+/// nonblocking mocks.
+///
+/// # Errors
+///
+/// Any [`HttpError`] variant; see each variant's docs.
+pub fn read_request<R: Read>(r: &mut R, limits: &HttpLimits) -> Result<Option<Request>, HttpError> {
+    let deadline = Instant::now() + limits.read_timeout;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+
+    // Phase 1: accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos.line_end > limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge {
+                    limit: limits.max_head_bytes,
+                });
+            }
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if retryable(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(HttpError::Timeout);
+                }
+                if e.kind() == ErrorKind::WouldBlock {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.kind())),
+        }
+    };
+
+    let head =
+        std::str::from_utf8(&buf[..head_end.line_end]).map_err(|_| HttpError::InvalidUtf8)?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let (method, target) = parse_request_line(request_line)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(clip(line)))?;
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::BadHeader(clip(line)));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let find = |wanted: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == wanted)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let body_len = match find("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength(clip(v)))?,
+    };
+    if body_len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+            declared: body_len,
+        });
+    }
+
+    // Phase 2: the body. Some of it may already be buffered.
+    let mut body: Vec<u8> = buf[head_end.body_start.min(buf.len())..].to_vec();
+    body.truncate(body_len); // ignore pipelined bytes beyond this request
+    while body.len() < body_len {
+        match r.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => {
+                let want = body_len - body.len();
+                body.extend_from_slice(&chunk[..n.min(want)]);
+            }
+            Err(e) if retryable(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(HttpError::Timeout);
+                }
+                if e.kind() == ErrorKind::WouldBlock {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.kind())),
+        }
+    }
+
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// Parses one request from a complete byte buffer (fuzzing entry
+/// point; identical semantics to [`read_request`] with an infinite
+/// deadline).
+///
+/// # Errors
+///
+/// Same as [`read_request`].
+pub fn parse_bytes(bytes: &[u8], limits: &HttpLimits) -> Result<Option<Request>, HttpError> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    read_request(&mut cursor, limits)
+}
+
+struct HeadEnd {
+    /// Byte offset one past the last header line (before the blank line).
+    line_end: usize,
+    /// Byte offset where the body starts.
+    body_start: usize,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    // Accept both CRLF CRLF and bare LF LF head terminators.
+    if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(HeadEnd {
+            line_end: pos,
+            body_start: pos + 4,
+        });
+    }
+    if let Some(pos) = buf.windows(2).position(|w| w == b"\n\n") {
+        return Some(HeadEnd {
+            line_end: pos,
+            body_start: pos + 2,
+        });
+    }
+    None
+}
+
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+    )
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine(clip(line)));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::UnsupportedVersion(clip(version)));
+    }
+    if !target.starts_with('/') || target.len() > 1024 {
+        return Err(HttpError::BadRequestLine(clip(line)));
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "DELETE" => Method::Delete,
+        other if other.bytes().all(is_token_byte) && !other.is_empty() => {
+            return Err(HttpError::UnsupportedMethod(clip(other)))
+        }
+        _ => return Err(HttpError::BadRequestLine(clip(line))),
+    };
+    Ok((method, target.to_owned()))
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Clips attacker-controlled text before embedding it in an error.
+fn clip(s: &str) -> String {
+    const MAX: usize = 64;
+    if s.len() <= MAX {
+        s.to_owned()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// One response, written with `Connection: close` semantics.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (Content-Type/-Length and Connection are added by
+    /// [`write_to`](Response::write_to)).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response from an already-serialized body.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// The uniform JSON error shape: `{"error": …, "code": …}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
+        let body = serde::json::to_string(&ErrorBody {
+            error: message.to_owned(),
+            code: code.to_owned(),
+        });
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// Serializes the response to the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The serialized JSON error body.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable message.
+    pub error: String,
+    /// Machine-matchable error code.
+    pub code: String,
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n", &limits())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse_bytes(
+            b"POST /analyze?x=1 HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd",
+            &limits(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path(), "/analyze");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversize_declared_body() {
+        let mut l = limits();
+        l.max_body_bytes = 10;
+        let err =
+            parse_bytes(b"POST /analyze HTTP/1.1\r\ncontent-length: 11\r\n\r\n", &l).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { declared: 11, .. }));
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_oversize_head() {
+        let mut l = limits();
+        l.max_head_bytes = 64;
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("x: {}\r\n\r\n", "y".repeat(200)).as_bytes());
+        let err = parse_bytes(&raw, &l).unwrap_err();
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn truncated_request_is_typed() {
+        let err = parse_bytes(b"GET / HTTP/1.1\r\nhos", &limits()).unwrap_err();
+        assert_eq!(err, HttpError::Truncated);
+        // Body truncation too.
+        let err = parse_bytes(
+            b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nab",
+            &limits(),
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::Truncated);
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        assert!(parse_bytes(b"", &limits()).unwrap().is_none());
+    }
+
+    #[test]
+    fn slow_loris_times_out() {
+        struct Loris;
+        impl Read for Loris {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(ErrorKind::WouldBlock))
+            }
+        }
+        let l = HttpLimits {
+            read_timeout: Duration::from_millis(30),
+            ..limits()
+        };
+        let start = Instant::now();
+        let err = read_request(&mut Loris, &l).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+        assert!(start.elapsed() < Duration::from_secs(5), "bounded wait");
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn unsupported_method_and_version() {
+        assert_eq!(
+            parse_bytes(b"PATCH / HTTP/1.1\r\n\r\n", &limits())
+                .unwrap_err()
+                .status(),
+            405
+        );
+        assert_eq!(
+            parse_bytes(b"GET / HTTP/2\r\n\r\n", &limits())
+                .unwrap_err()
+                .status(),
+            505
+        );
+    }
+}

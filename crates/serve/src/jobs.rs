@@ -1,0 +1,607 @@
+//! The bounded job queue, worker pool, and job registry.
+//!
+//! Admission control happens at [`Jobs::submit`]: a full queue sheds the
+//! request (→ 429 + `Retry-After`), a draining server refuses it
+//! (→ 503). Each accepted job carries its own [`CancelToken`]; workers
+//! run the analysis under `catch_unwind` so one poisoned job returns a
+//! 500 for *that job only* and the worker thread survives to take the
+//! next one. Shutdown is cooperative: [`Jobs::drain`] stops admission,
+//! cancels everything still queued, gives running jobs a grace window,
+//! and only then escalates their tokens to abort.
+
+use crate::api::{job_result, AnalyzeRequest, JobResult};
+use crate::cache::CircuitCache;
+use pep_core::{try_analyze_cancellable, CancelToken, PepError};
+use pep_obs::Session;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fault site: panic in the serve worker just before the analysis runs
+/// (probed through the engine's cfg-gated fault registry, so it
+/// compiles away without the `fault-injection` feature).
+pub const JOB_PANIC: &str = "serve-job-panic";
+
+/// How many terminal jobs the registry remembers for `GET /jobs/:id`.
+const TERMINAL_RETENTION: usize = 256;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished successfully.
+    Done(Box<JobResult>),
+    /// Finished with a typed error.
+    Failed(JobFailure),
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// Short state name for status JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+/// A typed job failure (maps directly onto the HTTP response).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// HTTP status for this failure.
+    pub status: u16,
+    /// Machine-matchable code (`bad-circuit`, `budget-exceeded`,
+    /// `worker-panic`, …).
+    pub code: String,
+    /// Human-readable message.
+    pub error: String,
+}
+
+/// One job: the request, its cancel token, and its observable state.
+#[derive(Debug)]
+pub struct Job {
+    /// Monotonic job id.
+    pub id: u64,
+    /// The parsed request.
+    pub request: AnalyzeRequest,
+    /// Cancels this job (degrade-free: service cancellation aborts).
+    pub cancel: CancelToken,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    /// Snapshot of the current state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job state lock").clone()
+    }
+}
+
+/// Wire shape of `GET /jobs/:id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// State name (`queued`, `running`, `done`, `failed`, `cancelled`).
+    pub state: String,
+    /// The result, when `state == "done"`.
+    pub result: Option<JobResult>,
+    /// The failure, when `state == "failed"`.
+    pub failure: Option<JobFailure>,
+}
+
+impl JobStatus {
+    /// Builds the status payload for a job.
+    pub fn of(job: &Job) -> JobStatus {
+        let state = job.state();
+        JobStatus {
+            id: job.id,
+            state: state.name().to_owned(),
+            result: match &state {
+                JobState::Done(r) => Some((**r).clone()),
+                _ => None,
+            },
+            failure: match state {
+                JobState::Failed(f) => Some(f),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Why [`Jobs::submit`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — shed with 429 + `Retry-After`.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// Server is draining — 503.
+    Draining,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Arc<Job>>,
+    registry: HashMap<u64, Arc<Job>>,
+    terminal_order: VecDeque<u64>,
+    accepting: bool,
+    in_flight: usize,
+}
+
+/// Monotonic counters the queue maintains for `/metrics`.
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests shed because the queue was full.
+    pub shed: AtomicU64,
+    /// Jobs finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs finished with a typed failure.
+    pub failed: AtomicU64,
+    /// Jobs cancelled (client- or drain-initiated).
+    pub cancelled: AtomicU64,
+    /// Worker panics contained by `catch_unwind`.
+    pub panics: AtomicU64,
+}
+
+/// Aggregated per-phase wall time across every job, for `/metrics`.
+#[derive(Debug, Default)]
+pub struct PhaseAgg {
+    totals: Mutex<BTreeMap<String, (f64, u64)>>,
+}
+
+impl PhaseAgg {
+    /// Folds one job's phase tree into the totals.
+    pub fn fold(&self, phases: &[pep_obs::PhaseReport]) {
+        let mut totals = self.totals.lock().expect("phase agg lock");
+        fn walk(totals: &mut BTreeMap<String, (f64, u64)>, nodes: &[pep_obs::PhaseReport]) {
+            for n in nodes {
+                let entry = totals.entry(n.name.clone()).or_insert((0.0, 0));
+                entry.0 += n.wall_seconds;
+                entry.1 += n.count;
+                walk(totals, &n.children);
+            }
+        }
+        walk(&mut totals, phases);
+    }
+
+    /// Snapshot: phase name → (total seconds, count).
+    pub fn snapshot(&self) -> BTreeMap<String, (f64, u64)> {
+        self.totals.lock().expect("phase agg lock").clone()
+    }
+}
+
+/// The shared queue + registry; one per server.
+#[derive(Debug)]
+pub struct Jobs {
+    inner: Mutex<Inner>,
+    /// Wakes workers when work arrives or shutdown begins.
+    work_cv: Condvar,
+    /// Wakes waiters when any job reaches a terminal state.
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    capacity: usize,
+    /// Monotonic counters for `/metrics`.
+    pub counters: JobCounters,
+    /// Per-phase timing rollup for `/metrics`.
+    pub phases: PhaseAgg,
+}
+
+impl Jobs {
+    /// A queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        Jobs {
+            inner: Mutex::new(Inner {
+                accepting: true,
+                ..Inner::default()
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            counters: JobCounters::default(),
+            phases: PhaseAgg::default(),
+        }
+    }
+
+    /// Jobs waiting for a worker right now.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().expect("jobs lock").queue.len()
+    }
+
+    /// Jobs running right now.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().expect("jobs lock").in_flight
+    }
+
+    /// Whether the queue still admits work.
+    pub fn accepting(&self) -> bool {
+        self.inner.lock().expect("jobs lock").accepting
+    }
+
+    /// Admission control: accepts the request or sheds it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under load, [`SubmitError::Draining`]
+    /// after shutdown began.
+    pub fn submit(&self, request: AnalyzeRequest) -> Result<Arc<Job>, SubmitError> {
+        let mut inner = self.inner.lock().expect("jobs lock");
+        if !inner.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.capacity {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let job = Arc::new(Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            request,
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState::Queued),
+        });
+        inner.queue.push_back(Arc::clone(&job));
+        inner.registry.insert(job.id, Arc::clone(&job));
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.work_cv.notify_one();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.inner
+            .lock()
+            .expect("jobs lock")
+            .registry
+            .get(&id)
+            .cloned()
+    }
+
+    /// Cancels a job: queued jobs terminate immediately, running jobs
+    /// get their token escalated to abort and terminate at the next
+    /// engine poll point. Returns the post-cancel state, or `None` for
+    /// an unknown id.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let job = self.get(id)?;
+        job.cancel.cancel_abort();
+        {
+            let mut state = job.state.lock().expect("job state lock");
+            if matches!(*state, JobState::Queued) {
+                *state = JobState::Cancelled;
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                self.note_terminal(job.id);
+                self.done_cv.notify_all();
+            }
+        }
+        Some(job.state())
+    }
+
+    /// Blocks until a job is available; returns `None` when the queue
+    /// is draining and empty (the worker should exit).
+    pub fn take_next(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().expect("jobs lock");
+        loop {
+            while let Some(job) = inner.queue.pop_front() {
+                let mut state = job.state.lock().expect("job state lock");
+                if matches!(*state, JobState::Queued) {
+                    *state = JobState::Running;
+                    drop(state);
+                    inner.in_flight += 1;
+                    return Some(job);
+                }
+                // Cancelled while queued — skip it.
+            }
+            if !inner.accepting {
+                return None;
+            }
+            inner = self.work_cv.wait(inner).expect("jobs lock");
+        }
+    }
+
+    /// Records a job's terminal state and wakes waiters.
+    pub fn finish(&self, job: &Job, state: JobState) {
+        debug_assert!(state.is_terminal());
+        match &state {
+            JobState::Done(_) => self.counters.completed.fetch_add(1, Ordering::Relaxed),
+            JobState::Cancelled => self.counters.cancelled.fetch_add(1, Ordering::Relaxed),
+            _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        *job.state.lock().expect("job state lock") = state;
+        {
+            let mut inner = self.inner.lock().expect("jobs lock");
+            inner.in_flight = inner.in_flight.saturating_sub(1);
+        }
+        self.note_terminal(job.id);
+        self.done_cv.notify_all();
+    }
+
+    fn note_terminal(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("jobs lock");
+        inner.terminal_order.push_back(id);
+        while inner.terminal_order.len() > TERMINAL_RETENTION {
+            if let Some(old) = inner.terminal_order.pop_front() {
+                inner.registry.remove(&old);
+            }
+        }
+    }
+
+    /// Waits up to `slice` for `job` to reach a terminal state; returns
+    /// the state either way. Callers loop around this so they can poll
+    /// side conditions (client disconnect) between slices.
+    pub fn wait_terminal_slice(&self, job: &Job, slice: Duration) -> JobState {
+        let deadline = Instant::now() + slice;
+        let mut state = job.state.lock().expect("job state lock");
+        while !state.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // The shared done_cv pairs with the *inner* mutex for
+            // drain waits, but terminal transitions notify while the
+            // job's own state lock is free — a short timed wait keeps
+            // this simple and race-free.
+            drop(state);
+            std::thread::sleep(Duration::from_millis(2).min(deadline - now));
+            state = job.state.lock().expect("job state lock");
+        }
+        state.clone()
+    }
+
+    /// Stops admission and cancels everything still queued.
+    pub fn begin_shutdown(&self) {
+        let queued: Vec<Arc<Job>> = {
+            let mut inner = self.inner.lock().expect("jobs lock");
+            inner.accepting = false;
+            inner.queue.drain(..).collect()
+        };
+        for job in queued {
+            let mut state = job.state.lock().expect("job state lock");
+            if matches!(*state, JobState::Queued) {
+                *state = JobState::Cancelled;
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                self.note_terminal(job.id);
+            }
+        }
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Graceful drain: stop admission, give running jobs `grace` to
+    /// finish, then escalate their tokens to abort and wait (bounded)
+    /// for the workers to observe. Returns `true` when everything
+    /// terminated.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.begin_shutdown();
+        let deadline = Instant::now() + grace;
+        while self.in_flight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if self.in_flight() > 0 {
+            // Grace expired: abort whatever is still running.
+            let running: Vec<Arc<Job>> = {
+                let inner = self.inner.lock().expect("jobs lock");
+                inner.registry.values().cloned().collect()
+            };
+            for job in running {
+                if matches!(job.state(), JobState::Running) {
+                    job.cancel.cancel_abort();
+                }
+            }
+            // Cancellation latency is bounded by the engine's poll
+            // granularity; wait a bounded extra window.
+            let hard = Instant::now() + Duration::from_secs(10);
+            while self.in_flight() > 0 && Instant::now() < hard {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        self.in_flight() == 0
+    }
+}
+
+/// Runs one job to its terminal state. Everything — cache miss parse,
+/// the analysis itself, result assembly — happens under
+/// `catch_unwind`, so a panic poisons only this job.
+pub fn run_job(jobs: &Jobs, cache: &CircuitCache, job: &Job) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute(cache, &job.request, &job.cancel)
+    }));
+    let state = match outcome {
+        Ok(Ok((result, report))) => {
+            jobs.phases.fold(&report.phases);
+            JobState::Done(Box::new(result))
+        }
+        Ok(Err(JobOutcomeErr::Cancelled)) => JobState::Cancelled,
+        Ok(Err(JobOutcomeErr::Failure(f))) => JobState::Failed(f),
+        Err(panic) => {
+            jobs.counters.panics.fetch_add(1, Ordering::Relaxed);
+            JobState::Failed(JobFailure {
+                status: 500,
+                code: "worker-panic".to_owned(),
+                error: format!("worker panicked: {}", panic_message(&panic)),
+            })
+        }
+    };
+    jobs.finish(job, state);
+}
+
+/// Worker thread body: take jobs until the queue drains.
+pub fn worker_loop(jobs: &Jobs, cache: &CircuitCache) {
+    while let Some(job) = jobs.take_next() {
+        run_job(jobs, cache, &job);
+    }
+}
+
+enum JobOutcomeErr {
+    Cancelled,
+    Failure(JobFailure),
+}
+
+fn execute(
+    cache: &CircuitCache,
+    request: &AnalyzeRequest,
+    cancel: &CancelToken,
+) -> Result<(JobResult, pep_obs::RunReport), JobOutcomeErr> {
+    let started = Instant::now();
+    if pep_core::faults::fires(JOB_PANIC) {
+        panic!("injected fault: {JOB_PANIC}");
+    }
+    let circuit = cache
+        .get_or_parse(&request.circuit, request.seed)
+        .map_err(|e| {
+            JobOutcomeErr::Failure(JobFailure {
+                status: 422,
+                code: "bad-circuit".to_owned(),
+                error: e.to_string(),
+            })
+        })?;
+    let obs = Session::new();
+    let analysis = try_analyze_cancellable(
+        &circuit.netlist,
+        &circuit.timing,
+        &request.config,
+        &obs,
+        cancel,
+    )
+    .map_err(|e| match e {
+        PepError::Cancelled(_) => JobOutcomeErr::Cancelled,
+        other => JobOutcomeErr::Failure(JobFailure {
+            status: 422,
+            code: "analysis-failed".to_owned(),
+            error: other.to_string(),
+        }),
+    })?;
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let result = job_result(&request.circuit, &circuit.netlist, &analysis, elapsed_ms);
+    Ok((result, obs.report("serve-analyze")))
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::CircuitSpec;
+    use pep_core::AnalysisConfig;
+
+    fn request() -> AnalyzeRequest {
+        AnalyzeRequest {
+            circuit: CircuitSpec::Sample("c17".into()),
+            seed: 1,
+            config: AnalysisConfig::default(),
+            detach: false,
+        }
+    }
+
+    #[test]
+    fn queue_sheds_beyond_capacity() {
+        let jobs = Jobs::new(2);
+        assert!(jobs.submit(request()).is_ok());
+        assert!(jobs.submit(request()).is_ok());
+        match jobs.submit(request()) {
+            Err(SubmitError::QueueFull { capacity: 2 }) => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(jobs.counters.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(jobs.queue_depth(), 2);
+    }
+
+    #[test]
+    fn draining_queue_refuses_submissions() {
+        let jobs = Jobs::new(4);
+        let queued = jobs.submit(request()).unwrap();
+        jobs.begin_shutdown();
+        assert!(matches!(jobs.submit(request()), Err(SubmitError::Draining)));
+        // The queued job was cancelled, not lost.
+        assert!(matches!(queued.state(), JobState::Cancelled));
+        // And workers see an empty, draining queue.
+        assert!(jobs.take_next().is_none());
+    }
+
+    #[test]
+    fn cancel_of_queued_job_is_immediate() {
+        let jobs = Jobs::new(4);
+        let job = jobs.submit(request()).unwrap();
+        let state = jobs.cancel(job.id).expect("known id");
+        assert!(matches!(state, JobState::Cancelled));
+        assert!(jobs.cancel(999).is_none(), "unknown id is None");
+        // A worker never sees it.
+        jobs.begin_shutdown();
+        assert!(jobs.take_next().is_none());
+    }
+
+    #[test]
+    fn worker_runs_job_to_done() {
+        let jobs = Jobs::new(4);
+        let cache = CircuitCache::new(4);
+        let job = jobs.submit(request()).unwrap();
+        let taken = jobs.take_next().unwrap();
+        assert_eq!(taken.id, job.id);
+        run_job(&jobs, &cache, &taken);
+        match job.state() {
+            JobState::Done(result) => {
+                assert_eq!(result.circuit, "c17");
+                assert!(!result.outputs.is_empty());
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(jobs.counters.completed.load(Ordering::Relaxed), 1);
+        assert_eq!(jobs.in_flight(), 0);
+        // Phase timings were folded into the rollup.
+        assert!(!jobs.phases.snapshot().is_empty());
+    }
+
+    #[test]
+    fn drain_with_no_workers_cancels_queued_work() {
+        let jobs = Jobs::new(8);
+        let a = jobs.submit(request()).unwrap();
+        let b = jobs.submit(request()).unwrap();
+        assert!(jobs.drain(Duration::from_millis(50)));
+        assert!(matches!(a.state(), JobState::Cancelled));
+        assert!(matches!(b.state(), JobState::Cancelled));
+        assert_eq!(jobs.counters.cancelled.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn job_status_json_round_trips() {
+        let jobs = Jobs::new(4);
+        let job = jobs.submit(request()).unwrap();
+        let status = JobStatus::of(&job);
+        assert_eq!(status.state, "queued");
+        let text = serde::json::to_string(&status);
+        let back: JobStatus = serde::json::from_str_as(&text).unwrap();
+        assert_eq!(back, status);
+    }
+}

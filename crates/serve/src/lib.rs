@@ -1,0 +1,66 @@
+//! `pep-serve` — the statistical-timing analyzer as a long-running
+//! service.
+//!
+//! A hand-rolled HTTP/1.1 + JSON daemon over [`std::net::TcpListener`]
+//! (no dependencies beyond the workspace's vendored `serde`), built for
+//! robustness rather than protocol completeness:
+//!
+//! * **Admission control** — a bounded job queue; beyond capacity the
+//!   server sheds load with `429` + `Retry-After` instead of queueing
+//!   unboundedly, and `GET /healthz` stays green throughout,
+//! * **Crash isolation** — each job runs on a fixed worker pool under
+//!   `catch_unwind` plus the engine's budget machinery; one poisoned
+//!   job returns a `500` for that job only,
+//! * **Cooperative cancellation** — every job carries a
+//!   [`pep_core::CancelToken`]; `DELETE /jobs/:id`, a client hang-up on
+//!   a synchronous request, and the drain deadline all stop work at the
+//!   engine's existing poll points,
+//! * **Graceful drain** — on `SIGTERM` or
+//!   [`ServerHandle::shutdown`]: stop accepting, finish in-flight jobs
+//!   within a grace window (escalating to abort after), join every
+//!   thread, and flush a final [`pep_obs::RunReport`],
+//! * **Caching** — parsed-and-annotated circuits are shared between
+//!   jobs through a content-hash cache.
+//!
+//! # Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /analyze` | run an analysis (sync by default, `"detach": true` for 202 + job id) |
+//! | `GET /jobs/:id` | job status / result |
+//! | `DELETE /jobs/:id` | cancel a job |
+//! | `GET /healthz` | liveness (always 200 while the process serves) |
+//! | `GET /readyz` | readiness (503 while draining) |
+//! | `GET /metrics` | queue depth, shed count, in-flight jobs, per-phase timings |
+//!
+//! ```no_run
+//! let handle = pep_serve::serve(pep_serve::ServeConfig::default())?;
+//! let addr = handle.local_addr().to_string();
+//! let response = pep_serve::client::request(
+//!     &addr,
+//!     "POST",
+//!     "/analyze",
+//!     Some(r#"{"circuit": "sample:c17"}"#),
+//! )?;
+//! assert_eq!(response.status, 200);
+//! let summary = handle.shutdown_and_join();
+//! assert!(summary.clean);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(unsafe_code)] // overridden only in `signals` (one extern shim)
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod signals;
+
+pub use api::{AnalyzeRequest, CircuitSpec, JobResult, OutputStat};
+pub use cache::CircuitCache;
+pub use http::{HttpError, HttpLimits, Request, Response};
+pub use jobs::{JobFailure, JobState, JobStatus, Jobs, SubmitError};
+pub use server::{serve, ServeConfig, ServeSummary, ServerHandle};

@@ -1,0 +1,482 @@
+//! The daemon: accept loop, routing, and graceful drain.
+//!
+//! One thread accepts connections (nonblocking, so it can watch the
+//! shutdown latch), one short-lived thread serves each connection
+//! (`Connection: close` — no keep-alive state machine), and a fixed
+//! pool of worker threads executes jobs from the bounded queue. Every
+//! route answers from shared state without touching the engine, except
+//! `POST /analyze` which goes through admission control.
+//!
+//! Shutdown — whether from [`ServerHandle::shutdown`] or a signal seen
+//! on the process latch — follows one script: stop accepting
+//! connections, refuse new jobs, give running jobs the grace window,
+//! escalate leftovers to abort, join every thread, and hand back the
+//! final [`RunReport`]. Nothing is detached; a clean exit leaks no
+//! threads.
+
+use crate::api::parse_analyze_request;
+use crate::cache::CircuitCache;
+use crate::http::{read_request, HttpError, HttpLimits, Method, Request, Response};
+use crate::jobs::{worker_loop, JobState, JobStatus, Jobs, SubmitError};
+use pep_obs::{PhaseReport, RunReport};
+use pep_sta::cancel::{signal_state, CancelState};
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (beyond this, requests shed with 429).
+    pub queue_capacity: usize,
+    /// Grace window for in-flight jobs at shutdown.
+    pub grace: Duration,
+    /// Per-request read limits.
+    pub limits: HttpLimits,
+    /// Parsed-circuit cache capacity.
+    pub cache_entries: usize,
+    /// Whether the accept loop also drains on the process signal latch
+    /// (`psta serve` sets this; in-process tests do not).
+    pub follow_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            grace: Duration::from_secs(5),
+            limits: HttpLimits::default(),
+            cache_entries: 16,
+            follow_signals: false,
+        }
+    }
+}
+
+/// What [`ServerHandle::join`] returns after a full drain.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// `true` when every job reached a terminal state within the grace
+    /// (+ bounded abort) window and every thread was joined.
+    pub clean: bool,
+    /// The final machine-readable report: job counters, shed counts,
+    /// cache statistics, and per-phase timings aggregated over jobs.
+    pub report: RunReport,
+}
+
+struct Shared {
+    jobs: Jobs,
+    cache: CircuitCache,
+    limits: HttpLimits,
+    started: Instant,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`shutdown`](ServerHandle::shutdown) + [`join`](ServerHandle::join).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: JoinHandle<ServeSummary>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers the graceful-drain script (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the drain to complete and returns the final summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread itself panicked (it never should:
+    /// every per-connection and per-job failure is contained).
+    pub fn join(self) -> ServeSummary {
+        self.thread.join().expect("accept thread never panics")
+    }
+
+    /// Convenience: [`shutdown`](ServerHandle::shutdown) then
+    /// [`join`](ServerHandle::join).
+    pub fn shutdown_and_join(self) -> ServeSummary {
+        self.shutdown();
+        self.join()
+    }
+}
+
+/// Binds, spawns workers and the accept loop, and returns immediately.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        jobs: Jobs::new(config.queue_capacity),
+        cache: CircuitCache::new(config.cache_entries),
+        limits: config.limits.clone(),
+        started: Instant::now(),
+        queue_capacity: config.queue_capacity,
+        shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("pep-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared.jobs, &shared.cache))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("pep-serve-accept".to_owned())
+        .spawn(move || accept_loop(listener, accept_shared, workers, &config))
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        thread,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: &ServeConfig,
+) -> ServeSummary {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let signal_stop = config.follow_signals && signal_state() != CancelState::Live;
+        if shared.shutdown.load(Ordering::Relaxed) || signal_stop {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections.retain(|c| !c.is_finished());
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("pep-serve-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &conn_shared))
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake…):
+                // back off and keep serving.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+
+    // Drain script: stop accepting connections and jobs, give running
+    // jobs the grace window, abort stragglers, join everything.
+    shared.draining.store(true, Ordering::Relaxed);
+    drop(listener);
+    let clean = shared.jobs.drain(config.grace);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+    ServeSummary {
+        clean,
+        report: final_report(&shared),
+    }
+}
+
+fn final_report(shared: &Shared) -> RunReport {
+    let c = &shared.jobs.counters;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    counters.insert(
+        "serve.jobs_submitted".into(),
+        c.submitted.load(Ordering::Relaxed),
+    );
+    counters.insert(
+        "serve.jobs_completed".into(),
+        c.completed.load(Ordering::Relaxed),
+    );
+    counters.insert("serve.jobs_failed".into(), c.failed.load(Ordering::Relaxed));
+    counters.insert(
+        "serve.jobs_cancelled".into(),
+        c.cancelled.load(Ordering::Relaxed),
+    );
+    counters.insert("serve.jobs_shed".into(), c.shed.load(Ordering::Relaxed));
+    counters.insert(
+        "serve.worker_panics".into(),
+        c.panics.load(Ordering::Relaxed),
+    );
+    counters.insert("serve.cache_hits".into(), shared.cache.hits());
+    counters.insert("serve.cache_misses".into(), shared.cache.misses());
+    let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+    gauges.insert(
+        "serve.uptime_seconds".into(),
+        shared.started.elapsed().as_secs_f64(),
+    );
+    let phases: Vec<PhaseReport> = shared
+        .jobs
+        .phases
+        .snapshot()
+        .into_iter()
+        .map(|(name, (wall_seconds, count))| PhaseReport {
+            name,
+            wall_seconds,
+            count,
+            children: Vec::new(),
+        })
+        .collect();
+    RunReport {
+        tool: "psta".to_owned(),
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        command: "serve".to_owned(),
+        phases,
+        counters,
+        gauges,
+        histograms: BTreeMap::new(),
+        warnings: Vec::new(),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // A short OS timeout paces the retry loop inside read_request; the
+    // overall deadline comes from the limits.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream, &shared.limits) {
+        Ok(None) => return, // peer opened and closed without a request
+        Ok(Some(request)) => route(&request, &stream, shared),
+        Err(HttpError::Io(_)) => return, // transport is gone; nothing to say
+        Err(e) => Some(Response::error(e.status(), "bad-request", &e.to_string())),
+    };
+    if let Some(response) = response {
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+/// Routes one request. `None` means the peer disconnected and no
+/// response should (or can) be written.
+fn route(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Response> {
+    let path = request.path();
+    let response = match (request.method, path) {
+        (Method::Get, "/healthz") => Response::text(200, "ok\n"),
+        (Method::Get, "/readyz") => {
+            if shared.jobs.accepting() && !shared.draining.load(Ordering::Relaxed) {
+                Response::text(200, "ready\n")
+            } else {
+                Response::error(503, "draining", "server is draining")
+            }
+        }
+        (Method::Get, "/metrics") => Response::text(200, render_metrics(shared)),
+        (Method::Post, "/analyze") => return handle_analyze(request, stream, shared),
+        (Method::Get, _) if path.starts_with("/jobs/") => match parse_job_id(path) {
+            Some(id) => match shared.jobs.get(id) {
+                Some(job) => Response::json(200, serde::json::to_string(&JobStatus::of(&job))),
+                None => Response::error(404, "unknown-job", &format!("no job {id}")),
+            },
+            None => Response::error(400, "bad-job-id", "job id must be an integer"),
+        },
+        (Method::Delete, _) if path.starts_with("/jobs/") => match parse_job_id(path) {
+            Some(id) => match shared.jobs.cancel(id) {
+                // Cancelling work that already finished is a conflict —
+                // the result stands. (Re-cancelling a cancelled job is
+                // an idempotent 200.)
+                Some(JobState::Done(_) | JobState::Failed(_)) => Response::error(
+                    409,
+                    "already-terminal",
+                    &format!("job {id} already finished; nothing to cancel"),
+                ),
+                Some(_) => {
+                    let job = shared.jobs.get(id).expect("cancel implies known");
+                    Response::json(200, serde::json::to_string(&JobStatus::of(&job)))
+                }
+                None => Response::error(404, "unknown-job", &format!("no job {id}")),
+            },
+            None => Response::error(400, "bad-job-id", "job id must be an integer"),
+        },
+        (Method::Post | Method::Delete, "/healthz" | "/readyz" | "/metrics")
+        | (Method::Get | Method::Delete, "/analyze") => {
+            Response::error(405, "method-not-allowed", "wrong method for this path")
+        }
+        _ => Response::error(404, "not-found", &format!("no route for {path}")),
+    };
+    Some(response)
+}
+
+fn parse_job_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?.parse::<u64>().ok()
+}
+
+fn handle_analyze(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Response> {
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(e) => return Some(Response::error(e.status(), "bad-request", &e.to_string())),
+    };
+    let parsed = match parse_analyze_request(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Some(Response::error(400, "bad-request", &e.to_string())),
+    };
+    let detach = parsed.detach;
+    let job = match shared.jobs.submit(parsed) {
+        Err(SubmitError::QueueFull { capacity }) => {
+            return Some(
+                Response::error(
+                    429,
+                    "queue-full",
+                    &format!("queue at capacity {capacity}; retry shortly"),
+                )
+                .with_header("retry-after", "1"),
+            )
+        }
+        Err(SubmitError::Draining) => {
+            return Some(Response::error(503, "draining", "server is draining"))
+        }
+        Ok(job) => job,
+    };
+    if detach {
+        return Some(Response::json(
+            202,
+            serde::json::to_string(&JobStatus::of(&job)),
+        ));
+    }
+    // Synchronous mode: wait for the job, watching for the client
+    // hanging up (in which case the work is cancelled, not orphaned).
+    loop {
+        let state = shared
+            .jobs
+            .wait_terminal_slice(&job, Duration::from_millis(50));
+        if state.is_terminal() {
+            let status = match &state {
+                JobState::Done(_) => 200,
+                JobState::Failed(f) => f.status,
+                _ => 409,
+            };
+            return Some(Response::json(
+                status,
+                serde::json::to_string(&JobStatus::of(&job)),
+            ));
+        }
+        if client_disconnected(stream) {
+            // Abort the work; if it was still queued this terminates it
+            // immediately, otherwise the worker stops at the next poll.
+            shared.jobs.cancel(job.id);
+            return None;
+        }
+    }
+}
+
+/// Detects a closed peer without consuming request bytes.
+fn client_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,                                        // orderly shutdown
+        Ok(_) => false,                                       // pipelined bytes; still alive
+        Err(e) if e.kind() == ErrorKind::WouldBlock => false, // alive and quiet
+        Err(_) => true,                                       // reset / broken
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let c = &shared.jobs.counters;
+    let mut out = String::new();
+    let mut line = |name: &str, value: String| {
+        let _ = writeln!(out, "{name} {value}");
+    };
+    line(
+        "pep_serve_uptime_seconds",
+        format!("{:.3}", shared.started.elapsed().as_secs_f64()),
+    );
+    line(
+        "pep_serve_queue_depth",
+        shared.jobs.queue_depth().to_string(),
+    );
+    line(
+        "pep_serve_queue_capacity",
+        shared.queue_capacity.to_string(),
+    );
+    line("pep_serve_in_flight", shared.jobs.in_flight().to_string());
+    line(
+        "pep_serve_accepting",
+        u8::from(shared.jobs.accepting()).to_string(),
+    );
+    line(
+        "pep_serve_jobs_submitted_total",
+        c.submitted.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_jobs_completed_total",
+        c.completed.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_jobs_failed_total",
+        c.failed.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_jobs_cancelled_total",
+        c.cancelled.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_jobs_shed_total",
+        c.shed.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_worker_panics_total",
+        c.panics.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "pep_serve_cache_hits_total",
+        shared.cache.hits().to_string(),
+    );
+    line(
+        "pep_serve_cache_misses_total",
+        shared.cache.misses().to_string(),
+    );
+    for (phase, (seconds, count)) in shared.jobs.phases.snapshot() {
+        let _ = writeln!(
+            out,
+            "pep_serve_phase_seconds{{phase=\"{phase}\"}} {seconds:.6}"
+        );
+        let _ = writeln!(out, "pep_serve_phase_count{{phase=\"{phase}\"}} {count}");
+    }
+    out
+}

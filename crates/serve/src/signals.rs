@@ -1,0 +1,48 @@
+//! POSIX signal bridging — the only unsafe code in the workspace.
+//!
+//! The handler does exactly one async-signal-safe thing: it stores into
+//! the process-global latch via [`pep_sta::cancel::note_signal`] (one
+//! relaxed atomic `fetch_max`). Everything else — draining the queue,
+//! degrading an interactive run, flushing the final report — happens on
+//! ordinary threads that *poll* the latch via
+//! [`pep_sta::cancel::signal_state`] or a signal-aware
+//! [`pep_sta::CancelToken`].
+//!
+//! A second signal while the first is still being honored calls
+//! `_exit(130)` — the conventional "user really means it" escape hatch
+//! that skips destructors but cannot corrupt state (the latch is the
+//! only shared state the handler touches).
+
+#![allow(unsafe_code)]
+
+use pep_sta::cancel::{note_signal, signal_state, CancelState};
+
+/// `SIGINT` (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill; what orchestrators send first).
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn _exit(code: i32) -> !;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: one atomic load + one atomic store, or _exit.
+    if signal_state() != CancelState::Live {
+        unsafe { _exit(130) }
+    }
+    note_signal(CancelState::Degrade);
+}
+
+/// Installs the Ctrl-C / SIGTERM handler (idempotent).
+///
+/// After this, the first signal latches a degrade-strength cancellation
+/// that signal-aware tokens and the serve drain loop observe; a second
+/// signal exits immediately with status 130.
+pub fn install() {
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}

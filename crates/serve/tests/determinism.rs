@@ -1,0 +1,111 @@
+//! Service-level determinism: concurrent clients, identical answers.
+//!
+//! N parallel `POST /analyze` requests for the same netlist must return
+//! bit-identical event groups (checked via the FNV digest over every
+//! node's full distribution) and identical *ordered* warning lists —
+//! matching a solo in-process engine run — regardless of the engine
+//! thread count. This holds because results commit in wave order on the
+//! engine's orchestration thread and the serve layer runs each job on
+//! its own [`pep_obs::Session`].
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::AnalysisConfig;
+use pep_obs::Session;
+use pep_serve::jobs::JobStatus;
+use pep_serve::{client, serve, ServeConfig};
+
+const SEED: u64 = 7;
+const BUDGET_COMBINATIONS: u64 = 4;
+
+fn analyze_body(threads: usize) -> String {
+    format!(
+        r#"{{"circuit": "profile:s5378", "seed": {SEED},
+            "config": {{"threads": {threads},
+                        "budget": {{"max_combinations": {BUDGET_COMBINATIONS}}}}}}}"#
+    )
+}
+
+/// The ground truth: a direct engine run with the same knobs.
+fn solo_run(threads: usize) -> (String, Vec<pep_obs::Warning>) {
+    let profile = pep_serve::api::profile_by_name("s5378").expect("known profile");
+    let nl = pep_netlist::generate::iscas_profile(profile);
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(SEED));
+    let config = AnalysisConfig {
+        threads,
+        budget: Some(pep_core::Budget {
+            max_combinations: Some(BUDGET_COMBINATIONS),
+            ..pep_core::Budget::default()
+        }),
+        ..AnalysisConfig::default()
+    };
+    let analysis = pep_core::try_analyze_observed(&nl, &t, &config, &Session::disabled())
+        .expect("solo run succeeds");
+    (
+        format!("{:016x}", pep_serve::api::groups_digest(&nl, &analysis)),
+        analysis.warnings().to_vec(),
+    )
+}
+
+#[test]
+fn parallel_posts_are_bit_identical_across_thread_counts() {
+    const CLIENTS: usize = 4;
+    let handle = serve(ServeConfig {
+        workers: CLIENTS,
+        queue_capacity: 2 * CLIENTS,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let mut digests_by_threads: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let body = analyze_body(threads);
+        let results: Vec<JobStatus> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let body = body.clone();
+                    scope.spawn(move || {
+                        let response = client::request(&addr, "POST", "/analyze", Some(&body))
+                            .expect("transport");
+                        assert_eq!(response.status, 200, "body: {}", response.body);
+                        serde::json::from_str_as::<JobStatus>(&response.body).expect("status JSON")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        let (solo_digest, solo_warnings) = solo_run(threads);
+        assert!(
+            !solo_warnings.is_empty(),
+            "the budget must actually trip so warning *order* is exercised"
+        );
+        for status in &results {
+            let result = status.result.as_ref().expect("done job has a result");
+            assert_eq!(
+                result.groups_digest, solo_digest,
+                "threads={threads}: parallel POST diverged from the solo run"
+            );
+            assert_eq!(
+                result.warnings, solo_warnings,
+                "threads={threads}: warning list (including order) must match"
+            );
+        }
+        digests_by_threads.push(solo_digest);
+    }
+
+    // And the digest itself is thread-count invariant.
+    assert_eq!(digests_by_threads[0], digests_by_threads[1]);
+    assert_eq!(digests_by_threads[0], digests_by_threads[2]);
+
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 12);
+    // 3 × 4 identical requests hit the parsed-circuit cache after the
+    // first misses.
+    assert!(summary.report.counters["serve.cache_hits"] >= 8);
+}

@@ -1,0 +1,61 @@
+//! Fault injection at the serve layer: an injected worker panic must be
+//! contained to its own job — a 500 with a typed body for that request,
+//! a healthy daemon and a working worker pool for everyone else.
+//!
+//! Compiled only with `--features fault-injection`; the probe is a
+//! no-op (`const false`) in production builds.
+
+#![cfg(feature = "fault-injection")]
+
+use pep_serve::http::HttpLimits;
+use pep_serve::jobs::{JobStatus, JOB_PANIC};
+use pep_serve::{client, serve, ServeConfig};
+use std::time::Duration;
+
+#[test]
+fn injected_worker_panic_is_a_500_for_that_job_only() {
+    let handle = serve(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        limits: HttpLimits {
+            read_timeout: Duration::from_secs(5),
+            ..HttpLimits::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Arm the probe to fire exactly once: the first job's worker
+    // panics mid-execution.
+    pep_core::faults::arm(JOB_PANIC, 0);
+
+    let body = r#"{"circuit": "sample:c17"}"#;
+    let poisoned = client::request(&addr, "POST", "/analyze", Some(body)).expect("transport");
+    assert_eq!(poisoned.status, 500, "{}", poisoned.body);
+    let status: JobStatus = serde::json::from_str_as(&poisoned.body).expect("status JSON");
+    assert_eq!(status.state, "failed");
+    let failure = status.failure.expect("typed failure");
+    assert_eq!(failure.status, 500);
+    assert_eq!(failure.code, "worker-panic");
+
+    // The blast radius ends there: liveness is green and the same
+    // worker thread (catch_unwind, not respawn) completes the next job.
+    assert_eq!(
+        client::request(&addr, "GET", "/healthz", None)
+            .unwrap()
+            .status,
+        200
+    );
+    let next = client::request(&addr, "POST", "/analyze", Some(body)).expect("transport");
+    assert_eq!(next.status, 200, "{}", next.body);
+    let next: JobStatus = serde::json::from_str_as(&next.body).unwrap();
+    assert_eq!(next.state, "done");
+
+    pep_core::faults::disarm_all();
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.worker_panics"], 1);
+    assert_eq!(summary.report.counters["serve.jobs_failed"], 1);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 1);
+}

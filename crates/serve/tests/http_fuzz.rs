@@ -1,0 +1,246 @@
+//! Property-based fuzz of the HTTP request parser.
+//!
+//! The parser faces the network, so the bar is: any byte sequence —
+//! valid, truncated, corrupted, oversized, or pure noise — produces
+//! either a parsed request or a typed [`HttpError`] with a definite
+//! response status. No input may panic, hang past the read deadline,
+//! or exceed the configured limits. Delivery chunking must not change
+//! the result.
+
+use pep_serve::http::{parse_bytes, read_request, HttpError, HttpLimits, Method, Request};
+use proptest::prelude::*;
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+fn limits() -> HttpLimits {
+    HttpLimits {
+        max_head_bytes: 2048,
+        max_headers: 16,
+        max_body_bytes: 4096,
+        read_timeout: Duration::from_secs(2),
+    }
+}
+
+/// Renders a syntactically valid request from generated parts.
+fn render(method: &str, path: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut out = format!("{method} {path} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+fn arb_method() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["GET", "POST", "DELETE"])
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select(vec!["/analyze", "/healthz", "/jobs/7", "/metrics", "/x"]),
+        0usize..3,
+    )
+        .prop_map(|(base, depth)| {
+            let mut path = base.to_owned();
+            for i in 0..depth {
+                path.push_str(&format!("/seg{i}"));
+            }
+            path
+        })
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!["host", "accept", "x-trace", "user-agent"]),
+            0usize..24,
+        )
+            .prop_map(|(name, len)| (name.to_owned(), "v".repeat(len.max(1)))),
+        0usize..6,
+    )
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255u8, 0usize..200)
+}
+
+fn method_of(name: &str) -> Method {
+    match name {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => Method::Delete,
+    }
+}
+
+/// Every parser error must map to a definite client-facing status.
+fn assert_typed(err: &HttpError) {
+    let status = err.status();
+    assert!(
+        matches!(status, 400 | 405 | 408 | 413 | 431 | 501 | 505),
+        "unexpected status {status} for {err:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_requests_round_trip(
+        method in arb_method(),
+        path in arb_path(),
+        headers in arb_headers(),
+        body in arb_body(),
+    ) {
+        let bytes = render(method, &path, &headers, &body);
+        let parsed: Request = parse_bytes(&bytes, &limits())
+            .expect("valid request parses")
+            .expect("non-empty");
+        prop_assert_eq!(parsed.method, method_of(method));
+        prop_assert_eq!(parsed.target.as_str(), path.as_str());
+        prop_assert_eq!(parsed.body, body);
+        // Headers arrive in order: the generated ones, then the
+        // content-length that render() appends.
+        prop_assert_eq!(parsed.headers.len(), headers.len() + 1);
+        prop_assert_eq!(&parsed.headers[..headers.len()], &headers[..]);
+        prop_assert_eq!(parsed.header("content-length"), Some(body.len().to_string().as_str()));
+    }
+
+    #[test]
+    fn truncation_is_typed_never_a_panic(
+        method in arb_method(),
+        path in arb_path(),
+        headers in arb_headers(),
+        body in arb_body(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = render(method, &path, &headers, &body);
+        let cut = (cut_seed as usize) % (bytes.len() + 1);
+        match parse_bytes(&bytes[..cut], &limits()) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty prefix is a clean close"),
+            // A cut exactly after the body's last byte is complete.
+            Ok(Some(_)) => prop_assert_eq!(cut, bytes.len()),
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(
+        method in arb_method(),
+        path in arb_path(),
+        body in arb_body(),
+        noise_at in any::<u64>(),
+        noise_byte in 0u8..=255u8,
+    ) {
+        let mut bytes = render(method, &path, &[], &body);
+        let at = (noise_at as usize) % bytes.len();
+        bytes[at] = noise_byte;
+        if let Err(e) = parse_bytes(&bytes, &limits()) {
+            assert_typed(&e);
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics(soup in prop::collection::vec(0u8..=255u8, 0usize..512)) {
+        if let Err(e) = parse_bytes(&soup, &limits()) {
+            assert_typed(&e);
+        }
+    }
+
+    #[test]
+    fn oversize_header_block_is_431(value_len in 2048usize..6000) {
+        let bytes = render("GET", "/x", &[("host".into(), "y".repeat(value_len))], b"");
+        let err = parse_bytes(&bytes, &limits()).unwrap_err();
+        prop_assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn oversize_declared_body_is_413(extra in 1usize..10_000) {
+        let declared = limits().max_body_bytes + extra;
+        let raw = format!("POST /analyze HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let err = parse_bytes(raw.as_bytes(), &limits()).unwrap_err();
+        prop_assert_eq!(err.status(), 413);
+        prop_assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+    }
+
+    #[test]
+    fn too_many_headers_is_431(count in 17usize..64) {
+        let headers: Vec<(String, String)> =
+            (0..count).map(|i| (format!("x-h{i}"), "v".into())).collect();
+        let bytes = render("GET", "/x", &headers, b"");
+        let err = parse_bytes(&bytes, &limits()).unwrap_err();
+        prop_assert!(matches!(err, HttpError::TooManyHeaders { limit: 16 }), "{err:?}");
+    }
+
+    #[test]
+    fn non_utf8_json_body_is_a_typed_400(bad_byte in 0x80u8..0xC0) {
+        // Continuation bytes alone are never valid UTF-8.
+        let bytes = render("POST", "/analyze", &[], &[b'{', bad_byte, b'}']);
+        let parsed = parse_bytes(&bytes, &limits()).unwrap().unwrap();
+        let err = parsed.body_utf8().unwrap_err();
+        prop_assert_eq!(err, HttpError::InvalidUtf8);
+        prop_assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn chunked_delivery_matches_one_shot(
+        method in arb_method(),
+        path in arb_path(),
+        headers in arb_headers(),
+        body in arb_body(),
+        chunk in 1usize..7,
+    ) {
+        struct Dribble<'a> {
+            data: &'a [u8],
+            at: usize,
+            chunk: usize,
+        }
+        impl Read for Dribble<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.chunk.min(out.len()).min(self.data.len() - self.at);
+                out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+                self.at += n;
+                Ok(n)
+            }
+        }
+        let bytes = render(method, &path, &headers, &body);
+        let whole = parse_bytes(&bytes, &limits()).unwrap().unwrap();
+        let mut dribble = Dribble { data: &bytes, at: 0, chunk };
+        let chunked = read_request(&mut dribble, &limits()).unwrap().unwrap();
+        prop_assert_eq!(whole.method, chunked.method);
+        prop_assert_eq!(whole.target, chunked.target);
+        prop_assert_eq!(whole.headers, chunked.headers);
+        prop_assert_eq!(whole.body, chunked.body);
+    }
+
+    #[test]
+    fn slow_loris_always_times_out_in_bounded_time(prefix_len in 0usize..40) {
+        // A peer that sends a prefix then stalls forever.
+        struct Loris<'a> {
+            prefix: &'a [u8],
+            at: usize,
+        }
+        impl Read for Loris<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.at < self.prefix.len() {
+                    out[0] = self.prefix[self.at];
+                    self.at += 1;
+                    Ok(1)
+                } else {
+                    Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+                }
+            }
+        }
+        let full = render("POST", "/analyze", &[], &[b'x'; 20]);
+        let prefix = &full[..prefix_len.min(full.len())];
+        let tight = HttpLimits { read_timeout: Duration::from_millis(25), ..limits() };
+        let started = Instant::now();
+        let result = read_request(&mut Loris { prefix, at: 0 }, &tight);
+        prop_assert!(
+            matches!(result, Err(HttpError::Timeout)),
+            "stalled peer must hit the deadline, got {result:?}"
+        );
+        prop_assert!(started.elapsed() < Duration::from_secs(2), "bounded wait");
+    }
+}

@@ -1,0 +1,365 @@
+//! End-to-end smoke of the daemon lifecycle: health, analyze, detach,
+//! cancel, load shedding, client disconnect, signal-latch drain, and
+//! the no-leaked-threads guarantee.
+//!
+//! Tests serialize on one mutex: several poke process-global state (the
+//! signal latch, `/proc/self/status` thread counts) that parallel test
+//! threads would smear.
+
+use pep_serve::http::HttpLimits;
+use pep_serve::jobs::JobStatus;
+use pep_serve::{client, serve, ServeConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        grace: Duration::from_secs(30),
+        limits: HttpLimits {
+            read_timeout: Duration::from_secs(5),
+            ..HttpLimits::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+const FAST_JOB: &str = r#"{"circuit": "sample:c17"}"#;
+/// Slow enough (thousands of supergates, heavier sampling) that cancel
+/// and shed races resolve long before it finishes.
+const SLOW_JOB: &str =
+    r#"{"circuit": "profile:s15850", "seed": 3, "config": {"samples": 40}, "detach": true}"#;
+
+fn post(addr: &str, body: &str) -> client::ClientResponse {
+    client::request(addr, "POST", "/analyze", Some(body)).expect("transport")
+}
+
+fn job_status(addr: &str, id: u64) -> JobStatus {
+    let response = client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("transport");
+    serde::json::from_str_as(&response.body).expect("status JSON")
+}
+
+fn metric(addr: &str, name: &str) -> u64 {
+    let response = client::request(addr, "GET", "/metrics", None).expect("transport");
+    assert_eq!(response.status, 200);
+    response
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{}", response.body))
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, mut ok: F) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ok() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn health_analyze_and_errors_end_to_end() {
+    let _serial = serial();
+    let handle = serve(test_config()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Liveness, readiness, metrics.
+    assert_eq!(
+        client::request(&addr, "GET", "/healthz", None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/readyz", None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(metric(&addr, "pep_serve_queue_depth"), 0);
+    assert_eq!(metric(&addr, "pep_serve_accepting"), 1);
+
+    // A synchronous analysis returns the full result.
+    let response = post(&addr, FAST_JOB);
+    assert_eq!(response.status, 200, "{}", response.body);
+    let status: JobStatus = serde::json::from_str_as(&response.body).unwrap();
+    assert_eq!(status.state, "done");
+    let result = status.result.expect("result");
+    assert_eq!(result.circuit, "c17");
+    assert_eq!(result.groups_digest.len(), 16);
+    assert!(!result.outputs.is_empty());
+
+    // Typed client errors.
+    assert_eq!(post(&addr, "not json").status, 400);
+    assert_eq!(
+        post(&addr, r#"{"circuit": "sample:c17", "oops": 1}"#).status,
+        400
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/nope", None).unwrap().status,
+        404
+    );
+    assert_eq!(
+        client::request(&addr, "DELETE", "/analyze", None)
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/jobs/999", None)
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/jobs/xyz", None)
+            .unwrap()
+            .status,
+        400
+    );
+
+    // Phase timings surfaced in /metrics after a job ran.
+    let metrics = client::request(&addr, "GET", "/metrics", None)
+        .unwrap()
+        .body;
+    assert!(
+        metrics.contains("pep_serve_phase_seconds{phase="),
+        "{metrics}"
+    );
+
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 1);
+    assert_eq!(summary.report.counters["serve.worker_panics"], 0);
+    // The daemon is really gone: new connections are refused.
+    assert!(client::request(&addr, "GET", "/healthz", None).is_err());
+}
+
+#[test]
+fn detach_poll_and_cancel_lifecycle() {
+    let _serial = serial();
+    let handle = serve(test_config()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Occupy the single worker with a slow job.
+    let slow = post(&addr, SLOW_JOB);
+    assert_eq!(slow.status, 202, "{}", slow.body);
+    let slow_status: JobStatus = serde::json::from_str_as(&slow.body).unwrap();
+    wait_for("slow job to start", || {
+        job_status(&addr, slow_status.id).state == "running"
+    });
+
+    // A detached fast job sits queued behind it; cancel it while queued.
+    let queued = post(&addr, r#"{"circuit": "sample:c17", "detach": true}"#);
+    assert_eq!(queued.status, 202);
+    let queued_status: JobStatus = serde::json::from_str_as(&queued.body).unwrap();
+    assert_eq!(queued_status.state, "queued");
+    let cancelled = client::request(
+        &addr,
+        "DELETE",
+        &format!("/jobs/{}", queued_status.id),
+        None,
+    )
+    .unwrap();
+    assert_eq!(cancelled.status, 200);
+    assert_eq!(job_status(&addr, queued_status.id).state, "cancelled");
+
+    // Cancel the *running* job: the abort lands at the next engine poll.
+    let response =
+        client::request(&addr, "DELETE", &format!("/jobs/{}", slow_status.id), None).unwrap();
+    assert_eq!(response.status, 200);
+    wait_for("running job to abort", || {
+        job_status(&addr, slow_status.id).state == "cancelled"
+    });
+
+    // The worker survived: it still completes new work.
+    let after = post(&addr, FAST_JOB);
+    assert_eq!(after.status, 200, "{}", after.body);
+
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_cancelled"], 2);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 1);
+}
+
+#[test]
+fn queue_full_sheds_with_429_while_healthz_stays_green() {
+    let _serial = serial();
+    let handle = serve(test_config()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Fill the worker and the (capacity 2) queue.
+    let running = post(&addr, SLOW_JOB);
+    assert_eq!(running.status, 202);
+    let running: JobStatus = serde::json::from_str_as(&running.body).unwrap();
+    wait_for("worker busy", || {
+        job_status(&addr, running.id).state == "running"
+    });
+    let mut ids = vec![running.id];
+    for _ in 0..2 {
+        let r = post(&addr, r#"{"circuit": "sample:c17", "detach": true}"#);
+        assert_eq!(r.status, 202);
+        let s: JobStatus = serde::json::from_str_as(&r.body).unwrap();
+        ids.push(s.id);
+    }
+
+    // The burst beyond capacity sheds with 429 + Retry-After…
+    let mut shed = 0;
+    for _ in 0..5 {
+        let r = post(&addr, r#"{"circuit": "sample:c17", "detach": true}"#);
+        if r.status == 429 {
+            shed += 1;
+            assert!(r.body.contains("queue-full"), "{}", r.body);
+        }
+    }
+    assert!(
+        shed >= 4,
+        "queue stayed full through the burst (shed {shed})"
+    );
+    assert_eq!(metric(&addr, "pep_serve_jobs_shed_total"), shed);
+
+    // …while liveness AND readiness stay green: shedding is flow
+    // control, not sickness.
+    assert_eq!(
+        client::request(&addr, "GET", "/healthz", None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/readyz", None)
+            .unwrap()
+            .status,
+        200
+    );
+
+    // Unblock quickly, then drain.
+    for id in &ids {
+        let _ = client::request(&addr, "DELETE", &format!("/jobs/{id}"), None);
+    }
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_shed"], shed);
+}
+
+#[test]
+fn client_disconnect_cancels_the_synchronous_job() {
+    let _serial = serial();
+    let handle = serve(test_config()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // A synchronous slow request whose client hangs up mid-wait.
+    let sync_slow = SLOW_JOB.replace("\"detach\": true", "\"detach\": false");
+    {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let head = format!(
+            "POST /analyze HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{sync_slow}",
+            sync_slow.len()
+        );
+        stream.write_all(head.as_bytes()).expect("send");
+        stream.flush().expect("flush");
+        // Wait for the job to be admitted and started…
+        wait_for("job running", || metric(&addr, "pep_serve_in_flight") == 1);
+        // …then vanish.
+        drop(stream);
+    }
+
+    // The orphaned work is cancelled, not run to completion.
+    wait_for("disconnect-triggered cancel", || {
+        metric(&addr, "pep_serve_jobs_cancelled_total") == 1
+    });
+    wait_for("worker idle again", || {
+        metric(&addr, "pep_serve_in_flight") == 0
+    });
+
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 0);
+}
+
+#[test]
+fn signal_latch_drains_cleanly_with_zero_leaked_threads() {
+    let _serial = serial();
+    pep_sta::cancel::reset_signal_state();
+    let threads_before = thread_count();
+
+    let handle = serve(ServeConfig {
+        follow_signals: true,
+        ..test_config()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Work in flight when the "signal" lands.
+    let slow = post(&addr, SLOW_JOB);
+    assert_eq!(slow.status, 202);
+    assert_eq!(post(&addr, FAST_JOB).status, 200);
+
+    // What a SIGTERM handler does: one note on the process latch.
+    pep_sta::cancel::note_signal(pep_sta::CancelState::Degrade);
+
+    // The accept loop notices, drains (aborting the slow job at the
+    // grace boundary — use a short grace so the test is brisk), joins
+    // every worker and connection thread, and returns the final report.
+    let summary = handle.join();
+    pep_sta::cancel::reset_signal_state();
+    assert!(summary.clean, "drain must terminate every job");
+    let c = &summary.report.counters;
+    assert_eq!(c["serve.jobs_submitted"], 2);
+    // The fast job finished before the signal; the slow one either
+    // completes within grace or is cancelled at the boundary — both are
+    // clean outcomes, and nothing may be left un-terminated.
+    assert!(c["serve.jobs_completed"] >= 1);
+    assert_eq!(c["serve.jobs_completed"] + c["serve.jobs_cancelled"], 2);
+    assert!(summary.report.gauges["serve.uptime_seconds"] > 0.0);
+
+    // No thread outlives join(): poll /proc briefly (the OS reaps
+    // finished threads asynchronously).
+    wait_for("threads reaped", || thread_count() <= threads_before);
+}
+
+#[test]
+fn short_grace_drain_aborts_stragglers_but_exits_clean() {
+    let _serial = serial();
+    let handle = serve(ServeConfig {
+        grace: Duration::from_millis(50),
+        ..test_config()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let slow = post(&addr, SLOW_JOB);
+    assert_eq!(slow.status, 202);
+    let slow: JobStatus = serde::json::from_str_as(&slow.body).unwrap();
+    wait_for("slow job running", || {
+        job_status(&addr, slow.id).state == "running"
+    });
+
+    // Grace (50 ms) is far shorter than the job: drain must escalate
+    // to abort and still come back clean.
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean, "abort escalation must terminate the job");
+    assert_eq!(summary.report.counters["serve.jobs_cancelled"], 1);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 0);
+}
+
+/// Current thread count of this process (Linux).
+fn thread_count() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}

@@ -1,0 +1,196 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the
+//! party that *requests* a stop (a service handler, a signal handler, a
+//! drain loop) and the analysis that *honors* it. The engine never
+//! blocks on the token — it polls at the same places the PR-4 budget
+//! machinery already polls (wave boundaries, the conditioning
+//! recursion's leaf counter, Monte Carlo run boundaries), so
+//! cancellation latency is bounded by the existing deadline-poll
+//! granularity and costs nothing when the token is never cancelled.
+//!
+//! Two strengths of cancellation exist, because the two callers want
+//! different things:
+//!
+//! * [`CancelToken::cancel_degrade`] — "wrap up": the run *finishes*,
+//!   fast, by degrading remaining supergates to plain topological
+//!   propagation exactly as an expired deadline would, and the caller
+//!   gets a partial-but-usable result plus `cancel.requested` warnings.
+//!   This is what Ctrl-C on an interactive run wants.
+//! * [`CancelToken::cancel_abort`] — "stop": the run returns a typed
+//!   [`Cancelled`](crate::error::Cancelled) error at the next poll
+//!   point and the partial state is discarded. This is what a service
+//!   job cancellation (`DELETE /jobs/:id`) or a drain deadline wants.
+//!
+//! Abort is strictly stronger than degrade; escalating a token from
+//! degrade to abort is allowed, de-escalating is not.
+//!
+//! # Signal bridging
+//!
+//! POSIX signal handlers may only touch async-signal-safe state, so a
+//! handler cannot reach into an `Arc`. The bridge is a process-global
+//! atomic: the handler calls [`note_signal`] (one relaxed store), and
+//! any token created with [`CancelToken::signal_aware`] observes that
+//! global in addition to its own state. Ordinary tokens (e.g. per-job
+//! tokens inside a server) ignore the global entirely.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// How strongly a [`CancelToken`] has been cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CancelState {
+    /// Not cancelled; the run proceeds normally.
+    Live = 0,
+    /// Finish quickly with degraded (topological-fallback) results and
+    /// `cancel.requested` warnings.
+    Degrade = 1,
+    /// Stop at the next poll point with a typed
+    /// [`Cancelled`](crate::error::Cancelled) error.
+    Abort = 2,
+}
+
+impl CancelState {
+    fn from_u8(v: u8) -> CancelState {
+        match v {
+            2 => CancelState::Abort,
+            1 => CancelState::Degrade,
+            _ => CancelState::Live,
+        }
+    }
+}
+
+/// Process-global signal latch written by (async-signal-safe) signal
+/// handlers and read by [`CancelToken::signal_aware`] tokens.
+static SIGNAL_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Records a cancellation request from a signal handler.
+///
+/// This performs exactly one relaxed atomic store and is therefore
+/// async-signal-safe; it is the only function in this crate a signal
+/// handler may call. Escalation-only: a `Degrade` note never overwrites
+/// an earlier `Abort`.
+pub fn note_signal(state: CancelState) {
+    SIGNAL_STATE.fetch_max(state as u8, Ordering::Relaxed);
+}
+
+/// The current process-global signal cancellation state.
+pub fn signal_state() -> CancelState {
+    CancelState::from_u8(SIGNAL_STATE.load(Ordering::Relaxed))
+}
+
+/// Clears the process-global signal latch (test isolation; also called
+/// by long-lived processes between interactive runs).
+pub fn reset_signal_state() {
+    SIGNAL_STATE.store(0, Ordering::Relaxed);
+}
+
+/// A cheap, cloneable cooperative-cancellation handle.
+///
+/// Cloning shares the underlying state: cancelling any clone cancels
+/// them all. The default token is live and, unless created with
+/// [`signal_aware`](CancelToken::signal_aware), independent of the
+/// process signal latch.
+///
+/// ```
+/// use pep_sta::cancel::{CancelState, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel_degrade();
+/// assert_eq!(shared.state(), CancelState::Degrade);
+/// shared.cancel_abort();
+/// assert_eq!(token.state(), CancelState::Abort);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+    follow_signals: bool,
+}
+
+impl CancelToken {
+    /// A live token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that also observes the process-global signal latch (see
+    /// [`note_signal`]), for interactive runs that should honor
+    /// Ctrl-C / SIGTERM.
+    pub fn signal_aware() -> Self {
+        CancelToken {
+            state: Arc::default(),
+            follow_signals: true,
+        }
+    }
+
+    /// Requests a graceful wrap-up: the analysis finishes quickly with
+    /// degraded results (see module docs).
+    pub fn cancel_degrade(&self) {
+        self.state
+            .fetch_max(CancelState::Degrade as u8, Ordering::Relaxed);
+    }
+
+    /// Requests a hard stop: the analysis returns a typed
+    /// [`Cancelled`](crate::error::Cancelled) error at the next poll
+    /// point.
+    pub fn cancel_abort(&self) {
+        self.state
+            .fetch_max(CancelState::Abort as u8, Ordering::Relaxed);
+    }
+
+    /// The effective cancellation state (own state, escalated by the
+    /// signal latch for signal-aware tokens).
+    pub fn state(&self) -> CancelState {
+        let own = self.state.load(Ordering::Relaxed);
+        let effective = if self.follow_signals {
+            own.max(SIGNAL_STATE.load(Ordering::Relaxed))
+        } else {
+            own
+        };
+        CancelState::from_u8(effective)
+    }
+
+    /// Whether any cancellation (degrade or abort) has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.state() != CancelState::Live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state_and_escalate_only() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert_eq!(t.state(), CancelState::Live);
+        u.cancel_degrade();
+        assert_eq!(t.state(), CancelState::Degrade);
+        t.cancel_abort();
+        assert_eq!(u.state(), CancelState::Abort);
+        // De-escalation is impossible.
+        u.cancel_degrade();
+        assert_eq!(u.state(), CancelState::Abort);
+    }
+
+    #[test]
+    fn plain_tokens_ignore_the_signal_latch() {
+        reset_signal_state();
+        let plain = CancelToken::new();
+        let aware = CancelToken::signal_aware();
+        note_signal(CancelState::Degrade);
+        assert_eq!(plain.state(), CancelState::Live);
+        assert_eq!(aware.state(), CancelState::Degrade);
+        note_signal(CancelState::Abort);
+        assert_eq!(aware.state(), CancelState::Abort);
+        // The latch only ever escalates…
+        note_signal(CancelState::Degrade);
+        assert_eq!(signal_state(), CancelState::Abort);
+        // …until explicitly reset.
+        reset_signal_state();
+        assert_eq!(aware.state(), CancelState::Live);
+    }
+}

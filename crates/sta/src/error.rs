@@ -40,6 +40,34 @@ impl fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
+/// The run was stopped by a cooperative cancellation request (see
+/// [`crate::cancel::CancelToken::cancel_abort`]): a service job was
+/// cancelled, a client disconnected, or a drain window closed.
+///
+/// Distinct from [`BudgetExceeded`] — nothing was exhausted; somebody
+/// asked the work to stop, and partial state was discarded rather than
+/// degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The pipeline phase that observed the cancellation
+    /// (`propagate`, `mc-baseline`, …).
+    pub phase: &'static str,
+    /// Milliseconds of work performed before the stop was observed.
+    pub elapsed_ms: u64,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cancelled during {} after {} ms",
+            self.phase, self.elapsed_ms
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// Failures inside the analysis engine itself (as opposed to its
 /// inputs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +123,8 @@ pub enum PepError {
     Analysis(AnalysisError),
     /// A resource budget was exhausted without a degradation path.
     Budget(BudgetExceeded),
+    /// The run was stopped by a cooperative cancellation request.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for PepError {
@@ -104,6 +134,7 @@ impl fmt::Display for PepError {
             PepError::Dist(e) => write!(f, "distribution error: {e}"),
             PepError::Analysis(e) => write!(f, "analysis error: {e}"),
             PepError::Budget(e) => write!(f, "{e}"),
+            PepError::Cancelled(e) => write!(f, "{e}"),
         }
     }
 }
@@ -115,6 +146,7 @@ impl std::error::Error for PepError {
             PepError::Dist(e) => Some(e),
             PepError::Analysis(e) => Some(e),
             PepError::Budget(e) => Some(e),
+            PepError::Cancelled(e) => Some(e),
         }
     }
 }
@@ -140,6 +172,12 @@ impl From<AnalysisError> for PepError {
 impl From<BudgetExceeded> for PepError {
     fn from(e: BudgetExceeded) -> Self {
         PepError::Budget(e)
+    }
+}
+
+impl From<Cancelled> for PepError {
+    fn from(e: Cancelled) -> Self {
+        PepError::Cancelled(e)
     }
 }
 

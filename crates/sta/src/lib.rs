@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod cancel;
 pub mod error;
 pub mod monte_carlo;
 pub mod slack;
 pub mod threads;
 pub mod transition;
 
-pub use error::{AnalysisError, BudgetExceeded, PepError};
+pub use cancel::{CancelState, CancelToken};
+pub use error::{AnalysisError, BudgetExceeded, Cancelled, PepError};

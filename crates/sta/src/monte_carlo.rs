@@ -7,7 +7,8 @@
 //! Student-t expression `c·s/(√n·m)` at 99% confidence (§4) —
 //! [`McResult::error_bound`] reports exactly that.
 
-use crate::error::{panic_detail, AnalysisError, BudgetExceeded, PepError};
+use crate::cancel::{CancelState, CancelToken};
+use crate::error::{panic_detail, AnalysisError, BudgetExceeded, Cancelled, PepError};
 use pep_celllib::Timing;
 use pep_dist::stats::{mc_error_bound, Confidence, Running};
 use pep_dist::{ContinuousDist, DiscreteDist, DistScratch, TimeStep};
@@ -182,6 +183,30 @@ pub fn try_run_monte_carlo_observed(
     config: &McConfig,
     obs: &Session,
 ) -> Result<McResult, PepError> {
+    try_run_monte_carlo_cancellable(netlist, timing, config, obs, &CancelToken::new())
+}
+
+/// [`try_run_monte_carlo_observed`] honoring a cooperative
+/// [`CancelToken`], polled at every run boundary.
+///
+/// A [degrade](CancelToken::cancel_degrade) cancellation stops the loop
+/// early and keeps the completed runs' statistics (an `mc.cancelled`
+/// [`Warning`] records the shortfall, like `mc.deadline` does for an
+/// expired deadline); an [abort](CancelToken::cancel_abort) — or any
+/// cancellation before the first run completes — returns a typed
+/// [`Cancelled`] error and discards partial state.
+///
+/// # Errors
+///
+/// Everything [`try_run_monte_carlo_observed`] returns, plus
+/// [`PepError::Cancelled`].
+pub fn try_run_monte_carlo_cancellable(
+    netlist: &Netlist,
+    timing: &Timing,
+    config: &McConfig,
+    obs: &Session,
+    cancel: &CancelToken,
+) -> Result<McResult, PepError> {
     if config.runs == 0 {
         return Err(AnalysisError::NoRuns.into());
     }
@@ -226,6 +251,7 @@ pub fn try_run_monte_carlo_observed(
                         &runs_done,
                         deadline,
                         expired,
+                        cancel,
                     )
                 }));
                 if let Some(start) = start {
@@ -256,6 +282,16 @@ pub fn try_run_monte_carlo_observed(
         return Err(e.into());
     }
     let completed: usize = partials.iter().map(|(_, _, c)| c).sum();
+    // An abort-strength cancellation — or any cancellation before the
+    // first run completed — discards partial state with a typed error.
+    let cancelled = cancel.state();
+    if cancelled == CancelState::Abort || (cancelled != CancelState::Live && completed == 0) {
+        return Err(Cancelled {
+            phase: "mc-baseline",
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        }
+        .into());
+    }
     if completed == 0 {
         return Err(BudgetExceeded {
             resource: "deadline_ms",
@@ -265,16 +301,19 @@ pub fn try_run_monte_carlo_observed(
         .into());
     }
     if completed < config.runs {
+        let (code, what) = if cancelled == CancelState::Degrade {
+            ("mc.cancelled", "cancellation requested".to_owned())
+        } else {
+            (
+                "mc.deadline",
+                format!("deadline {} ms expired", config.deadline_ms.unwrap_or(0)),
+            )
+        };
         obs.warn(Warning::new(
-            "mc.deadline",
+            code,
             "mc-baseline",
             "runs",
-            format!(
-                "deadline {} ms expired after {} of {} runs",
-                config.deadline_ms.unwrap_or(0),
-                completed,
-                config.runs
-            ),
+            format!("{what} after {completed} of {} runs", config.runs),
             format!(
                 "statistics use {completed} samples; error bound widens by ~sqrt({}/{})",
                 config.runs, completed
@@ -326,6 +365,7 @@ fn simulate_runs(
     runs_done: &pep_obs::Counter,
     deadline: Option<Instant>,
     expired: &AtomicBool,
+    cancel: &CancelToken,
 ) -> (Vec<Running>, Option<Vec<DiscreteDist>>, usize) {
     let n = netlist.node_count();
     let mut stats = vec![Running::new(); n];
@@ -337,6 +377,9 @@ fn simulate_runs(
     let total_runs = config.runs as f64;
     let mut completed = 0usize;
     for run in runs {
+        if cancel.is_cancelled() {
+            break;
+        }
         if let Some(d) = deadline {
             if expired.load(Ordering::Relaxed) || Instant::now() >= d {
                 expired.store(true, Ordering::Relaxed);

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Black-box smoke of the real `psta serve` binary: start the daemon,
+# drive it with `psta client`, then SIGTERM it under load and require a
+# clean drain (exit 0) within the grace window.
+set -euo pipefail
+
+BIN=${1:-target/release/psta}
+ADDR=127.0.0.1:8521
+LOG=$(mktemp)
+
+"$BIN" serve --addr "$ADDR" --workers 2 --queue 8 --grace-ms 10000 >"$LOG" 2>&1 &
+PID=$!
+cleanup() { kill -9 "$PID" 2>/dev/null || true; cat "$LOG"; rm -f "$LOG"; }
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 100); do
+  if "$BIN" client health --addr "$ADDR" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+[ "$("$BIN" client health --addr "$ADDR")" = ok ]
+[ "$("$BIN" client ready --addr "$ADDR")" = ready ]
+"$BIN" client metrics --addr "$ADDR" | grep -q '^pep_serve_queue_depth 0$'
+
+# Synchronous analysis round-trips.
+"$BIN" client analyze sample:c17 --seed 7 --addr "$ADDR" | grep -q '"state":"done"'
+
+# Detach, poll, cancel: the cancel of a queued/running job succeeds.
+DETACHED=$("$BIN" client analyze profile:s15850 --samples 40 --detach --addr "$ADDR")
+ID=$(printf '%s' "$DETACHED" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+"$BIN" client job "$ID" --addr "$ADDR" >/dev/null
+"$BIN" client cancel "$ID" --addr "$ADDR" | grep -q '"state"'
+
+# Leave slow work in flight, then send the polite kill.
+"$BIN" client analyze profile:s15850 --samples 40 --detach --addr "$ADDR" >/dev/null
+"$BIN" client analyze profile:s15850 --samples 40 --detach --addr "$ADDR" >/dev/null
+kill -TERM "$PID"
+
+# The drain must finish inside the grace window and exit 0.
+wait "$PID"
+
+# The final run report made it out with the job accounting.
+grep -q 'serve.jobs_submitted' "$LOG"
+grep -q 'pep-serve listening' "$LOG"
+echo "serve smoke: OK"
