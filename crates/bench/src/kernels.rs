@@ -14,7 +14,21 @@ use pep_dist::{DiscreteDist, DistScratch};
 use pep_netlist::generate::IscasProfile;
 use serde::Serialize;
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Version of the JSON envelope written to the `BENCH_*.json` artifacts.
+///
+/// v1 was a bare single-report object with no version or timestamp;
+/// v2 adds `schema_version` + `generated_at_unix_ms` so a file holding
+/// several runs stays orderable.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// One kernel micro-benchmark: ns/op of the allocating primitive vs the
 /// scratch-arena `_into` form on the same inputs.
@@ -49,6 +63,10 @@ pub struct CircuitBenchRow {
 /// two concrete envelopes instead of one `BenchReport<R>`.)
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelBenchReport {
+    /// Envelope version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Milliseconds since the Unix epoch when the run finished.
+    pub generated_at_unix_ms: u64,
     /// What produced the file.
     pub generator: String,
     /// Hardware threads the host exposed.
@@ -69,6 +87,10 @@ impl KernelBenchReport {
 /// Envelope serialized to `BENCH_circuits.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct CircuitBenchReport {
+    /// Envelope version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Milliseconds since the Unix epoch when the run finished.
+    pub generated_at_unix_ms: u64,
     /// What produced the file.
     pub generator: String,
     /// Hardware threads the host exposed.
@@ -241,6 +263,8 @@ pub fn kernel_bench() -> KernelBenchReport {
     );
 
     KernelBenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        generated_at_unix_ms: now_unix_ms(),
         generator: "repro_all (pep-bench kernel_bench)".to_owned(),
         host_threads: host_threads(),
         reps: KERNEL_REPS,
@@ -275,11 +299,31 @@ pub fn circuits_bench() -> CircuitBenchReport {
         })
         .collect();
     CircuitBenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        generated_at_unix_ms: now_unix_ms(),
         generator: "repro_all (pep-bench circuits_bench)".to_owned(),
         host_threads: host_threads(),
         reps: CIRCUIT_REPS,
         rows,
     }
+}
+
+/// Appends a freshly-rendered report onto an artifact's run history.
+///
+/// The v2 artifact is a JSON array of report objects, oldest first. A
+/// legacy v1 file (a bare single-report object) is wrapped as the first
+/// element so no history is lost; unparseable or missing content starts
+/// a fresh one-element history instead of aborting the bench run.
+pub fn append_run(existing: Option<&str>, report_json: &str) -> String {
+    use serde::Value;
+    let fresh = serde::json::from_str(report_json).expect("fresh report is valid JSON");
+    let mut runs = match existing.map(serde::json::from_str) {
+        Some(Ok(Value::Seq(runs))) => runs,
+        Some(Ok(single @ Value::Map(_))) => vec![single],
+        _ => Vec::new(),
+    };
+    runs.push(fresh);
+    serde::json::to_string_pretty(&Value::Seq(runs))
 }
 
 /// Markdown table over the kernel rows (for `EXPERIMENTS.md`).
@@ -294,4 +338,78 @@ pub fn print_kernels(report: &KernelBenchReport) -> String {
         ));
     }
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    fn run(v: u64) -> String {
+        format!("{{\"schema_version\": 2, \"generated_at_unix_ms\": {v}, \"rows\": []}}")
+    }
+
+    fn as_seq(json: &str) -> Vec<Value> {
+        match serde::json::from_str(json).expect("valid") {
+            Value::Seq(runs) => runs,
+            other => panic!("expected array artifact, got {other:?}"),
+        }
+    }
+
+    fn stamp(run: &Value) -> u64 {
+        match run {
+            Value::Map(fields) => fields
+                .iter()
+                .find_map(|(k, v)| match (k.as_str(), v) {
+                    ("generated_at_unix_ms", Value::Int(t)) => Some(*t as u64),
+                    ("generated_at_unix_ms", Value::UInt(t)) => Some(*t),
+                    _ => None,
+                })
+                .expect("stamped run"),
+            other => panic!("expected run object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_run_grows_an_ordered_history() {
+        let first = append_run(None, &run(100));
+        let second = append_run(Some(&first), &run(200));
+        let runs = as_seq(&second);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(stamp(&runs[0]), 100);
+        assert_eq!(stamp(&runs[1]), 200);
+    }
+
+    #[test]
+    fn append_run_wraps_legacy_single_object_files() {
+        // A v1 artifact is a bare report object with no version field.
+        let legacy = "{\"generator\": \"old\", \"rows\": []}";
+        let merged = append_run(Some(legacy), &run(300));
+        let runs = as_seq(&merged);
+        assert_eq!(runs.len(), 2);
+        assert!(matches!(&runs[0], Value::Map(f) if f.iter().any(|(k, _)| k == "generator")));
+        assert_eq!(stamp(&runs[1]), 300);
+    }
+
+    #[test]
+    fn append_run_discards_unparseable_history() {
+        let merged = append_run(Some("not json"), &run(400));
+        assert_eq!(as_seq(&merged).len(), 1);
+    }
+
+    #[test]
+    fn reports_carry_the_v2_envelope() {
+        let report = KernelBenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            generated_at_unix_ms: now_unix_ms(),
+            generator: "test".to_owned(),
+            host_threads: 1,
+            reps: 1,
+            rows: Vec::new(),
+        };
+        let json = report.to_json_pretty();
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"generated_at_unix_ms\""));
+        assert!(report.generated_at_unix_ms > 1_600_000_000_000);
+    }
 }

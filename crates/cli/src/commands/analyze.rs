@@ -16,6 +16,11 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
     let all = args.flag("--all");
     let csv = args.flag("--csv");
     let plots = args.options("--plot")?;
+    let trace_out = args.option("--trace-out")?;
+    let trace_level = match args.option("--trace-level")? {
+        Some(s) => Some(super::profile::trace_level(&s)?),
+        None => None,
+    };
     let quantiles: Vec<f64> = args
         .options("--quantile")?
         .into_iter()
@@ -33,10 +38,22 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), 
     // remaining supergates fall back to topological propagation and the
     // partial report is still printed, with exit code 7.
     let cancel = CancelToken::signal_aware();
+    // `--trace-out` turns span tracing on for the run (at `nodes`
+    // detail unless `--trace-level` says otherwise) and exports Chrome
+    // trace-event JSON for Perfetto.
+    let trace = trace_out.as_ref().map(|_| {
+        let t = pep_obs::Trace::new(trace_level.unwrap_or(pep_obs::TraceLevel::Nodes));
+        obs.set_trace(t.clone());
+        t
+    });
     let analysis = {
         let _phase = obs.phase("analyze");
         pep_core::try_analyze_cancellable(&netlist, &timing, &config, obs, &cancel)?
     };
+    if let (Some(path), Some(trace)) = (&trace_out, &trace) {
+        let spans = trace.spans();
+        super::profile::write_artifact(path, &pep_obs::chrome_trace_json(&spans, trace.dropped()))?;
+    }
     let elapsed = obs.total_of("analyze").unwrap_or_default();
 
     let mut headers = vec![

@@ -4,6 +4,8 @@
 //! psta client health|ready|metrics          [--addr HOST:PORT]
 //! psta client analyze <circuit> [options]   submit an analysis
 //! psta client job <id>                      poll a detached job
+//! psta client trace <id>                    fetch a job's Chrome trace JSON
+//! psta client events <id>                   stream a job's phase progress
 //! psta client cancel <id>                   cancel a queued/running job
 //! ```
 
@@ -16,7 +18,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:8521";
 pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
     let action = args
         .next_positional()
-        .ok_or_else(|| CliError::usage("`client` needs an action: health | ready | metrics | analyze <circuit> | job <id> | cancel <id>"))?;
+        .ok_or_else(|| CliError::usage("`client` needs an action: health | ready | metrics | analyze <circuit> | job <id> | trace <id> | events <id> | cancel <id>"))?;
     let addr = args
         .option("--addr")?
         .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
@@ -31,9 +33,18 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::usage("`client analyze` needs a circuit"))?;
             let seed = args.parsed("--seed", 1u64)?;
             let detach = args.flag("--detach");
+            let trace = args.option("--trace")?;
             let mut fields = vec![circuit_field(&circuit)?, format!("\"seed\": {seed}")];
             if detach {
                 fields.push("\"detach\": true".into());
+            }
+            if let Some(level) = trace {
+                if !matches!(level.as_str(), "phases" | "nodes" | "kernels") {
+                    return Err(CliError::usage(format!(
+                        "`--trace`: expected phases|nodes|kernels, got `{level}`"
+                    )));
+                }
+                fields.push(format!("\"trace\": \"{level}\""));
             }
             let mut knobs = Vec::new();
             if let Some(samples) = args.parsed_opt::<usize>("--samples")? {
@@ -52,6 +63,8 @@ pub fn run<W: Write>(args: &mut Args, out: &mut W) -> Result<(), CliError> {
             )
         }
         "job" => ("GET", format!("/jobs/{}", job_id(args)?), None),
+        "trace" => ("GET", format!("/jobs/{}/trace", job_id(args)?), None),
+        "events" => ("GET", format!("/jobs/{}/events", job_id(args)?), None),
         "cancel" => ("DELETE", format!("/jobs/{}", job_id(args)?), None),
         other => return Err(CliError::usage(format!("unknown client action `{other}`"))),
     };

@@ -8,6 +8,7 @@ pub mod dynamic;
 pub mod generate;
 pub mod mc;
 pub mod paths;
+pub mod profile;
 pub mod serve;
 pub mod supergates;
 

@@ -1,0 +1,103 @@
+//! `psta profile` — run one analysis with span tracing on and export
+//! the profile: Chrome trace-event JSON (Perfetto / `chrome://tracing`),
+//! folded flamegraph stacks, and a top-N self-time table on stdout.
+
+use crate::args::{Args, CliError};
+use crate::commands::analysis_config;
+use crate::input::load_annotated;
+use pep_obs::{
+    chrome_trace_json, folded_stacks, render_self_time_table, self_time_table, KernelKind, Session,
+    Trace, TraceLevel,
+};
+use std::io::Write;
+
+/// Parses a `--trace-level` value.
+pub fn trace_level(s: &str) -> Result<TraceLevel, CliError> {
+    match s {
+        "phases" => Ok(TraceLevel::Phases),
+        "nodes" => Ok(TraceLevel::Nodes),
+        "kernels" => Ok(TraceLevel::Kernels),
+        other => Err(CliError::usage(format!(
+            "`--trace-level`: expected phases|nodes|kernels, got `{other}`"
+        ))),
+    }
+}
+
+/// Writes `text` to `path`, mapping failures to a usage-style error.
+pub fn write_artifact(path: &str, text: &str) -> Result<(), CliError> {
+    std::fs::write(path, text).map_err(|e| CliError::usage(format!("cannot write `{path}`: {e}")))
+}
+
+pub fn run<W: Write>(args: &mut Args, out: &mut W, obs: &Session) -> Result<(), CliError> {
+    let (netlist, timing) = load_annotated(args, obs)?;
+    let config = analysis_config(args)?;
+    let trace_out = args
+        .option("--trace-out")?
+        .unwrap_or_else(|| "psta-trace.json".to_owned());
+    let folded_out = args
+        .option("--folded-out")?
+        .unwrap_or_else(|| "psta-trace.folded".to_owned());
+    let level = match args.option("--trace-level")? {
+        Some(s) => trace_level(&s)?,
+        None => TraceLevel::Kernels,
+    };
+    let top: usize = args.parsed("--top", 15)?;
+    args.finish()?;
+
+    let trace = Trace::new(level);
+    obs.set_trace(trace.clone());
+    {
+        let _phase = obs.phase("analyze");
+        pep_core::try_analyze_observed(&netlist, &timing, &config, obs)?;
+    }
+
+    let spans = trace.spans();
+    write_artifact(&trace_out, &chrome_trace_json(&spans, trace.dropped()))?;
+    write_artifact(&folded_out, &folded_stacks(&spans))?;
+
+    writeln!(
+        out,
+        "profiled {} ({} gates) at trace level {level:?}: {} spans{}",
+        netlist.name(),
+        netlist.gate_count(),
+        spans.len(),
+        if trace.dropped() > 0 {
+            format!(" ({} dropped at the per-lane cap)", trace.dropped())
+        } else {
+            String::new()
+        },
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "  trace  -> {trace_out}  (load at https://ui.perfetto.dev)\n  folded -> {folded_out}  (flamegraph.pl / inferno / speedscope)\n",
+    )
+    .map_err(CliError::io)?;
+
+    writeln!(out, "top {top} spans by self time:").map_err(CliError::io)?;
+    out.write_all(render_self_time_table(&self_time_table(&spans, top)).as_bytes())
+        .map_err(CliError::io)?;
+
+    // Kernel attribution survives even when per-call spans are gated
+    // off (aggregation runs from `nodes` level up).
+    let aggs = trace.kernel_aggregates();
+    if aggs.iter().any(|a| a.calls > 0) {
+        writeln!(out, "\nkernel aggregates:").map_err(CliError::io)?;
+        for kind in KernelKind::ALL {
+            let a = &aggs[kind as usize];
+            if a.calls == 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "  {:<12} {:>10} calls  {:>10.3}ms total  {:>8.0}ns/call",
+                kind.name(),
+                a.calls,
+                a.total_ns as f64 / 1e6,
+                a.total_ns as f64 / a.calls as f64,
+            )
+            .map_err(CliError::io)?;
+        }
+    }
+    Ok(())
+}

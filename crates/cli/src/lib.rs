@@ -8,6 +8,7 @@
 //! psta mc       <circuit> [options]   Monte Carlo baseline
 //! psta compare  <circuit> [options]   PEP vs Monte Carlo error report
 //! psta paths    <circuit> [options]   K longest paths and slack
+//! psta profile  <circuit> [options]   traced analysis + profile export
 //! psta supergates <circuit> [opts]    reconvergence / supergate statistics
 //! psta generate [options]             emit a synthetic .bench circuit
 //! psta dynamic  <circuit> --v1 .. --v2 ..   two-vector transition analysis
@@ -73,6 +74,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "mc" => commands::mc::run(&mut args, out, &obs),
         "compare" => commands::compare::run(&mut args, out, &obs),
         "paths" => commands::paths::run(&mut args, out, &obs),
+        "profile" => commands::profile::run(&mut args, out, &obs),
         "supergates" => commands::supergates::run(&mut args, out, &obs),
         "generate" => commands::generate::run(&mut args, out),
         "dynamic" => commands::dynamic::run(&mut args, out, &obs),
@@ -144,6 +146,8 @@ COMMANDS:
       --budget-stems K  hard stem cap per supergate under the budget
       --fail-fast       error (exit 7) on the first budget trip
                         instead of degrading
+      --trace-out FILE  export a Chrome/Perfetto trace of the run
+      --trace-level L   phases | nodes | kernels [nodes]
       --all             report every node, not just outputs
       --quantile Q      extra quantile column (repeatable)
       --plot NODE       ASCII waveform of a node's distribution
@@ -160,6 +164,14 @@ COMMANDS:
   paths <circuit>       K longest paths and slack report
       -k N              number of paths                  [5]
       --period T        clock period (default: worst arrival)
+
+  profile <circuit>     traced analysis + profile export
+      (analyze options apply)
+      --trace-out FILE  Chrome trace-event JSON, loadable at
+                        https://ui.perfetto.dev  [psta-trace.json]
+      --folded-out FILE folded flamegraph stacks [psta-trace.folded]
+      --trace-level L   phases | nodes | kernels [kernels]
+      --top N           rows in the self-time table [15]
 
   supergates <circuit>  reconvergence and supergate statistics
       --depth D         extraction depth limit           [8]
@@ -187,8 +199,11 @@ COMMANDS:
   client <action>       talk to a running daemon [--addr 127.0.0.1:8521]
       health | ready | metrics
       analyze <circuit> [--seed N] [--detach] [--samples N] [--threads N]
+                        [--trace phases|nodes|kernels]
                         (a .bench file path is shipped inline)
       job <id> | cancel <id>
+      trace <id>        the job's Chrome trace-event JSON (--trace jobs)
+      events <id>       stream the job's phase progress (chunked NDJSON)
 
 CIRCUITS:
   a .bench file path, sample:c17 | sample:mux2 | sample:fig6,
@@ -403,6 +418,62 @@ mod tests {
         assert!(text.contains("warning:"), "degradation surfaced: {text}");
         assert!(text.contains("budget."), "coded warning: {text}");
         assert!(text.contains("sg:"), "names the supergate: {text}");
+    }
+
+    #[test]
+    fn profile_writes_trace_and_folded_outputs() {
+        let dir = std::env::temp_dir().join("psta-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let folded = dir.join("t.folded");
+        let text = run_to_string(&[
+            "profile",
+            "sample:fig6",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--folded-out",
+            folded.to_str().unwrap(),
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert!(text.contains("top 5 spans by self time"), "{text}");
+        assert!(text.contains("kernel aggregates"), "{text}");
+        assert!(text.contains("convolve"), "{text}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"cat\":\"kernel\""));
+        let folded = std::fs::read_to_string(&folded).unwrap();
+        assert!(folded.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, n)| n.parse::<u64>().is_ok())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_rejects_bad_trace_level() {
+        let err =
+            run_to_string(&["profile", "sample:fig6", "--trace-level", "verbose"]).unwrap_err();
+        assert!(err.to_string().contains("phases|nodes|kernels"));
+    }
+
+    #[test]
+    fn analyze_trace_out_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("psta-analyze-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        run_to_string(&[
+            "analyze",
+            "sample:c17",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"cat\":\"wave\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,11 +9,12 @@ use pep_dist::{DiscreteDist, TimeStep};
 use pep_netlist::cone::SupportSets;
 use pep_netlist::supergate::SupergateExtractor;
 use pep_netlist::{GateKind, Netlist, NodeId};
-use pep_obs::{Session, Warning};
+use pep_obs::{Session, SpanArgs, TraceLevel, Warning};
 use pep_sta::error::panic_detail;
 use pep_sta::{AnalysisError, BudgetExceeded, CancelState, CancelToken, Cancelled, PepError};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Counters describing how an analysis ran.
 ///
@@ -394,6 +395,7 @@ fn eval_one<E: NodeEval>(
     if faults::fires(faults::WAVE_WORKER_PANIC) {
         panic!("injected fault: wave worker panic");
     }
+    let span = scratch.dist.trace.begin(TraceLevel::Nodes);
     let mut supergate = None;
     let mut g = if supports.is_reconvergent(netlist, node) {
         if faults::fires(faults::SUPERGATE_ALLOC) {
@@ -461,6 +463,21 @@ fn eval_one<E: NodeEval>(
         dropped_mass = g.truncate_below(config.min_event_prob);
         events_dropped = (events_before - g.support_len()) as u64;
         g.normalize();
+    }
+    if span.is_live() {
+        let mut args = SpanArgs::new()
+            .with("node", node.index() as u64)
+            .with("events", g.support_len() as u64);
+        let (name, cat) = match &supergate {
+            Some((_, outcome)) => {
+                args = args
+                    .with("stems", outcome.stems_conditioned as u64)
+                    .with("combinations", outcome.combinations);
+                ("supergate-eval", "supergate")
+            }
+            None => ("node-eval", "node"),
+        };
+        scratch.dist.trace.end(span, name, cat, args);
     }
     Ok(NodeResult {
         group: g,
@@ -573,6 +590,14 @@ where
     obs.gauge("pep.threads").set(threads as f64);
     let waves_counter = obs.counter("pep.waves");
     let wave_width = obs.histogram("pep.wave_width");
+    let wave_seconds_hist = obs.log_histogram("pep.wave.seconds");
+    let wave_width_hist = obs.log_histogram("pep.wave.width");
+    // Tracing: lane 0 is this orchestration thread (wave spans; phase
+    // spans from the session land there too), lanes 1..N are workers,
+    // wired through their scratch arenas below. With tracing off every
+    // buffer is inert and a span site costs one byte compare.
+    let trace = obs.trace();
+    let mut orch = trace.buffer(0);
 
     // Wave construction: the dependency-count fixpoint over fanin edges
     // (wave index = 1 + deepest fanin's wave; primary inputs and other
@@ -608,6 +633,12 @@ where
     // One evaluation scratch (kernel arena + conditioning state) per
     // worker, reused across every node that worker evaluates.
     let mut scratches: Vec<EvalScratch> = (0..threads).map(|_| EvalScratch::new()).collect();
+    for (i, s) in scratches.iter_mut().enumerate() {
+        // A single-threaded run shares lane 0 so node spans nest under
+        // their wave spans; parallel workers get lanes of their own.
+        let lane = if threads <= 1 { 0 } else { i as u32 + 1 };
+        s.dist.trace = trace.buffer(lane);
+    }
     // Workers evaluate supergates with the intra-region fan-out
     // (sensitivity ranking) pinned to one thread: the wave is already
     // saturating the cores, and the region result does not depend on its
@@ -646,6 +677,13 @@ where
         if work.is_empty() {
             continue;
         }
+        let wave_started = Instant::now();
+        let wave_span = orch.begin(TraceLevel::Phases);
+        let checkouts_before: u64 = if wave_span.is_live() {
+            scratches.iter().map(|s| s.dist.checkouts()).sum()
+        } else {
+            0
+        };
         if threads <= 1 || work.len() == 1 {
             // Inline path: keeps per-node phases, and a lone wide
             // supergate still gets the intra-region fan-out via the full
@@ -778,6 +816,20 @@ where
                 )?;
             }
         }
+        wave_width_hist.record(work.len() as f64);
+        wave_seconds_hist.record(wave_started.elapsed().as_secs_f64());
+        if wave_span.is_live() {
+            let checkouts: u64 = scratches.iter().map(|s| s.dist.checkouts()).sum();
+            orch.end(
+                wave_span,
+                "wave",
+                "wave",
+                SpanArgs::new()
+                    .with("wave", wi as u64)
+                    .with("width", work.len() as u64)
+                    .with("checkouts", checkouts - checkouts_before),
+            );
+        }
         // Memory ladder: when resident event mass exceeds the budget,
         // tighten the paper's `P_m` drop threshold (×10) and
         // re-truncate every committed group. Group sizes are
@@ -830,6 +882,28 @@ where
     // thread count for the pinned worker configs the drivers use).
     // `pep.alloc.slab_high_water` is the deepest any single worker's
     // arena got; like `pep.threads` it reflects the thread layout.
+    //
+    // Before reading the arenas, flush every lane's buffered spans and
+    // per-kernel aggregates into the trace collector, then fold the
+    // kernel aggregates into the session's `pep.kernel.<name>.seconds`
+    // histograms so a plain metrics scrape sees kernel attribution
+    // without a trace export.
+    if trace.is_enabled() {
+        orch.flush();
+        for s in scratches.iter_mut() {
+            s.dist.trace.flush();
+        }
+        let aggs = trace.kernel_aggregates();
+        for kind in pep_obs::KernelKind::ALL {
+            let agg = &aggs[kind as usize];
+            if agg.calls == 0 {
+                continue;
+            }
+            let snap = agg.to_seconds_snapshot();
+            obs.log_histogram(&format!("pep.kernel.{}.seconds", kind.name()))
+                .merge_buckets(&snap.buckets, snap.sum, snap.count);
+        }
+    }
     let checkouts: u64 = scratches.iter().map(|s| s.dist.checkouts()).sum();
     let high_water = scratches
         .iter()

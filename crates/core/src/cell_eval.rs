@@ -116,10 +116,18 @@ pub fn combine_into(
     out: &mut DiscreteDist,
     scratch: &mut DistScratch,
 ) {
-    match mode {
-        CombineMode::Latest => DiscreteDist::max_k_into(groups, out, scratch),
-        CombineMode::Earliest => DiscreteDist::min_k_into(groups, out, scratch),
-    }
+    let tok = scratch.trace.begin_kernel();
+    let kind = match mode {
+        CombineMode::Latest => {
+            DiscreteDist::max_k_into(groups, out, scratch);
+            pep_obs::KernelKind::Max
+        }
+        CombineMode::Earliest => {
+            DiscreteDist::min_k_into(groups, out, scratch);
+            pep_obs::KernelKind::Min
+        }
+    };
+    scratch.trace.end_kernel(tok, kind, out.support_len());
 }
 
 #[cfg(test)]

@@ -147,7 +147,11 @@ impl NodeEval for StaticEval<'_> {
         } else {
             cell_eval::combine_into(fanin_groups, self.mode, out, scratch);
         }
+        let tok = scratch.trace.begin_kernel();
         out.convolve_in_place(self.arcs.cell(node), scratch);
+        scratch
+            .trace
+            .end_kernel(tok, pep_obs::KernelKind::Convolve, out.support_len());
     }
 
     fn sample_node(
@@ -252,7 +256,11 @@ impl NodeEval for DynamicEval<'_> {
             // switching input.
             None => cell_eval::combine_into(groups, CombineMode::Latest, out, scratch),
         }
+        let tok = scratch.trace.begin_kernel();
         out.convolve_in_place(self.arcs.cell(node), scratch);
+        scratch
+            .trace
+            .end_kernel(tok, pep_obs::KernelKind::Convolve, out.support_len());
     }
 
     fn sample_node(

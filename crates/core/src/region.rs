@@ -35,6 +35,10 @@ pub(crate) struct RegionOutcome {
     /// order they were applied (empty — no allocation — on the
     /// unbudgeted path).
     pub degradations: Vec<Degradation>,
+    /// Enumeration leaves visited by the conditioning recursion (the
+    /// number of stem-value combinations actually evaluated; 0 for the
+    /// hybrid and fallback paths). Attached to supergate trace spans.
+    pub combinations: u64,
 }
 
 /// Per-worker reusable evaluation state: the kernel arena plus the
@@ -64,6 +68,9 @@ pub(crate) struct EvalScratch {
     /// One stem-group buffer per recursion level (the level iterates its
     /// buffer by index while deeper levels use their own slots).
     level_groups: Vec<DiscreteDist>,
+    /// Enumeration leaves visited since `begin_region` (reported as
+    /// [`RegionOutcome::combinations`]).
+    leaves: u64,
 }
 
 impl EvalScratch {
@@ -76,6 +83,7 @@ impl EvalScratch {
             ov_set: Vec::new(),
             live: Vec::new(),
             level_groups: Vec::new(),
+            leaves: 0,
         }
     }
 
@@ -95,6 +103,7 @@ impl EvalScratch {
         self.ov_set.resize(n, false);
         self.live.clear();
         self.live.resize(n, false);
+        self.leaves = 0;
     }
 }
 
@@ -379,11 +388,13 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
         let mut out = DiscreteDist::empty();
         let limits = CondLimits::for_tracker(tracker);
         self.conditioned_eval_limited(&stems, coarsen, limits.as_ref(), &mut out, scratch);
+        outcome.combinations = scratch.leaves;
         if limits.as_ref().is_some_and(|l| l.aborted()) {
             // The partial accumulation is discarded; the unconditioned
             // group is the degradation result.
             out.copy_from(self.base_output());
             outcome.stems_conditioned = 0;
+            outcome.combinations = 0;
             outcome.degradations.push(Degradation::TopologicalFallback {
                 reason: tracker
                     .stop_reason()
@@ -508,6 +519,7 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 }
             }
             let k = (stems.len() - 1) as u8;
+            scratch.leaves += 1;
             self.propagate_affected(scratch, k, self.output_local);
             let EvalScratch {
                 dist,
@@ -519,7 +531,10 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 ..
             } = scratch;
             let result = self.cond_value_at(tag, cur, ov, ov_set, live, self.output_local, k);
+            let tok = dist.trace.begin_kernel();
             out.accumulate_scaled(result, scale, dist);
+            dist.trace
+                .end_kernel(tok, pep_obs::KernelKind::Accumulate, out.support_len());
             return;
         }
         let si = self.local[&stems[level]];
@@ -537,6 +552,7 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 ov_set,
                 live,
                 level_groups,
+                ..
             } = scratch;
             let src = if level > 0 {
                 let k = (level - 1) as u8;
@@ -545,7 +561,13 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 self.base[si].as_ref()
             };
             match coarsen {
-                Some(k) => src.coarsen_into(k.max(1), &mut level_groups[level], dist),
+                Some(k) => {
+                    let tok = dist.trace.begin_kernel();
+                    src.coarsen_into(k.max(1), &mut level_groups[level], dist);
+                    let events = level_groups[level].support_len();
+                    dist.trace
+                        .end_kernel(tok, pep_obs::KernelKind::Coarsen, events);
+                }
                 None => level_groups[level].copy_from(src),
             }
         }
@@ -625,10 +647,13 @@ impl<'r, E: NodeEval> RegionEval<'r, E> {
                 slot.normalize();
             }
             if let Some(r) = self.resolution {
+                let tok = dist.trace.begin_kernel();
                 let mut tmp = dist.take();
                 slot.coarsen_into(r, &mut tmp, dist);
                 std::mem::swap(slot, &mut tmp);
                 dist.put(tmp);
+                dist.trace
+                    .end_kernel(tok, pep_obs::KernelKind::Coarsen, slot.support_len());
             }
             // The slot is always freshly written; the live flag gates
             // whether readers see it or fall back to the base group.

@@ -1,0 +1,75 @@
+//! The tracing overhead contract (DESIGN.md §11): with no trace
+//! attached, every span site the analyzer gained must be free — a
+//! disabled `TraceBuffer` is one byte compare, resolving the trace is
+//! one mutex lock per run — so an s5378 analysis with a trace-less
+//! session times within noise of one without any of the machinery
+//! exercised. A cheap `Phases`-level trace (tens of wave spans) must
+//! stay close too.
+//!
+//! Wall-clock assertions are inherently noisy on shared CI runners, so
+//! the guard compares best-of-N over interleaved repetitions (best-of
+//! discards scheduler hiccups; interleaving cancels thermal drift) and
+//! the thresholds are deliberately generous: a real regression at
+//! these call sites — an `Instant::now()` per kernel call when off,
+//! say — shows up as 2×, not 1.05×.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{analyze_observed, AnalysisConfig};
+use pep_netlist::generate::{iscas_profile, IscasProfile};
+use pep_obs::{Session, Trace, TraceLevel};
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+
+fn run_once(
+    nl: &pep_netlist::Netlist,
+    t: &Timing,
+    cfg: &AnalysisConfig,
+    obs: &Session,
+) -> Duration {
+    let start = Instant::now();
+    let a = analyze_observed(nl, t, cfg, obs);
+    let elapsed = start.elapsed();
+    assert!(a.stats().supergates > 0);
+    elapsed
+}
+
+#[test]
+fn s5378_tracing_off_is_free_and_phases_is_cheap() {
+    let nl = iscas_profile(IscasProfile::S5378);
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(7));
+    let cfg = AnalysisConfig::default();
+
+    // Variant sessions: no trace attached (the pre-tracing baseline),
+    // a trace attached but switched off (every new branch site taken),
+    // and a live Phases-level trace (wave + phase spans recorded).
+    let baseline = Session::new();
+    let off = Session::new();
+    off.set_trace(Trace::new(TraceLevel::Off));
+    let phases = Session::new();
+    phases.set_trace(Trace::new(TraceLevel::Phases));
+
+    let mut best = [Duration::MAX; 3];
+    for _ in 0..REPS {
+        for (i, obs) in [&baseline, &off, &phases].into_iter().enumerate() {
+            best[i] = best[i].min(run_once(&nl, &t, &cfg, obs));
+        }
+    }
+    let [base, off_t, phases_t] = best;
+    let ratio_off = off_t.as_secs_f64() / base.as_secs_f64();
+    let ratio_phases = phases_t.as_secs_f64() / base.as_secs_f64();
+    println!(
+        "s5378 best-of-{REPS}: baseline {base:?}, trace-off {off_t:?} ({ratio_off:.3}x), \
+         phases {phases_t:?} ({ratio_phases:.3}x)"
+    );
+    assert!(
+        ratio_off < 1.25,
+        "tracing-off must be within noise of no tracing at all \
+         (got {ratio_off:.3}x: {off_t:?} vs {base:?})"
+    );
+    assert!(
+        ratio_phases < 1.35,
+        "a Phases-level trace records tens of spans per run and must \
+         stay within noise (got {ratio_phases:.3}x: {phases_t:?} vs {base:?})"
+    );
+}

@@ -1,0 +1,162 @@
+//! End-to-end span-tracing coverage: a traced analysis records phase,
+//! wave, node/supergate and kernel spans; kernel aggregates feed the
+//! session's log histograms; and tracing never changes the result.
+
+use pep_celllib::{DelayModel, Timing};
+use pep_core::{analyze, analyze_observed, AnalysisConfig};
+use pep_netlist::{generate, samples, GateKind};
+use pep_obs::{KernelKind, Session, Trace, TraceLevel};
+
+fn traced_run(level: TraceLevel, threads: usize) -> (Trace, Session) {
+    let nl = samples::fig6();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(9));
+    let obs = Session::new();
+    let trace = Trace::new(level);
+    obs.set_trace(trace.clone());
+    let cfg = AnalysisConfig {
+        threads,
+        ..AnalysisConfig::default()
+    };
+    analyze_observed(&nl, &t, &cfg, &obs);
+    (trace, obs)
+}
+
+#[test]
+fn phases_level_records_phase_and_wave_spans_only() {
+    let (trace, _obs) = traced_run(TraceLevel::Phases, 1);
+    let spans = trace.spans();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "phase" && s.name == "propagate"),
+        "the propagate phase span is recorded"
+    );
+    assert!(
+        spans.iter().any(|s| s.cat == "wave"),
+        "wave spans are recorded at Phases level"
+    );
+    assert!(
+        spans.iter().all(|s| s.cat != "node" && s.cat != "kernel"),
+        "node and kernel spans are gated off at Phases level"
+    );
+    // Kernel aggregation is gated off below Nodes too (hot-path cost).
+    assert!(trace.kernel_aggregates().iter().all(|a| a.calls == 0));
+}
+
+#[test]
+fn nodes_level_records_node_spans_and_kernel_aggregates() {
+    let (trace, obs) = traced_run(TraceLevel::Nodes, 1);
+    let spans = trace.spans();
+    let node_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.cat == "node" || s.cat == "supergate")
+        .collect();
+    assert!(!node_spans.is_empty(), "node spans recorded at Nodes level");
+    assert!(
+        node_spans.iter().all(|s| !s.args.is_empty()),
+        "node spans carry counter args"
+    );
+    let sg = spans
+        .iter()
+        .find(|s| s.cat == "supergate")
+        .expect("fig6 reconverges, so a supergate span exists");
+    let keys: Vec<&str> = sg.args.iter().map(|(k, _)| k).collect();
+    assert_eq!(keys, ["node", "events", "stems", "combinations"]);
+    let combos = sg
+        .args
+        .iter()
+        .find(|(k, _)| *k == "combinations")
+        .map(|(_, v)| v)
+        .expect("combinations attached");
+    assert!(combos > 0, "conditioning visited at least one leaf");
+    assert!(
+        spans.iter().all(|s| s.cat != "kernel"),
+        "per-call kernel spans need Kernels level"
+    );
+    // Aggregates flow from Nodes level up…
+    let aggs = trace.kernel_aggregates();
+    assert!(aggs[KernelKind::Convolve as usize].calls > 0);
+    // …and land in the session's log histograms, re-bucketed to seconds.
+    let log = obs.log_histograms_snapshot();
+    let conv = &log["pep.kernel.convolve.seconds"];
+    assert_eq!(conv.count, aggs[KernelKind::Convolve as usize].calls);
+    assert!(conv.sum > 0.0);
+    assert!(log.contains_key("pep.wave.seconds"));
+    assert!(log.contains_key("pep.wave.width"));
+}
+
+#[test]
+fn kernels_level_records_per_call_spans() {
+    let (trace, _obs) = traced_run(TraceLevel::Kernels, 1);
+    let spans = trace.spans();
+    let kernel_spans: Vec<_> = spans.iter().filter(|s| s.cat == "kernel").collect();
+    assert!(!kernel_spans.is_empty());
+    let names: std::collections::BTreeSet<&str> =
+        kernel_spans.iter().map(|s| s.name.as_ref()).collect();
+    assert!(
+        names.contains("convolve"),
+        "convolve spans present: {names:?}"
+    );
+    assert!(
+        kernel_spans
+            .iter()
+            .all(|s| s.args.iter().any(|(k, _)| k == "events")),
+        "kernel spans carry the output event-group size"
+    );
+}
+
+#[test]
+fn parallel_run_uses_worker_lanes() {
+    // A wide tree gives every worker something to do.
+    let nl = generate::comb_tree(GateKind::And, 256);
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(3));
+    let obs = Session::new();
+    let trace = Trace::new(TraceLevel::Nodes);
+    obs.set_trace(trace.clone());
+    let cfg = AnalysisConfig {
+        threads: 4,
+        ..AnalysisConfig::default()
+    };
+    analyze_observed(&nl, &t, &cfg, &obs);
+    let spans = trace.spans();
+    let lanes: std::collections::BTreeSet<u32> = spans
+        .iter()
+        .filter(|s| s.cat == "node")
+        .map(|s| s.lane)
+        .collect();
+    assert!(
+        lanes.iter().any(|&l| l >= 1),
+        "node spans land on worker lanes: {lanes:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .filter(|s| s.cat == "wave")
+            .all(|s| s.lane == 0),
+        "wave spans stay on the orchestration lane"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(5));
+    let cfg = AnalysisConfig::default();
+    let plain = analyze(&nl, &t, &cfg);
+    let obs = Session::new();
+    obs.set_trace(Trace::new(TraceLevel::Kernels));
+    let traced = analyze_observed(&nl, &t, &cfg, &obs);
+    for id in nl.node_ids() {
+        assert_eq!(plain.group(id), traced.group(id));
+    }
+}
+
+#[test]
+fn untraced_session_records_no_spans() {
+    let nl = samples::c17();
+    let t = Timing::annotate(&nl, &DelayModel::dac2001(1));
+    let obs = Session::new();
+    analyze_observed(&nl, &t, &AnalysisConfig::default(), &obs);
+    assert!(!obs.trace().is_enabled());
+    assert!(obs.trace().spans().is_empty());
+}

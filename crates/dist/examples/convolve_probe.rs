@@ -1,0 +1,79 @@
+//! Micro-probe behind the `convolve_300x20` BENCH_kernels row: times the
+//! allocating convolve against `convolve_into` variants to attribute the
+//! gap (allocation vs zero-fill vs inner-loop shape).
+//!
+//! ```text
+//! cargo run -p pep-dist --release --example convolve_probe
+//! ```
+
+use pep_dist::DiscreteDist;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn smooth(n: usize, origin: i64) -> DiscreteDist {
+    let mid = n as f64 / 2.0;
+    let weights: Vec<(i64, f64)> = (0..n)
+        .map(|i| {
+            let z = (i as f64 - mid) / (n as f64 / 6.0);
+            (origin + i as i64, (-0.5 * z * z).exp())
+        })
+        .collect();
+    let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+    DiscreteDist::from_pairs(weights.into_iter().map(|(t, w)| (t, w / total)))
+}
+
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    const REPS: usize = 9;
+    const ITERS: usize = 20_000;
+    let wide = smooth(300, 0);
+    let cell = smooth(20, 5);
+    let mut out = DiscreteDist::empty();
+
+    let alloc = time_ns(REPS, ITERS, || {
+        black_box(wide.convolve(&cell));
+    });
+    let into = time_ns(REPS, ITERS, || {
+        wide.convolve_into(&cell, &mut out);
+        black_box(&out);
+    });
+    // Operand order swapped at the call site (the kernel itself picks the
+    // shorter outer operand, so this should match `into`).
+    let into_swapped = time_ns(REPS, ITERS, || {
+        cell.convolve_into(&wide, &mut out);
+        black_box(&out);
+    });
+    // Fresh output each call: isolates buffer-reuse effects from the
+    // inner-loop shape.
+    let into_fresh = time_ns(REPS, ITERS, || {
+        let mut fresh = DiscreteDist::empty();
+        wide.convolve_into(&cell, &mut fresh);
+        black_box(&fresh);
+    });
+
+    println!("convolve 300x20, best-of-{REPS} x {ITERS} iters");
+    println!("  alloc        {alloc:8.1} ns/op");
+    println!(
+        "  into (reuse) {into:8.1} ns/op   ({:.2}x vs alloc)",
+        alloc / into
+    );
+    println!(
+        "  into (swap)  {into_swapped:8.1} ns/op   ({:.2}x vs alloc)",
+        alloc / into_swapped
+    );
+    println!(
+        "  into (fresh) {into_fresh:8.1} ns/op   ({:.2}x vs alloc)",
+        alloc / into_fresh
+    );
+}

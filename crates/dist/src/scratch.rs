@@ -14,6 +14,7 @@
 //! bit-identical-across-thread-counts contract.
 
 use crate::DiscreteDist;
+use pep_obs::TraceBuffer;
 
 /// A pool of reusable buffers for [`DiscreteDist`] kernel temporaries.
 ///
@@ -51,6 +52,12 @@ pub struct DistScratch {
     live: usize,
     /// High-water mark of simultaneously checked-out slabs.
     peak_live: usize,
+    /// Span/kernel recorder for the worker this arena belongs to. Inert
+    /// by default (`TraceBuffer::default()` — a span site is one byte
+    /// compare); the analyzer wires a live buffer in for traced runs.
+    /// It lives here because the arena is the one per-worker value
+    /// already threaded through every kernel call site.
+    pub trace: TraceBuffer,
 }
 
 impl DistScratch {

@@ -1,0 +1,499 @@
+//! Zero-dependency exporters for traces and metrics:
+//!
+//! * [`chrome_trace_json`] — Chrome trace-event JSON, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Each
+//!   lane becomes a named thread track; span args become event `args`.
+//! * [`folded_stacks`] — `inferno`/`flamegraph.pl`-style folded stack
+//!   lines (`lane;parent;child self_us`), reconstructed from interval
+//!   containment per lane.
+//! * [`self_time_table`] / [`render_self_time_table`] — top-N spans by
+//!   self time (duration minus child durations), aggregated by name.
+//! * [`PromWriter`] — Prometheus text exposition (`# HELP`/`# TYPE`,
+//!   counters, gauges, and log2-bucket histograms as
+//!   `_bucket`/`_sum`/`_count`).
+
+use crate::metrics::{log_bucket_upper_bound, LogHistogramSnapshot};
+use crate::trace::SpanRecord;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The display name for a lane: lane 0 orchestrates, the rest are
+/// workers.
+pub fn lane_name(lane: u32) -> String {
+    if lane == 0 {
+        "orchestrator".to_owned()
+    } else {
+        format!("worker-{lane}")
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the "JSON Array Format"
+/// with a `traceEvents` envelope).
+///
+/// Spans must be in exporter order (see [`crate::trace::sort_spans`];
+/// [`crate::trace::Trace::spans`] returns them sorted). Timestamps are
+/// microseconds with sub-microsecond precision preserved as fractions.
+/// `dropped` (spans lost to the per-lane cap) is recorded as trace
+/// metadata so a truncated profile is visibly truncated.
+pub fn chrome_trace_json(spans: &[SpanRecord], dropped: u64) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",");
+    let _ = write!(out, "\"otherData\":{{\"dropped_spans\":{dropped}}},");
+    out.push_str("\"traceEvents\":[");
+    let mut first = true;
+    let mut seen_lanes: Vec<u32> = Vec::new();
+    for s in spans {
+        if !seen_lanes.contains(&s.lane) {
+            seen_lanes.push(s.lane);
+        }
+    }
+    seen_lanes.sort_unstable();
+    for lane in &seen_lanes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            lane_name(*lane)
+        );
+        // Sort index keeps the orchestrator on top in Perfetto.
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{lane}}}}}"
+        );
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = s.start_ns as f64 / 1000.0;
+        let dur = s.dur_ns as f64 / 1000.0;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\
+             \"name\":\"{}\",\"cat\":\"{}\"",
+            s.lane,
+            json_escape(&s.name),
+            json_escape(s.cat),
+        );
+        if !s.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", json_escape(k));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Per-span self time, computed by interval containment within each
+/// lane (spans in one lane come from one thread, so they nest).
+fn compute_self_ns(spans: &[SpanRecord]) -> Vec<u64> {
+    let mut self_ns: Vec<u64> = spans.iter().map(|s| s.dur_ns).collect();
+    // (end_ns, index) stack per containment run; spans are sorted by
+    // (lane, start, -dur) so a parent precedes its children.
+    let mut stack: Vec<(u64, usize)> = Vec::new();
+    let mut cur_lane = u32::MAX;
+    for (i, s) in spans.iter().enumerate() {
+        if s.lane != cur_lane {
+            stack.clear();
+            cur_lane = s.lane;
+        }
+        let end = s.start_ns.saturating_add(s.dur_ns);
+        while let Some(&(top_end, _)) = stack.last() {
+            if top_end <= s.start_ns {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(_, parent)) = stack.last() {
+            self_ns[parent] = self_ns[parent].saturating_sub(s.dur_ns);
+        }
+        stack.push((end, i));
+    }
+    self_ns
+}
+
+/// Renders folded flamegraph stacks: one line per unique stack,
+/// `lane;name;name… self_microseconds`, suitable for
+/// `flamegraph.pl` / `inferno-flamegraph` / speedscope.
+///
+/// Spans must be in exporter order (sorted by `(lane, start, -dur)`).
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    use std::collections::BTreeMap;
+    let self_ns = compute_self_ns(spans);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stack: Vec<(u64, String)> = Vec::new(); // (end_ns, frame name)
+    let mut cur_lane = u32::MAX;
+    for (i, s) in spans.iter().enumerate() {
+        if s.lane != cur_lane {
+            stack.clear();
+            cur_lane = s.lane;
+        }
+        let end = s.start_ns.saturating_add(s.dur_ns);
+        while let Some((top_end, _)) = stack.last() {
+            if *top_end <= s.start_ns {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        stack.push((end, s.name.replace([';', ' ', '\n'], "_")));
+        let micros = self_ns[i] / 1000;
+        if micros > 0 {
+            let mut key = lane_name(s.lane);
+            for (_, frame) in &stack {
+                key.push(';');
+                key.push_str(frame);
+            }
+            *folded.entry(key).or_insert(0) += micros;
+        }
+    }
+    let mut out = String::new();
+    for (key, micros) in folded {
+        let _ = writeln!(out, "{key} {micros}");
+    }
+    out
+}
+
+/// One row of the self-time table: spans aggregated by `(name, cat)`.
+#[derive(Debug, Clone)]
+pub struct SelfTimeRow {
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: &'static str,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Self (exclusive) nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Aggregates spans by name and returns the top `n` by self time.
+///
+/// Spans must be in exporter order (sorted by `(lane, start, -dur)`).
+pub fn self_time_table(spans: &[SpanRecord], n: usize) -> Vec<SelfTimeRow> {
+    use std::collections::BTreeMap;
+    let self_ns = compute_self_ns(spans);
+    let mut agg: BTreeMap<(String, &'static str), (u64, u64, u64)> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let e = agg.entry((s.name.to_string(), s.cat)).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += s.dur_ns;
+        e.2 += self_ns[i];
+    }
+    let mut rows: Vec<SelfTimeRow> = agg
+        .into_iter()
+        .map(|((name, cat), (calls, total_ns, self_ns))| SelfTimeRow {
+            name,
+            cat,
+            calls,
+            total_ns,
+            self_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    rows.truncate(n);
+    rows
+}
+
+/// Renders a [`self_time_table`] as aligned text.
+pub fn render_self_time_table(rows: &[SelfTimeRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:<10} {:>10} {:>12} {:>12}",
+        "span", "cat", "calls", "total", "self"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:<10} {:>10} {:>12} {:>12}",
+            r.name,
+            r.cat,
+            r.calls,
+            format_ns(r.total_ns),
+            format_ns(r.self_ns),
+        );
+    }
+    out
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Sanitizes a dotted metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots, dashes and other invalid bytes
+/// become underscores.
+pub fn prom_sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn prom_escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental Prometheus text-exposition writer (text format 0.0.4).
+///
+/// Metric names are sanitized with [`prom_sanitize`]; each family gets
+/// its `# HELP`/`# TYPE` header exactly once even when samples are
+/// appended family-by-family.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one counter sample. `name` is sanitized; pass the final
+    /// name including any `_total` suffix convention you want.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        let name = prom_sanitize(name);
+        self.header(&name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Writes one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        let name = prom_sanitize(name);
+        self.header(&name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", prom_f64(value));
+    }
+
+    /// Writes a family of counter samples labeled by one label key.
+    pub fn counter_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        samples: &[(String, f64)],
+    ) {
+        let name = prom_sanitize(name);
+        self.header(&name, help, "counter");
+        for (value_label, v) in samples {
+            let _ = writeln!(
+                self.out,
+                "{name}{{{label}=\"{}\"}} {}",
+                prom_escape_label(value_label),
+                prom_f64(*v)
+            );
+        }
+    }
+
+    /// Writes one histogram family from a log2-bucket snapshot:
+    /// cumulative `_bucket` lines for every non-empty bucket (plus the
+    /// mandatory `le="+Inf"`), then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &LogHistogramSnapshot) {
+        let name = prom_sanitize(name);
+        self.header(&name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            cumulative += c;
+            let bound = log_bucket_upper_bound(i);
+            if c > 0 && bound.is_finite() {
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    prom_f64(bound)
+                );
+            }
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(self.out, "{name}_sum {}", prom_f64(snap.sum));
+        let _ = writeln!(self.out, "{name}_count {cumulative}");
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanArgs, SpanRecord};
+    use std::borrow::Cow;
+
+    fn span(name: &'static str, cat: &'static str, lane: u32, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            cat,
+            start_ns: start,
+            dur_ns: dur,
+            lane,
+            args: SpanArgs::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_lanes_and_args() {
+        let mut s = span("wave", "wave", 0, 1_000, 10_000);
+        s.args.push("width", 12);
+        let spans = vec![s, span("convolve", "kernel", 1, 2_000, 500)];
+        let json = chrome_trace_json(&spans, 3);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"orchestrator\""));
+        assert!(json.contains("\"worker-1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"width\":12}"));
+        assert!(json.contains("\"dropped_spans\":3"));
+        assert!(json.contains("\"ts\":1,"), "ns → µs conversion");
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // parent [0, 100), child A [10, 30), child B [40, 50),
+        // grandchild [12, 20) under A.
+        let spans = vec![
+            span("parent", "phase", 0, 0, 100),
+            span("a", "node", 0, 10, 20),
+            span("g", "kernel", 0, 12, 8),
+            span("b", "node", 0, 40, 10),
+        ];
+        let self_ns = compute_self_ns(&spans);
+        assert_eq!(self_ns, vec![70, 12, 8, 10]);
+        let rows = self_time_table(&spans, 10);
+        assert_eq!(rows[0].name, "parent");
+        assert_eq!(rows[0].self_ns, 70);
+        let total: u64 = rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(total, 100, "self times partition the root");
+    }
+
+    #[test]
+    fn folded_stacks_nest_by_containment() {
+        let spans = vec![
+            span("analyze", "phase", 0, 0, 100_000),
+            span("wave", "wave", 0, 10_000, 50_000),
+            span("n1", "node", 0, 12_000, 20_000),
+        ];
+        let folded = folded_stacks(&spans);
+        assert!(folded.contains("orchestrator;analyze 50\n"));
+        assert!(folded.contains("orchestrator;analyze;wave 30\n"));
+        assert!(folded.contains("orchestrator;analyze;wave;n1 20\n"));
+    }
+
+    #[test]
+    fn sibling_lanes_do_not_nest() {
+        let spans = vec![
+            span("n1", "node", 1, 0, 1_000_000),
+            span("n2", "node", 1, 2_000_000, 1_000_000),
+        ];
+        let folded = folded_stacks(&spans);
+        assert!(folded.contains("worker-1;n1 1000\n"));
+        assert!(folded.contains("worker-1;n2 1000\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut w = PromWriter::new();
+        w.counter("pep_serve.jobs_completed_total", "Jobs completed.", 7);
+        w.gauge("pep_serve.queue_depth", "Queued jobs.", 2.0);
+        let live = crate::metrics::MetricsRegistry::default();
+        let lh = live.log_histogram("x");
+        lh.record(0.5);
+        lh.record(0.75);
+        lh.record(3.0);
+        w.histogram("pep_serve.job_seconds", "Job latency.", &lh.snapshot());
+        let text = w.finish();
+        assert!(text.contains("# TYPE pep_serve_jobs_completed_total counter"));
+        assert!(text.contains("pep_serve_jobs_completed_total 7"));
+        assert!(text.contains("# TYPE pep_serve_queue_depth gauge"));
+        assert!(text.contains("pep_serve_queue_depth 2"));
+        assert!(text.contains("# TYPE pep_serve_job_seconds histogram"));
+        // 0.5 and 0.75 share the [0.5, 1) bucket; cumulative at le=1 is 2.
+        assert!(text.contains("pep_serve_job_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("pep_serve_job_seconds_bucket{le=\"4\"} 3"));
+        assert!(text.contains("pep_serve_job_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pep_serve_job_seconds_sum 4.25"));
+        assert!(text.contains("pep_serve_job_seconds_count 3"));
+    }
+
+    #[test]
+    fn prom_sanitize_fixes_names() {
+        assert_eq!(prom_sanitize("pep.kernel.max-ns"), "pep_kernel_max_ns");
+        assert_eq!(prom_sanitize("9lives"), "_9lives");
+    }
+}

@@ -51,13 +51,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod metrics;
 pub mod phase;
 pub mod report;
 mod session;
+pub mod trace;
 pub mod warning;
 
-pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
+pub use export::{
+    chrome_trace_json, folded_stacks, render_self_time_table, self_time_table, PromWriter,
+    SelfTimeRow,
+};
+pub use metrics::{
+    log_bucket_index, log_bucket_upper_bound, Counter, FloatCounter, Gauge, Histogram,
+    LogHistogram, LogHistogramSnapshot, MetricsRegistry, LOG_HISTOGRAM_BUCKETS,
+};
 pub use report::{HistogramSummary, PhaseReport, RunReport};
-pub use session::{PhaseGuard, Session};
+pub use session::{PhaseGuard, PhaseListener, Session};
+pub use trace::{
+    KernelAgg, KernelKind, SpanArgs, SpanRecord, SpanToken, Trace, TraceBuffer, TraceLevel,
+};
 pub use warning::{aggregate as aggregate_warnings, Warning, WarningGroup};

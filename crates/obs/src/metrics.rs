@@ -127,6 +127,212 @@ impl Histogram {
     }
 }
 
+/// Number of buckets in a [`LogHistogram`].
+pub const LOG_HISTOGRAM_BUCKETS: usize = 64;
+
+/// The bucket a value lands in: power-of-two buckets, lower-inclusive.
+///
+/// Bucket `i` (for `0 < i < 63`) holds `v` in `[2^(i-32), 2^(i-31))`;
+/// bucket 0 is the underflow bucket (zero, negatives, subnormals, NaN,
+/// and anything below `2^-31`), bucket 63 the overflow bucket
+/// (`>= 2^31`, plus `+inf`). The index is computed from the f64
+/// exponent bits, so boundary values are classified exactly — every
+/// finite value lands in exactly one bucket.
+pub fn log_bucket_index(v: f64) -> usize {
+    if !v.is_finite() {
+        return if v > 0.0 {
+            LOG_HISTOGRAM_BUCKETS - 1
+        } else {
+            0
+        };
+    }
+    if v < f64::MIN_POSITIVE {
+        // Zero, negatives and subnormals: underflow.
+        return 0;
+    }
+    // For normal f64, the biased exponent gives floor(log2(v)) exactly.
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (e + 32).clamp(0, LOG_HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// The *exclusive* upper bound of bucket `i` (`2^(i-31)`); the last
+/// bucket is unbounded and reports `+inf`.
+pub fn log_bucket_upper_bound(i: usize) -> f64 {
+    if i >= LOG_HISTOGRAM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (i as f64 - 31.0).exp2()
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`]: per-bucket counts plus
+/// the exact sum and count. `count` always equals the bucket total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogramSnapshot {
+    /// Count per log2 bucket (see [`log_bucket_index`]).
+    pub buckets: [u64; LOG_HISTOGRAM_BUCKETS],
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl Default for LogHistogramSnapshot {
+    fn default() -> Self {
+        LogHistogramSnapshot {
+            buckets: [0; LOG_HISTOGRAM_BUCKETS],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl LogHistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LogHistogramInner {
+    buckets: [AtomicU64; LOG_HISTOGRAM_BUCKETS],
+    // f64 bit pattern, updated by CAS like `FloatCounter`.
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LogHistogramInner {
+    fn default() -> Self {
+        LogHistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket (log2), fully atomic latency/size histogram: `record`
+/// is one atomic increment plus a CAS-loop sum update — no locks, no
+/// allocation, safe to hammer from worker threads. This is the metric
+/// kind behind Prometheus `_bucket`/`_sum`/`_count` exposition; the
+/// raw-sample [`Histogram`] remains for exact percentiles in run
+/// reports.
+///
+/// `LogHistogram::detached()` is the free no-op handle.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    inner: Option<Arc<LogHistogramInner>>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::detached()
+    }
+}
+
+impl LogHistogram {
+    fn live() -> Self {
+        LogHistogram {
+            inner: Some(Arc::default()),
+        }
+    }
+
+    /// A handle that drops every sample (the disabled fast path).
+    pub fn detached() -> Self {
+        LogHistogram { inner: None }
+    }
+
+    /// Records one value (no-op on a detached handle).
+    pub fn record(&self, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.buckets[log_bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            inner.count.fetch_add(1, Ordering::Relaxed);
+            let mut current = inner.sum.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                match inner.sum.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    /// Merges a pre-aggregated bucket array (e.g. a per-worker trace
+    /// buffer's kernel aggregate) into this histogram in one pass.
+    pub fn merge_buckets(&self, buckets: &[u64; LOG_HISTOGRAM_BUCKETS], sum: f64, count: u64) {
+        if let Some(inner) = &self.inner {
+            for (slot, &c) in inner.buckets.iter().zip(buckets.iter()) {
+                if c > 0 {
+                    slot.fetch_add(c, Ordering::Relaxed);
+                }
+            }
+            inner.count.fetch_add(count, Ordering::Relaxed);
+            let mut current = inner.sum.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + sum).to_bits();
+                match inner.sum.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    /// Merges another histogram's current contents into this one.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        let snap = other.snapshot();
+        if snap.count > 0 {
+            self.merge_buckets(&snap.buckets, snap.sum, snap.count);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.count.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A consistent-enough snapshot (buckets are read one by one; under
+    /// concurrent recording the totals may trail by in-flight records,
+    /// but `count` is always the bucket total of *some* valid state
+    /// once recording quiesces).
+    pub fn snapshot(&self) -> LogHistogramSnapshot {
+        match &self.inner {
+            None => LogHistogramSnapshot::default(),
+            Some(inner) => {
+                let mut out = LogHistogramSnapshot {
+                    buckets: std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed)),
+                    sum: f64::from_bits(inner.sum.load(Ordering::Relaxed)),
+                    count: inner.count.load(Ordering::Relaxed),
+                };
+                // Quiesced reads keep the invariant exactly; racing
+                // reads report the bucket total as the count so the
+                // exposition stays internally consistent.
+                out.count = out.buckets.iter().sum();
+                out
+            }
+        }
+    }
+}
+
 /// Name → metric store; the single source of truth for run statistics.
 ///
 /// Metric names are dotted paths (`pep.supergates`, `mc.runs`); each
@@ -139,6 +345,7 @@ pub struct MetricsRegistry {
     float_counters: Mutex<BTreeMap<String, FloatCounter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    log_histograms: Mutex<BTreeMap<String, LogHistogram>>,
 }
 
 impl MetricsRegistry {
@@ -162,6 +369,11 @@ impl MetricsRegistry {
         get_or_insert(&self.histograms, name, Histogram::live)
     }
 
+    /// The log2-bucket histogram registered under `name`.
+    pub fn log_histogram(&self, name: &str) -> LogHistogram {
+        get_or_insert(&self.log_histograms, name, LogHistogram::live)
+    }
+
     /// Snapshot of every counter.
     pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
         snapshot(&self.counters, Counter::get)
@@ -178,6 +390,11 @@ impl MetricsRegistry {
     /// Snapshot of every histogram, summarized.
     pub fn histograms_snapshot(&self) -> BTreeMap<String, HistogramSummary> {
         snapshot(&self.histograms, Histogram::summary)
+    }
+
+    /// Snapshot of every log2-bucket histogram.
+    pub fn log_histograms_snapshot(&self) -> BTreeMap<String, LogHistogramSnapshot> {
+        snapshot(&self.log_histograms, LogHistogram::snapshot)
     }
 }
 
@@ -258,6 +475,77 @@ mod tests {
         reg.gauge("mc.threads").set(8.0);
         reg.gauge("mc.threads").set(4.0);
         assert_eq!(reg.gauges_snapshot()["mc.threads"], 4.0);
+    }
+
+    #[test]
+    fn log_bucket_boundaries_are_exact() {
+        // Exact powers of two are lower-inclusive.
+        assert_eq!(log_bucket_index(1.0), 32);
+        assert_eq!(log_bucket_index(2.0), 33);
+        assert_eq!(log_bucket_index(1.5), 32);
+        assert_eq!(log_bucket_index(0.5), 31);
+        // Underflow/overflow and junk.
+        assert_eq!(log_bucket_index(0.0), 0);
+        assert_eq!(log_bucket_index(-3.0), 0);
+        assert_eq!(log_bucket_index(f64::NAN), 0);
+        assert_eq!(log_bucket_index(f64::INFINITY), LOG_HISTOGRAM_BUCKETS - 1);
+        assert_eq!(log_bucket_index(1e300), LOG_HISTOGRAM_BUCKETS - 1);
+        assert_eq!(log_bucket_index(1e-300), 0);
+        // A value just below a boundary stays in the lower bucket.
+        let just_below = f64::from_bits(2.0f64.to_bits() - 1);
+        assert_eq!(log_bucket_index(just_below), 32);
+        // Upper bounds bracket their bucket.
+        assert_eq!(log_bucket_upper_bound(32), 2.0);
+        assert!(log_bucket_upper_bound(LOG_HISTOGRAM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn log_histogram_records_and_merges() {
+        let reg = MetricsRegistry::default();
+        let h = reg.log_histogram("pep.kernel.convolve.seconds");
+        h.record(1.0);
+        h.record(3.0);
+        h.record(0.25);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 4.25);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.buckets[log_bucket_index(3.0)], 1);
+
+        let other = reg.log_histogram("other");
+        other.record(1.0);
+        h.merge_from(&other);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 5.25);
+        assert_eq!(s.buckets[32], 2);
+
+        let d = LogHistogram::detached();
+        d.record(5.0);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.snapshot().count, 0);
+        assert!(reg.log_histograms_snapshot().contains_key("other"));
+    }
+
+    #[test]
+    fn log_histogram_concurrent_records_stay_consistent() {
+        let reg = MetricsRegistry::default();
+        let h = reg.log_histogram("x");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 + 0.5);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4000);
+        let expect: f64 = (0..4000).map(|i| i as f64 + 0.5).sum();
+        assert_eq!(snap.sum, expect);
     }
 
     #[test]

@@ -10,18 +10,53 @@
 //! statistics from counter deltas (see `pep_core::AnalysisStats`) work
 //! identically either way.
 
-use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, MetricsRegistry};
+use crate::metrics::{Counter, FloatCounter, Gauge, Histogram, LogHistogram, MetricsRegistry};
 use crate::phase::PhaseTree;
 use crate::report::RunReport;
+use crate::trace::{SpanArgs, SpanRecord, Trace, TraceLevel};
 use crate::warning::Warning;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-#[derive(Debug, Default)]
+/// Callback invoked on the orchestration thread at phase boundaries:
+/// `(phase_name, entering, seconds_since_session_start)`. Used by the
+/// serve layer to stream progress events for long-running jobs.
+pub type PhaseListener = Arc<dyn Fn(&str, bool, f64) + Send + Sync>;
+
+#[derive(Default)]
+struct ListenerSlot(Option<PhaseListener>);
+
+impl std::fmt::Debug for ListenerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "PhaseListener(set)"
+        } else {
+            "PhaseListener(unset)"
+        })
+    }
+}
+
+#[derive(Debug)]
 struct SessionInner {
     registry: MetricsRegistry,
     phases: Mutex<PhaseTree>,
     warnings: Mutex<Vec<Warning>>,
+    trace: Mutex<Trace>,
+    listener: Mutex<ListenerSlot>,
+    started: Instant,
+}
+
+impl Default for SessionInner {
+    fn default() -> Self {
+        SessionInner {
+            registry: MetricsRegistry::default(),
+            phases: Mutex::default(),
+            warnings: Mutex::default(),
+            trace: Mutex::default(),
+            listener: Mutex::default(),
+            started: Instant::now(),
+        }
+    }
 }
 
 /// A shared observation context for one analysis run.
@@ -59,14 +94,56 @@ impl Session {
             None => PhaseGuard { open: None },
             Some(inner) => {
                 let index = inner.phases.lock().expect("phase lock").open(name);
+                let trace = {
+                    let t = inner.trace.lock().expect("trace lock");
+                    (t.level() >= TraceLevel::Phases).then(|| t.clone())
+                };
+                let listener = inner.listener.lock().expect("listener lock").0.clone();
+                let start = Instant::now();
+                if let Some(listener) = &listener {
+                    listener(
+                        name,
+                        true,
+                        start.saturating_duration_since(inner.started).as_secs_f64(),
+                    );
+                }
                 PhaseGuard {
                     open: Some(OpenPhase {
                         inner: Arc::clone(inner),
                         index,
-                        start: Instant::now(),
+                        start,
+                        name: (trace.is_some() || listener.is_some()).then(|| name.to_owned()),
+                        trace,
+                        listener,
                     }),
                 }
             }
+        }
+    }
+
+    /// Attaches a [`Trace`] to this session: analysis layers pick it up
+    /// (via [`trace`](Session::trace)) and phase guards record phase
+    /// spans into it. No-op on a disabled session.
+    pub fn set_trace(&self, trace: Trace) {
+        if let Some(inner) = &self.inner {
+            *inner.trace.lock().expect("trace lock") = trace;
+        }
+    }
+
+    /// The attached trace (the disabled trace when none was attached or
+    /// the session is disabled). Cheap to clone and thread through.
+    pub fn trace(&self) -> Trace {
+        match &self.inner {
+            Some(inner) => inner.trace.lock().expect("trace lock").clone(),
+            None => Trace::disabled(),
+        }
+    }
+
+    /// Registers a [`PhaseListener`] called at every phase enter/exit
+    /// on the orchestration thread. No-op on a disabled session.
+    pub fn set_phase_listener(&self, listener: PhaseListener) {
+        if let Some(inner) = &self.inner {
+            inner.listener.lock().expect("listener lock").0 = Some(listener);
         }
     }
 
@@ -103,6 +180,25 @@ impl Session {
         match &self.inner {
             Some(inner) => inner.registry.histogram(name),
             None => Histogram::detached(),
+        }
+    }
+
+    /// A log2-bucket histogram handle (atomic, Prometheus-exportable);
+    /// detached on a disabled session.
+    pub fn log_histogram(&self, name: &str) -> LogHistogram {
+        match &self.inner {
+            Some(inner) => inner.registry.log_histogram(name),
+            None => LogHistogram::detached(),
+        }
+    }
+
+    /// Snapshot of every log2-bucket histogram registered so far.
+    pub fn log_histograms_snapshot(
+        &self,
+    ) -> std::collections::BTreeMap<String, crate::metrics::LogHistogramSnapshot> {
+        match &self.inner {
+            Some(inner) => inner.registry.log_histograms_snapshot(),
+            None => Default::default(),
         }
     }
 
@@ -155,11 +251,25 @@ impl Session {
     }
 }
 
-#[derive(Debug)]
 struct OpenPhase {
     inner: Arc<SessionInner>,
     index: usize,
     start: Instant,
+    /// The phase name, kept only when the trace or a listener needs it
+    /// at close time.
+    name: Option<String>,
+    /// Set when the attached trace records phases.
+    trace: Option<Trace>,
+    listener: Option<PhaseListener>,
+}
+
+impl std::fmt::Debug for OpenPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenPhase")
+            .field("index", &self.index)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Scope guard returned by [`Session::phase`]; closes the span on drop.
@@ -178,6 +288,25 @@ impl Drop for PhaseGuard {
                 .lock()
                 .expect("phase lock")
                 .close(open.index, elapsed);
+            if let (Some(trace), Some(name)) = (&open.trace, &open.name) {
+                trace.record_span(SpanRecord {
+                    name: std::borrow::Cow::Owned(name.clone()),
+                    cat: "phase",
+                    start_ns: trace.elapsed_ns(open.start),
+                    dur_ns: elapsed.as_nanos() as u64,
+                    lane: 0,
+                    args: SpanArgs::new(),
+                });
+            }
+            if let (Some(listener), Some(name)) = (&open.listener, &open.name) {
+                listener(
+                    name,
+                    false,
+                    (open.start + elapsed)
+                        .saturating_duration_since(open.inner.started)
+                        .as_secs_f64(),
+                );
+            }
         }
     }
 }
@@ -225,6 +354,47 @@ mod tests {
         assert_eq!(report.gauges["pep.step"], 0.25);
         assert_eq!(report.histograms["pep.group_size"].count, 1);
         assert!(s.total_of("analyze").unwrap() >= s.total_of("propagate").unwrap());
+    }
+
+    #[test]
+    fn attached_trace_records_phase_spans() {
+        let s = Session::new();
+        assert!(!s.trace().is_enabled(), "no trace attached by default");
+        let t = Trace::new(TraceLevel::Phases);
+        s.set_trace(t.clone());
+        {
+            let _p = s.phase("propagate");
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "propagate");
+        assert_eq!(spans[0].cat, "phase");
+        assert_eq!(spans[0].lane, 0);
+        // Disabled sessions ignore attachment.
+        let d = Session::disabled();
+        d.set_trace(Trace::new(TraceLevel::Phases));
+        assert!(!d.trace().is_enabled());
+    }
+
+    #[test]
+    fn phase_listener_sees_enter_and_exit() {
+        let s = Session::new();
+        let events: Arc<Mutex<Vec<(String, bool, f64)>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        s.set_phase_listener(Arc::new(move |name, enter, at| {
+            sink.lock()
+                .expect("events")
+                .push((name.to_owned(), enter, at));
+        }));
+        {
+            let _p = s.phase("levelize");
+        }
+        let events = events.lock().expect("events");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, "levelize");
+        assert!(events[0].1, "enter first");
+        assert!(!events[1].1, "then exit");
+        assert!(events[1].2 >= events[0].2, "time is monotone");
     }
 
     #[test]

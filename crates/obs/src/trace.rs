@@ -1,0 +1,692 @@
+//! Structured span tracing: lock-free per-lane buffers, monotonic
+//! timestamps, and kernel-call aggregation.
+//!
+//! The model has three pieces:
+//!
+//! * [`Trace`] — a cheaply clonable handle for one traced run (or one
+//!   serve job). Holds the epoch [`Instant`] all span timestamps are
+//!   relative to, the runtime-switchable [trace level](TraceLevel), and
+//!   the collector every buffer flushes into. A disabled trace
+//!   (`Trace::disabled()`) is a `None` inside — every operation
+//!   early-outs.
+//! * [`TraceBuffer`] — one per *lane* (lane 0 is the orchestration
+//!   thread, lanes 1..N are workers). Recording a span is two
+//!   `Instant::now()` calls and a `Vec` push into thread-local storage:
+//!   no locks, no atomics on the hot path. A buffer created from a
+//!   disabled trace (or at a level below the span's) makes
+//!   [`begin`](TraceBuffer::begin) a single predictable branch on a
+//!   cached byte — strictly cheaper than the one-relaxed-atomic-load
+//!   contract the overhead guard enforces.
+//! * [`SpanRecord`] — a closed span: name, category, start/duration in
+//!   nanoseconds since the trace epoch, lane, and up to
+//!   [`MAX_SPAN_ARGS`] attached counters (combinations, event-group
+//!   sizes, arena checkouts, …).
+//!
+//! Kernel calls are special-cased: they are frequent enough that a span
+//! per call is only recorded at [`TraceLevel::Kernels`] (and capped per
+//! lane, see [`SPAN_CAP_PER_LANE`]), but *aggregates* — call count,
+//! total nanoseconds, and a log2 latency histogram per
+//! [`KernelKind`] — are collected from [`TraceLevel::Nodes`] up, so
+//! kernel attribution does not require drowning in per-call spans.
+//!
+//! Spans within one lane are properly nested in time (each lane is one
+//! thread), so exporters reconstruct parent links by interval
+//! containment; no parent pointers are recorded on the hot path.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{LogHistogramSnapshot, LOG_HISTOGRAM_BUCKETS};
+
+/// How much a trace records. Levels are cumulative: each one includes
+/// everything below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceLevel {
+    /// Nothing is recorded; every span site is a cached-byte compare.
+    Off = 0,
+    /// Analysis phases and scheduler waves (tens to hundreds of spans).
+    Phases = 1,
+    /// Plus per-node and per-supergate evaluation spans.
+    Nodes = 2,
+    /// Plus a span per dist-kernel call (profiling runs only; capped
+    /// per lane). Kernel *aggregates* are collected at every level
+    /// above [`Off`](TraceLevel::Off).
+    Kernels = 3,
+}
+
+impl TraceLevel {
+    fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            0 => TraceLevel::Off,
+            1 => TraceLevel::Phases,
+            2 => TraceLevel::Nodes,
+            _ => TraceLevel::Kernels,
+        }
+    }
+}
+
+/// Maximum number of counters attached to one span.
+pub const MAX_SPAN_ARGS: usize = 4;
+
+/// Per-lane cap on recorded spans; further spans are counted as dropped
+/// instead of growing the buffer without bound (a kernel-level trace of
+/// a large circuit can see millions of calls).
+pub const SPAN_CAP_PER_LANE: usize = 1 << 18;
+
+/// Up to [`MAX_SPAN_ARGS`] named counters attached to a span,
+/// allocation-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanArgs {
+    len: u8,
+    items: [(&'static str, u64); MAX_SPAN_ARGS],
+}
+
+impl SpanArgs {
+    /// No arguments.
+    pub const fn new() -> SpanArgs {
+        SpanArgs {
+            len: 0,
+            items: [("", 0); MAX_SPAN_ARGS],
+        }
+    }
+
+    /// Adds a counter; silently ignored beyond [`MAX_SPAN_ARGS`].
+    pub fn push(&mut self, key: &'static str, value: u64) {
+        if (self.len as usize) < MAX_SPAN_ARGS {
+            self.items[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+    }
+
+    /// Builder-style [`push`](SpanArgs::push).
+    pub fn with(mut self, key: &'static str, value: u64) -> SpanArgs {
+        self.push(key, value);
+        self
+    }
+
+    /// The attached counters, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+
+    /// Whether no counters are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One closed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (phase name, `"wave"`, node name, kernel name, …).
+    pub name: Cow<'static, str>,
+    /// Category: `"phase"`, `"wave"`, `"node"`, `"supergate"`,
+    /// `"kernel"`, ….
+    pub cat: &'static str,
+    /// Start, in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Lane (0 = orchestration thread, 1..N = workers).
+    pub lane: u32,
+    /// Attached counters.
+    pub args: SpanArgs,
+}
+
+/// The dist kernels the engine attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum KernelKind {
+    /// Event-group convolution (`convolve` / `convolve_into`).
+    Convolve = 0,
+    /// Statistical max of independent groups.
+    Max = 1,
+    /// Statistical min of independent groups.
+    Min = 2,
+    /// Probability-weighted accumulation of conditioned outputs.
+    Accumulate = 3,
+    /// Event-count reduction (`coarsen`).
+    Coarsen = 4,
+}
+
+/// Number of [`KernelKind`] variants.
+pub const KERNEL_KINDS: usize = 5;
+
+impl KernelKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [KernelKind; KERNEL_KINDS] = [
+        KernelKind::Convolve,
+        KernelKind::Max,
+        KernelKind::Min,
+        KernelKind::Accumulate,
+        KernelKind::Coarsen,
+    ];
+
+    /// Stable lowercase name (used in span names and metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Convolve => "convolve",
+            KernelKind::Max => "max",
+            KernelKind::Min => "min",
+            KernelKind::Accumulate => "accumulate",
+            KernelKind::Coarsen => "coarsen",
+        }
+    }
+}
+
+/// Aggregated statistics for one kernel across one trace (or one lane
+/// before flushing): call count, total wall nanoseconds, and a log2
+/// latency histogram over nanoseconds.
+#[derive(Debug, Clone)]
+pub struct KernelAgg {
+    /// Number of calls.
+    pub calls: u64,
+    /// Total nanoseconds across calls.
+    pub total_ns: u64,
+    /// log2 bucket counts over call nanoseconds (same bucket layout as
+    /// [`crate::metrics::LogHistogram`]).
+    pub buckets: [u64; LOG_HISTOGRAM_BUCKETS],
+}
+
+impl Default for KernelAgg {
+    fn default() -> Self {
+        KernelAgg {
+            calls: 0,
+            total_ns: 0,
+            buckets: [0; LOG_HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl KernelAgg {
+    fn merge_from(&mut self, other: &KernelAgg) {
+        self.calls += other.calls;
+        self.total_ns += other.total_ns;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The aggregate as a histogram snapshot over *seconds* (the unit
+    /// the metrics registry and Prometheus exposition use).
+    ///
+    /// Bucket counts are re-bucketed exactly: a nanosecond value in
+    /// log2 bucket `i` lands in the seconds bucket of `2^(i-32)` ns.
+    pub fn to_seconds_snapshot(&self) -> LogHistogramSnapshot {
+        let mut out = LogHistogramSnapshot::default();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            // Representative value for bucket i: its lower bound
+            // 2^(i-32) nanoseconds, converted to seconds.
+            let rep_ns = (i as f64 - 32.0).exp2();
+            let rep_s = rep_ns * 1e-9;
+            out.buckets[crate::metrics::log_bucket_index(rep_s)] += c;
+        }
+        out.count = self.calls;
+        out.sum = self.total_ns as f64 * 1e-9;
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceCollected {
+    spans: Vec<SpanRecord>,
+    kernels: [KernelAgg; KERNEL_KINDS],
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    level: AtomicU8,
+    epoch: Instant,
+    collected: Mutex<TraceCollected>,
+    dropped: AtomicU64,
+}
+
+/// A handle for one traced run. Clones share state; `Trace::disabled()`
+/// (and `Trace::default()`) never record anything.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl Trace {
+    /// An enabled trace recording at `level`, with its epoch at *now*.
+    pub fn new(level: TraceLevel) -> Trace {
+        Trace {
+            inner: Some(Arc::new(TraceInner {
+                level: AtomicU8::new(level as u8),
+                epoch: Instant::now(),
+                collected: Mutex::default(),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The inert trace: level is always [`TraceLevel::Off`], buffers
+    /// are disabled, recording is free.
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// Whether this handle can record anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The current level — one relaxed atomic load (the contract every
+    /// span site outside a buffer relies on).
+    pub fn level(&self) -> TraceLevel {
+        match &self.inner {
+            None => TraceLevel::Off,
+            Some(inner) => TraceLevel::from_u8(inner.level.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Runtime-switches the level. Buffers cache the level at creation,
+    /// so a switch takes effect for buffers handed out afterwards.
+    pub fn set_level(&self, level: TraceLevel) {
+        if let Some(inner) = &self.inner {
+            inner.level.store(level as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// A recording buffer for `lane`, capturing the current level.
+    /// Disabled traces hand out inert buffers.
+    pub fn buffer(&self, lane: u32) -> TraceBuffer {
+        match &self.inner {
+            None => TraceBuffer::default(),
+            Some(inner) => TraceBuffer {
+                level: inner.level.load(Ordering::Relaxed),
+                lane,
+                epoch: Some(inner.epoch),
+                spans: Vec::new(),
+                dropped: 0,
+                kernels: Default::default(),
+                shared: Some(Arc::clone(inner)),
+            },
+        }
+    }
+
+    /// Records one already-measured span (used by the phase machinery
+    /// on the orchestration thread; takes the collector lock, so not
+    /// for hot paths).
+    pub fn record_span(&self, record: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            let mut c = lock_recover(&inner.collected);
+            if c.spans.len() < SPAN_CAP_PER_LANE * 4 {
+                c.spans.push(record);
+            } else {
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Nanoseconds from the trace epoch to `t` (saturating at zero).
+    pub fn elapsed_ns(&self, t: Instant) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => t.saturating_duration_since(inner.epoch).as_nanos() as u64,
+        }
+    }
+
+    /// All collected spans, sorted by `(lane, start, -dur)` — the order
+    /// the exporters want. Buffers must have been
+    /// [flushed](TraceBuffer::flush) first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut spans = lock_recover(&inner.collected).spans.clone();
+                sort_spans(&mut spans);
+                spans
+            }
+        }
+    }
+
+    /// Aggregated kernel statistics, indexed by [`KernelKind`].
+    pub fn kernel_aggregates(&self) -> [KernelAgg; KERNEL_KINDS] {
+        match &self.inner {
+            None => Default::default(),
+            Some(inner) => lock_recover(&inner.collected).kernels.clone(),
+        }
+    }
+
+    /// Spans dropped because a lane hit [`SPAN_CAP_PER_LANE`].
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sorts spans into exporter order: by lane, then start time, then
+/// longest-first so parents precede children at equal starts.
+pub fn sort_spans(spans: &mut [SpanRecord]) {
+    spans.sort_by(|a, b| {
+        (a.lane, a.start_ns, std::cmp::Reverse(a.dur_ns)).cmp(&(
+            b.lane,
+            b.start_ns,
+            std::cmp::Reverse(b.dur_ns),
+        ))
+    });
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An open span: returned by [`TraceBuffer::begin`], consumed by
+/// [`TraceBuffer::end`]. A token from a disabled site is inert.
+#[derive(Debug)]
+#[must_use = "pass the token back to TraceBuffer::end to close the span"]
+pub struct SpanToken {
+    start: Option<Instant>,
+}
+
+impl SpanToken {
+    /// The inert token (site was disabled).
+    pub const fn off() -> SpanToken {
+        SpanToken { start: None }
+    }
+
+    /// Whether the span is actually being timed.
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// Per-lane span recorder. See the [module docs](self) for the model.
+///
+/// `TraceBuffer::default()` is the inert buffer: `begin` returns the
+/// inert token after one byte compare, `end` is a no-op.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    level: u8,
+    lane: u32,
+    epoch: Option<Instant>,
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+    kernels: [KernelAgg; KERNEL_KINDS],
+    shared: Option<Arc<TraceInner>>,
+}
+
+impl TraceBuffer {
+    /// Whether spans at `level` are recorded by this buffer.
+    #[inline]
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        self.level >= level as u8
+    }
+
+    /// Whether the buffer records anything at all (kernel aggregates
+    /// included).
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.level != 0
+    }
+
+    /// This buffer's lane.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Opens a span at `level`. The disabled path is one byte compare.
+    #[inline]
+    pub fn begin(&self, level: TraceLevel) -> SpanToken {
+        if self.level < level as u8 {
+            return SpanToken::off();
+        }
+        SpanToken {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Closes `token`, recording a span with `name`/`cat`/`args`.
+    pub fn end(
+        &mut self,
+        token: SpanToken,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        args: SpanArgs,
+    ) {
+        let Some(start) = token.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let Some(epoch) = self.epoch else { return };
+        if self.spans.len() >= SPAN_CAP_PER_LANE {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push(SpanRecord {
+            name: name.into(),
+            cat,
+            start_ns: start.saturating_duration_since(epoch).as_nanos() as u64,
+            dur_ns,
+            lane: self.lane,
+            args,
+        });
+    }
+
+    /// Opens a kernel-call measurement: timed from
+    /// [`TraceLevel::Nodes`] up (aggregation only), with a per-call
+    /// span recorded only at [`TraceLevel::Kernels`]. Below `Nodes` the
+    /// call is one byte compare — kernel calls are the engine's
+    /// innermost loop, so a cheap `Phases` trace must not pay two
+    /// clock reads per call.
+    #[inline]
+    pub fn begin_kernel(&self) -> SpanToken {
+        if self.level < TraceLevel::Nodes as u8 {
+            return SpanToken::off();
+        }
+        SpanToken {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Closes a kernel-call measurement: always aggregates; records a
+    /// span (with the output event-group size attached) at
+    /// [`TraceLevel::Kernels`].
+    pub fn end_kernel(&mut self, token: SpanToken, kind: KernelKind, out_events: usize) {
+        let Some(start) = token.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let agg = &mut self.kernels[kind as usize];
+        agg.calls += 1;
+        agg.total_ns += dur_ns;
+        agg.buckets[crate::metrics::log_bucket_index(dur_ns as f64)] += 1;
+        if self.level >= TraceLevel::Kernels as u8 {
+            if self.spans.len() >= SPAN_CAP_PER_LANE {
+                self.dropped += 1;
+                return;
+            }
+            let Some(epoch) = self.epoch else { return };
+            self.spans.push(SpanRecord {
+                name: Cow::Borrowed(kind.name()),
+                cat: "kernel",
+                start_ns: start.saturating_duration_since(epoch).as_nanos() as u64,
+                dur_ns,
+                lane: self.lane,
+                args: SpanArgs::new().with("events", out_events as u64),
+            });
+        }
+    }
+
+    /// Moves everything recorded so far into the shared trace
+    /// collector. Called by the analyzer when a run finishes (and
+    /// harmless to call repeatedly).
+    pub fn flush(&mut self) {
+        let Some(shared) = &self.shared else {
+            self.spans.clear();
+            return;
+        };
+        let mut c = lock_recover(&shared.collected);
+        c.spans.append(&mut self.spans);
+        for (total, mine) in c.kernels.iter_mut().zip(self.kernels.iter_mut()) {
+            total.merge_from(mine);
+            *mine = KernelAgg::default();
+        }
+        if self.dropped > 0 {
+            shared.dropped.fetch_add(self.dropped, Ordering::Relaxed);
+            self.dropped = 0;
+        }
+    }
+
+    /// Number of spans currently buffered (pre-flush); test hook.
+    pub fn buffered(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+impl Drop for TraceBuffer {
+    fn drop(&mut self) {
+        if !self.spans.is_empty() || self.kernels.iter().any(|k| k.calls > 0) {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.level(), TraceLevel::Off);
+        let mut b = t.buffer(1);
+        assert!(!b.is_on());
+        let tok = b.begin(TraceLevel::Phases);
+        assert!(!tok.is_live());
+        b.end(tok, "x", "phase", SpanArgs::new());
+        let tok = b.begin_kernel();
+        b.end_kernel(tok, KernelKind::Convolve, 10);
+        b.flush();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.kernel_aggregates()[0].calls, 0);
+    }
+
+    #[test]
+    fn levels_gate_span_recording() {
+        let t = Trace::new(TraceLevel::Phases);
+        let mut b = t.buffer(0);
+        assert!(b.enabled(TraceLevel::Phases));
+        assert!(!b.enabled(TraceLevel::Nodes));
+        let tok = b.begin(TraceLevel::Nodes);
+        b.end(tok, "node", "node", SpanArgs::new());
+        assert_eq!(b.buffered(), 0, "node span gated off at Phases level");
+        let tok = b.begin(TraceLevel::Phases);
+        b.end(tok, "wave", "wave", SpanArgs::new().with("width", 7));
+        assert_eq!(b.buffered(), 1);
+        b.flush();
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "wave");
+        assert_eq!(spans[0].args.iter().next(), Some(("width", 7)));
+    }
+
+    #[test]
+    fn kernel_measurement_is_off_below_nodes_level() {
+        let t = Trace::new(TraceLevel::Phases);
+        let mut b = t.buffer(2);
+        let tok = b.begin_kernel();
+        assert!(!tok.is_live());
+        b.end_kernel(tok, KernelKind::Max, 20);
+        b.flush();
+        assert_eq!(t.kernel_aggregates()[KernelKind::Max as usize].calls, 0);
+    }
+
+    #[test]
+    fn kernel_aggregates_survive_below_kernel_level() {
+        let t = Trace::new(TraceLevel::Nodes);
+        let mut b = t.buffer(2);
+        for _ in 0..5 {
+            let tok = b.begin_kernel();
+            b.end_kernel(tok, KernelKind::Max, 20);
+        }
+        assert_eq!(b.buffered(), 0, "no per-call spans below Kernels level");
+        b.flush();
+        let aggs = t.kernel_aggregates();
+        assert_eq!(aggs[KernelKind::Max as usize].calls, 5);
+        assert!(aggs[KernelKind::Max as usize].total_ns > 0);
+        let bucket_total: u64 = aggs[KernelKind::Max as usize].buckets.iter().sum();
+        assert_eq!(bucket_total, 5);
+    }
+
+    #[test]
+    fn kernel_level_records_spans_and_flush_merges() {
+        let t = Trace::new(TraceLevel::Kernels);
+        let mut b1 = t.buffer(1);
+        let mut b2 = t.buffer(2);
+        let tok = b1.begin_kernel();
+        b1.end_kernel(tok, KernelKind::Convolve, 300);
+        let tok = b2.begin_kernel();
+        b2.end_kernel(tok, KernelKind::Convolve, 20);
+        b1.flush();
+        b2.flush();
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.cat == "kernel"));
+        assert_eq!(spans[0].lane, 1);
+        assert_eq!(spans[1].lane, 2);
+        assert_eq!(
+            t.kernel_aggregates()[KernelKind::Convolve as usize].calls,
+            2
+        );
+    }
+
+    #[test]
+    fn buffer_drop_flushes() {
+        let t = Trace::new(TraceLevel::Phases);
+        {
+            let mut b = t.buffer(0);
+            let tok = b.begin(TraceLevel::Phases);
+            b.end(tok, "wave", "wave", SpanArgs::new());
+        }
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn set_level_switches_future_buffers() {
+        let t = Trace::new(TraceLevel::Off);
+        assert!(!t.buffer(0).is_on());
+        t.set_level(TraceLevel::Nodes);
+        assert_eq!(t.level(), TraceLevel::Nodes);
+        assert!(t.buffer(0).enabled(TraceLevel::Nodes));
+    }
+
+    #[test]
+    fn span_args_cap_silently() {
+        let mut a = SpanArgs::new();
+        for i in 0..10 {
+            a.push("k", i);
+        }
+        assert_eq!(a.iter().count(), MAX_SPAN_ARGS);
+    }
+
+    #[test]
+    fn record_span_and_sort_order() {
+        let t = Trace::new(TraceLevel::Phases);
+        t.record_span(SpanRecord {
+            name: Cow::Borrowed("b"),
+            cat: "phase",
+            start_ns: 10,
+            dur_ns: 5,
+            lane: 0,
+            args: SpanArgs::new(),
+        });
+        t.record_span(SpanRecord {
+            name: Cow::Borrowed("a"),
+            cat: "phase",
+            start_ns: 10,
+            dur_ns: 50,
+            lane: 0,
+            args: SpanArgs::new(),
+        });
+        let spans = t.spans();
+        assert_eq!(spans[0].name, "a", "longer span first at equal start");
+    }
+}

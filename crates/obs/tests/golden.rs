@@ -1,0 +1,131 @@
+//! Golden-file tests pinning the exporter wire formats: the Chrome
+//! trace-event JSON and the Prometheus text exposition are byte-compared
+//! against checked-in fixtures so a format drift is a reviewed diff, not
+//! a silent change. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p pep-obs --test golden`.
+
+use pep_obs::{chrome_trace_json, MetricsRegistry, PromWriter, SpanArgs, SpanRecord};
+use std::borrow::Cow;
+use std::path::Path;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("update golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "exporter output drifted from {}; rerun with UPDATE_GOLDEN=1 if intended",
+        path.display()
+    );
+}
+
+fn span(
+    name: &'static str,
+    cat: &'static str,
+    lane: u32,
+    start_ns: u64,
+    dur_ns: u64,
+    args: SpanArgs,
+) -> SpanRecord {
+    SpanRecord {
+        name: Cow::Borrowed(name),
+        cat,
+        start_ns,
+        dur_ns,
+        lane,
+        args,
+    }
+}
+
+/// A small deterministic trace: an orchestrator phase containing a wave,
+/// and a worker lane with a node span containing a kernel span. Already
+/// in exporter order (lane, start, -dur).
+fn fixture_spans() -> Vec<SpanRecord> {
+    vec![
+        span("analysis", "phase", 0, 0, 10_000, SpanArgs::new()),
+        span(
+            "wave",
+            "wave",
+            0,
+            1_000,
+            8_000,
+            SpanArgs::new().with("wave", 3).with("width", 12),
+        ),
+        span(
+            "n42",
+            "node",
+            1,
+            1_500,
+            6_000,
+            SpanArgs::new().with("combinations", 4),
+        ),
+        span(
+            "convolve",
+            "kernel",
+            1,
+            2_000,
+            1_500,
+            SpanArgs::new().with("out_events", 320),
+        ),
+    ]
+}
+
+#[test]
+fn chrome_trace_json_matches_golden() {
+    let json = chrome_trace_json(&fixture_spans(), 2);
+    check_golden("trace.json", &json);
+    // Schema spot checks independent of the fixture bytes.
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ns\","));
+    assert!(json.contains("\"dropped_spans\":2"));
+    assert!(json.contains("\"ph\":\"M\""));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.ends_with("]}"));
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let registry = MetricsRegistry::default();
+    let h = registry.log_histogram("golden");
+    // Deterministic samples: 0.75 → (0.5,1] bucket, 3.0 → (2,4],
+    // 3_000_000.0 → (2^21, 2^22].
+    h.record(0.75);
+    h.record(3.0);
+    h.record(3_000_000.0);
+
+    let mut w = PromWriter::new();
+    w.counter("pep_test_jobs_total", "Jobs ever submitted.", 17);
+    w.gauge("pep_test_queue_depth", "Queued jobs right now.", 0.0);
+    w.counter_family(
+        "pep_test_phase_seconds",
+        "Wall seconds per phase.",
+        "phase",
+        &[("analysis".to_owned(), 1.25), ("levelize".to_owned(), 2.0)],
+    );
+    w.histogram(
+        "pep_test_job_seconds",
+        "Job latency in seconds.",
+        &h.snapshot(),
+    );
+    let text = w.finish();
+    check_golden("metrics.prom", &text);
+
+    // Exposition invariants independent of the fixture bytes.
+    assert!(text.contains("# TYPE pep_test_jobs_total counter"));
+    assert!(text.contains("# TYPE pep_test_queue_depth gauge"));
+    assert!(text.contains("# TYPE pep_test_job_seconds histogram"));
+    assert!(text.contains("pep_test_job_seconds_bucket{le=\"+Inf\"} 3\n"));
+    assert!(text.contains("pep_test_job_seconds_count 3\n"));
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "malformed exposition line: {line}"
+        );
+    }
+}

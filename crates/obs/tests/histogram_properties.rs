@@ -1,0 +1,137 @@
+//! Property-based tests of the log2-bucket histogram: bucket boundaries
+//! are exact (every finite value lands in exactly one bucket, inside its
+//! bounds), merge is equivalent to recording the union, and `_sum` /
+//! `_count` stay consistent under concurrent recording.
+
+use pep_obs::{log_bucket_index, log_bucket_upper_bound, MetricsRegistry, LOG_HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Values spanning subnormals to overflow, plus the exact powers of two
+/// that sit on bucket boundaries. (The vendored proptest has no
+/// `prop_oneof`, so the branch is itself a generated index.)
+fn arb_value() -> impl Strategy<Value = f64> {
+    (0u8..8, -40f64..40f64, -35i64..35i64, 0u8..3u8).prop_map(|(branch, mag, k, off)| {
+        match branch {
+            // Ordinary positive magnitudes across the bucket range.
+            0..=2 => mag.exp2(),
+            // Exact bucket boundaries (2^k) and their neighbours.
+            3..=5 => {
+                let b = (k as f64).exp2();
+                match off {
+                    0 => b,
+                    1 => b * (1.0 + f64::EPSILON),
+                    _ => b * (1.0 - f64::EPSILON),
+                }
+            }
+            // Underflow/overflow extremes.
+            _ => [
+                0.0,
+                f64::MIN_POSITIVE / 2.0,
+                -1.0,
+                f64::MAX,
+                f64::INFINITY,
+                1.0,
+            ][(k.rem_euclid(6)) as usize],
+        }
+    })
+}
+
+proptest! {
+    /// The bucket index is within range, and the value sits strictly
+    /// below its bucket's upper bound and at-or-above the previous
+    /// bucket's bound (except in the underflow bucket).
+    #[test]
+    fn value_lands_inside_its_bucket_bounds(v in arb_value()) {
+        let i = log_bucket_index(v);
+        prop_assert!(i < LOG_HISTOGRAM_BUCKETS);
+        if v.is_finite() {
+            prop_assert!(v < log_bucket_upper_bound(i));
+        }
+        if i > 0 {
+            prop_assert!(v >= log_bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// Recording puts each value in exactly one bucket: after recording
+    /// n values the per-bucket counts total n, and each value
+    /// incremented precisely the bucket `log_bucket_index` names.
+    #[test]
+    fn each_record_increments_exactly_one_bucket(
+        values in prop::collection::vec(arb_value(), 1..64)
+    ) {
+        let registry = MetricsRegistry::default();
+        let h = registry.log_histogram("test.h");
+        let mut expected = [0u64; LOG_HISTOGRAM_BUCKETS];
+        for &v in &values {
+            h.record(v);
+            expected[log_bucket_index(v)] += 1;
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets, expected);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    /// Merging histogram B into A is the same as recording A's and B's
+    /// values into one histogram: identical buckets and count, sum equal
+    /// up to f64 re-association.
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in prop::collection::vec(0.001f64..1e6, 0..32),
+        b in prop::collection::vec(0.001f64..1e6, 0..32),
+    ) {
+        let registry = MetricsRegistry::default();
+        let ha = registry.log_histogram("a");
+        let hb = registry.log_histogram("b");
+        let hu = registry.log_histogram("union");
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge_from(&hb);
+        let merged = ha.snapshot();
+        let union = hu.snapshot();
+        prop_assert_eq!(merged.buckets, union.buckets);
+        prop_assert_eq!(merged.count, union.count);
+        let scale = union.sum.abs().max(1.0);
+        prop_assert!((merged.sum - union.sum).abs() / scale < 1e-9);
+    }
+}
+
+/// Four threads hammering one histogram: once they join, `count` equals
+/// the number of records, the buckets total `count`, and `sum` matches
+/// the recorded total (CAS-loop sum loses nothing).
+#[test]
+fn concurrent_recording_keeps_sum_and_count_consistent() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 5_000;
+    let registry = MetricsRegistry::default();
+    let h = registry.log_histogram("concurrent");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread values so the expected sum is
+                    // exact in f64 (small integers).
+                    h.record((t * PER_THREAD + i) as f64 % 97.0);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    let n = (THREADS * PER_THREAD) as u64;
+    let expected_sum: f64 = (0..THREADS * PER_THREAD).map(|i| (i as f64) % 97.0).sum();
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+    assert!(
+        (snap.sum - expected_sum).abs() < 1e-6,
+        "sum {} != expected {}",
+        snap.sum,
+        expected_sum
+    );
+}

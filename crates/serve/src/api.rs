@@ -10,7 +10,7 @@
 
 use pep_core::{AnalysisConfig, Budget, CombineMode, PepAnalysis};
 use pep_netlist::Netlist;
-use pep_obs::{Warning, WarningGroup};
+use pep_obs::{TraceLevel, Warning, WarningGroup};
 use serde::{Deserialize, Serialize, Value};
 
 /// A client-facing request-shape error (always a 400).
@@ -73,6 +73,9 @@ pub struct AnalyzeRequest {
     /// `true` → enqueue and return 202 with the job id immediately;
     /// `false` (default) → wait for the result in the response.
     pub detach: bool,
+    /// When set, the job runs with span tracing at this level and
+    /// `GET /jobs/:id/trace` serves the Chrome trace-event JSON.
+    pub trace: Option<TraceLevel>,
 }
 
 /// Parses and validates a `POST /analyze` JSON body.
@@ -87,7 +90,9 @@ pub fn parse_analyze_request(body: &str) -> Result<AnalyzeRequest, ApiError> {
         .as_map()
         .ok_or_else(|| ApiError("request body must be a JSON object".into()))?;
 
-    const KNOWN: &[&str] = &["circuit", "bench", "name", "seed", "config", "detach"];
+    const KNOWN: &[&str] = &[
+        "circuit", "bench", "name", "seed", "config", "detach", "trace",
+    ];
     for (key, _) in map {
         if !KNOWN.contains(&key.as_str()) {
             return Err(ApiError(format!(
@@ -148,13 +153,39 @@ pub fn parse_analyze_request(body: &str) -> Result<AnalyzeRequest, ApiError> {
         None => AnalysisConfig::default(),
         Some(v) => parse_config(v)?,
     };
+    let trace = match value.get("trace") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| {
+                ApiError("\"trace\" must be \"phases\", \"nodes\" or \"kernels\"".into())
+            })?;
+            Some(parse_trace_level(s)?)
+        }
+    };
 
     Ok(AnalyzeRequest {
         circuit,
         seed,
         config,
         detach,
+        trace,
     })
+}
+
+/// Parses a span-trace detail level name.
+///
+/// # Errors
+///
+/// [`ApiError`] on an unknown level name.
+pub fn parse_trace_level(s: &str) -> Result<TraceLevel, ApiError> {
+    match s {
+        "phases" => Ok(TraceLevel::Phases),
+        "nodes" => Ok(TraceLevel::Nodes),
+        "kernels" => Ok(TraceLevel::Kernels),
+        other => Err(ApiError(format!(
+            "unknown trace level {other:?} (have: phases, nodes, kernels)"
+        ))),
+    }
 }
 
 /// Parses a `prefix:name` circuit spec string.
@@ -487,6 +518,26 @@ mod tests {
             req.config.supergate_depth,
             AnalysisConfig::default().supergate_depth
         );
+    }
+
+    #[test]
+    fn trace_field_selects_a_level_or_rejects() {
+        let req = parse_analyze_request(r#"{"circuit": "sample:c17"}"#).unwrap();
+        assert_eq!(req.trace, None);
+        for (name, level) in [
+            ("phases", TraceLevel::Phases),
+            ("nodes", TraceLevel::Nodes),
+            ("kernels", TraceLevel::Kernels),
+        ] {
+            let body = format!(r#"{{"circuit": "sample:c17", "trace": "{name}"}}"#);
+            assert_eq!(parse_analyze_request(&body).unwrap().trace, Some(level));
+        }
+        for body in [
+            r#"{"circuit": "sample:c17", "trace": "everything"}"#,
+            r#"{"circuit": "sample:c17", "trace": true}"#,
+        ] {
+            assert!(parse_analyze_request(body).is_err(), "accepted: {body}");
+        }
     }
 
     #[test]

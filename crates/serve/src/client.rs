@@ -118,7 +118,17 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| ClientError(format!("bad status line {status_line:?}")))?;
-    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    let raw_body = &raw[head_end + 4..];
+    let chunked = head
+        .lines()
+        .any(|l| l.eq_ignore_ascii_case("transfer-encoding: chunked"));
+    let body = if chunked {
+        let decoded = crate::http::decode_chunked(raw_body)
+            .ok_or_else(|| ClientError("malformed chunked body".into()))?;
+        String::from_utf8_lossy(&decoded).into_owned()
+    } else {
+        String::from_utf8_lossy(raw_body).into_owned()
+    };
     Ok(ClientResponse { status, body })
 }
 
@@ -134,5 +144,15 @@ mod tests {
         assert_eq!(r.body, "{\"a\":1}");
         assert!(!r.is_success());
         assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn dechunks_streamed_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n\
+                    4\r\nab\r\n\r\n3\r\ncd\n\r\n0\r\n\r\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.body, "ab\r\ncd\n");
+        let bad = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n";
+        assert!(parse_response(bad).is_err());
     }
 }

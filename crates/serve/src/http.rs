@@ -470,6 +470,95 @@ impl Response {
     }
 }
 
+/// Streams a response body with `Transfer-Encoding: chunked` — the
+/// shape a long-running progress endpoint needs: the head goes out
+/// immediately, each event is one chunk the peer can read as it
+/// arrives, and the zero-length chunk ends the stream.
+///
+/// The writer is deliberately one-way: there is no buffering and every
+/// [`chunk`](ChunkedWriter::chunk) flushes, so a watching client sees
+/// each event with no more delay than the transport adds.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head (status, content type,
+    /// `transfer-encoding: chunked`, `connection: close`) and returns
+    /// the body writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from `w`.
+    pub fn begin(mut w: W, status: u16, content_type: &str) -> std::io::Result<ChunkedWriter<W>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status,
+            status_text(status),
+            content_type,
+        );
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Sends one chunk and flushes. Empty input is skipped — a
+    /// zero-length chunk would terminate the stream early.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (the peer hung up).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Decodes a complete `Transfer-Encoding: chunked` body (client side:
+/// the stream is already fully read because the server closes the
+/// connection after the final chunk). Returns `None` on framing the
+/// decoder does not recognize.
+pub fn decode_chunked(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut rest = raw;
+    loop {
+        let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
+        let size_line = std::str::from_utf8(&rest[..line_end]).ok()?;
+        // Chunk extensions (`;...`) are legal; we never emit them but
+        // tolerate them on the way in.
+        let size_hex = size_line.split(';').next()?.trim();
+        let size = usize::from_str_radix(size_hex, 16).ok()?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Some(out);
+        }
+        if rest.len() < size + 2 {
+            return None;
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return None;
+        }
+        rest = &rest[size + 2..];
+    }
+}
+
 /// The serialized JSON error body.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ErrorBody {
@@ -603,6 +692,27 @@ mod tests {
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn chunked_writer_wire_format_round_trips() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::begin(&mut out, 200, "application/x-ndjson").unwrap();
+        w.chunk(b"{\"a\":1}\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped, not a premature terminator
+        w.chunk(b"{\"b\":2}\n").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+        let body_start = text.find("\r\n\r\n").unwrap() + 4;
+        let decoded = decode_chunked(&out[body_start..]).expect("valid framing");
+        assert_eq!(decoded, b"{\"a\":1}\n{\"b\":2}\n");
+        // Truncated framing is a decode failure, not a panic.
+        assert!(decode_chunked(&out[body_start..out.len() - 3]).is_none());
+        assert!(decode_chunked(b"zz\r\n").is_none());
     }
 
     #[test]

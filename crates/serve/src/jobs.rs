@@ -12,13 +12,21 @@
 use crate::api::{job_result, AnalyzeRequest, JobResult};
 use crate::cache::CircuitCache;
 use pep_core::{try_analyze_cancellable, CancelToken, PepError};
-use pep_obs::Session;
+use pep_obs::{LogHistogram, MetricsRegistry, Session, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the data from a poisoned lock. A panicked
+/// holder is always some *other* job's contained panic; inheriting its
+/// (at worst slightly stale) aggregates beats taking `/metrics` and
+/// every later job down with it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Fault site: panic in the serve worker just before the analysis runs
 /// (probed through the engine's cfg-gated fault registry, so it
@@ -85,13 +93,30 @@ pub struct Job {
     pub request: AnalyzeRequest,
     /// Cancels this job (degrade-free: service cancellation aborts).
     pub cancel: CancelToken,
+    /// Span trace attached when the request asked for one
+    /// (`GET /jobs/:id/trace` serves it).
+    pub trace: Option<Trace>,
     state: Mutex<JobState>,
+    /// Phase enter/exit progress lines, appended as the job runs and
+    /// streamed by `GET /jobs/:id/events`. Shared with the phase
+    /// listener installed on the job's session.
+    progress: Arc<Mutex<Vec<String>>>,
 }
 
 impl Job {
     /// Snapshot of the current state.
     pub fn state(&self) -> JobState {
-        self.state.lock().expect("job state lock").clone()
+        lock_recover(&self.state).clone()
+    }
+
+    /// Progress lines recorded so far, starting at `offset` (so a
+    /// streaming endpoint can poll incrementally).
+    pub fn progress_since(&self, offset: usize) -> Vec<String> {
+        let lines = lock_recover(&self.progress);
+        lines
+            .get(offset..)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
     }
 }
 
@@ -174,7 +199,7 @@ pub struct PhaseAgg {
 impl PhaseAgg {
     /// Folds one job's phase tree into the totals.
     pub fn fold(&self, phases: &[pep_obs::PhaseReport]) {
-        let mut totals = self.totals.lock().expect("phase agg lock");
+        let mut totals = lock_recover(&self.totals);
         fn walk(totals: &mut BTreeMap<String, (f64, u64)>, nodes: &[pep_obs::PhaseReport]) {
             for n in nodes {
                 let entry = totals.entry(n.name.clone()).or_insert((0.0, 0));
@@ -188,7 +213,7 @@ impl PhaseAgg {
 
     /// Snapshot: phase name → (total seconds, count).
     pub fn snapshot(&self) -> BTreeMap<String, (f64, u64)> {
-        self.totals.lock().expect("phase agg lock").clone()
+        lock_recover(&self.totals).clone()
     }
 }
 
@@ -206,6 +231,8 @@ pub struct Jobs {
     pub counters: JobCounters,
     /// Per-phase timing rollup for `/metrics`.
     pub phases: PhaseAgg,
+    /// Log2-bucket histograms (job latency) for `/metrics`.
+    pub metrics: MetricsRegistry,
 }
 
 impl Jobs {
@@ -222,22 +249,29 @@ impl Jobs {
             capacity: capacity.max(1),
             counters: JobCounters::default(),
             phases: PhaseAgg::default(),
+            metrics: MetricsRegistry::default(),
         }
+    }
+
+    /// End-to-end job latency histogram (seconds, queued → terminal on
+    /// a worker).
+    pub fn job_seconds(&self) -> LogHistogram {
+        self.metrics.log_histogram("pep.serve.job.seconds")
     }
 
     /// Jobs waiting for a worker right now.
     pub fn queue_depth(&self) -> usize {
-        self.inner.lock().expect("jobs lock").queue.len()
+        lock_recover(&self.inner).queue.len()
     }
 
     /// Jobs running right now.
     pub fn in_flight(&self) -> usize {
-        self.inner.lock().expect("jobs lock").in_flight
+        lock_recover(&self.inner).in_flight
     }
 
     /// Whether the queue still admits work.
     pub fn accepting(&self) -> bool {
-        self.inner.lock().expect("jobs lock").accepting
+        lock_recover(&self.inner).accepting
     }
 
     /// Admission control: accepts the request or sheds it.
@@ -247,7 +281,7 @@ impl Jobs {
     /// [`SubmitError::QueueFull`] under load, [`SubmitError::Draining`]
     /// after shutdown began.
     pub fn submit(&self, request: AnalyzeRequest) -> Result<Arc<Job>, SubmitError> {
-        let mut inner = self.inner.lock().expect("jobs lock");
+        let mut inner = lock_recover(&self.inner);
         if !inner.accepting {
             return Err(SubmitError::Draining);
         }
@@ -257,11 +291,14 @@ impl Jobs {
                 capacity: self.capacity,
             });
         }
+        let trace = request.trace.map(Trace::new);
         let job = Arc::new(Job {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             request,
             cancel: CancelToken::new(),
+            trace,
             state: Mutex::new(JobState::Queued),
+            progress: Arc::new(Mutex::new(Vec::new())),
         });
         inner.queue.push_back(Arc::clone(&job));
         inner.registry.insert(job.id, Arc::clone(&job));
@@ -272,12 +309,7 @@ impl Jobs {
 
     /// Looks up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
-        self.inner
-            .lock()
-            .expect("jobs lock")
-            .registry
-            .get(&id)
-            .cloned()
+        lock_recover(&self.inner).registry.get(&id).cloned()
     }
 
     /// Cancels a job: queued jobs terminate immediately, running jobs
@@ -288,7 +320,7 @@ impl Jobs {
         let job = self.get(id)?;
         job.cancel.cancel_abort();
         {
-            let mut state = job.state.lock().expect("job state lock");
+            let mut state = lock_recover(&job.state);
             if matches!(*state, JobState::Queued) {
                 *state = JobState::Cancelled;
                 self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -303,10 +335,10 @@ impl Jobs {
     /// Blocks until a job is available; returns `None` when the queue
     /// is draining and empty (the worker should exit).
     pub fn take_next(&self) -> Option<Arc<Job>> {
-        let mut inner = self.inner.lock().expect("jobs lock");
+        let mut inner = lock_recover(&self.inner);
         loop {
             while let Some(job) = inner.queue.pop_front() {
-                let mut state = job.state.lock().expect("job state lock");
+                let mut state = lock_recover(&job.state);
                 if matches!(*state, JobState::Queued) {
                     *state = JobState::Running;
                     drop(state);
@@ -318,7 +350,10 @@ impl Jobs {
             if !inner.accepting {
                 return None;
             }
-            inner = self.work_cv.wait(inner).expect("jobs lock");
+            inner = self
+                .work_cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -330,9 +365,9 @@ impl Jobs {
             JobState::Cancelled => self.counters.cancelled.fetch_add(1, Ordering::Relaxed),
             _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
         };
-        *job.state.lock().expect("job state lock") = state;
+        *lock_recover(&job.state) = state;
         {
-            let mut inner = self.inner.lock().expect("jobs lock");
+            let mut inner = lock_recover(&self.inner);
             inner.in_flight = inner.in_flight.saturating_sub(1);
         }
         self.note_terminal(job.id);
@@ -340,7 +375,7 @@ impl Jobs {
     }
 
     fn note_terminal(&self, id: u64) {
-        let mut inner = self.inner.lock().expect("jobs lock");
+        let mut inner = lock_recover(&self.inner);
         inner.terminal_order.push_back(id);
         while inner.terminal_order.len() > TERMINAL_RETENTION {
             if let Some(old) = inner.terminal_order.pop_front() {
@@ -354,7 +389,7 @@ impl Jobs {
     /// side conditions (client disconnect) between slices.
     pub fn wait_terminal_slice(&self, job: &Job, slice: Duration) -> JobState {
         let deadline = Instant::now() + slice;
-        let mut state = job.state.lock().expect("job state lock");
+        let mut state = lock_recover(&job.state);
         while !state.is_terminal() {
             let now = Instant::now();
             if now >= deadline {
@@ -366,7 +401,7 @@ impl Jobs {
             // this simple and race-free.
             drop(state);
             std::thread::sleep(Duration::from_millis(2).min(deadline - now));
-            state = job.state.lock().expect("job state lock");
+            state = lock_recover(&job.state);
         }
         state.clone()
     }
@@ -374,12 +409,12 @@ impl Jobs {
     /// Stops admission and cancels everything still queued.
     pub fn begin_shutdown(&self) {
         let queued: Vec<Arc<Job>> = {
-            let mut inner = self.inner.lock().expect("jobs lock");
+            let mut inner = lock_recover(&self.inner);
             inner.accepting = false;
             inner.queue.drain(..).collect()
         };
         for job in queued {
-            let mut state = job.state.lock().expect("job state lock");
+            let mut state = lock_recover(&job.state);
             if matches!(*state, JobState::Queued) {
                 *state = JobState::Cancelled;
                 self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -404,7 +439,7 @@ impl Jobs {
         if self.in_flight() > 0 {
             // Grace expired: abort whatever is still running.
             let running: Vec<Arc<Job>> = {
-                let inner = self.inner.lock().expect("jobs lock");
+                let inner = lock_recover(&self.inner);
                 inner.registry.values().cloned().collect()
             };
             for job in running {
@@ -427,9 +462,8 @@ impl Jobs {
 /// the analysis itself, result assembly — happens under
 /// `catch_unwind`, so a panic poisons only this job.
 pub fn run_job(jobs: &Jobs, cache: &CircuitCache, job: &Job) {
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute(cache, &job.request, &job.cancel)
-    }));
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(cache, job)));
     let state = match outcome {
         Ok(Ok((result, report))) => {
             jobs.phases.fold(&report.phases);
@@ -446,6 +480,7 @@ pub fn run_job(jobs: &Jobs, cache: &CircuitCache, job: &Job) {
             })
         }
     };
+    jobs.job_seconds().record(started.elapsed().as_secs_f64());
     jobs.finish(job, state);
 }
 
@@ -463,9 +498,10 @@ enum JobOutcomeErr {
 
 fn execute(
     cache: &CircuitCache,
-    request: &AnalyzeRequest,
-    cancel: &CancelToken,
+    job: &Job,
 ) -> Result<(JobResult, pep_obs::RunReport), JobOutcomeErr> {
+    let request = &job.request;
+    let cancel = &job.cancel;
     let started = Instant::now();
     if pep_core::faults::fires(JOB_PANIC) {
         panic!("injected fault: {JOB_PANIC}");
@@ -480,6 +516,20 @@ fn execute(
             })
         })?;
     let obs = Session::new();
+    if let Some(trace) = &job.trace {
+        obs.set_trace(trace.clone());
+    }
+    // Every phase boundary becomes one progress line the events
+    // endpoint streams. Phase names are code-chosen identifiers, so
+    // the hand-rolled JSON needs no escaping.
+    let progress = Arc::clone(&job.progress);
+    obs.set_phase_listener(Arc::new(move |phase: &str, entering: bool, t: f64| {
+        let line = format!(
+            "{{\"event\":\"{}\",\"phase\":\"{phase}\",\"t_seconds\":{t:.6}}}",
+            if entering { "enter" } else { "exit" },
+        );
+        lock_recover(&progress).push(line);
+    }));
     let analysis = try_analyze_cancellable(
         &circuit.netlist,
         &circuit.timing,
@@ -522,6 +572,7 @@ mod tests {
             seed: 1,
             config: AnalysisConfig::default(),
             detach: false,
+            trace: None,
         }
     }
 
@@ -581,6 +632,71 @@ mod tests {
         assert_eq!(jobs.in_flight(), 0);
         // Phase timings were folded into the rollup.
         assert!(!jobs.phases.snapshot().is_empty());
+    }
+
+    #[test]
+    fn traced_job_records_spans_progress_and_latency() {
+        let jobs = Jobs::new(4);
+        let cache = CircuitCache::new(4);
+        let job = jobs
+            .submit(AnalyzeRequest {
+                trace: Some(pep_obs::TraceLevel::Nodes),
+                ..request()
+            })
+            .unwrap();
+        let taken = jobs.take_next().unwrap();
+        run_job(&jobs, &cache, &taken);
+        assert!(matches!(job.state(), JobState::Done(_)));
+        // The trace captured wave and node spans for the job.
+        let trace = job.trace.as_ref().expect("trace requested");
+        let spans = trace.spans();
+        assert!(spans.iter().any(|s| s.cat == "wave"), "wave spans");
+        assert!(spans.iter().any(|s| s.cat == "node"), "node spans");
+        // Phase progress lines were streamed into the job.
+        let lines = job.progress_since(0);
+        assert!(
+            lines.iter().any(|l| l.contains("\"event\":\"enter\"")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("\"event\":\"exit\"")),
+            "{lines:?}"
+        );
+        assert!(job.progress_since(lines.len()).is_empty());
+        // And the latency histogram saw exactly this job.
+        let snap = jobs.job_seconds().snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum > 0.0);
+        // An untraced job carries no trace.
+        let plain = jobs.submit(request()).unwrap();
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn poisoned_phase_agg_still_serves_data() {
+        let agg = PhaseAgg::default();
+        agg.fold(&[pep_obs::PhaseReport {
+            name: "analyze".into(),
+            wall_seconds: 0.25,
+            count: 1,
+            children: Vec::new(),
+        }]);
+        // Poison the mutex the way a contained worker panic would.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = agg.totals.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(agg.totals.lock().is_err(), "mutex is actually poisoned");
+        // Both sides recover the data instead of propagating the panic.
+        let snap = agg.snapshot();
+        assert_eq!(snap.get("analyze"), Some(&(0.25, 1)));
+        agg.fold(&[pep_obs::PhaseReport {
+            name: "analyze".into(),
+            wall_seconds: 0.75,
+            count: 1,
+            children: Vec::new(),
+        }]);
+        assert_eq!(agg.snapshot().get("analyze"), Some(&(1.0, 2)));
     }
 
     #[test]

@@ -16,9 +16,9 @@
 
 use crate::api::parse_analyze_request;
 use crate::cache::CircuitCache;
-use crate::http::{read_request, HttpError, HttpLimits, Method, Request, Response};
+use crate::http::{read_request, ChunkedWriter, HttpError, HttpLimits, Method, Request, Response};
 use crate::jobs::{worker_loop, JobState, JobStatus, Jobs, SubmitError};
-use pep_obs::{PhaseReport, RunReport};
+use pep_obs::{chrome_trace_json, PhaseReport, PromWriter, RunReport};
 use pep_sta::cancel::{signal_state, CancelState};
 use std::collections::BTreeMap;
 use std::io::ErrorKind;
@@ -301,17 +301,27 @@ fn route(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Respo
                 Response::error(503, "draining", "server is draining")
             }
         }
-        (Method::Get, "/metrics") => Response::text(200, render_metrics(shared)),
+        (Method::Get, "/metrics") => {
+            let mut response = Response::text(200, render_metrics(shared));
+            response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            response
+        }
         (Method::Post, "/analyze") => return handle_analyze(request, stream, shared),
-        (Method::Get, _) if path.starts_with("/jobs/") => match parse_job_id(path) {
-            Some(id) => match shared.jobs.get(id) {
+        (Method::Get, _) if path.starts_with("/jobs/") => match parse_job_path(path) {
+            Some((id, "")) => match shared.jobs.get(id) {
                 Some(job) => Response::json(200, serde::json::to_string(&JobStatus::of(&job))),
                 None => Response::error(404, "unknown-job", &format!("no job {id}")),
             },
-            None => Response::error(400, "bad-job-id", "job id must be an integer"),
+            Some((id, "trace")) => handle_trace(id, shared),
+            Some((id, "events")) => return handle_events(id, stream, shared),
+            _ => Response::error(
+                400,
+                "bad-job-id",
+                "expected /jobs/:id, /jobs/:id/trace or /jobs/:id/events",
+            ),
         },
-        (Method::Delete, _) if path.starts_with("/jobs/") => match parse_job_id(path) {
-            Some(id) => match shared.jobs.cancel(id) {
+        (Method::Delete, _) if path.starts_with("/jobs/") => match parse_job_path(path) {
+            Some((id, "")) => match shared.jobs.cancel(id) {
                 // Cancelling work that already finished is a conflict —
                 // the result stands. (Re-cancelling a cancelled job is
                 // an idempotent 200.)
@@ -326,7 +336,7 @@ fn route(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Respo
                 }
                 None => Response::error(404, "unknown-job", &format!("no job {id}")),
             },
-            None => Response::error(400, "bad-job-id", "job id must be an integer"),
+            _ => Response::error(400, "bad-job-id", "job id must be an integer"),
         },
         (Method::Post | Method::Delete, "/healthz" | "/readyz" | "/metrics")
         | (Method::Get | Method::Delete, "/analyze") => {
@@ -337,8 +347,68 @@ fn route(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Respo
     Some(response)
 }
 
-fn parse_job_id(path: &str) -> Option<u64> {
-    path.strip_prefix("/jobs/")?.parse::<u64>().ok()
+/// Splits `/jobs/:id[/suffix]` into the id and the (possibly empty)
+/// suffix.
+fn parse_job_path(path: &str) -> Option<(u64, &str)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let (id, suffix) = match rest.split_once('/') {
+        Some((id, suffix)) => (id, suffix),
+        None => (rest, ""),
+    };
+    Some((id.parse::<u64>().ok()?, suffix))
+}
+
+/// `GET /jobs/:id/trace` — the job's Chrome trace-event JSON, when the
+/// request asked for tracing. Mid-run the trace holds whatever has
+/// been flushed so far; the complete profile is there once the job is
+/// terminal.
+fn handle_trace(id: u64, shared: &Shared) -> Response {
+    match shared.jobs.get(id) {
+        None => Response::error(404, "unknown-job", &format!("no job {id}")),
+        Some(job) => match &job.trace {
+            None => Response::error(
+                404,
+                "no-trace",
+                &format!("job {id} was submitted without \"trace\""),
+            ),
+            Some(trace) => Response::json(200, chrome_trace_json(&trace.spans(), trace.dropped())),
+        },
+    }
+}
+
+/// `GET /jobs/:id/events` — streams phase enter/exit progress as
+/// chunked newline-delimited JSON until the job is terminal (the final
+/// line carries the terminal state) or the client hangs up. `None`
+/// because the response bytes have already been written.
+fn handle_events(id: u64, stream: &TcpStream, shared: &Shared) -> Option<Response> {
+    let Some(job) = shared.jobs.get(id) else {
+        return Some(Response::error(404, "unknown-job", &format!("no job {id}")));
+    };
+    let mut w = match ChunkedWriter::begin(stream, 200, "application/x-ndjson") {
+        Ok(w) => w,
+        Err(_) => return None,
+    };
+    let mut sent = 0usize;
+    loop {
+        let lines = job.progress_since(sent);
+        sent += lines.len();
+        for line in &lines {
+            if w.chunk(format!("{line}\n").as_bytes()).is_err() {
+                return None; // peer hung up; the job keeps running
+            }
+        }
+        let state = job.state();
+        if state.is_terminal() {
+            let _ = w.chunk(
+                format!("{{\"event\":\"end\",\"state\":\"{}\"}}\n", state.name()).as_bytes(),
+            );
+            let _ = w.finish();
+            return None;
+        }
+        // A drain cancels every job, so this poll loop always
+        // terminates; 20ms keeps the stream snappy without spinning.
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 fn handle_analyze(request: &Request, stream: &TcpStream, shared: &Shared) -> Option<Response> {
@@ -415,68 +485,103 @@ fn client_disconnected(stream: &TcpStream) -> bool {
     gone
 }
 
+/// Renders `/metrics` in Prometheus text exposition format 0.0.4:
+/// `# HELP`/`# TYPE` headers, counters with the `_total` convention,
+/// gauges, label families for the per-phase rollup, and the job
+/// latency as a real `_bucket`/`_sum`/`_count` histogram.
 fn render_metrics(shared: &Shared) -> String {
-    use std::fmt::Write as _;
     let c = &shared.jobs.counters;
-    let mut out = String::new();
-    let mut line = |name: &str, value: String| {
-        let _ = writeln!(out, "{name} {value}");
-    };
-    line(
+    let mut w = PromWriter::new();
+    w.gauge(
         "pep_serve_uptime_seconds",
-        format!("{:.3}", shared.started.elapsed().as_secs_f64()),
+        "Seconds since the server started.",
+        shared.started.elapsed().as_secs_f64(),
     );
-    line(
+    w.gauge(
         "pep_serve_queue_depth",
-        shared.jobs.queue_depth().to_string(),
+        "Jobs waiting for a worker.",
+        shared.jobs.queue_depth() as f64,
     );
-    line(
+    w.gauge(
         "pep_serve_queue_capacity",
-        shared.queue_capacity.to_string(),
+        "Configured admission-control queue capacity.",
+        shared.queue_capacity as f64,
     );
-    line("pep_serve_in_flight", shared.jobs.in_flight().to_string());
-    line(
+    w.gauge(
+        "pep_serve_in_flight",
+        "Jobs running on a worker right now.",
+        shared.jobs.in_flight() as f64,
+    );
+    w.gauge(
         "pep_serve_accepting",
-        u8::from(shared.jobs.accepting()).to_string(),
+        "1 while the queue admits work, 0 while draining.",
+        f64::from(u8::from(shared.jobs.accepting())),
     );
-    line(
+    w.counter(
         "pep_serve_jobs_submitted_total",
-        c.submitted.load(Ordering::Relaxed).to_string(),
+        "Jobs accepted into the queue.",
+        c.submitted.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_jobs_completed_total",
-        c.completed.load(Ordering::Relaxed).to_string(),
+        "Jobs finished successfully.",
+        c.completed.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_jobs_failed_total",
-        c.failed.load(Ordering::Relaxed).to_string(),
+        "Jobs finished with a typed failure.",
+        c.failed.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_jobs_cancelled_total",
-        c.cancelled.load(Ordering::Relaxed).to_string(),
+        "Jobs cancelled by the client or at drain.",
+        c.cancelled.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_jobs_shed_total",
-        c.shed.load(Ordering::Relaxed).to_string(),
+        "Requests shed because the queue was full.",
+        c.shed.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_worker_panics_total",
-        c.panics.load(Ordering::Relaxed).to_string(),
+        "Worker panics contained by catch_unwind.",
+        c.panics.load(Ordering::Relaxed),
     );
-    line(
+    w.counter(
         "pep_serve_cache_hits_total",
-        shared.cache.hits().to_string(),
+        "Parsed-circuit cache hits.",
+        shared.cache.hits(),
     );
-    line(
+    w.counter(
         "pep_serve_cache_misses_total",
-        shared.cache.misses().to_string(),
+        "Parsed-circuit cache misses.",
+        shared.cache.misses(),
     );
-    for (phase, (seconds, count)) in shared.jobs.phases.snapshot() {
-        let _ = writeln!(
-            out,
-            "pep_serve_phase_seconds{{phase=\"{phase}\"}} {seconds:.6}"
-        );
-        let _ = writeln!(out, "pep_serve_phase_count{{phase=\"{phase}\"}} {count}");
-    }
-    out
+    let phases = shared.jobs.phases.snapshot();
+    let seconds: Vec<(String, f64)> = phases
+        .iter()
+        .map(|(name, (s, _))| (name.clone(), *s))
+        .collect();
+    let counts: Vec<(String, f64)> = phases
+        .iter()
+        .map(|(name, (_, n))| (name.clone(), *n as f64))
+        .collect();
+    w.counter_family(
+        "pep_serve_phase_seconds",
+        "Wall seconds per engine phase, aggregated over completed jobs.",
+        "phase",
+        &seconds,
+    );
+    w.counter_family(
+        "pep_serve_phase_runs",
+        "Executions per engine phase, aggregated over completed jobs.",
+        "phase",
+        &counts,
+    );
+    w.histogram(
+        "pep_serve_job_seconds",
+        "End-to-end job latency in seconds (queued through terminal).",
+        &shared.jobs.job_seconds().snapshot(),
+    );
+    w.finish()
 }

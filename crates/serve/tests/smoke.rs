@@ -193,6 +193,106 @@ fn detach_poll_and_cancel_lifecycle() {
 }
 
 #[test]
+fn traced_job_serves_trace_events_and_prometheus_metrics() {
+    let _serial = serial();
+    let handle = serve(test_config()).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // A traced synchronous job.
+    let response = post(&addr, r#"{"circuit": "sample:c17", "trace": "nodes"}"#);
+    assert_eq!(response.status, 200, "{}", response.body);
+    let status: JobStatus = serde::json::from_str_as(&response.body).unwrap();
+    assert_eq!(status.state, "done");
+
+    // Its Chrome trace-event JSON is served and carries real spans.
+    let trace = client::request(&addr, "GET", &format!("/jobs/{}/trace", status.id), None).unwrap();
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    assert!(
+        trace.body.starts_with("{\"displayTimeUnit\""),
+        "{}",
+        trace.body
+    );
+    assert!(
+        trace.body.contains("\"ph\":\"X\""),
+        "complete events present"
+    );
+    assert!(
+        trace.body.contains("\"cat\":\"wave\""),
+        "wave spans present"
+    );
+    assert!(
+        trace.body.contains("\"cat\":\"node\""),
+        "node spans present"
+    );
+
+    // The events stream replays phase progress and ends with the
+    // terminal state (chunked transfer, de-chunked by the client).
+    let events =
+        client::request(&addr, "GET", &format!("/jobs/{}/events", status.id), None).unwrap();
+    assert_eq!(events.status, 200);
+    assert!(
+        events.body.contains("\"event\":\"enter\""),
+        "{}",
+        events.body
+    );
+    assert!(
+        events.body.contains("\"event\":\"exit\""),
+        "{}",
+        events.body
+    );
+    assert!(
+        events
+            .body
+            .ends_with("{\"event\":\"end\",\"state\":\"done\"}\n"),
+        "{}",
+        events.body
+    );
+
+    // An untraced job 404s on /trace with a distinct code.
+    let plain = post(&addr, FAST_JOB);
+    let plain: JobStatus = serde::json::from_str_as(&plain.body).unwrap();
+    let no_trace =
+        client::request(&addr, "GET", &format!("/jobs/{}/trace", plain.id), None).unwrap();
+    assert_eq!(no_trace.status, 404);
+    assert!(no_trace.body.contains("no-trace"), "{}", no_trace.body);
+
+    // /metrics speaks Prometheus text exposition: typed headers and a
+    // real histogram with cumulative buckets, sum, and count.
+    let metrics = client::request(&addr, "GET", "/metrics", None)
+        .unwrap()
+        .body;
+    assert!(
+        metrics.contains("# TYPE pep_serve_jobs_submitted_total counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE pep_serve_queue_depth gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE pep_serve_job_seconds histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("pep_serve_job_seconds_bucket{le=\"+Inf\"} 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("pep_serve_job_seconds_sum "), "{metrics}");
+    assert!(
+        metrics.contains("pep_serve_job_seconds_count 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("pep_serve_phase_seconds{phase="),
+        "{metrics}"
+    );
+
+    let summary = handle.shutdown_and_join();
+    assert!(summary.clean);
+    assert_eq!(summary.report.counters["serve.jobs_completed"], 2);
+}
+
+#[test]
 fn queue_full_sheds_with_429_while_healthz_stays_green() {
     let _serial = serial();
     let handle = serve(test_config()).expect("bind");

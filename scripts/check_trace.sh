@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Validates a Chrome trace-event JSON file emitted by `psta profile` /
+# `GET /jobs/:id/trace`: well-formed JSON (via python3 when available),
+# the Perfetto-relevant envelope keys, thread-name metadata for the
+# worker lanes, complete-duration span events, and at least one span in
+# each of the categories the engine is supposed to record.
+#
+#   usage: check_trace.sh <trace.json> [<folded.txt>]
+set -euo pipefail
+
+trace="${1:?usage: check_trace.sh <trace.json> [<folded.txt>]}"
+folded="${2:-}"
+
+fail() {
+  echo "check_trace: FAIL: $*" >&2
+  exit 1
+}
+
+[ -s "$trace" ] || fail "$trace is missing or empty"
+
+# Structural JSON validity (skipped when python3 is absent — the grep
+# checks below still cover the schema).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$trace" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+assert "dropped_spans" in doc.get("otherData", {}), "missing otherData.dropped_spans"
+phases = {e.get("ph") for e in events}
+assert "M" in phases, "no metadata events (thread lanes)"
+assert "X" in phases, "no complete-duration span events"
+for e in events:
+    if e.get("ph") == "X":
+        assert e["dur"] >= 0 and e["ts"] >= 0, f"negative ts/dur: {e}"
+        assert "name" in e and "cat" in e, f"span missing name/cat: {e}"
+names = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "thread_name"}
+assert "orchestrator" in names, f"no orchestrator lane, got {names}"
+print(f"check_trace: {len(events)} events, lanes: {sorted(names)}")
+PY
+else
+  echo "check_trace: python3 not found, grep-only validation" >&2
+fi
+
+# Schema spot checks that double as docs of the format.
+grep -q '"displayTimeUnit"' "$trace" || fail "missing displayTimeUnit"
+grep -q '"dropped_spans"' "$trace" || fail "missing dropped_spans metadata"
+grep -q '"ph":"M"' "$trace" || fail "no lane metadata events"
+grep -q '"ph":"X"' "$trace" || fail "no duration span events"
+grep -q '"orchestrator"' "$trace" || fail "no orchestrator lane"
+for cat in wave node kernel; do
+  grep -q "\"cat\":\"$cat\"" "$trace" || fail "no '$cat' spans in trace"
+done
+
+if [ -n "$folded" ]; then
+  [ -s "$folded" ] || fail "$folded is missing or empty"
+  # Every folded line is `stack;frames… self_microseconds`.
+  awk '!/^[^ ]+ [0-9]+$/ { print "bad folded line: " $0; bad = 1 } END { exit bad }' \
+    "$folded" || fail "malformed folded-stacks line"
+fi
+
+echo "check_trace: OK ($trace${folded:+, $folded})"
